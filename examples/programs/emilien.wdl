@@ -1,0 +1,4 @@
+// Emilien's peer: his local photo collection.
+ext pictures@Emilien(id, name, owner, data);
+pictures@Emilien(32, "sea.jpg", "Emilien", "100...");
+pictures@Emilien(33, "talk.jpg", "Emilien", "101...");

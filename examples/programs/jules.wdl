@@ -1,0 +1,11 @@
+// Jules' peer: the paper's Section 3 view over selected attendees.
+ext selectedAttendee@Jules(attendee);
+ext pictures@Jules(id, name, owner, data);
+int attendeePictures@Jules(id, name, owner, data);
+
+selectedAttendee@Jules("Emilien");
+pictures@Jules(7, "hall.jpg", "Jules", "110...");
+
+attendeePictures@Jules($id, $name, $owner, $data) :-
+  selectedAttendee@Jules($attendee),
+  pictures@$attendee($id, $name, $owner, $data);
