@@ -1,0 +1,1 @@
+examples/delegation_control.ml: Format List Rule Wdl_syntax Webdamlog

@@ -1,0 +1,1 @@
+examples/introspection.ml: Fact Format List Parser Program Rule String Value Wdl_syntax Webdamlog

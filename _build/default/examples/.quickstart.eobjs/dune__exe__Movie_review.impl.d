@@ -1,0 +1,1 @@
+examples/movie_review.ml: Format List Rule Wdl_syntax Wdl_wrappers Webdamlog

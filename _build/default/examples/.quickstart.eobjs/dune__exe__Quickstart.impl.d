@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fact Format List Rule Value Wdl_syntax Webdamlog

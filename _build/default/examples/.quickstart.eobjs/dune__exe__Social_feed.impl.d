@@ -1,0 +1,1 @@
+examples/social_feed.ml: Format List String Wdl_feed

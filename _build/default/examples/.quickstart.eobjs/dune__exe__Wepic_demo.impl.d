@@ -1,0 +1,1 @@
+examples/wepic_demo.ml: Format List Wdl_net Wdl_syntax Wdl_wepic Wdl_wrappers Webdamlog

@@ -1,0 +1,1 @@
+examples/wepic_demo.mli:

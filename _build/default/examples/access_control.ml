@@ -1,0 +1,86 @@
+(* The §2 access-control model, end to end: discretionary grants on
+   stored relations, provenance-derived policies on views,
+   declassification, and enforcement when delegations install.
+
+   Run with: dune exec examples/access_control.exe *)
+
+module Peer = Webdamlog.Peer
+module Authz = Webdamlog.Authz
+
+let ok = function Ok v -> v | Error e -> failwith e
+let pf fmt = Format.printf fmt
+
+let () =
+  let sys = Webdamlog.System.create () in
+  let jules = Webdamlog.System.add_peer sys "Jules" in
+  let julia = Webdamlog.System.add_peer sys "Julia" in
+  let emilien = Webdamlog.System.add_peer sys "Émilien" in
+
+  (* Jules stores public pictures and private notes, and defines a view
+     combining both. *)
+  ok
+    (Peer.load_string jules
+       {|
+       ext pictures@Jules(id, name);
+       ext notes@Jules(id, text);
+       int annotated@Jules(id, name, text);
+
+       pictures@Jules(1, "hall.jpg");
+       pictures@Jules(2, "talk.jpg");
+       notes@Jules(1, "blurry, do not publish");
+
+       annotated@Jules($id, $n, $t) :- pictures@Jules($id, $n), notes@Jules($id, $t);
+       |});
+  Peer.set_enforce_authz jules true;
+
+  (* Discretionary policy: notes are only for Émilien. *)
+  Authz.set_policy (Peer.authz jules) ~rel:"notes" (Authz.Only [ "Émilien" ]);
+
+  pf "policies at Jules:@.";
+  List.iter
+    (fun rel -> pf "  %-10s -> %a@." rel Authz.pp_policy (Peer.readers jules rel))
+    [ "pictures"; "notes"; "annotated" ];
+  pf "(the view inherited the notes policy through provenance)@.";
+
+  (* Julia and Émilien both try to read the view remotely. *)
+  let collect name =
+    ok
+      (Peer.load_string
+         (Webdamlog.System.peer sys name)
+         (Printf.sprintf
+            {|int got@%s(id, name, text);
+              got@%s($i, $n, $t) :- annotated@Jules($i, $n, $t);|}
+            name name))
+  in
+  collect "Julia";
+  collect "Émilien";
+  ignore (ok (Webdamlog.System.run sys));
+  pf "@.Julia sees %d annotated picture(s) (delegation rejected)@."
+    (List.length (Peer.query julia "got"));
+  pf "Émilien sees %d annotated picture(s) (granted reader)@."
+    (List.length (Peer.query emilien "got"));
+  (match
+     Webdamlog.Trace.find (Peer.trace jules) (function
+       | Webdamlog.Trace.Delegation_rejected { src = "Julia"; _ } -> true
+       | _ -> false)
+   with
+  | Some e -> pf "Jules' trace: %a@." Webdamlog.Trace.pp_event e
+  | None -> pf "no rejection traced?!@.");
+
+  (* Jules declassifies the view ("effectively declassifying some
+     data", §2) and Julia's rule — re-sent automatically — installs. *)
+  Authz.declassify (Peer.authz jules) ~rel:"annotated" Authz.Everyone;
+  (* Nudge Julia's peer so it re-offers its delegation. *)
+  ok
+    (Peer.load_string julia
+       {|got@Julia($i, $n, $t) :- annotated@Jules($i, $n, $t), $i >= 0;|});
+  ignore (ok (Webdamlog.System.run sys));
+  pf "@.after declassification Julia sees %d annotated picture(s)@."
+    (List.length (Peer.query julia "got"));
+
+  (* The state — policies included — survives a restart. *)
+  let jules' = ok (Peer.restore (Peer.snapshot jules)) in
+  pf "@.after restart, notes policy is still %a and enforcement is %b@."
+    Authz.pp_policy
+    (Authz.stored_policy (Peer.authz jules') "notes")
+    (Peer.enforcing_authz jules')

@@ -1,0 +1,69 @@
+(* The Fig. 3 scenario: control of delegation. Julia writes a rule that
+   must execute at Jules' peer; Jules' peer holds it pending until he
+   approves it through the interface, and his running program changes
+   once the approval is granted.
+
+   Run with: dune exec examples/delegation_control.exe *)
+
+open Wdl_syntax
+module Peer = Webdamlog.Peer
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  let sys = Webdamlog.System.create () in
+  (* Jules trusts only the sigmod peer, as in the demo ("all peers
+     except the sigmod peer will be considered untrusted"). *)
+  let jules = Webdamlog.System.add_peer sys ~policy:Webdamlog.Acl.Closed "Jules" in
+  Webdamlog.Acl.trust (Peer.acl jules) "sigmod";
+  let julia = Webdamlog.System.add_peer sys "Julia" in
+  let sigmod = Webdamlog.System.add_peer sys "sigmod" in
+
+  ok
+    (Peer.load_string jules
+       {|
+       ext pictures@Jules(id, name, owner, data);
+       pictures@Jules(7, "hall.jpg", "Jules", "110...");
+       |});
+
+  (* Julia wants Jules' pictures in her own collection: her rule's body
+     reads pictures@Jules, so evaluating it delegates the rule to
+     Jules. *)
+  ok
+    (Peer.load_string julia
+       {|
+       int julesPictures@Julia(id, name, owner, data);
+       julesPictures@Julia($id, $name, $owner, $data) :-
+         pictures@Jules($id, $name, $owner, $data);
+       |});
+
+  ignore (ok (Webdamlog.System.run sys));
+  Format.printf "Julia sees %d pictures (delegation pending)@."
+    (List.length (Peer.query julia "julesPictures"));
+  Format.printf "Jules' pending queue (the Fig. 3 notification):@.";
+  List.iter
+    (fun (src, rule) -> Format.printf "  %s asks to install: %a@." src Rule.pp rule)
+    (Peer.pending_delegations jules);
+  Format.printf "Jules currently runs %d delegated rule(s)@."
+    (List.length (Peer.delegated_rules jules));
+
+  (* Jules clicks "accept". *)
+  let src, rule = List.hd (Peer.pending_delegations jules) in
+  assert (Peer.accept_delegation jules ~src rule);
+  ignore (ok (Webdamlog.System.run sys));
+  Format.printf "@.after approval Jules runs %d delegated rule(s)@."
+    (List.length (Peer.delegated_rules jules));
+  Format.printf "Julia now sees %d picture(s)@."
+    (List.length (Peer.query julia "julesPictures"));
+
+  (* The sigmod peer is trusted: its delegations install silently. *)
+  ok
+    (Peer.load_string sigmod
+       {|
+       int report@sigmod(id);
+       report@sigmod($id) :- pictures@Jules($id, $n, $o, $d);
+       |});
+  ignore (ok (Webdamlog.System.run sys));
+  Format.printf "@.sigmod (trusted) delegated without approval; Jules runs %d rules, pending %d@."
+    (List.length (Peer.delegated_rules jules))
+    (List.length (Peer.pending_delegations jules))

@@ -1,0 +1,75 @@
+(* Introspection: the tools around the engine. Static analysis of a
+   program (what delegates where), ad-hoc queries against a live peer,
+   why-provenance of a derived fact, and a snapshot of the whole state.
+
+   Run with: dune exec examples/introspection.exe *)
+
+open Wdl_syntax
+module Peer = Webdamlog.Peer
+
+let ok = function Ok v -> v | Error e -> failwith e
+let section fmt = Format.printf ("@.== " ^^ fmt ^^ " ==@.")
+
+let program =
+  {|
+  ext pictures@Jules(id, name, owner);
+  ext selectedAttendee@Jules(attendee);
+  ext rate@Jules(id, stars);
+  int attendeePictures@Jules(id, name, owner);
+  int best@Jules(id, stars);
+
+  pictures@Jules(1, "hall.jpg", "Jules");
+  pictures@Jules(2, "talk.jpg", "Jules");
+  selectedAttendee@Jules("Jules");
+  rate@Jules(1, 3); rate@Jules(1, 5); rate@Jules(2, 4);
+
+  attendeePictures@Jules($i, $n, $o) :-
+    selectedAttendee@Jules($a), pictures@$a($i, $n, $o);
+
+  best@Jules($i, max($s)) :- rate@Jules($i, $s);
+  |}
+
+let () =
+  section "Static analysis (wdl analyze)";
+  let parsed = ok (Parser.program program) in
+  List.iter
+    (fun rule ->
+      let c =
+        Webdamlog.Classify.classify ~self:"Jules"
+          ~intensional:(fun r -> r = "attendeePictures" || r = "best")
+          rule
+      in
+      Format.printf "%a@.  -> %s@.@." Rule.pp rule (Webdamlog.Classify.describe c))
+    (Program.rules parsed);
+
+  let jules = Peer.create "Jules" in
+  Peer.set_track_provenance jules true;
+  ok (Peer.load_string jules program);
+  let rec settle () = if Peer.has_work jules then begin ignore (Peer.stage jules); settle () end in
+  settle ();
+
+  section "Ad-hoc query (the Query tab)";
+  let answer =
+    ok (Peer.ask jules "q@Jules($n, $s) :- attendeePictures@Jules($i, $n, $o), best@Jules($i, $s)")
+  in
+  Format.printf "%s@." (String.concat "\t" answer.Peer.columns);
+  List.iter
+    (fun row ->
+      Format.printf "%s@." (String.concat "\t" (List.map Value.to_string row)))
+    answer.Peer.rows;
+
+  section "Why-provenance (.explain)";
+  print_string
+    (Peer.explain_to_string jules
+       (Fact.make ~rel:"attendeePictures" ~peer:"Jules"
+          [ Value.Int 1; Value.String "hall.jpg"; Value.String "Jules" ]));
+  print_string
+    (Peer.explain_to_string jules
+       (Fact.make ~rel:"best" ~peer:"Jules" [ Value.Int 1; Value.Int 5 ]));
+
+  section "Snapshot (what a restart would reload)";
+  let snapshot = Peer.snapshot jules in
+  Format.printf "%d bytes; first lines:@." (String.length snapshot);
+  String.split_on_char '\n' snapshot
+  |> List.filteri (fun i _ -> i < 5)
+  |> List.iter print_endline

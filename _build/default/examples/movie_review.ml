@@ -1,0 +1,118 @@
+(* The paper's introduction scenario: Joe, "a typical Web user", has a
+   blog on Wordpress, a Facebook account, a Dropbox folder, and a
+   laptop. He posts a review of the movie he just watched on his blog,
+   advertises it to his Facebook friends, and links the Dropbox folder
+   where the movie is — all from four WebdamLog rules on his own peer,
+   no centralised service involved.
+
+   Run with: dune exec examples/movie_review.exe *)
+
+open Wdl_syntax
+module Peer = Webdamlog.Peer
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  let sys = Webdamlog.System.create () in
+
+  (* Joe's own peer: his laptop. *)
+  let joe = Webdamlog.System.add_peer sys "joe" in
+
+  (* His blog on Wordpress, through the blog wrapper. *)
+  let wp = Wdl_wrappers.Wordpress.create () in
+  let blog_wrapper, blog =
+    Wdl_wrappers.Wordpress.blog_wrapper ~system:sys ~service:wp ~blog:"joeBlog"
+      ~peer_name:"joeBlog"
+  in
+
+  (* A simulated Facebook with Joe's account and friends. *)
+  let fb = Wdl_wrappers.Facebook.create () in
+  Wdl_wrappers.Facebook.befriend fb "joe" "alice";
+  Wdl_wrappers.Facebook.befriend fb "joe" "bob";
+  let fb_wrapper, _fb_peer =
+    Wdl_wrappers.Facebook.user_wrapper ~system:sys ~service:fb ~user:"joe"
+      ~peer_name:"joeFB"
+  in
+
+  (* A simulated Dropbox holding the movie. *)
+  let dbx = Wdl_wrappers.Dropbox.create () in
+  Wdl_wrappers.Dropbox.put dbx ~user:"joe" ~path:"/movies/dream.mkv"
+    ~content:"<binary>";
+  let dbx_wrapper, _dbx_peer =
+    Wdl_wrappers.Dropbox.folder_wrapper ~system:sys ~service:dbx ~user:"joe"
+      ~peer_name:"joeDbx"
+  in
+
+  (* An email service to notify friends. *)
+  let mail = Wdl_wrappers.Email.create () in
+  let outbox =
+    Wdl_wrappers.Email.outbox_wrapper ~service:mail ~peer:joe ~sender:"joe" ()
+  in
+
+  (* Joe's program. Note the delegations: the blog-link rule reads his
+     Dropbox wrapper peer, the advertisement rule reads his Facebook
+     wrapper peer — Joe's peer installs residual rules at both. *)
+  ok
+    (Peer.load_string joe
+       {|
+       ext reviews@joe(title, body);
+       ext movieFile@joe(title, path);
+       int friendsOfJoe@joe(name);
+
+       // publish each review on the blog, linking the Dropbox file
+       entries@joeBlog($title, $body, $path) :-
+         reviews@joe($title, $body),
+         movieFile@joe($title, $path),
+         files@joeDbx($path, $content);
+
+       // collect Facebook friends through the wrapper
+       friendsOfJoe@joe($friend) :-
+         friends@joeFB($user, $friend);
+
+       // advertise the review to each friend by email
+       email@joe($friend, $title, 0, "joe") :-
+         reviews@joe($title, $body),
+         friendsOfJoe@joe($friend);
+
+       reviews@joe("Dream", "A movie about dreams. Five stars.");
+       movieFile@joe("Dream", "/movies/dream.mkv");
+       |});
+
+  (* Sync wrappers and run until quiescent. *)
+  let rec loop guard =
+    let crossed =
+      fb_wrapper.Wdl_wrappers.Wrapper.push ()
+      + fb_wrapper.Wdl_wrappers.Wrapper.refresh ()
+      + dbx_wrapper.Wdl_wrappers.Wrapper.push ()
+      + dbx_wrapper.Wdl_wrappers.Wrapper.refresh ()
+      + blog_wrapper.Wdl_wrappers.Wrapper.push ()
+      + blog_wrapper.Wdl_wrappers.Wrapper.refresh ()
+      + outbox.Wdl_wrappers.Wrapper.push ()
+    in
+    let rounds = ok (Webdamlog.System.run sys) in
+    if (crossed > 0 || rounds > 0) && guard < 20 then loop (guard + 1)
+  in
+  loop 0;
+
+  Format.printf "-- Joe's blog (via the Wordpress wrapper) --@.";
+  List.iter
+    (fun (p : Wdl_wrappers.Wordpress.post) ->
+      Format.printf "  %s: %s [%s]@." p.title p.body p.link)
+    (Wdl_wrappers.Wordpress.posts wp ~blog:"joeBlog");
+  ignore (Peer.query blog "entries");
+  Format.printf "-- Friends advertised by email --@.";
+  List.iter
+    (fun (m : Wdl_wrappers.Email.message) ->
+      Format.printf "  to %s: %s@." m.recipient m.subject)
+    (List.concat_map
+       (fun friend -> Wdl_wrappers.Email.inbox mail friend)
+       [ "alice"; "bob" ]);
+  Format.printf "-- Rules installed at Joe's wrappers (delegations) --@.";
+  List.iter
+    (fun peer_name ->
+      let p = Webdamlog.System.peer sys peer_name in
+      List.iter
+        (fun (src, r) ->
+          Format.printf "  %s runs (from %s): %a@." peer_name src Rule.pp r)
+        (Peer.delegated_rules p))
+    [ "joeDbx"; "joeFB" ]

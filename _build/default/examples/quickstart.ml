@@ -1,0 +1,73 @@
+(* Quickstart: two peers, one rule with a peer variable, delegation in
+   action. Run with: dune exec examples/quickstart.exe *)
+
+open Wdl_syntax
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> failwith e
+
+let () =
+  (* A system wires peers through a transport (in-memory by default). *)
+  let sys = Webdamlog.System.create () in
+  let alice = Webdamlog.System.add_peer sys "alice" in
+  let bob = Webdamlog.System.add_peer sys "bob" in
+
+  (* Alice follows peers listed in follows@alice and collects their
+     posts into a local view. [posts@$who] has a peer VARIABLE: WebdamLog
+     evaluates bodies left to right and, when $who resolves to a remote
+     peer, delegates the residual rule there. *)
+  let* () =
+    Webdamlog.Peer.load_string alice
+      {|
+      ext follows@alice(who);
+      int timeline@alice(author, text);
+
+      follows@alice("bob");
+
+      timeline@alice($who, $text) :-
+        follows@alice($who),
+        posts@$who($text);
+      |}
+  in
+  let* () =
+    Webdamlog.Peer.load_string bob
+      {|
+      ext posts@bob(text);
+      posts@bob("hello from bob");
+      posts@bob("webdamlog is declarative");
+      |}
+  in
+
+  (* Run rounds until no peer has work and no message is in flight. *)
+  let* rounds = Webdamlog.System.run sys in
+  Format.printf "quiescent in %d rounds@." rounds;
+
+  (* Bob now holds a delegated rule installed by alice... *)
+  List.iter
+    (fun (src, rule) -> Format.printf "bob runs (from %s): %a@." src Rule.pp rule)
+    (Webdamlog.Peer.delegated_rules bob);
+
+  (* ...and alice's view contains bob's posts. *)
+  List.iter
+    (fun f -> Format.printf "%a@." Fact.pp f)
+    (Webdamlog.Peer.query alice "timeline");
+
+  (* Updates propagate incrementally: a new post appears on the
+     timeline, unfollowing retracts the delegation and empties it. *)
+  let* () =
+    Webdamlog.Peer.load_string bob {| posts@bob("one more post"); |}
+  in
+  let* _ = Webdamlog.System.run sys in
+  Format.printf "timeline now has %d entries@."
+    (List.length (Webdamlog.Peer.query alice "timeline"));
+  let* () =
+    match
+      Webdamlog.Peer.delete alice
+        (Fact.make ~rel:"follows" ~peer:"alice" [ Value.String "bob" ])
+    with
+    | Ok () -> Ok ()
+    | Error e -> Error e
+  in
+  let* _ = Webdamlog.System.run sys in
+  Format.printf "after unfollow: %d entries, bob runs %d delegated rules@."
+    (List.length (Webdamlog.Peer.query alice "timeline"))
+    (List.length (Webdamlog.Peer.delegated_rules bob))

@@ -1,0 +1,54 @@
+(* Wefeed: the second application built from rules — a decentralised
+   social reader (following, muting, topics, digests, suggestions,
+   reshares) with no central service, exactly the introduction's
+   motivation for WebdamLog.
+
+   Run with: dune exec examples/social_feed.exe *)
+
+module Feed = Wdl_feed.Feed
+
+let ok = function Ok v -> v | Error e -> failwith e
+let pf fmt = Format.printf fmt
+
+let show_timeline t user =
+  pf "@.%s's timeline:@." user;
+  List.iter
+    (fun (e : Feed.entry) -> pf "  #%d [%s] %s: %s@." e.id e.topic e.author e.text)
+    (Feed.timeline t ~user)
+
+let () =
+  let t = Feed.create () in
+  List.iter
+    (fun u -> ignore (Feed.add_user t u))
+    [ "joe"; "alice"; "bob"; "carol" ];
+
+  (* The social graph lives at each peer, not on a platform. *)
+  Feed.follow t ~user:"joe" ~whom:"alice";
+  Feed.follow t ~user:"joe" ~whom:"bob";
+  Feed.follow t ~user:"alice" ~whom:"carol";
+
+  Feed.post t ~author:"alice" ~id:1 ~text:"declarative networking is back"
+    ~topic:"databases";
+  Feed.post t ~author:"bob" ~id:2 ~text:"lunch pics" ~topic:"food";
+  Feed.post t ~author:"carol" ~id:3 ~text:"datalog tricks" ~topic:"databases";
+  ignore (ok (Feed.run t));
+  show_timeline t "joe";
+
+  pf "@.joe mutes bob...@.";
+  Feed.mute t ~user:"joe" ~whom:"bob";
+  ignore (ok (Feed.run t));
+  show_timeline t "joe";
+
+  pf "@.digest (posts per author): ";
+  List.iter (fun (a, n) -> pf "%s=%d " a n) (Feed.digest t ~user:"joe");
+  pf "@.";
+
+  pf "@.suggestions for joe (friends of friends he doesn't follow): %s@."
+    (String.concat ", " (Feed.suggestions t ~user:"joe"));
+
+  pf "@.alice reshares carol's post; joe follows only alice, yet...@.";
+  Feed.reshare t ~user:"alice" ~id:3;
+  ignore (ok (Feed.run t));
+  show_timeline t "joe";
+
+  pf "@.every peer runs the same 7 rules; the network is the application.@."

@@ -1,0 +1,79 @@
+(* The full demonstration of §4, scripted: the Fig. 2 topology (Émilien
+   and Jules on their laptops, the sigmod peer in the Webdam cloud, the
+   SigmodFB Facebook group), run over the simulated network.
+
+   Run with: dune exec examples/wepic_demo.exe *)
+
+module Wepic = Wdl_wepic.Wepic
+module Fact = Wdl_syntax.Fact
+
+let ok = function Ok v -> v | Error e -> failwith e
+let section fmt = Format.printf ("@.== " ^^ fmt ^^ " ==@.")
+
+let () =
+  (* Simulated network: the two laptops are close (latency 1), the
+     cloud peer is farther (latency 3). *)
+  let transport =
+    Wdl_net.Simnet.create ~sizer:Webdamlog.Message.size ~seed:2013
+      ~latency:(fun ~src ~dst ->
+        let cloud p = p = Wepic.sigmod_peer_name || p = Wepic.fb_peer_name in
+        if cloud src || cloud dst then 3.0 else 1.0)
+      ()
+  in
+  let env = Wepic.create ~transport () in
+  let _emilien = Wepic.add_attendee env "Émilien" in
+  let _jules = Wepic.add_attendee env "Jules" in
+
+  section "Setup (Fig. 2)";
+  Wepic.upload_picture env ~attendee:"Émilien" ~id:32 ~name:"sea.jpg" ~data:"100...";
+  Wepic.upload_picture env ~attendee:"Émilien" ~id:33 ~name:"talk.jpg" ~data:"101...";
+  Wepic.upload_picture env ~attendee:"Jules" ~id:71 ~name:"hall.jpg" ~data:"110...";
+  let rounds = ok (Wepic.run env) in
+  Format.printf "quiescent in %d rounds; pictures@sigmod holds %d pictures@."
+    rounds
+    (List.length (Wepic.pictures_at_sigmod env));
+
+  section "Interaction via Facebook (§4)";
+  Format.printf "before authorization the group has %d pictures@."
+    (List.length (Wepic.pictures_on_facebook env));
+  Wepic.authorize_facebook env ~attendee:"Émilien" ~id:32;
+  ignore (ok (Wepic.run env));
+  Format.printf "after Émilien authorizes #32: %d@."
+    (List.length (Wepic.pictures_on_facebook env));
+  (* Something posted directly on the Facebook group flows back. *)
+  ignore
+    (Wdl_wrappers.Facebook.post_group_picture (Wepic.facebook env)
+       ~group:"sigmod2013"
+       { Wdl_wrappers.Facebook.id = 99; name = "banquet.jpg";
+         owner = "external"; data = "111..." });
+  ignore (ok (Wepic.run env));
+  Format.printf "after an external FB post, pictures@sigmod holds %d@."
+    (List.length (Wepic.pictures_at_sigmod env));
+
+  section "Viewing attendee pictures (Fig. 1)";
+  Wepic.select_attendee env ~viewer:"Jules" ~attendee:"Émilien";
+  ignore (ok (Wepic.run env));
+  List.iter
+    (fun f -> Format.printf "  %a@." Fact.pp f)
+    (Wepic.attendee_pictures env ~viewer:"Jules");
+
+  section "Customizing rules (§4)";
+  Wepic.rate env ~rater:"Jules" ~owner:"Émilien" ~id:32 ~rating:5;
+  ok
+    (Wepic.customize_view env ~viewer:"Jules"
+       (Wepic.min_rating_view_rule ~viewer:"Jules" ~min_rating:5));
+  ignore (ok (Wepic.run env));
+  Format.printf "with the rating-5 filter Jules sees %d picture(s)@."
+    (List.length (Wepic.attendee_pictures env ~viewer:"Jules"));
+
+  section "Transfer by preferred protocol (§3)";
+  Wepic.set_protocol env ~attendee:"Émilien" ~protocol:"email";
+  Wepic.select_picture env ~viewer:"Jules" ~name:"hall.jpg" ~id:71 ~owner:"Jules";
+  ignore (ok (Wepic.run env));
+  List.iter
+    (fun (m : Wdl_wrappers.Email.message) ->
+      Format.printf "  Émilien received mail: %s@." m.subject)
+    (Wdl_wrappers.Email.inbox (Wepic.email env) "Émilien");
+
+  Format.printf "@.total messages on the wire: %d@."
+    (Webdamlog.System.messages_sent (Wepic.system env))

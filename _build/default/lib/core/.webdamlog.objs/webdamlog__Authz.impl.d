@@ -1,0 +1,1 @@
+lib/core/authz.ml: Atom Format Hashtbl List Literal Option Rule Set String Term Wdl_syntax

@@ -1,0 +1,1 @@
+lib/core/authz.mli: Format Wdl_syntax

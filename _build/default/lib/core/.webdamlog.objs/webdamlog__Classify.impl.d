@@ -1,0 +1,1 @@
+lib/core/classify.ml: Atom List Literal Printf Rule String Term Wdl_syntax

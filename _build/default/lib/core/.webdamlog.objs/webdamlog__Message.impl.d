@@ -1,0 +1,1 @@
+lib/core/message.ml: Fact Format List Rule String Wdl_syntax

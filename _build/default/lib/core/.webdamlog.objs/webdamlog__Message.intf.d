@@ -1,0 +1,1 @@
+lib/core/message.mli: Fact Format Rule Wdl_syntax

@@ -1,0 +1,1 @@
+lib/core/peer.mli: Acl Authz Fact Format Message Program Rule Trace Value Wdl_eval Wdl_store Wdl_syntax

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Filename Fun List Peer Program Result Sys Wdl_store Wdl_syntax

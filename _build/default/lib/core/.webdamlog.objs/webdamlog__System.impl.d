@@ -1,0 +1,1 @@
+lib/core/system.ml: Hashtbl List Message Option Peer Printf Wdl_net

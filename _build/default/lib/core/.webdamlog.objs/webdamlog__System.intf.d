@@ -1,0 +1,1 @@
+lib/core/system.mli: Acl Message Peer Wdl_eval Wdl_net

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Fact Format List Message Rule Wdl_eval Wdl_syntax

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Fact Format Message Rule Wdl_eval Wdl_syntax

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Buffer Fact List Message Parser Pp_util Program Result Rule Value Wdl_net Wdl_syntax

@@ -1,0 +1,1 @@
+lib/core/wire.mli: Message Wdl_net

@@ -1,0 +1,68 @@
+open Wdl_syntax
+
+type policy = Open | Closed
+
+type t = {
+  mutable pol : policy;
+  explicit_trust : (string, bool) Hashtbl.t;
+      (* name -> true (trusted) / false (untrusted) *)
+  mutable queue : (string * Rule.t) list;  (* newest first *)
+}
+
+let create ?(policy = Open) () =
+  { pol = policy; explicit_trust = Hashtbl.create 8; queue = [] }
+
+let policy t = t.pol
+let set_policy t p = t.pol <- p
+let trust t p = Hashtbl.replace t.explicit_trust p true
+let untrust t p = Hashtbl.replace t.explicit_trust p false
+
+let trusted t p =
+  match Hashtbl.find_opt t.explicit_trust p with
+  | Some b -> b
+  | None -> ( match t.pol with Open -> true | Closed -> false)
+
+let submit t ~src rule =
+  if trusted t src then `Installed
+  else begin
+    if
+      not
+        (List.exists
+           (fun (s, r) -> String.equal s src && Rule.equal r rule)
+           t.queue)
+    then t.queue <- (src, rule) :: t.queue;
+    `Pending
+  end
+
+let remove t ~src rule =
+  let found = ref false in
+  t.queue <-
+    List.filter
+      (fun (s, r) ->
+        let hit = String.equal s src && Rule.equal r rule in
+        if hit then found := true;
+        not hit)
+      t.queue;
+  !found
+
+let retract_pending t ~src rule = remove t ~src rule
+let pending t = List.rev t.queue
+let accept t ~src rule = remove t ~src rule
+let reject t ~src rule = remove t ~src rule
+
+let accept_all t =
+  let all = pending t in
+  t.queue <- [];
+  all
+
+let explicit t =
+  Hashtbl.fold (fun p b acc -> (p, b) :: acc) t.explicit_trust []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let enqueue t ~src rule =
+  if
+    not
+      (List.exists
+         (fun (s, r) -> String.equal s src && Rule.equal r rule)
+         t.queue)
+  then t.queue <- (src, rule) :: t.queue

@@ -1,0 +1,50 @@
+(** Control of delegation (§2 "Access control", §4 demo scenario).
+
+    The demo's simplified model: each delegation sent by an untrusted
+    peer waits in a pending queue until the user explicitly accepts it;
+    delegations from trusted peers install immediately. By default
+    every peer is trusted ([`Open]); Wepic switches to
+    [`Closed trusted] where only listed peers (the [sigmod] peer in the
+    demo) bypass the queue. *)
+
+open Wdl_syntax
+
+type policy = Open | Closed
+
+type t
+
+val create : ?policy:policy -> unit -> t
+val policy : t -> policy
+val set_policy : t -> policy -> unit
+
+val trust : t -> string -> unit
+val untrust : t -> string -> unit
+val trusted : t -> string -> bool
+(** Under [Open], everyone is trusted except explicitly untrusted
+    peers; under [Closed], only explicitly trusted peers are. *)
+
+val submit : t -> src:string -> Rule.t -> [ `Installed | `Pending ]
+(** Routes an incoming delegation: either it may install now, or it
+    joins the pending queue. *)
+
+val retract_pending : t -> src:string -> Rule.t -> bool
+(** Removes a queued delegation (its source withdrew it); [true] if it
+    was pending. *)
+
+val pending : t -> (string * Rule.t) list
+(** Oldest first. *)
+
+val accept : t -> src:string -> Rule.t -> bool
+(** Pops the delegation from the queue; [true] if it was there. The
+    caller installs the rule. *)
+
+val reject : t -> src:string -> Rule.t -> bool
+val accept_all : t -> (string * Rule.t) list
+(** Pops and returns everything pending, oldest first. *)
+
+val explicit : t -> (string * bool) list
+(** Explicit trust/untrust entries, sorted by peer (persistence). *)
+
+val enqueue : t -> src:string -> Rule.t -> unit
+(** Puts a delegation straight into the pending queue regardless of
+    trust (used when restoring a snapshot). *)

@@ -1,0 +1,191 @@
+open Wdl_syntax
+module Sset = Set.Make (String)
+
+type policy =
+  | Everyone
+  | Only of string list
+
+let normalize = List.sort_uniq String.compare
+
+let policy_equal a b =
+  match a, b with
+  | Everyone, Everyone -> true
+  | Only x, Only y -> List.equal String.equal (normalize x) (normalize y)
+  | Everyone, Only _ | Only _, Everyone -> false
+
+let pp_policy ppf = function
+  | Everyone -> Format.pp_print_string ppf "everyone"
+  | Only [] -> Format.pp_print_string ppf "nobody"
+  | Only l -> Format.fprintf ppf "only {%s}" (String.concat ", " (normalize l))
+
+let meet a b =
+  match a, b with
+  | Everyone, p | p, Everyone -> p
+  | Only x, Only y ->
+    Only (Sset.elements (Sset.inter (Sset.of_list x) (Sset.of_list y)))
+
+let allows p reader =
+  match p with Everyone -> true | Only l -> List.mem reader l
+
+type t = {
+  stored : (string, policy) Hashtbl.t;
+  overrides : (string, policy) Hashtbl.t;
+}
+
+let create () = { stored = Hashtbl.create 8; overrides = Hashtbl.create 4 }
+
+let set_policy t ~rel p = Hashtbl.replace t.stored rel (
+  match p with Everyone -> Everyone | Only l -> Only (normalize l))
+
+let stored_policy t rel =
+  Option.value ~default:Everyone (Hashtbl.find_opt t.stored rel)
+
+let grant t ~rel peer =
+  let p =
+    match stored_policy t rel with
+    | Everyone -> Only [ peer ]
+    | Only l -> Only (normalize (peer :: l))
+  in
+  Hashtbl.replace t.stored rel p
+
+let revoke t ~rel peer =
+  match stored_policy t rel with
+  | Everyone -> ()
+  | Only l -> Hashtbl.replace t.stored rel (Only (List.filter (( <> ) peer) l))
+
+let declassify t ~rel p = Hashtbl.replace t.overrides rel (
+  match p with Everyone -> Everyone | Only l -> Only (normalize l))
+
+let clear_declassification t ~rel = Hashtbl.remove t.overrides rel
+let declassified t rel = Hashtbl.find_opt t.overrides rel
+
+(* The local relations a rule reads before any definitely-remote atom,
+   mirroring Stratify's notion of the locally-evaluated prefix. [None]
+   in the list means "some relation, name unknown" (relation variable). *)
+let local_reads ~self (rule : Rule.t) =
+  let definitely_remote (a : Atom.t) =
+    match Term.as_name a.Atom.peer with Some p -> p <> self | None -> false
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (Literal.Cmp _ | Literal.Assign _) :: rest -> go acc rest
+    | (Literal.Pos a | Literal.Neg a) :: rest ->
+      if definitely_remote a then List.rev acc
+      else go ((match Term.as_name a.Atom.rel with
+                | Some c -> Some c
+                | None -> None) :: acc) rest
+  in
+  go [] rule.Rule.body
+
+(* Views a rule can derive into: Some names, or None = any view. *)
+let head_views ~self ~intensional (rule : Rule.t) =
+  match rule.Rule.head.Atom.rel, rule.Rule.head.Atom.peer with
+  | Term.Var _, _ | _, Term.Var _ -> None
+  | Term.Const _, Term.Const _ -> (
+    match
+      Term.as_name rule.Rule.head.Atom.peer, Term.as_name rule.Rule.head.Atom.rel
+    with
+    | Some p, Some c when p = self && intensional c -> Some [ c ]
+    | _, _ -> Some [])
+
+let derived_readers t ~self ~rules ~intensional =
+  (* All view names mentioned anywhere. *)
+  let views = Hashtbl.create 8 in
+  let note rel = if intensional rel && not (Hashtbl.mem views rel) then
+      Hashtbl.replace views rel Everyone
+  in
+  List.iter
+    (fun (r : Rule.t) ->
+      (match head_views ~self ~intensional r with
+      | Some names -> List.iter note names
+      | None -> ());
+      List.iter (function Some c -> note c | None -> ()) (local_reads ~self r))
+    rules;
+  let current rel =
+    match declassified t rel with
+    | Some p -> p
+    | None ->
+      if intensional rel then
+        Option.value ~default:Everyone (Hashtbl.find_opt views rel)
+      else stored_policy t rel
+  in
+  (* Decreasing fixpoint: shrink every view's policy by each deriving
+     rule's body reads until stable. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Rule.t) ->
+        let body_policy =
+          List.fold_left
+            (fun acc read ->
+              match read with
+              | Some c -> meet acc (current c)
+              | None ->
+                (* relation variable: reads anything local, so meet with
+                   every stored policy and every view policy *)
+                let acc =
+                  Hashtbl.fold
+                    (fun rel _ a -> meet a (stored_policy t rel))
+                    t.stored acc
+                in
+                Hashtbl.fold (fun _ p a -> meet a p) views acc)
+            Everyone (local_reads ~self r)
+        in
+        let targets =
+          match head_views ~self ~intensional r with
+          | Some names -> names
+          | None -> Hashtbl.fold (fun v _ acc -> v :: acc) views []
+        in
+        List.iter
+          (fun v ->
+            if declassified t v = None then begin
+              let old = Option.value ~default:Everyone (Hashtbl.find_opt views v) in
+              let next = meet old body_policy in
+              if not (policy_equal old next) then begin
+                Hashtbl.replace views v next;
+                changed := true
+              end
+            end)
+          targets)
+      rules
+  done;
+  fun rel ->
+    match declassified t rel with
+    | Some p -> p
+    | None ->
+      if intensional rel then
+        Option.value ~default:Everyone (Hashtbl.find_opt views rel)
+      else stored_policy t rel
+
+let readers t ~self ~rules ~intensional rel =
+  derived_readers t ~self ~rules ~intensional rel
+
+let can_read t ~self ~rules ~intensional ~reader rel =
+  reader = self || allows (readers t ~self ~rules ~intensional rel) reader
+
+let check_delegation t ~self ~rules ~intensional ~reader rule =
+  if reader = self then Ok ()
+  else
+    let resolve = derived_readers t ~self ~rules ~intensional in
+    let rec go = function
+      | [] -> Ok ()
+      | Some c :: rest ->
+        if allows (resolve c) reader then go rest else Error c
+      | None :: rest ->
+        (* A relation variable reads anything: every known restriction
+           must allow the reader. *)
+        let all_ok =
+          Hashtbl.fold
+            (fun rel _ acc -> acc && allows (resolve rel) reader)
+            t.stored true
+        in
+        if all_ok then go rest else Error "<any relation>"
+    in
+    go (local_reads ~self rule)
+
+let entries t =
+  let of_tbl kind tbl =
+    Hashtbl.fold (fun rel p acc -> (rel, kind, p) :: acc) tbl []
+  in
+  List.sort compare (of_tbl `Stored t.stored @ of_tbl `Override t.overrides)

@@ -1,0 +1,92 @@
+(** The access-control model of §2 "Access control".
+
+    The paper describes a model "under active investigation" combining:
+
+    - {e discretionary} control: users directly specify the
+      accessibility of stored (extensional) relations they own;
+    - {e mandatory/derived} control: a view's default policy is derived
+      automatically from the {e provenance} of the base relations it is
+      computed from — here at relation granularity: the readers of a
+      view are the intersection of the readers of every relation any of
+      its deriving rules reads, to a fixpoint through view-over-view
+      definitions;
+    - {e declassification}: the owner may override the derived policy
+      of a view to grant wider access.
+
+    Enforcement point: a delegated rule executes on behalf of its
+    origin, so installing it requires the origin to be able to read
+    every local relation the rule's locally-evaluated prefix mentions
+    ({!check_delegation}; {!Peer.set_enforce_authz} turns this on). *)
+
+type policy =
+  | Everyone
+  | Only of string list  (** sorted, duplicate-free peer names *)
+
+val policy_equal : policy -> policy -> bool
+val pp_policy : Format.formatter -> policy -> unit
+
+val meet : policy -> policy -> policy
+(** Intersection of reader sets. *)
+
+val allows : policy -> string -> bool
+
+type t
+
+val create : unit -> t
+
+(** {1 Discretionary policies on stored relations} *)
+
+val set_policy : t -> rel:string -> policy -> unit
+val grant : t -> rel:string -> string -> unit
+(** Adds one reader. Granting on an [Everyone] relation first
+    restricts it to the granted peer only. *)
+
+val revoke : t -> rel:string -> string -> unit
+val stored_policy : t -> string -> policy
+(** Defaults to [Everyone] for relations never restricted. *)
+
+(** {1 Declassification of views} *)
+
+val declassify : t -> rel:string -> policy -> unit
+val clear_declassification : t -> rel:string -> unit
+val declassified : t -> string -> policy option
+
+(** {1 Derived (provenance-based) policies} *)
+
+val readers :
+  t ->
+  self:string ->
+  rules:Wdl_syntax.Rule.t list ->
+  intensional:(string -> bool) ->
+  string ->
+  policy
+(** [readers t ~self ~rules ~intensional rel]: for an extensional
+    relation, its stored policy; for a view, its declassified policy if
+    any, otherwise the provenance-derived one. Conservative with the
+    language's name variables: a body atom with a relation variable
+    reads every local relation; a head with variables derives into
+    every view. *)
+
+val can_read :
+  t ->
+  self:string ->
+  rules:Wdl_syntax.Rule.t list ->
+  intensional:(string -> bool) ->
+  reader:string ->
+  string ->
+  bool
+(** The owner can always read its own relations. *)
+
+val check_delegation :
+  t ->
+  self:string ->
+  rules:Wdl_syntax.Rule.t list ->
+  intensional:(string -> bool) ->
+  reader:string ->
+  Wdl_syntax.Rule.t ->
+  (unit, string) result
+(** [Error rel] names the first local relation in the rule's
+    locally-evaluated prefix that [reader] may not read. *)
+
+val entries : t -> (string * [ `Stored | `Override ] * policy) list
+(** All explicit policies, sorted (persistence). *)

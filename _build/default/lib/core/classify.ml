@@ -1,0 +1,77 @@
+open Wdl_syntax
+
+type body_locality =
+  | All_local
+  | Delegates_at of int
+  | Dynamic_at of int
+
+type head_target =
+  | Local_view
+  | Local_update
+  | Remote of string
+  | Dynamic_head
+
+type t = {
+  head : head_target;
+  body : body_locality;
+  reads_remote : string list;
+}
+
+let classify ~self ~intensional (rule : Rule.t) =
+  let head =
+    match
+      Term.as_name rule.Rule.head.Atom.rel, Term.as_name rule.Rule.head.Atom.peer
+    with
+    | Some rel, Some peer ->
+      if peer = self then
+        if intensional rel then Local_view else Local_update
+      else Remote peer
+    | _, _ -> Dynamic_head
+  in
+  let body =
+    let rec go i = function
+      | [] -> All_local
+      | (Literal.Cmp _ | Literal.Assign _) :: rest -> go (i + 1) rest
+      | (Literal.Pos a | Literal.Neg a) :: rest -> (
+        match a.Atom.peer with
+        | Term.Var _ -> Dynamic_at i
+        | Term.Const _ -> (
+          match Term.as_name a.Atom.peer with
+          | Some p when p = self -> go (i + 1) rest
+          | Some _ -> Delegates_at i
+          | None -> Delegates_at i))
+    in
+    go 0 rule.Rule.body
+  in
+  let reads_remote =
+    List.filter_map
+      (fun lit ->
+        match lit with
+        | Literal.Pos a | Literal.Neg a -> (
+          match Term.as_name a.Atom.peer with
+          | Some p when p <> self -> Some p
+          | Some _ | None -> None)
+        | Literal.Cmp _ | Literal.Assign _ -> None)
+      rule.Rule.body
+    |> List.sort_uniq String.compare
+  in
+  { head; body; reads_remote }
+
+let describe t =
+  let head =
+    match t.head with
+    | Local_view -> "view rule (deductive)"
+    | Local_update -> "update rule (inductive, next stage)"
+    | Remote p -> Printf.sprintf "messaging rule (sends facts to %s)" p
+    | Dynamic_head -> "dynamic head (target known at run time)"
+  in
+  let body =
+    match t.body with
+    | All_local -> "fully local body"
+    | Delegates_at i ->
+      Printf.sprintf "delegates at literal %d (to %s)" (i + 1)
+        (match t.reads_remote with p :: _ -> p | [] -> "?")
+    | Dynamic_at i ->
+      Printf.sprintf "delegation boundary dynamic from literal %d" (i + 1)
+  in
+  head ^ "; " ^ body

@@ -1,0 +1,39 @@
+(** Static classification of rules, from the peer [self]'s viewpoint.
+
+    The paper distinguishes rules by where their evaluation touches
+    other peers: fully local rules (deductive views or inductive
+    updates), rules that only {e send} facts (local body, remote head),
+    and rules that {e delegate} (their body reaches a remote peer).
+    With the language's peer variables the boundary may only be known
+    at run time; classification reports that too. Used by
+    [wdl analyze] and by tests; the engine itself discovers the
+    boundary dynamically during evaluation. *)
+
+type body_locality =
+  | All_local
+      (** every body atom names [self] *)
+  | Delegates_at of int
+      (** the first definitely-remote atom's position (0-based) *)
+  | Dynamic_at of int
+      (** the first atom whose peer is a variable: locality depends on
+          run-time bindings from that position on *)
+
+type head_target =
+  | Local_view        (** intensional relation at [self] *)
+  | Local_update      (** extensional relation at [self]: inductive *)
+  | Remote of string  (** named other peer: messaging *)
+  | Dynamic_head      (** relation or peer variable in the head *)
+
+type t = {
+  head : head_target;
+  body : body_locality;
+  reads_remote : string list
+      (** definitely-remote peers named anywhere in the body, sorted *);
+}
+
+val classify :
+  self:string -> intensional:(string -> bool) -> Wdl_syntax.Rule.t -> t
+
+val describe : t -> string
+(** One-line human-readable summary, e.g.
+    ["view rule; delegates to $attendee's peer at literal 2"]. *)

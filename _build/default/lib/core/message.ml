@@ -1,0 +1,34 @@
+open Wdl_syntax
+
+type t = {
+  src : string;
+  dst : string;
+  stage : int;
+  facts : Fact.t list option;
+  installs : Rule.t list;
+  retracts : Rule.t list;
+}
+
+let make ~src ~dst ~stage ?(facts = None) ?(installs = []) ?(retracts = []) () =
+  { src; dst; stage; facts; installs; retracts }
+
+let is_empty m = m.facts = None && m.installs = [] && m.retracts = []
+
+let size m =
+  let fact_size f = String.length (Format.asprintf "%a" Fact.pp f) in
+  let rule_size r = String.length (Format.asprintf "%a" Rule.pp r) in
+  let facts = match m.facts with None -> 0 | Some fs -> List.fold_left (fun a f -> a + fact_size f) 0 fs in
+  facts
+  + List.fold_left (fun a r -> a + rule_size r) 0 m.installs
+  + List.fold_left (fun a r -> a + rule_size r) 0 m.retracts
+  + String.length m.src + String.length m.dst + 8
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v 2>%s -> %s (stage %d):" m.src m.dst m.stage;
+  (match m.facts with
+  | None -> ()
+  | Some fs ->
+    List.iter (fun f -> Format.fprintf ppf "@ fact %a" Fact.pp f) fs);
+  List.iter (fun r -> Format.fprintf ppf "@ install %a" Rule.pp r) m.installs;
+  List.iter (fun r -> Format.fprintf ppf "@ retract %a" Rule.pp r) m.retracts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Inter-peer messages: the third step of a peer's stage sends facts
+    (updates) and rules (delegations) to other peers (§2).
+
+    One message per (source, destination, stage) carries:
+
+    - [facts]: the {e complete} batch of facts currently derived by the
+      source for the destination, or [None] when the batch is unchanged
+      since the last one sent (the destination then keeps its cached
+      copy). The destination persists facts aimed at its extensional
+      relations and treats facts aimed at intensional relations as
+      valid only while the source keeps them in its batch — the PODS'11
+      "one stage at the receiver" semantics made quiescence-friendly.
+    - [installs]/[retracts]: the delegation diff — residual rules that
+      appeared/disappeared at the source since its previous stage. *)
+
+open Wdl_syntax
+
+type t = {
+  src : string;
+  dst : string;
+  stage : int;  (** source's stage counter when emitted *)
+  facts : Fact.t list option;
+  installs : Rule.t list;
+  retracts : Rule.t list;
+}
+
+val make :
+  src:string ->
+  dst:string ->
+  stage:int ->
+  ?facts:Fact.t list option ->
+  ?installs:Rule.t list ->
+  ?retracts:Rule.t list ->
+  unit ->
+  t
+
+val is_empty : t -> bool
+val size : t -> int
+(** Estimated wire size in bytes (used by transport statistics). *)
+
+val pp : Format.formatter -> t -> unit

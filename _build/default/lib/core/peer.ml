@@ -1,0 +1,982 @@
+open Wdl_syntax
+open Wdl_store
+
+module Deleg_tbl = Hashtbl.Make (struct
+  type t = string * Rule.t
+
+  let equal (s1, r1) (s2, r2) = String.equal s1 s2 && Rule.equal r1 r2
+  let hash x = Hashtbl.hash_param 64 128 x
+end)
+
+module Fact_tbl = Hashtbl.Make (struct
+  type t = Fact.t
+
+  let equal = Fact.equal
+  let hash = Fact.hash
+end)
+
+type t = {
+  name : string;
+  db : Database.t;
+  acl : Acl.t;
+  authz : Authz.t;
+  mutable enforce_authz : bool;
+  trace : Trace.t;
+  strategy : Wdl_eval.Fixpoint.strategy;
+  diff_batches : bool;
+  mutable track_provenance : bool;
+  prov : Wdl_eval.Fixpoint.derivation Fact_tbl.t;
+  mutable journal : Journal.t option;
+  (* monotone counters *)
+  mutable n_stages : int;
+  mutable n_iterations : int;
+  mutable n_derivations : int;
+  mutable n_sent : int;
+  mutable n_received : int;
+  mutable n_installed : int;
+  mutable n_retracted : int;
+  mutable n_rejected : int;
+  mutable n_errors : int;
+  inbox : Message.t Queue.t;
+  delegated : int Deleg_tbl.t;  (* (origin, rule) -> installation order *)
+  mutable delegated_seq : int;
+  mutable own_rules : Rule.t list;  (* reverse addition order *)
+  mutable induced_pending : Fact.t list;
+  remote_cache : (string, Fact.t list) Hashtbl.t;  (* src -> last batch *)
+  last_batches : (string, Fact.t list) Hashtbl.t;  (* dst -> sorted batch *)
+  mutable last_delegations : unit Deleg_tbl.t;  (* (target, rule) sent *)
+  mutable stage_no : int;
+  mutable dirty : bool;
+  mutable last_errors : Wdl_eval.Runtime_error.t list;
+}
+
+let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
+    ?trace_capacity ?(diff_batches = true) name =
+  if name = "" then invalid_arg "Peer.create: empty name";
+  {
+    name;
+    db = Database.create ?indexing ();
+    acl = Acl.create ?policy ();
+    authz = Authz.create ();
+    enforce_authz = false;
+    trace = Trace.create ?capacity:trace_capacity ();
+    strategy;
+    diff_batches;
+    track_provenance = false;
+    prov = Fact_tbl.create 64;
+    journal = None;
+    n_stages = 0;
+    n_iterations = 0;
+    n_derivations = 0;
+    n_sent = 0;
+    n_received = 0;
+    n_installed = 0;
+    n_retracted = 0;
+    n_rejected = 0;
+    n_errors = 0;
+    inbox = Queue.create ();
+    delegated = Deleg_tbl.create 16;
+    delegated_seq = 0;
+    own_rules = [];
+    induced_pending = [];
+    remote_cache = Hashtbl.create 8;
+    last_batches = Hashtbl.create 8;
+    last_delegations = Deleg_tbl.create 16;
+    stage_no = 0;
+    dirty = false;
+    last_errors = [];
+  }
+
+let name t = t.name
+let database t = t.db
+let set_journal t j = t.journal <- j
+let journal t = t.journal
+let journal_entry t e = Option.iter (fun j -> Journal.append j e) t.journal
+
+(* Every trace event also feeds the monotone counters. *)
+let record_event t e =
+  (match e with
+  | Trace.Message_sent _ -> t.n_sent <- t.n_sent + 1
+  | Trace.Message_received _ -> t.n_received <- t.n_received + 1
+  | Trace.Delegation_installed _ -> t.n_installed <- t.n_installed + 1
+  | Trace.Delegation_retracted _ -> t.n_retracted <- t.n_retracted + 1
+  | Trace.Delegation_rejected _ -> t.n_rejected <- t.n_rejected + 1
+  | Trace.Stage_end { derivations; iterations; _ } ->
+    t.n_stages <- t.n_stages + 1;
+    t.n_derivations <- t.n_derivations + derivations;
+    t.n_iterations <- t.n_iterations + iterations
+  | Trace.Runtime_errors { errors; _ } ->
+    t.n_errors <- t.n_errors + List.length errors
+  | Trace.Stage_start _ | Trace.Fact_inserted _ | Trace.Fact_deleted _
+  | Trace.Delegation_pending _ | Trace.Rule_added _ | Trace.Rule_removed _ ->
+    ());
+  Trace.record t.trace e
+
+let acl t = t.acl
+let authz t = t.authz
+let set_enforce_authz t b = t.enforce_authz <- b
+let enforcing_authz t = t.enforce_authz
+let trace t = t.trace
+let stage_number t = t.stage_no
+let rules t = List.rev t.own_rules
+
+let delegated_rules t =
+  Deleg_tbl.fold (fun k seq acc -> (seq, k) :: acc) t.delegated []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let all_rules t = rules t @ List.map snd (delegated_rules t)
+
+let intensional t rel =
+  match Database.kind t.db rel with
+  | Some Decl.Intensional -> true
+  | Some Decl.Extensional | None -> false
+
+(* A candidate rule set must stratify; rejecting at install time keeps
+   every stage's fixpoint well-defined. *)
+let stratifies t candidate =
+  match
+    Wdl_eval.Stratify.compute ~self:t.name ~intensional:(intensional t)
+      (all_rules t @ [ candidate ])
+  with
+  | Ok _ -> Ok ()
+  | Error e -> Error (Format.asprintf "%a" Wdl_eval.Stratify.pp_error e)
+
+let aggregate_local_error t rule =
+  if Rule.is_aggregate rule && not (Wdl_eval.Fixpoint.statically_local ~self:t.name rule)
+  then
+    Some
+      "aggregate rules must be entirely local: every body atom's peer must \
+       name this peer"
+  else None
+
+let add_rule t rule =
+  match Safety.check_rule rule with
+  | Error errs -> Error (Safety.errors_to_string errs)
+  | Ok () -> (
+    match aggregate_local_error t rule with
+    | Some msg -> Error msg
+    | None ->
+    match stratifies t rule with
+    | Error msg -> Error msg
+    | Ok () ->
+      t.own_rules <- rule :: t.own_rules;
+      t.dirty <- true;
+      record_event t (Trace.Rule_added { peer = t.name; rule });
+      Ok ())
+
+let remove_rule t rule =
+  let had = List.exists (Rule.equal rule) t.own_rules in
+  if had then begin
+    t.own_rules <- List.filter (fun r -> not (Rule.equal r rule)) t.own_rules;
+    t.dirty <- true;
+    record_event t (Trace.Rule_removed { peer = t.name; rule })
+  end;
+  had
+
+let insert t (fact : Fact.t) =
+  if fact.Fact.peer <> t.name then
+    Error
+      (Printf.sprintf "fact %s targets peer %s, not this peer (%s)"
+         (Format.asprintf "%a" Fact.pp fact)
+         fact.Fact.peer t.name)
+  else if intensional t fact.Fact.rel then
+    Error
+      (Printf.sprintf "relation %s is intensional (a view); it cannot be updated"
+         fact.Fact.rel)
+  else
+    let tuple = Tuple.of_list fact.Fact.args in
+    match Database.insert t.db ~rel:fact.Fact.rel tuple with
+    | Error e -> Error (Format.asprintf "%a" Database.pp_error e)
+    | Ok fresh ->
+      if fresh then begin
+        t.dirty <- true;
+        journal_entry t (Journal.Insert fact);
+        record_event t (Trace.Fact_inserted { peer = t.name; fact })
+      end;
+      Ok ()
+
+let delete t (fact : Fact.t) =
+  if fact.Fact.peer <> t.name then
+    Error
+      (Printf.sprintf "fact targets peer %s, not this peer (%s)" fact.Fact.peer
+         t.name)
+  else if intensional t fact.Fact.rel then
+    Error
+      (Printf.sprintf "relation %s is intensional (a view); it cannot be updated"
+         fact.Fact.rel)
+  else
+    let tuple = Tuple.of_list fact.Fact.args in
+    match Database.delete t.db ~rel:fact.Fact.rel tuple with
+    | Error e -> Error (Format.asprintf "%a" Database.pp_error e)
+    | Ok removed ->
+      if removed then begin
+        t.dirty <- true;
+        journal_entry t (Journal.Delete fact);
+        record_event t (Trace.Fact_deleted { peer = t.name; fact })
+      end;
+      Ok ()
+
+let load_program t (program : Program.t) =
+  let step i stmt =
+    let where msg =
+      Error (Format.asprintf "statement %d (%a): %s" (i + 1) Program.pp_statement stmt msg)
+    in
+    match stmt with
+    | Program.Decl d ->
+      if d.Decl.peer <> t.name then
+        where (Printf.sprintf "declaration targets peer %s" d.Decl.peer)
+      else (
+        match Database.declare t.db d with
+        | Ok _ ->
+          journal_entry t (Journal.Declare d);
+          Ok ()
+        | Error e -> where (Format.asprintf "%a" Database.pp_error e))
+    | Program.Fact f -> (
+      match insert t f with Ok () -> Ok () | Error msg -> where msg)
+    | Program.Rule r -> (
+      match add_rule t r with Ok () -> Ok () | Error msg -> where msg)
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | stmt :: rest -> (
+      match step i stmt with Ok () -> go (i + 1) rest | Error _ as e -> e)
+  in
+  go 0 program
+
+let load_string t src =
+  match Parser.program src with
+  | Error msg -> Error msg
+  | Ok program -> load_program t program
+
+let query t rel =
+  match Database.find t.db rel with
+  | None -> []
+  | Some info ->
+    List.map
+      (fun tuple -> Fact.make ~rel ~peer:t.name (Tuple.to_list tuple))
+      (Relation.to_sorted_list info.Database.data)
+
+let relation_names t =
+  List.map (fun (i : Database.info) -> i.Database.name) (Database.relations t.db)
+
+type answer = {
+  columns : string list;
+  rows : Value.t list list;
+  requires_delegation : (string * Rule.t) list;
+  errors : Wdl_eval.Runtime_error.t list;
+}
+
+let ask t src =
+  match Parser.rule src with
+  | Error msg -> Error msg
+  | Ok rule -> (
+    match Safety.check_rule rule with
+    | Error errs -> Error (Safety.errors_to_string errs)
+    | Ok () ->
+      let columns =
+        List.mapi
+          (fun i term ->
+            match List.assoc_opt i rule.Rule.aggs with
+            | Some spec -> Format.asprintf "%a" Wdl_syntax.Aggregate.pp spec
+            | None -> Format.asprintf "%a" Term.pp term)
+          rule.Rule.head.Atom.args
+      in
+      let db = Database.copy t.db in
+      (* A result relation name no program can clash with. *)
+      let rec fresh_name i =
+        let name = Printf.sprintf "query result #%d" i in
+        if Database.find db name = None then name else fresh_name (i + 1)
+      in
+      let qrel = fresh_name 0 in
+      (match
+         Database.declare db
+           (Decl.make ~kind:Decl.Intensional ~rel:qrel ~peer:t.name
+              (List.map (Printf.sprintf "c%d")
+                 (List.init (List.length columns) Fun.id)))
+       with
+      | Ok _ -> ()
+      | Error _ -> assert false);
+      let qrule =
+        Rule.make_agg ~aggs:rule.Rule.aggs
+          ~head:(Atom.app qrel t.name rule.Rule.head.Atom.args)
+          ~body:rule.Rule.body
+      in
+      match
+        Wdl_eval.Fixpoint.run ~strategy:t.strategy ~self:t.name db
+          (all_rules t @ [ qrule ])
+      with
+      | Error e -> Error (Format.asprintf "%a" Wdl_eval.Stratify.pp_error e)
+      | Ok result ->
+        let rows =
+          match Database.find db qrel with
+          | None -> []
+          | Some info ->
+            List.map Tuple.to_list
+              (Relation.to_sorted_list info.Database.data)
+        in
+        Ok
+          {
+            columns;
+            rows;
+            requires_delegation = result.Wdl_eval.Fixpoint.suspensions;
+            errors = result.Wdl_eval.Fixpoint.errors;
+          })
+
+(* {1 Delegation control} *)
+
+let authz_allows t ~src rule =
+  (not t.enforce_authz)
+  ||
+  match
+    Authz.check_delegation t.authz ~self:t.name ~rules:(all_rules t)
+      ~intensional:(intensional t) ~reader:src rule
+  with
+  | Ok () -> true
+  | Error rel ->
+    record_event t
+      (Trace.Delegation_rejected
+         {
+           peer = t.name;
+           src;
+           rule;
+           reason = Printf.sprintf "%s may not read %s" src rel;
+         });
+    false
+
+let install_delegation t ~src rule =
+  if Deleg_tbl.mem t.delegated (src, rule) then false
+  else if not (authz_allows t ~src rule) then false
+  else
+    match aggregate_local_error t rule with
+    | Some reason ->
+      record_event t
+        (Trace.Delegation_rejected { peer = t.name; src; rule; reason });
+      false
+    | None ->
+    match stratifies t rule with
+    | Error reason ->
+      record_event t
+        (Trace.Delegation_rejected { peer = t.name; src; rule; reason });
+      false
+    | Ok () ->
+      t.delegated_seq <- t.delegated_seq + 1;
+      Deleg_tbl.replace t.delegated (src, rule) t.delegated_seq;
+      t.dirty <- true;
+      record_event t (Trace.Delegation_installed { peer = t.name; src; rule });
+      true
+
+(* {1 Why-provenance} *)
+
+type explanation =
+  | Base
+  | Derived of Wdl_eval.Fixpoint.derivation
+  | Received of string list
+  | Unknown
+
+let set_track_provenance t b = t.track_provenance <- b
+let tracking_provenance t = t.track_provenance
+
+let explain t (fact : Fact.t) =
+  if fact.Fact.peer <> t.name then Unknown
+  else
+    match Fact_tbl.find_opt t.prov fact with
+    | Some d -> Derived d
+    | None ->
+      let stored =
+        (not (intensional t fact.Fact.rel))
+        && Database.mem t.db ~rel:fact.Fact.rel (Tuple.of_list fact.Fact.args)
+      in
+      if stored then Base
+      else
+        let sources =
+          Hashtbl.fold
+            (fun src batch acc ->
+              if List.exists (Fact.equal fact) batch then src :: acc else acc)
+            t.remote_cache []
+          |> List.sort String.compare
+        in
+        if sources <> [] then Received sources else Unknown
+
+let explain_to_string ?(max_depth = 8) t fact =
+  let buf = Buffer.create 256 in
+  let rec go depth visited fact =
+    let indent = String.make (depth * 2) ' ' in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (indent ^ s ^ "\n")) fmt in
+    let fact_s = Format.asprintf "%a" Fact.pp fact in
+    if List.exists (Fact.equal fact) visited then line "%s [cycle]" fact_s
+    else if depth > max_depth then line "%s [...]" fact_s
+    else
+      match explain t fact with
+      | Base -> line "%s [stored]" fact_s
+      | Unknown -> line "%s [unknown]" fact_s
+      | Received sources ->
+        line "%s [received from %s]" fact_s (String.concat ", " sources)
+      | Derived d ->
+        line "%s" fact_s;
+        line "  by %s" (Format.asprintf "%a" Rule.pp d.Wdl_eval.Fixpoint.rule);
+        List.iter
+          (fun premise -> go (depth + 1) (fact :: visited) premise)
+          d.Wdl_eval.Fixpoint.premises
+  in
+  go 0 [] fact;
+  Buffer.contents buf
+
+let readers t rel =
+  Authz.readers t.authz ~self:t.name ~rules:(all_rules t)
+    ~intensional:(intensional t) rel
+
+let can_read t ~reader rel =
+  Authz.can_read t.authz ~self:t.name ~rules:(all_rules t)
+    ~intensional:(intensional t) ~reader rel
+
+let pending_delegations t = Acl.pending t.acl
+
+let accept_delegation t ~src rule =
+  Acl.accept t.acl ~src rule && install_delegation t ~src rule
+
+let reject_delegation t ~src rule =
+  let was = Acl.reject t.acl ~src rule in
+  if was then
+    record_event t
+      (Trace.Delegation_rejected
+         { peer = t.name; src; rule; reason = "rejected by user" });
+  was
+
+let accept_all_delegations t =
+  List.fold_left
+    (fun n (src, rule) -> if install_delegation t ~src rule then n + 1 else n)
+    0
+    (Acl.accept_all t.acl)
+
+(* {1 Persistence}
+
+   The snapshot is one parseable program: a counted [meta@snapshot]
+   header followed by sections in a fixed order. Marker facts carry the
+   non-program state (trust entries, delegation origins, cached remote
+   batches, already-sent state). *)
+
+let one_line = Pp_util.one_line
+
+let snapshot t =
+  let buf = Buffer.create 4096 in
+  let stmt pp v =
+    Buffer.add_string buf (one_line pp v);
+    Buffer.add_string buf ";\n"
+  in
+  let marker rel args = stmt Fact.pp (Fact.make ~rel ~peer:"snapshot" args) in
+  let trust_entries = Acl.explicit t.acl in
+  let decls =
+    List.map
+      (fun (info : Database.info) ->
+        let cols =
+          if info.Database.cols = [] then
+            List.init info.Database.arity (Printf.sprintf "c%d")
+          else info.Database.cols
+        in
+        Decl.make ~kind:info.Database.kind ~rel:info.Database.name ~peer:t.name cols)
+      (Database.relations t.db)
+  in
+  let ext_facts =
+    List.concat_map
+      (fun (info : Database.info) ->
+        match info.Database.kind with
+        | Decl.Intensional -> []
+        | Decl.Extensional ->
+          List.map
+            (fun tuple ->
+              Fact.make ~rel:info.Database.name ~peer:t.name (Tuple.to_list tuple))
+            (Relation.to_sorted_list info.Database.data))
+      (Database.relations t.db)
+  in
+  let own = rules t in
+  let delegated = delegated_rules t in
+  let pending = Acl.pending t.acl in
+  let sorted_tbl tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let cache = sorted_tbl t.remote_cache in
+  let sent =
+    Deleg_tbl.fold (fun s () acc -> s :: acc) t.last_delegations []
+    |> List.sort (fun (a, r1) (b, r2) ->
+           match String.compare a b with
+           | 0 -> Rule.compare r1 r2
+           | c -> c)
+  in
+  let batches = sorted_tbl t.last_batches in
+  let authz_entries = Authz.entries t.authz in
+  marker "meta"
+    [
+      Value.String t.name;
+      Value.Int t.stage_no;
+      Value.String (match Acl.policy t.acl with Acl.Open -> "open" | Acl.Closed -> "closed");
+      Value.Bool t.enforce_authz;
+      Value.Int (List.length authz_entries);
+      Value.Int (List.length trust_entries);
+      Value.Int (List.length decls);
+      Value.Int (List.length ext_facts);
+      Value.Int (List.length own);
+      Value.Int (List.length delegated);
+      Value.Int (List.length pending);
+      Value.Int (List.length cache);
+      Value.Int (List.length sent);
+      Value.Int (List.length batches);
+    ];
+  List.iter
+    (fun (rel, kind, policy) ->
+      let kind_s = match kind with `Stored -> "stored" | `Override -> "override" in
+      let tail =
+        match policy with
+        | Authz.Everyone -> [ Value.Bool true ]
+        | Authz.Only l -> Value.Bool false :: List.map (fun p -> Value.String p) l
+      in
+      marker "authz" (Value.String rel :: Value.String kind_s :: tail))
+    authz_entries;
+  List.iter
+    (fun (p, b) -> marker "trust" [ Value.String p; Value.Bool b ])
+    trust_entries;
+  List.iter (fun d -> stmt Decl.pp d) decls;
+  List.iter (fun f -> stmt Fact.pp f) ext_facts;
+  List.iter (fun r -> stmt Rule.pp r) own;
+  List.iter
+    (fun (src, r) ->
+      marker "from" [ Value.String src ];
+      stmt Rule.pp r)
+    delegated;
+  List.iter
+    (fun (src, r) ->
+      marker "from" [ Value.String src ];
+      stmt Rule.pp r)
+    pending;
+  List.iter
+    (fun (src, batch) ->
+      marker "batch" [ Value.String src; Value.Int (List.length batch) ];
+      List.iter (fun f -> stmt Fact.pp f) batch)
+    cache;
+  List.iter
+    (fun (dst, r) ->
+      marker "sent" [ Value.String dst ];
+      stmt Rule.pp r)
+    sent;
+  List.iter
+    (fun (dst, batch) ->
+      marker "batch" [ Value.String dst; Value.Int (List.length batch) ];
+      List.iter (fun f -> stmt Fact.pp f) batch)
+    batches;
+  Buffer.contents buf
+
+(* Counted-section reader over the parsed statement stream. *)
+module Restore_reader = struct
+  type nonrec state = { mutable stmts : Program.statement list }
+
+  let ( let* ) = Result.bind
+
+  let next st what =
+    match st.stmts with
+    | [] -> Error (Printf.sprintf "snapshot truncated: expected %s" what)
+    | s :: rest ->
+      st.stmts <- rest;
+      Ok s
+
+  let fact st what =
+    let* s = next st what in
+    match s with
+    | Program.Fact f -> Ok f
+    | Program.Decl _ | Program.Rule _ ->
+      Error (Printf.sprintf "snapshot corrupt: expected %s" what)
+
+  let rule st what =
+    let* s = next st what in
+    match s with
+    | Program.Rule r -> Ok r
+    | Program.Decl _ | Program.Fact _ ->
+      Error (Printf.sprintf "snapshot corrupt: expected %s" what)
+
+  let decl st what =
+    let* s = next st what in
+    match s with
+    | Program.Decl d -> Ok d
+    | Program.Fact _ | Program.Rule _ ->
+      Error (Printf.sprintf "snapshot corrupt: expected %s" what)
+
+  let marker st rel what =
+    let* f = fact st what in
+    if f.Fact.rel = rel && f.Fact.peer = "snapshot" then Ok f.Fact.args
+    else Error (Printf.sprintf "snapshot corrupt: expected %s marker" what)
+
+  let rec times n f acc st =
+    if n <= 0 then Ok (List.rev acc)
+    else
+      let* x = f st in
+      times (n - 1) f (x :: acc) st
+
+  let sourced_rule st =
+    let* args = marker st "from" "a from marker" in
+    let* r = rule st "a delegated rule" in
+    match args with
+    | [ Value.String src ] -> Ok (src, r)
+    | _ -> Error "snapshot corrupt: bad from marker"
+
+  let batch st =
+    let* args = marker st "batch" "a batch marker" in
+    match args with
+    | [ Value.String src; Value.Int k ] ->
+      let* facts = times k (fun st -> fact st "a cached fact") [] st in
+      Ok (src, facts)
+    | _ -> Error "snapshot corrupt: bad batch marker"
+
+  let sent_rule st =
+    let* args = marker st "sent" "a sent marker" in
+    let* r = rule st "a sent delegation" in
+    match args with
+    | [ Value.String dst ] -> Ok (dst, r)
+    | _ -> Error "snapshot corrupt: bad sent marker"
+end
+
+let restore text =
+  let open Restore_reader in
+  let ( let* ) = Result.bind in
+  let* program = Parser.program text in
+  let st = { stmts = program } in
+  let* meta = marker st "meta" "the snapshot header" in
+  match meta with
+  | [ Value.String name; Value.Int stage_no; Value.String policy;
+      Value.Bool enforce_authz; Value.Int n_authz;
+      Value.Int n_trust; Value.Int n_decl; Value.Int n_fact; Value.Int n_rule;
+      Value.Int n_deleg; Value.Int n_pending; Value.Int n_cache;
+      Value.Int n_sent; Value.Int n_batch ] ->
+    let* policy =
+      match policy with
+      | "open" -> Ok Acl.Open
+      | "closed" -> Ok Acl.Closed
+      | other -> Error ("snapshot corrupt: unknown policy " ^ other)
+    in
+    let t = create ~policy name in
+    t.enforce_authz <- enforce_authz;
+    let* authz_entries =
+      times n_authz (fun st -> marker st "authz" "an authz entry") [] st
+    in
+    let* () =
+      List.fold_left
+        (fun acc args ->
+          let* () = acc in
+          match args with
+          | Value.String rel :: Value.String kind :: Value.Bool everyone :: peers ->
+            let* policy =
+              if everyone then Ok Authz.Everyone
+              else
+                List.fold_left
+                  (fun acc v ->
+                    let* l = acc in
+                    match v with
+                    | Value.String p -> Ok (p :: l)
+                    | _ -> Error "snapshot corrupt: bad authz peer")
+                  (Ok []) peers
+                |> Result.map (fun l -> Authz.Only l)
+            in
+            (match kind with
+            | "stored" -> Authz.set_policy t.authz ~rel policy; Ok ()
+            | "override" -> Authz.declassify t.authz ~rel policy; Ok ()
+            | _ -> Error "snapshot corrupt: bad authz kind")
+          | _ -> Error "snapshot corrupt: bad authz entry")
+        (Ok ()) authz_entries
+    in
+    let* trust_entries =
+      times n_trust (fun st -> marker st "trust" "a trust entry") [] st
+    in
+    let* () =
+      List.fold_left
+        (fun acc args ->
+          let* () = acc in
+          match args with
+          | [ Value.String p; Value.Bool b ] ->
+            if b then Acl.trust t.acl p else Acl.untrust t.acl p;
+            Ok ()
+          | _ -> Error "snapshot corrupt: bad trust entry")
+        (Ok ()) trust_entries
+    in
+    let* decls = times n_decl (fun st -> decl st "a declaration") [] st in
+    let* () =
+      List.fold_left
+        (fun acc d ->
+          let* () = acc in
+          match Database.declare t.db d with
+          | Ok _ -> Ok ()
+          | Error e -> Error (Format.asprintf "%a" Database.pp_error e))
+        (Ok ()) decls
+    in
+    let* facts = times n_fact (fun st -> fact st "an extensional fact") [] st in
+    let* () =
+      List.fold_left
+        (fun acc (f : Fact.t) ->
+          let* () = acc in
+          match Database.insert t.db ~rel:f.Fact.rel (Tuple.of_list f.Fact.args) with
+          | Ok _ -> Ok ()
+          | Error e -> Error (Format.asprintf "%a" Database.pp_error e))
+        (Ok ()) facts
+    in
+    let* own = times n_rule (fun st -> rule st "an own rule") [] st in
+    t.own_rules <- List.rev own;
+    let* delegated = times n_deleg sourced_rule [] st in
+    List.iter
+      (fun (src, r) ->
+        t.delegated_seq <- t.delegated_seq + 1;
+        Deleg_tbl.replace t.delegated (src, r) t.delegated_seq)
+      delegated;
+    let* pending = times n_pending sourced_rule [] st in
+    List.iter (fun (src, r) -> Acl.enqueue t.acl ~src r) pending;
+    let* cache = times n_cache batch [] st in
+    List.iter (fun (src, b) -> Hashtbl.replace t.remote_cache src b) cache;
+    let* sent = times n_sent sent_rule [] st in
+    List.iter (fun s -> Deleg_tbl.replace t.last_delegations s ()) sent;
+    let* batches = times n_batch batch [] st in
+    List.iter (fun (dst, b) -> Hashtbl.replace t.last_batches dst b) batches;
+    if st.stmts <> [] then Error "snapshot corrupt: trailing statements"
+    else begin
+      t.stage_no <- stage_no;
+      (* The first stage after a restart recomputes all views. *)
+      t.dirty <- true;
+      Ok t
+    end
+  | _ -> Error "snapshot corrupt: bad header"
+
+(* {1 The stage loop} *)
+
+let receive t msg = Queue.push msg t.inbox
+let last_errors t = t.last_errors
+
+type stats = {
+  stages : int;
+  fixpoint_iterations : int;
+  derivations : int;
+  messages_sent : int;
+  messages_received : int;
+  delegations_installed : int;
+  delegations_retracted : int;
+  delegations_rejected : int;
+  runtime_errors : int;
+}
+
+let stats t =
+  {
+    stages = t.n_stages;
+    fixpoint_iterations = t.n_iterations;
+    derivations = t.n_derivations;
+    messages_sent = t.n_sent;
+    messages_received = t.n_received;
+    delegations_installed = t.n_installed;
+    delegations_retracted = t.n_retracted;
+    delegations_rejected = t.n_rejected;
+    runtime_errors = t.n_errors;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "stages=%d iterations=%d derivations=%d sent=%d received=%d \
+     installed=%d retracted=%d rejected=%d errors=%d"
+    s.stages s.fixpoint_iterations s.derivations s.messages_sent
+    s.messages_received s.delegations_installed s.delegations_retracted
+    s.delegations_rejected s.runtime_errors
+
+let has_work t =
+  t.dirty || t.induced_pending <> [] || not (Queue.is_empty t.inbox)
+
+let apply_extensional t fact =
+  let tuple = Tuple.of_list fact.Fact.args in
+  match Database.insert t.db ~rel:fact.Fact.rel tuple with
+  | Ok fresh ->
+    if fresh then begin
+      journal_entry t (Journal.Insert fact);
+      record_event t (Trace.Fact_inserted { peer = t.name; fact })
+    end
+  | Error e ->
+    t.last_errors <-
+      Wdl_eval.Runtime_error.Store_error
+        { rel = fact.Fact.rel; message = Format.asprintf "%a" Database.pp_error e }
+      :: t.last_errors
+
+let process_message t (msg : Message.t) =
+  record_event t (Trace.Message_received { msg });
+  (match msg.Message.facts with
+  | None -> ()
+  | Some batch ->
+    Hashtbl.replace t.remote_cache msg.Message.src batch;
+    (* Facts for extensional relations are updates: they persist.
+       Facts for intensional relations live in the cache and are
+       re-installed at every stage start while the source maintains
+       them in its batch. Unknown relations auto-create extensional. *)
+    List.iter
+      (fun fact ->
+        if not (intensional t fact.Fact.rel) then apply_extensional t fact)
+      batch);
+  List.iter
+    (fun rule ->
+      match Acl.submit t.acl ~src:msg.Message.src rule with
+      | `Installed -> ignore (install_delegation t ~src:msg.Message.src rule)
+      | `Pending ->
+        record_event t
+          (Trace.Delegation_pending { peer = t.name; src = msg.Message.src; rule }))
+    msg.Message.installs;
+  List.iter
+    (fun rule ->
+      if Deleg_tbl.mem t.delegated (msg.Message.src, rule) then begin
+        Deleg_tbl.remove t.delegated (msg.Message.src, rule);
+        t.dirty <- true;
+        record_event t
+          (Trace.Delegation_retracted { peer = t.name; src = msg.Message.src; rule })
+      end
+      else ignore (Acl.retract_pending t.acl ~src:msg.Message.src rule))
+    msg.Message.retracts
+
+let refill_intensional t =
+  Database.clear_intensional t.db;
+  Hashtbl.iter
+    (fun _src batch ->
+      List.iter
+        (fun fact ->
+          if intensional t fact.Fact.rel then
+            let tuple = Tuple.of_list fact.Fact.args in
+            match Database.insert t.db ~rel:fact.Fact.rel tuple with
+            | Ok _ -> ()
+            | Error e ->
+              t.last_errors <-
+                Wdl_eval.Runtime_error.Store_error
+                  {
+                    rel = fact.Fact.rel;
+                    message = Format.asprintf "%a" Database.pp_error e;
+                  }
+                :: t.last_errors)
+        batch)
+    t.remote_cache
+
+module Sset = Set.Make (String)
+
+let group_facts_by_dst facts =
+  let by_dst = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Fact.t) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_dst f.Fact.peer) in
+      Hashtbl.replace by_dst f.Fact.peer (f :: cur))
+    facts;
+  by_dst
+
+let stage t =
+  let stage_no = t.stage_no + 1 in
+  t.last_errors <- [];
+  record_event t (Trace.Stage_start { peer = t.name; stage = stage_no });
+  (* Step 1: load inputs. *)
+  List.iter (apply_extensional t) t.induced_pending;
+  t.induced_pending <- [];
+  Queue.iter (process_message t) t.inbox;
+  Queue.clear t.inbox;
+  refill_intensional t;
+  (* Step 2: fixpoint. *)
+  let outbound =
+    match
+      Wdl_eval.Fixpoint.run ~strategy:t.strategy
+        ~record_provenance:t.track_provenance ~self:t.name t.db (all_rules t)
+    with
+    | Error e ->
+      t.last_errors <-
+        Wdl_eval.Runtime_error.Store_error
+          { rel = "<program>"; message = Format.asprintf "%a" Wdl_eval.Stratify.pp_error e }
+        :: t.last_errors;
+      record_event t
+        (Trace.Stage_end
+           { peer = t.name; stage = stage_no; derivations = 0; iterations = 0 });
+      []
+    | Ok result ->
+      if t.track_provenance then begin
+        Fact_tbl.reset t.prov;
+        List.iter
+          (fun (d : Wdl_eval.Fixpoint.derivation) ->
+            Fact_tbl.replace t.prov d.Wdl_eval.Fixpoint.fact d)
+          result.Wdl_eval.Fixpoint.provenance
+      end;
+      t.last_errors <- result.Wdl_eval.Fixpoint.errors @ t.last_errors;
+      if t.last_errors <> [] then
+        record_event t
+          (Trace.Runtime_errors { peer = t.name; errors = t.last_errors });
+      (* Inductive updates: only genuinely new facts carry to the next
+         stage, otherwise a stable program would never quiesce. *)
+      t.induced_pending <-
+        List.filter
+          (fun (f : Fact.t) ->
+            not (Database.mem t.db ~rel:f.Fact.rel (Tuple.of_list f.Fact.args)))
+          result.Wdl_eval.Fixpoint.induced;
+      (* Step 3: emit. Fact batches are diffed against the last batch
+         sent to each destination; delegations are diffed as a set. *)
+      let by_dst = group_facts_by_dst result.Wdl_eval.Fixpoint.messages in
+      let current_dsts =
+        Hashtbl.fold (fun dst _ acc -> Sset.add dst acc) by_dst Sset.empty
+      in
+      let previous_dsts =
+        Hashtbl.fold
+          (fun dst batch acc -> if batch <> [] then Sset.add dst acc else acc)
+          t.last_batches Sset.empty
+      in
+      let fact_part dst =
+        let batch =
+          List.sort Fact.compare
+            (Option.value ~default:[] (Hashtbl.find_opt by_dst dst))
+        in
+        let last = Option.value ~default:[] (Hashtbl.find_opt t.last_batches dst) in
+        if t.diff_batches && List.equal Fact.equal batch last then None
+        else begin
+          Hashtbl.replace t.last_batches dst batch;
+          if batch = [] && last = [] then None else Some batch
+        end
+      in
+      let susp = result.Wdl_eval.Fixpoint.suspensions in
+      let susp_set = Deleg_tbl.create (List.length susp * 2) in
+      List.iter (fun s -> Deleg_tbl.replace susp_set s ()) susp;
+      let installs =
+        List.filter (fun s -> not (Deleg_tbl.mem t.last_delegations s)) susp
+      in
+      let retracts =
+        Deleg_tbl.fold
+          (fun s () acc -> if Deleg_tbl.mem susp_set s then acc else s :: acc)
+          t.last_delegations []
+      in
+      t.last_delegations <- susp_set;
+      let deleg_dsts =
+        List.fold_left (fun acc (d, _) -> Sset.add d acc) Sset.empty
+          (installs @ retracts)
+      in
+      let all_dsts = Sset.union (Sset.union current_dsts previous_dsts) deleg_dsts in
+      let messages =
+        Sset.fold
+          (fun dst acc ->
+            let msg =
+              Message.make ~src:t.name ~dst ~stage:stage_no
+                ~facts:(fact_part dst)
+                ~installs:
+                  (List.filter_map
+                     (fun (d, r) -> if d = dst then Some r else None)
+                     installs)
+                ~retracts:
+                  (List.filter_map
+                     (fun (d, r) -> if d = dst then Some r else None)
+                     retracts)
+                ()
+            in
+            if Message.is_empty msg then acc else msg :: acc)
+          all_dsts []
+      in
+      List.iter
+        (fun msg -> record_event t (Trace.Message_sent { msg }))
+        messages;
+      record_event t
+        (Trace.Stage_end
+           {
+             peer = t.name;
+             stage = stage_no;
+             derivations = result.Wdl_eval.Fixpoint.derivations;
+             iterations = result.Wdl_eval.Fixpoint.iterations;
+           });
+      messages
+  in
+  t.stage_no <- stage_no;
+  t.dirty <- false;
+  outbound

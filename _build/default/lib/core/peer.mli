@@ -1,0 +1,187 @@
+(** A WebdamLog peer: named state (a database), a program (rules), an
+    inbox, and the stage loop of §2:
+
+    + load the inputs received from remote peers since the previous
+      stage (facts and delegation installs/retracts);
+    + run a fixpoint computation of the current program;
+    + send facts (updates) and rules (delegation diffs) to other peers.
+
+    Peers are fully autonomous: a peer never reads another peer's
+    state; everything crosses through {!Message}. *)
+
+open Wdl_syntax
+
+type t
+
+val create :
+  ?strategy:Wdl_eval.Fixpoint.strategy ->
+  ?policy:Acl.policy ->
+  ?indexing:bool ->
+  ?trace_capacity:int ->
+  ?diff_batches:bool ->
+  string ->
+  t
+(** Raises [Invalid_argument] on an empty name. [diff_batches] (default
+    true) sends per-destination fact batches only when they changed;
+    turning it off re-sends on every stage — the naive messaging
+    discipline measured by the A1 ablation benchmark. *)
+
+val name : t -> string
+val database : t -> Wdl_store.Database.t
+val acl : t -> Acl.t
+val trace : t -> Trace.t
+val stage_number : t -> int
+
+(** {1 Access control (§2 model)} *)
+
+val authz : t -> Authz.t
+(** Discretionary policies and declassifications live here; derived
+    view policies are computed against the peer's current rules. *)
+
+val set_enforce_authz : t -> bool -> unit
+(** When on, installing a delegation from [src] additionally requires
+    [src] to be able to read every local relation the rule's
+    locally-evaluated prefix mentions. Off by default (the 2013 demo
+    enforced only the pending-queue model). *)
+
+val enforcing_authz : t -> bool
+
+val readers : t -> string -> Authz.policy
+(** Effective policy of a relation: stored for extensional relations,
+    declassified or provenance-derived for views. *)
+
+val can_read : t -> reader:string -> string -> bool
+
+(** {1 Program management} *)
+
+val load_program : t -> Program.t -> (unit, string) result
+(** Declarations, then facts (which must target this peer's extensional
+    relations), then rules (safety-checked, then checked for a negation
+    cycle against the current rule set). Partial failure leaves earlier
+    statements applied; the message says which statement failed. *)
+
+val load_string : t -> string -> (unit, string) result
+(** Parse + {!load_program}. *)
+
+val add_rule : t -> Rule.t -> (unit, string) result
+val remove_rule : t -> Rule.t -> bool
+val rules : t -> Rule.t list
+(** Own rules, in addition order. *)
+
+val delegated_rules : t -> (string * Rule.t) list
+(** Installed delegations as [(origin, rule)], oldest first. *)
+
+(** {1 Data management (the GUI's surface)} *)
+
+val insert : t -> Fact.t -> (unit, string) result
+(** A local update to an extensional relation; visible at the next
+    stage the peer runs. Rejects facts for other peers and for views. *)
+
+val delete : t -> Fact.t -> (unit, string) result
+
+val query : t -> string -> Fact.t list
+(** Current contents of a relation, sorted; empty if unknown. Views
+    reflect the last completed stage. *)
+
+val relation_names : t -> string list
+
+(** {1 Why-provenance}
+
+    When tracking is on, every stage records one supporting derivation
+    per view fact; the paper's access-control model (§2) motivates
+    keeping provenance around, and it doubles as a debugger for rule
+    programs. *)
+
+type explanation =
+  | Base  (** stored extensional fact *)
+  | Derived of Wdl_eval.Fixpoint.derivation
+  | Received of string list
+      (** remote per-stage fact, cached from these sources *)
+  | Unknown
+
+val set_track_provenance : t -> bool -> unit
+val tracking_provenance : t -> bool
+
+val explain : t -> Fact.t -> explanation
+(** One step; premises of a [Derived] answer can be explained in turn. *)
+
+val explain_to_string : ?max_depth:int -> t -> Fact.t -> string
+(** Recursive rendering of the derivation tree (default depth 8),
+    cycle-safe. *)
+
+type answer = {
+  columns : string list;  (** printed head argument terms, in order *)
+  rows : Value.t list list;  (** sorted, duplicate-free *)
+  requires_delegation : (string * Rule.t) list;
+      (** residuals an installed version of this query would send *)
+  errors : Wdl_eval.Runtime_error.t list;
+}
+
+val ask : t -> string -> (answer, string) result
+(** The demo's Query tab (§4): evaluates an ad-hoc rule — e.g.
+    [q@Jules($n) :- pictures@Jules($i,$n,$o,$d), rate@Jules($i,5)] —
+    against a {e snapshot} of the peer's state, together with the
+    peer's current program. Live state, delegations and messages are
+    untouched; body atoms that resolve to remote peers are reported in
+    [requires_delegation] instead of being evaluated. *)
+
+(** {1 Delegation control (§4)} *)
+
+val pending_delegations : t -> (string * Rule.t) list
+val accept_delegation : t -> src:string -> Rule.t -> bool
+val reject_delegation : t -> src:string -> Rule.t -> bool
+val accept_all_delegations : t -> int
+(** Returns how many were installed. *)
+
+(** {1 The stage loop} *)
+
+val receive : t -> Message.t -> unit
+
+(** {1 Persistence}
+
+    A peer is someone's laptop (§4): it stops and restarts. A snapshot
+    captures everything needed to resume — declarations, extensional
+    facts, own rules, installed delegations with their origins, the
+    pending-approval queue, the cached remote view batches and the
+    stage counter — as a parseable text file in the wire format. *)
+
+val journal : t -> Wdl_store.Journal.t option
+val set_journal : t -> Wdl_store.Journal.t option -> unit
+(** Attaches a write-ahead journal: every subsequent base-data change
+    (declarations, extensional inserts/deletes — local, inductive or
+    received) is appended. {!Persist} composes this with snapshots into
+    checkpoint + WAL durability. *)
+
+val snapshot : t -> string
+
+(** Rebuilds a peer from {!snapshot} output. Intensional contents are
+    not stored: the first stage after restore recomputes them. *)
+val restore : string -> (t, string) result
+val has_work : t -> bool
+(** Whether running a stage could change anything: non-empty inbox,
+    pending inductive updates, or local edits since the last stage. *)
+
+val stage : t -> Message.t list
+(** Runs one stage and returns the outbound messages. *)
+
+val last_errors : t -> Wdl_eval.Runtime_error.t list
+(** Runtime errors of the last stage. *)
+
+(** {1 Metrics} *)
+
+type stats = {
+  stages : int;
+  fixpoint_iterations : int;  (** summed over stages *)
+  derivations : int;          (** head instantiations, incl. duplicates *)
+  messages_sent : int;
+  messages_received : int;
+  delegations_installed : int;
+  delegations_retracted : int;
+  delegations_rejected : int;
+  runtime_errors : int;
+}
+
+val stats : t -> stats
+(** Monotone counters since creation (not persisted by snapshots). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,60 @@
+open Wdl_syntax
+module Journal = Wdl_store.Journal
+
+let snapshot_file dir = Filename.concat dir "snapshot.wdl"
+let journal_file dir = Filename.concat dir "journal.wal"
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let attach peer ~dir =
+  ensure_dir dir;
+  Peer.set_journal peer (Some (Journal.open_ (journal_file dir)))
+
+let checkpoint peer ~dir =
+  ensure_dir dir;
+  let tmp = snapshot_file dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Peer.snapshot peer));
+  Sys.rename tmp (snapshot_file dir);
+  match Peer.journal peer with
+  | Some j -> Journal.truncate j
+  | None -> if Sys.file_exists (journal_file dir) then Sys.remove (journal_file dir)
+
+let ( let* ) = Result.bind
+
+let apply_entry peer entry =
+  match entry with
+  | Journal.Declare d ->
+    Result.map_error
+      (fun e -> "journal declaration: " ^ e)
+      (Peer.load_program peer [ Program.Decl d ])
+  | Journal.Insert f ->
+    Result.map_error (fun e -> "journal insert: " ^ e) (Peer.insert peer f)
+  | Journal.Delete f ->
+    Result.map_error (fun e -> "journal delete: " ^ e) (Peer.delete peer f)
+
+let recover ~dir ~fallback_name =
+  let* peer =
+    if Sys.file_exists (snapshot_file dir) then
+      Peer.restore (read_file (snapshot_file dir))
+    else Ok (Peer.create fallback_name)
+  in
+  let* entries = Journal.replay (journal_file dir) in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        apply_entry peer entry)
+      (Ok ()) entries
+  in
+  attach peer ~dir;
+  Ok peer

@@ -1,0 +1,26 @@
+(** Durable peers: checkpoint + write-ahead journal in a directory.
+
+    A peer is someone's laptop (§4): it stops, crashes and restarts.
+    {!attach} starts journaling base-data changes to [dir/journal.wal];
+    {!checkpoint} writes the full state to [dir/snapshot.wdl] and
+    truncates the journal; {!recover} rebuilds the peer from the last
+    checkpoint plus the journal's tail (tolerating the torn final line
+    a crash leaves behind).
+
+    What the journal covers is local base data. Rules, delegations,
+    pending approvals, caches and ACL state recover to the last
+    checkpoint; the delegation diff protocol re-converges them as peers
+    exchange their next stages — so checkpoint on clean shutdown, and
+    rely on the journal for what a crash would otherwise lose. *)
+
+val attach : Peer.t -> dir:string -> unit
+(** Creates [dir] if needed and starts journaling. *)
+
+val checkpoint : Peer.t -> dir:string -> unit
+(** Atomic: the snapshot is written to a temporary file and renamed
+    over [dir/snapshot.wdl] before the journal truncates. *)
+
+val recover : dir:string -> fallback_name:string -> (Peer.t, string) result
+(** Loads [dir/snapshot.wdl] if present (otherwise a fresh peer named
+    [fallback_name]), replays [dir/journal.wal], and re-attaches the
+    journal so the peer keeps journaling. *)

@@ -1,0 +1,102 @@
+type t = {
+  transport : Message.t Wdl_net.Transport.t;
+  drop_unknown : bool;
+  peers : (string, Peer.t) Hashtbl.t;
+  mutable order : string list;  (* reverse registration order *)
+  mutable rounds : int;
+  mutable dropped : int;  (* messages to peers the system doesn't know *)
+  mutable hooks : (unit -> unit) list;  (* run before each round's stages *)
+}
+
+let create ?transport ?drop_unknown () =
+  (* With the default in-process transport a message to an unknown peer
+     can never be delivered, so it is dropped; with an explicit
+     transport (TCP across processes) unknown peers may live elsewhere
+     and everything is sent. *)
+  let drop_unknown =
+    match drop_unknown with Some b -> b | None -> Option.is_none transport
+  in
+  let transport =
+    match transport with
+    | Some tr -> tr
+    | None -> Wdl_net.Inmem.create ~sizer:Message.size ()
+  in
+  {
+    transport;
+    drop_unknown;
+    peers = Hashtbl.create 8;
+    order = [];
+    rounds = 0;
+    dropped = 0;
+    hooks = [];
+  }
+
+let on_round t hook = t.hooks <- t.hooks @ [ hook ]
+
+let adopt_peer t p =
+  let name = Peer.name p in
+  if Hashtbl.mem t.peers name then
+    invalid_arg (Printf.sprintf "System.adopt_peer: peer %s already exists" name);
+  Hashtbl.replace t.peers name p;
+  t.order <- name :: t.order
+
+let add_peer t ?strategy ?policy ?indexing ?diff_batches name =
+  if Hashtbl.mem t.peers name then
+    invalid_arg (Printf.sprintf "System.add_peer: peer %s already exists" name);
+  let p = Peer.create ?strategy ?policy ?indexing ?diff_batches name in
+  Hashtbl.replace t.peers name p;
+  t.order <- name :: t.order;
+  p
+
+let peer t name = Hashtbl.find t.peers name
+let find_peer t name = Hashtbl.find_opt t.peers name
+let peers t = List.rev_map (fun n -> Hashtbl.find t.peers n) t.order
+let transport t = t.transport
+let rounds t = t.rounds
+
+let round t =
+  t.rounds <- t.rounds + 1;
+  List.iter (fun hook -> hook ()) t.hooks;
+  let sent = ref 0 in
+  List.iter
+    (fun p ->
+      if Peer.has_work p then
+        List.iter
+          (fun (msg : Message.t) ->
+            if t.drop_unknown && not (Hashtbl.mem t.peers msg.Message.dst) then
+              t.dropped <- t.dropped + 1
+            else begin
+              incr sent;
+              t.transport.Wdl_net.Transport.send ~src:msg.Message.src
+                ~dst:msg.Message.dst msg
+            end)
+          (Peer.stage p))
+    (peers t);
+  t.transport.Wdl_net.Transport.advance 1.0;
+  List.iter
+    (fun p ->
+      List.iter (Peer.receive p)
+        (t.transport.Wdl_net.Transport.drain (Peer.name p)))
+    (peers t);
+  !sent
+
+let quiescent t =
+  t.transport.Wdl_net.Transport.pending () = 0
+  && List.for_all (fun p -> not (Peer.has_work p)) (peers t)
+
+let run ?(max_rounds = 10_000) t =
+  let start = t.rounds in
+  let rec go () =
+    if quiescent t then Ok (t.rounds - start)
+    else if t.rounds - start >= max_rounds then
+      Error
+        (Printf.sprintf "system did not quiesce within %d rounds" max_rounds)
+    else begin
+      ignore (round t);
+      go ()
+    end
+  in
+  go ()
+
+let messages_sent t = (t.transport.Wdl_net.Transport.stats ()).Wdl_net.Netstats.sent
+let messages_dropped t = t.dropped

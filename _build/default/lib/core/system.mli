@@ -1,0 +1,64 @@
+(** A system of peers wired through a transport — the runtime used to
+    reproduce the paper's topologies (Fig. 2: Émilien's and Jules'
+    laptops plus the sigmod cloud peer).
+
+    Time advances in {e rounds}: in each round every peer that has work
+    runs one stage, its messages enter the transport, the clock
+    advances by one unit, and deliverable messages land in inboxes.
+    Peers remain autonomous — a peer with nothing to do skips the
+    round, exactly like an idle laptop. *)
+
+type t
+
+val create :
+  ?transport:Message.t Wdl_net.Transport.t -> ?drop_unknown:bool -> unit -> t
+(** Default transport: {!Wdl_net.Inmem} sized with {!Message.size}.
+    [drop_unknown] controls messages to peers this system doesn't
+    host: dropped when using the default in-process transport (they
+    could never be delivered), sent otherwise (over TCP the peer may
+    live in another process). *)
+
+val add_peer :
+  t ->
+  ?strategy:Wdl_eval.Fixpoint.strategy ->
+  ?policy:Acl.policy ->
+  ?indexing:bool ->
+  ?diff_batches:bool ->
+  string ->
+  Peer.t
+(** Raises [Invalid_argument] if the name is already taken. *)
+
+val adopt_peer : t -> Peer.t -> unit
+(** Registers an existing peer (e.g. one rebuilt by {!Persist.recover})
+    instead of creating a fresh one. Raises [Invalid_argument] if the
+    name is taken. *)
+
+val peer : t -> string -> Peer.t
+(** Raises [Not_found]. *)
+
+val find_peer : t -> string -> Peer.t option
+val peers : t -> Peer.t list
+(** In registration order. *)
+
+val transport : t -> Message.t Wdl_net.Transport.t
+val rounds : t -> int
+
+val on_round : t -> (unit -> unit) -> unit
+(** Registers a hook run at the start of every round, before stages —
+    wrappers use this to synchronise with their backing service. *)
+
+val round : t -> int
+(** Runs one round; returns the number of messages sent in it. *)
+
+val quiescent : t -> bool
+(** No peer has work and no message is in flight. *)
+
+val run : ?max_rounds:int -> t -> (int, string) result
+(** Rounds until {!quiescent}; [Ok n] is the number of rounds used.
+    Default [max_rounds] is 10_000; exceeding it returns [Error]. *)
+
+val messages_sent : t -> int
+(** Transport-level counter since creation. *)
+
+val messages_dropped : t -> int
+(** Messages addressed to peers this system does not know. *)

@@ -1,0 +1,74 @@
+open Wdl_syntax
+
+type event =
+  | Stage_start of { peer : string; stage : int }
+  | Stage_end of { peer : string; stage : int; derivations : int; iterations : int }
+  | Fact_inserted of { peer : string; fact : Fact.t }
+  | Fact_deleted of { peer : string; fact : Fact.t }
+  | Message_sent of { msg : Message.t }
+  | Message_received of { msg : Message.t }
+  | Delegation_installed of { peer : string; src : string; rule : Rule.t }
+  | Delegation_pending of { peer : string; src : string; rule : Rule.t }
+  | Delegation_retracted of { peer : string; src : string; rule : Rule.t }
+  | Delegation_rejected of { peer : string; src : string; rule : Rule.t; reason : string }
+  | Rule_added of { peer : string; rule : Rule.t }
+  | Rule_removed of { peer : string; rule : Rule.t }
+  | Runtime_errors of { peer : string; errors : Wdl_eval.Runtime_error.t list }
+
+type t = {
+  capacity : int;
+  mutable events : event list;  (* newest first *)
+  mutable stored : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 10_000) () = { capacity; events = []; stored = 0; total = 0 }
+
+let record t e =
+  t.total <- t.total + 1;
+  if t.stored < t.capacity then begin
+    t.events <- e :: t.events;
+    t.stored <- t.stored + 1
+  end
+
+let events t = List.rev t.events
+let count t = t.total
+
+let clear t =
+  t.events <- [];
+  t.stored <- 0;
+  t.total <- 0
+
+let find t pred = List.find_opt pred (events t)
+
+let pp_event ppf = function
+  | Stage_start { peer; stage } ->
+    Format.fprintf ppf "[%s] stage %d begins" peer stage
+  | Stage_end { peer; stage; derivations; iterations } ->
+    Format.fprintf ppf "[%s] stage %d ends (%d derivations, %d iterations)"
+      peer stage derivations iterations
+  | Fact_inserted { peer; fact } ->
+    Format.fprintf ppf "[%s] + %a" peer Fact.pp fact
+  | Fact_deleted { peer; fact } ->
+    Format.fprintf ppf "[%s] - %a" peer Fact.pp fact
+  | Message_sent { msg } -> Format.fprintf ppf "sent %a" Message.pp msg
+  | Message_received { msg } -> Format.fprintf ppf "recv %a" Message.pp msg
+  | Delegation_installed { peer; src; rule } ->
+    Format.fprintf ppf "[%s] installed from %s: %a" peer src Rule.pp rule
+  | Delegation_pending { peer; src; rule } ->
+    Format.fprintf ppf "[%s] pending approval from %s: %a" peer src Rule.pp rule
+  | Delegation_retracted { peer; src; rule } ->
+    Format.fprintf ppf "[%s] retracted from %s: %a" peer src Rule.pp rule
+  | Delegation_rejected { peer; src; rule; reason } ->
+    Format.fprintf ppf "[%s] rejected from %s (%s): %a" peer src reason Rule.pp
+      rule
+  | Rule_added { peer; rule } ->
+    Format.fprintf ppf "[%s] rule added: %a" peer Rule.pp rule
+  | Rule_removed { peer; rule } ->
+    Format.fprintf ppf "[%s] rule removed: %a" peer Rule.pp rule
+  | Runtime_errors { peer; errors } ->
+    Format.fprintf ppf "[%s] %d runtime error(s): %a" peer (List.length errors)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+         Wdl_eval.Runtime_error.pp)
+      errors

@@ -1,0 +1,39 @@
+(** Event trace: the observable history of a peer or a system.
+
+    Used by tests (asserting that a delegation was held pending), by
+    the CLI (rendering Fig. 3's notifications) and by benchmarks
+    (counting rounds and messages). Bounded: beyond [capacity] events
+    only counters advance. *)
+
+open Wdl_syntax
+
+type event =
+  | Stage_start of { peer : string; stage : int }
+  | Stage_end of { peer : string; stage : int; derivations : int; iterations : int }
+  | Fact_inserted of { peer : string; fact : Fact.t }
+  | Fact_deleted of { peer : string; fact : Fact.t }
+  | Message_sent of { msg : Message.t }
+  | Message_received of { msg : Message.t }
+  | Delegation_installed of { peer : string; src : string; rule : Rule.t }
+  | Delegation_pending of { peer : string; src : string; rule : Rule.t }
+  | Delegation_retracted of { peer : string; src : string; rule : Rule.t }
+  | Delegation_rejected of { peer : string; src : string; rule : Rule.t; reason : string }
+  | Rule_added of { peer : string; rule : Rule.t }
+  | Rule_removed of { peer : string; rule : Rule.t }
+  | Runtime_errors of { peer : string; errors : Wdl_eval.Runtime_error.t list }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 10_000 events. *)
+
+val record : t -> event -> unit
+val events : t -> event list
+(** Oldest first; at most [capacity]. *)
+
+val count : t -> int
+(** Total events recorded, including dropped ones. *)
+
+val clear : t -> unit
+val find : t -> (event -> bool) -> event option
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,92 @@
+open Wdl_syntax
+
+let header_rel = "header"
+let header_peer = "wire"
+
+let one_line = Pp_util.one_line
+
+let encode (m : Message.t) =
+  let buf = Buffer.create 512 in
+  let facts, nf =
+    match m.Message.facts with None -> ([], -1) | Some fs -> (fs, List.length fs)
+  in
+  Buffer.add_string buf
+    (one_line Fact.pp
+       (Fact.make ~rel:header_rel ~peer:header_peer
+          [
+            Value.String m.Message.src;
+            Value.String m.Message.dst;
+            Value.Int m.Message.stage;
+            Value.Int nf;
+            Value.Int (List.length m.Message.installs);
+            Value.Int (List.length m.Message.retracts);
+          ]));
+  Buffer.add_string buf ";\n";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (one_line Fact.pp f);
+      Buffer.add_string buf ";\n")
+    facts;
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (one_line Rule.pp r);
+      Buffer.add_string buf ";\n")
+    (m.Message.installs @ m.Message.retracts);
+  Buffer.contents buf
+
+let take_facts n statements =
+  let rec go acc n = function
+    | rest when n = 0 -> Ok (List.rev acc, rest)
+    | Program.Fact f :: rest -> go (f :: acc) (n - 1) rest
+    | _ -> Error "expected a fact"
+  in
+  go [] n statements
+
+let take_rules n statements =
+  let rec go acc n = function
+    | rest when n = 0 -> Ok (List.rev acc, rest)
+    | Program.Rule r :: rest -> go (r :: acc) (n - 1) rest
+    | _ -> Error "expected a rule"
+  in
+  go [] n statements
+
+let ( let* ) = Result.bind
+
+let decode text =
+  let* program = Parser.program text in
+  match program with
+  | Program.Fact header :: rest
+    when header.Fact.rel = header_rel && header.Fact.peer = header_peer -> (
+    match header.Fact.args with
+    | [ Value.String src; Value.String dst; Value.Int stage; Value.Int nf;
+        Value.Int ni; Value.Int nr ] ->
+      let* facts, rest =
+        if nf < 0 then Ok ([], rest)
+        else take_facts nf rest
+      in
+      let* installs, rest = take_rules ni rest in
+      let* retracts, rest = take_rules nr rest in
+      if rest <> [] then Error "trailing statements in frame"
+      else
+        Ok
+          (Message.make ~src ~dst ~stage
+             ~facts:(if nf < 0 then None else Some facts)
+             ~installs ~retracts ())
+    | _ -> Error "malformed wire header")
+  | _ -> Error "missing wire header"
+
+let transport (bytes : string Wdl_net.Transport.t) =
+  {
+    Wdl_net.Transport.send =
+      (fun ~src ~dst msg -> bytes.Wdl_net.Transport.send ~src ~dst (encode msg));
+    drain =
+      (fun name ->
+        List.filter_map
+          (fun frame ->
+            match decode frame with Ok m -> Some m | Error _ -> None)
+          (bytes.Wdl_net.Transport.drain name));
+    pending = bytes.Wdl_net.Transport.pending;
+    advance = bytes.Wdl_net.Transport.advance;
+    now = bytes.Wdl_net.Transport.now;
+    stats = bytes.Wdl_net.Transport.stats;
+  }

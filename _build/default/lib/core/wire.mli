@@ -1,0 +1,17 @@
+(** Wire codec: {!Message} values as self-describing text frames.
+
+    A frame is itself a parseable WebdamLog program: a [header@wire]
+    fact carrying source, destination, stage and section counts,
+    followed by the fact batch and the delegation install/retract
+    rules in order. Re-using the language's own reader/printer keeps
+    the codec total on every message the engine can produce.
+
+    {!transport} lifts any byte transport (typically
+    {!Wdl_net.Tcp}) into a {!Message} transport. *)
+
+val encode : Message.t -> string
+val decode : string -> (Message.t, string) result
+
+val transport : string Wdl_net.Transport.t -> Message.t Wdl_net.Transport.t
+(** Frames that fail to decode are dropped (counted nowhere: a
+    malformed frame from the outside world must not kill the peer). *)

@@ -1,0 +1,1 @@
+lib/eval/fixpoint.ml: Aggregate Array Atom Database Decl Fact Format Hashtbl List Literal Option Plan Relation Rule Runtime_error Stratify String Term Tuple Value Wdl_store Wdl_syntax

@@ -1,0 +1,1 @@
+lib/eval/fixpoint.mli: Fact Rule Runtime_error Stdlib Stratify Wdl_store Wdl_syntax

@@ -1,0 +1,1 @@
+lib/eval/plan.ml: Array Atom Expr Hashtbl List Literal Printf Result Rule Subst Term Value Wdl_syntax

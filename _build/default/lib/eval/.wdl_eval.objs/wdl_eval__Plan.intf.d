@@ -1,0 +1,1 @@
+lib/eval/plan.mli: Atom Expr Literal Rule Subst Value Wdl_syntax

@@ -1,0 +1,1 @@
+lib/eval/reference.ml: Aggregate Array Atom Database Decl Expr Fact Fixpoint Format Hashtbl List Literal Relation Rule Runtime_error Stratify String Subst Term Tuple Value Wdl_store Wdl_syntax

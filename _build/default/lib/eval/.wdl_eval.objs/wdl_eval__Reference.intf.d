@@ -1,0 +1,1 @@
+lib/eval/reference.mli: Fixpoint Stratify Wdl_store Wdl_syntax

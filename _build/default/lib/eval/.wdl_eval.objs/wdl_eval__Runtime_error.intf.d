@@ -1,0 +1,1 @@
+lib/eval/runtime_error.mli: Atom Expr Format Literal Value Wdl_syntax

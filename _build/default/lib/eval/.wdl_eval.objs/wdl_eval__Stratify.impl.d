@@ -1,0 +1,1 @@
+lib/eval/stratify.ml: Array Atom Format Hashtbl List Literal Option Rule String Term Wdl_syntax

@@ -1,0 +1,1 @@
+lib/eval/stratify.mli: Format Rule Wdl_syntax

@@ -1,0 +1,558 @@
+open Wdl_syntax
+open Wdl_store
+
+type strategy = Seminaive | Naive
+
+type derivation = {
+  fact : Fact.t;
+  rule : Rule.t;
+  premises : Fact.t list;
+}
+
+type result = {
+  deduced : Fact.t list;
+  induced : Fact.t list;
+  messages : Fact.t list;
+  suspensions : (string * Rule.t) list;
+  errors : Runtime_error.t list;
+  iterations : int;
+  derivations : int;
+  provenance : derivation list;
+}
+
+module Fact_tbl = Hashtbl.Make (struct
+  type t = Fact.t
+
+  let equal = Fact.equal
+  let hash = Fact.hash
+end)
+
+(* Hot-path key: derived heads stay (rel, peer, tuple) triples; Fact
+   values (with their lists) are only built when assembling results. *)
+module Head_key = struct
+  type t = { rel : string; peer : string; tuple : Tuple.t }
+
+  let equal a b =
+    String.equal a.rel b.rel && String.equal a.peer b.peer
+    && Tuple.equal a.tuple b.tuple
+
+  let hash k =
+    (Hashtbl.hash k.rel * 31) + (Hashtbl.hash k.peer * 17) + Tuple.hash k.tuple
+
+  let to_fact k = Fact.make ~rel:k.rel ~peer:k.peer (Tuple.to_list k.tuple)
+end
+
+module Head_tbl = Hashtbl.Make (Head_key)
+
+module Susp_tbl = Hashtbl.Make (struct
+  type t = string * Rule.t
+
+  let equal (t1, r1) (t2, r2) = String.equal t1 t2 && Rule.equal r1 r2
+  let hash x = Hashtbl.hash_param 64 128 x
+end)
+
+(* Evaluation state shared across a whole run. *)
+type state = {
+  self : string;
+  db : Database.t;
+  (* delta.(rel) = intensional tuples new as of the previous iteration *)
+  mutable delta : (string, Relation.t) Hashtbl.t;
+  mutable delta_next : (string, Relation.t) Hashtbl.t;
+  deduced : unit Head_tbl.t;
+  induced : unit Head_tbl.t;
+  messages : unit Head_tbl.t;
+  suspensions : unit Susp_tbl.t;
+  provenance : derivation Fact_tbl.t option;
+  mutable errors : Runtime_error.t list;
+  mutable error_count : int;
+  mutable derivations : int;
+  mutable iterations : int;
+}
+
+let max_errors = 1000
+
+let report st e =
+  st.error_count <- st.error_count + 1;
+  if st.error_count <= max_errors then st.errors <- e :: st.errors
+
+let delta_add st rel tuple =
+  let r =
+    match Hashtbl.find_opt st.delta_next rel with
+    | Some r -> r
+    | None ->
+      let r = Relation.create ~arity:(Tuple.arity tuple) () in
+      Hashtbl.add st.delta_next rel r;
+      r
+  in
+  ignore (Relation.insert r tuple)
+
+let suspend st target rule = Susp_tbl.replace st.suspensions (target, rule) ()
+
+(* The relations an atom position reads, given the source: the full
+   store or the previous iteration's delta. *)
+let readable_relations st ~use_delta ~rel_name ~arity =
+  if use_delta then
+    match rel_name with
+    | Some c -> (
+      match Hashtbl.find_opt st.delta c with
+      | Some r when Relation.arity r = arity -> [ (c, r) ]
+      | Some _ | None -> [])
+    | None ->
+      Hashtbl.fold
+        (fun name r acc -> if Relation.arity r = arity then (name, r) :: acc else acc)
+        st.delta []
+  else
+    match rel_name with
+    | Some c -> (
+      match Database.find st.db c with
+      | Some info when info.Database.arity = arity -> [ (c, info.Database.data) ]
+      | Some _ -> []
+      | None -> [])
+    | None ->
+      List.filter_map
+        (fun (info : Database.info) ->
+          if info.arity = arity then Some (info.name, info.data) else None)
+        (Database.relations st.db)
+
+(* Provenance: instantiate the plan's positive body atoms. *)
+let premises_of_env (plan : Plan.t) env =
+  List.filter_map
+    (fun (rel, peer, args) ->
+      let name = function
+        | Plan.Fixed n -> Some n
+        | Plan.Name_slot s -> Option.bind env.(s) Value.as_name
+      in
+      match name rel, name peer, Plan.instantiate_args args env with
+      | Some rel, Some peer, Some values ->
+        Some (Fact.make ~rel ~peer (Array.to_list values))
+      | _, _, _ -> None)
+    plan.Plan.premise_patterns
+
+(* Route a ground, locally produced head. [prov] lazily builds the
+   provenance entry when a new view fact is stored. *)
+let dispatch_head st ~prov ~rel ~peer (tuple : Tuple.t) =
+  st.derivations <- st.derivations + 1;
+  if not (String.equal peer st.self) then
+    Head_tbl.replace st.messages { Head_key.rel; peer; tuple } ()
+  else
+    match Database.ensure st.db ~rel ~arity:(Tuple.arity tuple) with
+    | Error e ->
+      report st
+        (Runtime_error.Store_error
+           { rel; message = Format.asprintf "%a" Database.pp_error e })
+    | Ok info -> (
+      match info.Database.kind with
+      | Decl.Extensional ->
+        Head_tbl.replace st.induced { Head_key.rel; peer; tuple } ()
+      | Decl.Intensional ->
+        if Relation.insert info.Database.data tuple then begin
+          Head_tbl.replace st.deduced { Head_key.rel; peer; tuple } ();
+          delta_add st rel tuple;
+          match st.provenance with
+          | Some tbl ->
+            let fact = Fact.make ~rel ~peer (Tuple.to_list tuple) in
+            Fact_tbl.replace tbl fact (prov fact)
+          | None -> ()
+        end)
+
+(* Resolve a compiled name reference under the environment. *)
+type resolved =
+  | RName of string
+  | RUnbound of string  (* the variable's name *)
+  | RBad of Value.t
+
+let resolve plan env = function
+  | Plan.Fixed n -> RName n
+  | Plan.Name_slot s -> (
+    match env.(s) with
+    | None -> RUnbound plan.Plan.slot_names.(s)
+    | Some v -> (
+      match Value.as_name v with Some n -> RName n | None -> RBad v))
+
+(* Residual rule shipped at a delegation point: the instantiated head
+   plus the substituted body suffix starting at [pos]. *)
+let residual_rule (plan : Plan.t) env pos =
+  let sigma = Plan.subst_of_env plan env in
+  let body =
+    List.filteri (fun i _ -> i >= pos) plan.Plan.rule.Rule.body
+    |> List.map (Literal.subst sigma)
+  in
+  Rule.make ~head:(Atom.subst sigma plan.Plan.rule.Rule.head) ~body
+
+let head_key st (plan : Plan.t) env =
+  match
+    ( resolve plan env plan.Plan.head_rel,
+      resolve plan env plan.Plan.head_peer,
+      Plan.instantiate_args plan.Plan.head_args env )
+  with
+  | RName rel, RName peer, Some values -> Some (rel, peer, values)
+  | RBad v, _, _ | _, RBad v, _ ->
+    report st (Runtime_error.Not_a_name { value = v; atom = plan.Plan.rule.Rule.head });
+    None
+  | RUnbound x, _, _ | _, RUnbound x, _ ->
+    report st (Runtime_error.Unbound_at_eval { var = x; where = "rule head" });
+    None
+  | RName _, RName _, None ->
+    report st
+      (Runtime_error.Unbound_at_eval
+         { var = String.concat "," (Atom.vars plan.Plan.rule.Rule.head);
+           where = "rule head" });
+    None
+
+(* Execute a compiled plan. [emit env] is called on every complete
+   valuation; [delta_pos] marks the literal that reads the delta. *)
+let exec_plan st (plan : Plan.t) ~delta_pos ~emit =
+  let env = Array.make (max plan.Plan.nslots 1) None in
+  let slot_names = plan.Plan.slot_names in
+  let rec step steps =
+    match steps with
+    | [] -> emit env
+    | Plan.Cmp (op, e1, e2, lit) :: rest -> (
+      match
+        Plan.eval_cexpr e1 env ~slot_names, Plan.eval_cexpr e2 env ~slot_names
+      with
+      | Ok v1, Ok v2 -> if Literal.eval_cmp op v1 v2 then step rest
+      | Error e, _ | _, Error e ->
+        report st (Runtime_error.Expr_failed { error = e; literal = lit }))
+    | Plan.Assign (s, e, lit) :: rest -> (
+      match Plan.eval_cexpr e env ~slot_names with
+      | Error e -> report st (Runtime_error.Expr_failed { error = e; literal = lit })
+      | Ok v -> (
+        match env.(s) with
+        | Some v' -> if Value.equal v v' then step rest
+        | None ->
+          env.(s) <- Some v;
+          step rest;
+          env.(s) <- None))
+    | Plan.Match m :: rest ->
+      if m.Plan.neg then (if neg_holds m then step rest) else match_pos m rest
+
+  and neg_holds (m : Plan.match_step) =
+    match resolve plan env m.Plan.peer with
+    | RBad v ->
+      report st (Runtime_error.Not_a_name { value = v; atom = m.Plan.atom });
+      false
+    | RUnbound x ->
+      report st (Runtime_error.Unbound_at_eval { var = x; where = "negated atom" });
+      false
+    | RName p when p <> st.self ->
+      report st (Runtime_error.Remote_negation { peer = p; atom = m.Plan.atom });
+      false
+    | RName _ -> (
+      match resolve plan env m.Plan.rel with
+      | RBad v ->
+        report st (Runtime_error.Not_a_name { value = v; atom = m.Plan.atom });
+        false
+      | RUnbound x ->
+        report st
+          (Runtime_error.Unbound_at_eval { var = x; where = "negated atom" });
+        false
+      | RName c -> (
+        match Plan.instantiate_args m.Plan.args env with
+        | None ->
+          report st
+            (Runtime_error.Unbound_at_eval { var = "?"; where = "negated atom" });
+          false
+        | Some values -> (
+          match Database.find st.db c with
+          | None -> true
+          | Some info ->
+            info.Database.arity <> Array.length values
+            || not (Relation.mem info.Database.data values))))
+
+  and match_pos (m : Plan.match_step) rest =
+    match resolve plan env m.Plan.peer with
+    | RBad v -> report st (Runtime_error.Not_a_name { value = v; atom = m.Plan.atom })
+    | RUnbound x ->
+      report st (Runtime_error.Unbound_at_eval { var = x; where = "peer position" })
+    | RName p when p <> st.self ->
+      (* Delegation boundary: ship the residual rule to [p]. *)
+      suspend st p (residual_rule plan env m.Plan.pos)
+    | RName _ ->
+      let args = m.Plan.args in
+      let use_delta = delta_pos = Some m.Plan.pos in
+      let arity = Array.length args in
+      (* Evaluate against one source relation. [enum_slot] is the
+         relation-name slot to bind when enumerating. *)
+      let run_source enum_slot (name, relation) =
+        let proceed =
+          match enum_slot with
+          | None -> true
+          | Some s ->
+            env.(s) <- Some (Value.String name);
+            true
+        in
+        if proceed then begin
+          (* Constrained positions: constants and already-bound slots;
+             the lookup guarantees they match. *)
+          let bound = ref [] in
+          Array.iteri
+            (fun i a ->
+              match a with
+              | Plan.Const v -> bound := (i, v) :: !bound
+              | Plan.Slot s -> (
+                match env.(s) with
+                | Some v -> bound := (i, v) :: !bound
+                | None -> ()))
+            args;
+          Relation.lookup relation !bound (fun tuple ->
+              (* Bind free slots. A slot bound earlier in THIS tuple
+                 (repeated variable in one atom) needs an equality
+                 check; the trail distinguishes it from slots bound
+                 before the lookup, which the lookup already filtered. *)
+              let trail = ref [] in
+              let ok = ref true in
+              (try
+                 Array.iteri
+                   (fun i a ->
+                     match a with
+                     | Plan.Const _ -> ()
+                     | Plan.Slot s -> (
+                       match env.(s) with
+                       | None ->
+                         env.(s) <- Some tuple.(i);
+                         trail := s :: !trail
+                       | Some v ->
+                         if
+                           List.mem s !trail
+                           && not (Value.equal v tuple.(i))
+                         then raise Exit))
+                   args
+               with Exit -> ok := false);
+              if !ok then step rest;
+              List.iter (fun s -> env.(s) <- None) !trail)
+        end
+      in
+      (match resolve plan env m.Plan.rel with
+      | RBad v ->
+        report st (Runtime_error.Not_a_name { value = v; atom = m.Plan.atom })
+      | RName c ->
+        List.iter (run_source None)
+          (readable_relations st ~use_delta ~rel_name:(Some c) ~arity)
+      | RUnbound _ ->
+        let enum_slot =
+          match m.Plan.rel with Plan.Name_slot s -> Some s | Plan.Fixed _ -> None
+        in
+        List.iter
+          (fun source ->
+            run_source enum_slot source;
+            match enum_slot with Some s -> env.(s) <- None | None -> ())
+          (readable_relations st ~use_delta ~rel_name:None ~arity))
+  in
+  step plan.Plan.steps
+
+let emit_rule st (plan : Plan.t) env =
+  match head_key st plan env with
+  | None -> ()
+  | Some (rel, peer, tuple) ->
+    let prov fact =
+      { fact; rule = plan.Plan.rule; premises = premises_of_env plan env }
+    in
+    dispatch_head st ~prov ~rel ~peer tuple
+
+let eval_plan st ~delta_pos (plan : Plan.t) =
+  exec_plan st plan ~delta_pos ~emit:(fun env -> emit_rule st plan env)
+
+(* {1 Aggregate rules} *)
+
+let statically_local ~self (rule : Rule.t) =
+  List.for_all
+    (fun lit ->
+      match lit with
+      | Literal.Pos a | Literal.Neg a -> Term.as_name a.Atom.peer = Some self
+      | Literal.Cmp _ | Literal.Assign _ -> true)
+    rule.Rule.body
+
+let eval_agg_plan st (plan : Plan.t) =
+  let rule = plan.Plan.rule in
+  if not (statically_local ~self:st.self rule) then
+    report st
+      (Runtime_error.Store_error
+         {
+           rel = "<aggregate rule>";
+           message =
+             "aggregate rules must be entirely local (every body atom's peer \
+              must be this peer)";
+         })
+  else begin
+    (* Collect distinct complete valuations as environment snapshots. *)
+    let sigmas = Hashtbl.create 64 in
+    exec_plan st plan ~delta_pos:None ~emit:(fun env ->
+        let snapshot = Array.copy env in
+        Hashtbl.replace sigmas snapshot ());
+    let groups = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun env () ->
+        match
+          ( resolve plan env plan.Plan.head_rel,
+            resolve plan env plan.Plan.head_peer )
+        with
+        | RName rel, RName peer ->
+          (* key_args: Some v at grouping positions, None at aggregate
+             positions. Safety guarantees grouping slots are bound. *)
+          let valid = ref true in
+          let key_args =
+            Array.to_list
+              (Array.mapi
+                 (fun i a ->
+                   if List.mem_assoc i rule.Rule.aggs then None
+                   else
+                     match a with
+                     | Plan.Const v -> Some v
+                     | Plan.Slot s ->
+                       (match env.(s) with None -> valid := false | Some _ -> ());
+                       env.(s))
+                 plan.Plan.head_args)
+          in
+          if !valid then begin
+            let key = (rel, peer, key_args) in
+            let agg_values =
+              List.map
+                (fun (i, (_ : Aggregate.spec)) ->
+                  let v =
+                    match plan.Plan.head_args.(i) with
+                    | Plan.Slot s -> env.(s)
+                    | Plan.Const v -> Some v
+                  in
+                  (i, v))
+                rule.Rule.aggs
+            in
+            match Hashtbl.find_opt groups key with
+            | None -> Hashtbl.replace groups key (ref [ agg_values ])
+            | Some l -> l := agg_values :: !l
+          end
+          else
+            report st
+              (Runtime_error.Unbound_at_eval
+                 { var = "?"; where = "aggregate head" })
+        | _, _ ->
+          report st
+            (Runtime_error.Unbound_at_eval
+               { var = "?"; where = "aggregate head" }))
+      sigmas;
+    Hashtbl.iter
+      (fun (rel, peer, key_args) collected ->
+        let computed =
+          List.fold_left
+            (fun acc (i, (spec : Aggregate.spec)) ->
+              match acc with
+              | Error _ as e -> e
+              | Ok assoc -> (
+                let values =
+                  List.filter_map
+                    (fun row ->
+                      List.find_map (fun (j, v) -> if i = j then v else None) row)
+                    !collected
+                in
+                match Aggregate.apply spec.Aggregate.op values with
+                | Ok v -> Ok ((i, v) :: assoc)
+                | Error msg -> Error msg))
+            (Ok []) rule.Rule.aggs
+        in
+        match computed with
+        | Error msg ->
+          report st
+            (Runtime_error.Store_error { rel = "<aggregate>"; message = msg })
+        | Ok assoc ->
+          let args =
+            List.mapi
+              (fun i slot ->
+                match slot with
+                | Some v -> v
+                | None -> List.assoc i assoc)
+              key_args
+          in
+          let prov fact = { fact; rule; premises = [] } in
+          dispatch_head st ~prov ~rel ~peer (Tuple.of_list args))
+      groups
+  end
+
+(* {1 Strata} *)
+
+(* Positions of positive atoms in a plan (candidate delta spots). *)
+let pos_atom_positions (plan : Plan.t) =
+  List.filter_map
+    (function
+      | Plan.Match { neg = false; pos; _ } -> Some pos
+      | Plan.Match _ | Plan.Cmp _ | Plan.Assign _ -> None)
+    plan.Plan.steps
+
+let run_stratum st strategy all_plans =
+  (* Aggregate rules read complete lower strata, so they run once, up
+     front; their outputs then feed the stratum's fixpoint normally. *)
+  let agg_plans, plans =
+    List.partition (fun p -> Rule.is_aggregate p.Plan.rule) all_plans
+  in
+  st.delta <- Hashtbl.create 8;
+  st.delta_next <- Hashtbl.create 8;
+  List.iter (fun p -> eval_agg_plan st p) agg_plans;
+  (* Iteration 1: full evaluation of every rule. *)
+  List.iter (fun p -> eval_plan st ~delta_pos:None p) plans;
+  st.iterations <- st.iterations + 1;
+  let rec loop () =
+    if Hashtbl.length st.delta_next = 0 then ()
+    else begin
+      st.delta <- st.delta_next;
+      st.delta_next <- Hashtbl.create 8;
+      st.iterations <- st.iterations + 1;
+      (match strategy with
+      | Naive -> List.iter (fun p -> eval_plan st ~delta_pos:None p) plans
+      | Seminaive ->
+        List.iter
+          (fun p ->
+            List.iter
+              (fun pos -> eval_plan st ~delta_pos:(Some pos) p)
+              (pos_atom_positions p))
+          plans);
+      loop ()
+    end
+  in
+  loop ()
+
+let run ?(strategy = Seminaive) ?(record_provenance = false) ~self db rules =
+  let intensional rel =
+    match Database.kind db rel with
+    | Some Decl.Intensional -> true
+    | Some Decl.Extensional | None -> false
+  in
+  match Stratify.compute ~self ~intensional rules with
+  | Error e -> Error e
+  | Ok { Stratify.strata } ->
+    let st =
+      {
+        self;
+        db;
+        delta = Hashtbl.create 8;
+        delta_next = Hashtbl.create 8;
+        deduced = Head_tbl.create 64;
+        induced = Head_tbl.create 64;
+        messages = Head_tbl.create 64;
+        suspensions = Susp_tbl.create 32;
+        provenance =
+          (if record_provenance then Some (Fact_tbl.create 64) else None);
+        errors = [];
+        error_count = 0;
+        derivations = 0;
+        iterations = 0;
+      }
+    in
+    Array.iter
+      (fun rules -> run_stratum st strategy (List.map Plan.compile rules))
+      strata;
+    let to_list tbl =
+      Head_tbl.fold (fun k () acc -> Head_key.to_fact k :: acc) tbl []
+    in
+    Ok
+      {
+        deduced = to_list st.deduced;
+        induced = to_list st.induced;
+        messages = to_list st.messages;
+        suspensions = Susp_tbl.fold (fun s () acc -> s :: acc) st.suspensions [];
+        errors = List.rev st.errors;
+        iterations = st.iterations;
+        derivations = st.derivations;
+        provenance =
+          (match st.provenance with
+          | None -> []
+          | Some tbl -> Fact_tbl.fold (fun _ d acc -> d :: acc) tbl []);
+      }

@@ -1,0 +1,60 @@
+(** One-stage local evaluation: the middle step of the paper's
+    three-step peer computation (load inputs → {e fixpoint} → emit).
+
+    The evaluator runs the peer's current rules over its database,
+    left-to-right. What a rule produces depends on where its terms
+    resolve at run time:
+
+    - a completed valuation whose head is a {e local intensional}
+      relation is deduced immediately (visible within the fixpoint);
+    - a head in a {e local extensional} relation is an inductive
+      update, returned in [induced] and applied at the next stage;
+    - a head on a {e remote peer} is an asynchronous message;
+    - reaching a body atom whose peer resolves to a {e remote} name
+      suspends the valuation: the residual rule (substitution applied,
+      remaining literals kept) is returned in [suspensions] — these
+      become the paper's delegations.
+
+    Both semi-naive (default) and naive strategies implement identical
+    semantics; naive is kept as the benchmark baseline (T1). *)
+
+open Wdl_syntax
+
+type strategy = Seminaive | Naive
+
+type derivation = {
+  fact : Fact.t;
+  rule : Rule.t;
+  premises : Fact.t list;
+      (** the ground positive body atoms of one supporting valuation *)
+}
+
+type result = {
+  deduced : Fact.t list;  (** new local intensional facts (also inserted) *)
+  induced : Fact.t list;  (** local extensional insertions for next stage *)
+  messages : Fact.t list; (** facts whose [peer] field is the destination *)
+  suspensions : (string * Rule.t) list;
+      (** (target peer, residual rule), deduplicated *)
+  errors : Runtime_error.t list;
+  iterations : int;       (** fixpoint iterations summed over strata *)
+  derivations : int;      (** successful head instantiations, incl. dups *)
+  provenance : derivation list;
+      (** one why-provenance entry per deduced fact, when requested;
+          aggregate-rule facts carry no premises *)
+}
+
+val statically_local : self:string -> Wdl_syntax.Rule.t -> bool
+(** Whether every body atom's peer is the constant [self] — the
+    precondition for aggregate rules, which may never suspend into a
+    delegation. *)
+
+val run :
+  ?strategy:strategy ->
+  ?record_provenance:bool ->
+  self:string ->
+  Wdl_store.Database.t ->
+  Rule.t list ->
+  (result, Stratify.error) Stdlib.result
+(** Mutates the database's intensional relations. The caller is
+    responsible for {!Wdl_store.Database.clear_intensional} at stage
+    start and for applying [induced] at the next stage. *)

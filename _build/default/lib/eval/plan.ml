@@ -1,0 +1,193 @@
+open Wdl_syntax
+
+type slot = int
+
+type arg =
+  | Const of Value.t
+  | Slot of slot
+
+type name_ref =
+  | Fixed of string
+  | Name_slot of slot
+
+type cexpr =
+  | CConst of Value.t
+  | CSlot of slot
+  | CAdd of cexpr * cexpr
+  | CSub of cexpr * cexpr
+  | CMul of cexpr * cexpr
+  | CDiv of cexpr * cexpr
+
+type match_step = {
+  pos : int;
+  neg : bool;
+  rel : name_ref;
+  peer : name_ref;
+  args : arg array;
+  atom : Atom.t;
+}
+
+type step =
+  | Match of match_step
+  | Cmp of Literal.cmpop * cexpr * cexpr * Literal.t
+  | Assign of slot * cexpr * Literal.t
+
+type t = {
+  rule : Rule.t;
+  steps : step list;
+  head_rel : name_ref;
+  head_peer : name_ref;
+  head_args : arg array;
+  nslots : int;
+  slot_names : string array;
+  premise_patterns : (name_ref * name_ref * arg array) list;
+}
+
+type compiler = {
+  mutable names : string list;  (* reverse slot order *)
+  mutable count : int;
+  tbl : (string, int) Hashtbl.t;
+}
+
+let slot_of c x =
+  match Hashtbl.find_opt c.tbl x with
+  | Some s -> s
+  | None ->
+    let s = c.count in
+    c.count <- c.count + 1;
+    c.names <- x :: c.names;
+    Hashtbl.replace c.tbl x s;
+    s
+
+let compile_term c = function
+  | Term.Const v -> Const v
+  | Term.Var x -> Slot (slot_of c x)
+
+let compile_name c = function
+  | Term.Const v -> (
+    match Value.as_name v with
+    | Some n -> Fixed n
+    (* Safety rejects non-name constants; keep a total fallback. *)
+    | None -> Fixed (Value.to_string v))
+  | Term.Var x -> Name_slot (slot_of c x)
+
+let rec compile_expr c = function
+  | Expr.Const v -> CConst v
+  | Expr.Var x -> CSlot (slot_of c x)
+  | Expr.Add (a, b) -> CAdd (compile_expr c a, compile_expr c b)
+  | Expr.Sub (a, b) -> CSub (compile_expr c a, compile_expr c b)
+  | Expr.Mul (a, b) -> CMul (compile_expr c a, compile_expr c b)
+  | Expr.Div (a, b) -> CDiv (compile_expr c a, compile_expr c b)
+
+let compile_atom c (a : Atom.t) =
+  ( compile_name c a.Atom.rel,
+    compile_name c a.Atom.peer,
+    Array.of_list (List.map (compile_term c) a.Atom.args) )
+
+let compile (rule : Rule.t) =
+  let c = { names = []; count = 0; tbl = Hashtbl.create 16 } in
+  let steps =
+    List.mapi
+      (fun pos lit ->
+        match lit with
+        | Literal.Pos a ->
+          let rel, peer, args = compile_atom c a in
+          Match { pos; neg = false; rel; peer; args; atom = a }
+        | Literal.Neg a ->
+          let rel, peer, args = compile_atom c a in
+          Match { pos; neg = true; rel; peer; args; atom = a }
+        | Literal.Cmp (op, e1, e2) ->
+          Cmp (op, compile_expr c e1, compile_expr c e2, lit)
+        | Literal.Assign (x, e) ->
+          (* Compile the expression first: safety guarantees its
+             variables were bound earlier, so slot allocation order is
+             irrelevant, but doing it first mirrors evaluation order. *)
+          let ce = compile_expr c e in
+          Assign (slot_of c x, ce, lit))
+      rule.Rule.body
+  in
+  let head_rel, head_peer, head_args = compile_atom c rule.Rule.head in
+  let premise_patterns =
+    List.filter_map
+      (function
+        | Match { neg = false; rel; peer; args; _ } -> Some (rel, peer, args)
+        | Match _ | Cmp _ | Assign _ -> None)
+      steps
+  in
+  {
+    rule;
+    steps;
+    head_rel;
+    head_peer;
+    head_args;
+    nslots = c.count;
+    slot_names = Array.of_list (List.rev c.names);
+    premise_patterns;
+  }
+
+let subst_of_env plan env =
+  let s = ref Subst.empty in
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Some v -> s := Subst.bind_exn plan.slot_names.(i) v !s
+      | None -> ())
+    env;
+  !s
+
+let instantiate_args args env =
+  let n = Array.length args in
+  let out = Array.make n (Value.Int 0) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    match args.(i) with
+    | Const v -> out.(i) <- v
+    | Slot s -> (
+      match env.(s) with
+      | Some v -> out.(i) <- v
+      | None -> ok := false)
+  done;
+  if !ok then Some out else None
+
+let ( let* ) = Result.bind
+
+let numeric op_name fi ff a b =
+  match a, b with
+  | Value.Int x, Value.Int y -> Ok (Value.Int (fi x y))
+  | Value.Float x, Value.Float y -> Ok (Value.Float (ff x y))
+  | Value.Int x, Value.Float y -> Ok (Value.Float (ff (float_of_int x) y))
+  | Value.Float x, Value.Int y -> Ok (Value.Float (ff x (float_of_int y)))
+  | a, b ->
+    Error
+      (Expr.Type_error
+         (Printf.sprintf "%s expects numbers, got %s and %s" op_name
+            (Value.type_name a) (Value.type_name b)))
+
+let rec eval_cexpr e env ~slot_names =
+  match e with
+  | CConst v -> Ok v
+  | CSlot s -> (
+    match env.(s) with
+    | Some v -> Ok v
+    | None -> Error (Expr.Unbound_variable slot_names.(s)))
+  | CAdd (a, b) -> (
+    let* va = eval_cexpr a env ~slot_names in
+    let* vb = eval_cexpr b env ~slot_names in
+    match va, vb with
+    | Value.String x, Value.String y -> Ok (Value.String (x ^ y))
+    | va, vb -> numeric "+" ( + ) ( +. ) va vb)
+  | CSub (a, b) ->
+    let* va = eval_cexpr a env ~slot_names in
+    let* vb = eval_cexpr b env ~slot_names in
+    numeric "-" ( - ) ( -. ) va vb
+  | CMul (a, b) ->
+    let* va = eval_cexpr a env ~slot_names in
+    let* vb = eval_cexpr b env ~slot_names in
+    numeric "*" ( * ) ( *. ) va vb
+  | CDiv (a, b) -> (
+    let* va = eval_cexpr a env ~slot_names in
+    let* vb = eval_cexpr b env ~slot_names in
+    match vb with
+    | Value.Int 0 -> Error (Expr.Type_error "division by zero")
+    | Value.Float f when f = 0. -> Error (Expr.Type_error "division by zero")
+    | vb -> numeric "/" ( / ) ( /. ) va vb)

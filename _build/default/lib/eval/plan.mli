@@ -1,0 +1,71 @@
+(** Compiled rule plans.
+
+    Interpreting a rule walks its AST for every candidate tuple,
+    substituting atoms and threading persistent maps. A plan compiles
+    the rule once per fixpoint: variables become integer {e slots} in a
+    mutable environment, atoms become argument-pattern arrays, and
+    relation/peer terms become resolved names or slot references. The
+    evaluator ({!Fixpoint}) executes plans with a binding trail, so a
+    tuple match costs array reads and writes instead of allocations.
+
+    Compilation is purely structural — the paper's left-to-right
+    semantics, dynamic delegation boundary and safety guarantees are
+    untouched. *)
+
+open Wdl_syntax
+
+type slot = int
+
+type arg =
+  | Const of Value.t
+  | Slot of slot
+
+type name_ref =
+  | Fixed of string   (** constant relation/peer name *)
+  | Name_slot of slot (** variable: resolved (or bound) at run time *)
+
+type cexpr =
+  | CConst of Value.t
+  | CSlot of slot
+  | CAdd of cexpr * cexpr
+  | CSub of cexpr * cexpr
+  | CMul of cexpr * cexpr
+  | CDiv of cexpr * cexpr
+
+type match_step = {
+  pos : int;  (** literal index in the source body (delta position) *)
+  neg : bool;
+  rel : name_ref;
+  peer : name_ref;
+  args : arg array;
+  atom : Atom.t;  (** the source atom, for error reports *)
+}
+
+type step =
+  | Match of match_step
+  | Cmp of Literal.cmpop * cexpr * cexpr * Literal.t
+  | Assign of slot * cexpr * Literal.t
+
+type t = {
+  rule : Rule.t;
+  steps : step list;
+  head_rel : name_ref;
+  head_peer : name_ref;
+  head_args : arg array;
+  nslots : int;
+  slot_names : string array;  (** slot -> source variable name *)
+  premise_patterns : (name_ref * name_ref * arg array) list;
+      (** positive body atoms, for provenance instantiation *)
+}
+
+val compile : Rule.t -> t
+
+val subst_of_env : t -> Value.t option array -> Subst.t
+(** The bound slots as a substitution (used to build residual rules at
+    delegation points — rare, so allocation there is fine). *)
+
+val instantiate_args : arg array -> Value.t option array -> Value.t array option
+(** [None] if any slot is unbound. *)
+
+val eval_cexpr :
+  cexpr -> Value.t option array -> slot_names:string array -> (Value.t, Expr.error) result

@@ -1,0 +1,26 @@
+open Wdl_syntax
+
+type t =
+  | Not_a_name of { value : Value.t; atom : Atom.t }
+  | Remote_negation of { peer : string; atom : Atom.t }
+  | Unbound_at_eval of { var : string; where : string }
+  | Expr_failed of { error : Expr.error; literal : Literal.t }
+  | Store_error of { rel : string; message : string }
+
+let pp ppf = function
+  | Not_a_name { value; atom } ->
+    Format.fprintf ppf "%a is not a relation/peer name (in %a)" Value.pp value
+      Atom.pp atom
+  | Remote_negation { peer; atom } ->
+    Format.fprintf ppf
+      "negated atom %a resolved to remote peer %s; negation is local-only"
+      Atom.pp atom peer
+  | Unbound_at_eval { var; where } ->
+    Format.fprintf ppf "internal: $%s unbound during evaluation of %s" var where
+  | Expr_failed { error; literal } ->
+    Format.fprintf ppf "builtin %a failed: %a" Literal.pp literal Expr.pp_error
+      error
+  | Store_error { rel; message } ->
+    Format.fprintf ppf "store error on %s: %s" rel message
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,23 @@
+(** Errors that can only be detected while evaluating a rule.
+
+    Static {!Wdl_syntax.Safety} guarantees variables are bound in time,
+    but the {e values} they receive are only known at run time: a peer
+    variable may be bound to an integer, a negated atom's peer may
+    resolve to a remote peer, an arity may clash. Offending valuations
+    are dropped and reported, the rest of the stage proceeds (an
+    autonomous peer must not crash because one rule misbehaves). *)
+
+open Wdl_syntax
+
+type t =
+  | Not_a_name of { value : Value.t; atom : Atom.t }
+      (** a relation/peer variable was bound to a non-name value *)
+  | Remote_negation of { peer : string; atom : Atom.t }
+      (** a negated atom resolved to a remote peer *)
+  | Unbound_at_eval of { var : string; where : string }
+      (** internal invariant breach: safety should prevent this *)
+  | Expr_failed of { error : Expr.error; literal : Literal.t }
+  | Store_error of { rel : string; message : string }
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,38 @@
+(** Stratification of a peer's current rule set.
+
+    Rules change at run time (delegation installs/retracts them), so
+    stratification is recomputed whenever the rule set changes. The
+    analysis is conservative in the presence of the paper's relation
+    and peer variables:
+
+    - an atom whose relation is a variable may read {e any} local
+      intensional relation;
+    - a head whose relation or peer is a variable may derive into
+      {e any} local intensional relation;
+    - body literals at or after the first atom whose peer is a constant
+      remote name never run locally and contribute no dependencies.
+
+    A rule set whose dependency graph has a cycle through negation is
+    rejected (the demo system did not implement negation at all; we
+    implement the standard stratified semantics). *)
+
+open Wdl_syntax
+
+type error =
+  | Negative_cycle of string list
+      (** intensional relation names involved in the cycle *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type t = {
+  strata : Rule.t list array;  (** rules grouped by stratum, in order *)
+}
+
+val compute :
+  self:string ->
+  intensional:(string -> bool) ->
+  Rule.t list ->
+  (t, error) result
+(** [intensional rel] must say whether a local relation name is (or
+    would be) intensional; unknown relations auto-create as extensional
+    and should answer [false]. *)

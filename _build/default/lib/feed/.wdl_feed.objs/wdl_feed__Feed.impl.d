@@ -1,0 +1,1 @@
+lib/feed/feed.ml: Fact Hashtbl List Printf String Value Wdl_syntax Webdamlog

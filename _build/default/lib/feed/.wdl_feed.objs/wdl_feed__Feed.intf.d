@@ -1,0 +1,1 @@
+lib/feed/feed.mli: Wdl_net Webdamlog

@@ -1,0 +1,146 @@
+open Wdl_syntax
+module Peer = Webdamlog.Peer
+module System = Webdamlog.System
+
+type t = {
+  system : System.t;
+  peers : (string, Peer.t) Hashtbl.t;
+  mutable order : string list;
+}
+
+let q name = Value.to_string (Value.String name)
+
+let user_program name =
+  Printf.sprintf
+    {|
+    ext posts@%s(id, author, text, topic);
+    ext follows@%s(who);
+    ext muted@%s(who);
+    ext topics@%s(topic);
+    ext reshared@%s(id);
+    int incoming@%s(id, author, text, topic);
+    int timeline@%s(id, author, text, topic);
+    int topicline@%s(id, author, text, topic);
+    int digest@%s(author, n);
+    int fof@%s(who);
+    int suggestion@%s(who);
+
+    incoming@%s($id, $a, $t, $k) :-
+      follows@%s($w), posts@$w($id, $a, $t, $k);
+
+    timeline@%s($id, $a, $t, $k) :-
+      incoming@%s($id, $a, $t, $k), not muted@%s($a);
+
+    topicline@%s($id, $a, $t, $k) :-
+      timeline@%s($id, $a, $t, $k), topics@%s($k);
+
+    digest@%s($a, count($id)) :- timeline@%s($id, $a, $t, $k);
+
+    fof@%s($w2) :- follows@%s($w), follows@$w($w2);
+
+    suggestion@%s($w2) :-
+      fof@%s($w2), not follows@%s($w2), $w2 != %s;
+
+    posts@%s($id, $a, $t, $k) :-
+      reshared@%s($id), incoming@%s($id, $a, $t, $k);
+    |}
+    (q name) (q name) (q name) (q name) (q name) (q name) (q name) (q name)
+    (q name) (q name) (q name)
+    (q name) (q name)
+    (q name) (q name) (q name)
+    (q name) (q name) (q name)
+    (q name) (q name)
+    (q name) (q name)
+    (q name) (q name) (q name) (q name)
+    (q name) (q name) (q name)
+
+let create ?transport () =
+  {
+    system = System.create ?transport ~drop_unknown:true ();
+    peers = Hashtbl.create 16;
+    order = [];
+  }
+
+let system t = t.system
+
+let add_user t name =
+  if Hashtbl.mem t.peers name then
+    invalid_arg (Printf.sprintf "Feed.add_user: %s already exists" name);
+  let peer = System.add_peer t.system name in
+  (match Peer.load_string peer (user_program name) with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Feed.add_user: " ^ e));
+  Hashtbl.replace t.peers name peer;
+  t.order <- name :: t.order;
+  peer
+
+let user t name =
+  match Hashtbl.find_opt t.peers name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Feed.user: unknown user %s" name)
+
+let users t = List.rev t.order
+
+let must = function Ok () -> () | Error e -> invalid_arg ("Feed: " ^ e)
+
+let post t ~author ~id ~text ~topic =
+  must
+    (Peer.insert (user t author)
+       (Fact.make ~rel:"posts" ~peer:author
+          [ Value.Int id; Value.String author; Value.String text;
+            Value.String topic ]))
+
+let one_string_fact rel ~user:name v =
+  Fact.make ~rel ~peer:name [ Value.String v ]
+
+let follow t ~user:name ~whom =
+  must (Peer.insert (user t name) (one_string_fact "follows" ~user:name whom))
+
+let unfollow t ~user:name ~whom =
+  must (Peer.delete (user t name) (one_string_fact "follows" ~user:name whom))
+
+let mute t ~user:name ~whom =
+  must (Peer.insert (user t name) (one_string_fact "muted" ~user:name whom))
+
+let unmute t ~user:name ~whom =
+  must (Peer.delete (user t name) (one_string_fact "muted" ~user:name whom))
+
+let subscribe t ~user:name ~topic =
+  must (Peer.insert (user t name) (one_string_fact "topics" ~user:name topic))
+
+let reshare t ~user:name ~id =
+  must
+    (Peer.insert (user t name)
+       (Fact.make ~rel:"reshared" ~peer:name [ Value.Int id ]))
+
+let run ?max_rounds t = System.run ?max_rounds t.system
+
+type entry = { id : int; author : string; text : string; topic : string }
+
+let entries_of rel t ~user:name =
+  Peer.query (user t name) rel
+  |> List.filter_map (fun (f : Fact.t) ->
+         match f.Fact.args with
+         | [ Value.Int id; Value.String author; Value.String text;
+             Value.String topic ] ->
+           Some { id; author; text; topic }
+         | _ -> None)
+
+let timeline = entries_of "timeline"
+let topicline = entries_of "topicline"
+
+let digest t ~user:name =
+  Peer.query (user t name) "digest"
+  |> List.filter_map (fun (f : Fact.t) ->
+         match f.Fact.args with
+         | [ Value.String author; Value.Int n ] -> Some (author, n)
+         | _ -> None)
+  |> List.sort compare
+
+let suggestions t ~user:name =
+  Peer.query (user t name) "suggestion"
+  |> List.filter_map (fun (f : Fact.t) ->
+         match f.Fact.args with
+         | [ Value.String who ] -> Some who
+         | _ -> None)
+  |> List.sort_uniq String.compare

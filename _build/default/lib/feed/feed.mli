@@ -1,0 +1,61 @@
+(** Wefeed: a decentralised social reader, the second application.
+
+    The paper's thesis is that casual users can build distributed
+    applications from a handful of rules; Wepic (pictures) is its demo.
+    Wefeed applies the same method to the introduction's other
+    motivation — Joe following friends' posts without a central
+    service. Each user's peer runs seven rules:
+
+    {v
+    // pull the posts of everyone you follow (delegation per followee)
+    incoming@U($id,$a,$t,$k)  :- follows@U($w), posts@$w($id,$a,$t,$k);
+
+    // mute locally — negation cannot cross peers, so filtering happens
+    // after the facts arrive, in a second view
+    timeline@U($id,$a,$t,$k)  :- incoming@U($id,$a,$t,$k), not muted@U($a);
+
+    // focus on subscribed topics
+    topicline@U($id,$a,$t,$k) :- timeline@U($id,$a,$t,$k), topics@U($k);
+
+    // per-author digest (aggregation)
+    digest@U($a, count($id))  :- timeline@U($id,$a,$t,$k);
+
+    // friends-of-friends (chained delegation), then local filtering
+    fof@U($w2)        :- follows@U($w), follows@$w($w2);
+    suggestion@U($w2) :- fof@U($w2), not follows@U($w2), $w2 != "U";
+
+    // resharing republishes into your own posts (inductive update)
+    posts@U($id,$a,$t,$k) :- reshared@U($id), incoming@U($id,$a,$t,$k);
+    v} *)
+
+type t
+
+val create : ?transport:Webdamlog.Message.t Wdl_net.Transport.t -> unit -> t
+val system : t -> Webdamlog.System.t
+val add_user : t -> string -> Webdamlog.Peer.t
+val user : t -> string -> Webdamlog.Peer.t
+val users : t -> string list
+
+(** {1 Actions} *)
+
+val post : t -> author:string -> id:int -> text:string -> topic:string -> unit
+val follow : t -> user:string -> whom:string -> unit
+val unfollow : t -> user:string -> whom:string -> unit
+val mute : t -> user:string -> whom:string -> unit
+val unmute : t -> user:string -> whom:string -> unit
+val subscribe : t -> user:string -> topic:string -> unit
+val reshare : t -> user:string -> id:int -> unit
+
+val run : ?max_rounds:int -> t -> (int, string) result
+
+(** {1 Views} *)
+
+type entry = { id : int; author : string; text : string; topic : string }
+
+val timeline : t -> user:string -> entry list
+val topicline : t -> user:string -> entry list
+val digest : t -> user:string -> (string * int) list
+(** [(author, how many timeline posts)], sorted by author. *)
+
+val suggestions : t -> user:string -> string list
+(** Friends-of-friends not yet followed, sorted. *)

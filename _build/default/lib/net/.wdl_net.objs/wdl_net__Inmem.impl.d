@@ -1,0 +1,1 @@
+lib/net/inmem.ml: Hashtbl List Netstats Queue Transport

@@ -1,0 +1,1 @@
+lib/net/simnet.ml: Float Hashtbl Int List Netstats Random String Transport

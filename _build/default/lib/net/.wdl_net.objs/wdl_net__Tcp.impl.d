@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Buffer Bytes Fun Hashtbl List Netstats Printf Queue String Transport Unix

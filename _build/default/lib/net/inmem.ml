@@ -1,0 +1,34 @@
+let create ?(sizer = fun _ -> 0) () =
+  let inboxes : (string, 'a Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let stats = Netstats.create () in
+  let inbox dst =
+    match Hashtbl.find_opt inboxes dst with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add inboxes dst q;
+      q
+  in
+  let send ~src:_ ~dst msg =
+    stats.Netstats.sent <- stats.Netstats.sent + 1;
+    stats.Netstats.bytes <- stats.Netstats.bytes + sizer msg;
+    Queue.push msg (inbox dst)
+  in
+  let drain dst =
+    let q = inbox dst in
+    let msgs = List.of_seq (Queue.to_seq q) in
+    Queue.clear q;
+    stats.Netstats.delivered <- stats.Netstats.delivered + List.length msgs;
+    msgs
+  in
+  let pending () =
+    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) inboxes 0
+  in
+  {
+    Transport.send;
+    drain;
+    pending;
+    advance = (fun _ -> ());
+    now = (fun () -> 0.);
+    stats = (fun () -> stats);
+  }

@@ -1,0 +1,6 @@
+(** Synchronous in-memory transport: messages become deliverable
+    immediately, per-link FIFO order is preserved.
+
+    [sizer] estimates payload bytes for {!Netstats} (default: 0). *)
+
+val create : ?sizer:('a -> int) -> unit -> 'a Transport.t

@@ -1,0 +1,15 @@
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bytes : int;
+}
+
+let create () = { sent = 0; delivered = 0; bytes = 0 }
+
+let reset t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.bytes <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "sent=%d delivered=%d bytes=%d" t.sent t.delivered t.bytes

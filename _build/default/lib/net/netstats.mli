@@ -1,0 +1,11 @@
+(** Message-level counters kept by every transport. *)
+
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bytes : int;  (** estimated payload bytes, when a sizer is set *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+type 'a envelope = {
+  seq : int;  (** tie-break so per-link FIFO survives equal stamps *)
+  src : string;
+  mutable deliver_at : float;  (** infinity while the link is down *)
+  payload : 'a;
+}
+
+type control = {
+  mutable down : (string * string) list;  (* normalised pairs *)
+  mutable on_heal : string -> string -> unit;
+}
+
+let norm a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let partition ctl ~between ~and_ =
+  let link = norm between and_ in
+  if not (List.mem link ctl.down) then ctl.down <- link :: ctl.down
+
+let partitioned ctl ~between ~and_ = List.mem (norm between and_) ctl.down
+
+let heal ctl ~between ~and_ =
+  let link = norm between and_ in
+  if List.mem link ctl.down then begin
+    ctl.down <- List.filter (fun l -> l <> link) ctl.down;
+    ctl.on_heal between and_
+  end
+
+let create_with_control ?(sizer = fun _ -> 0) ?(seed = 42) ?(base_latency = 1.0)
+    ?(jitter = 0.25) ?(duplicate = 0.0) ?latency () =
+  let rng = Random.State.make [| seed |] in
+  let clock = ref 0. in
+  let seq = ref 0 in
+  let stats = Netstats.create () in
+  let inboxes : (string, 'a envelope list ref) Hashtbl.t = Hashtbl.create 16 in
+  let ctl = { down = []; on_heal = (fun _ _ -> ()) } in
+  let inbox dst =
+    match Hashtbl.find_opt inboxes dst with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add inboxes dst l;
+      l
+  in
+  let link_latency ~src ~dst =
+    if src = dst then 0.
+    else
+      let base =
+        match latency with Some f -> f ~src ~dst | None -> base_latency
+      in
+      let j = if jitter > 0. then Random.State.float rng (2. *. jitter) -. jitter else 0. in
+      Float.max 0. (base +. j)
+  in
+  (* Healing re-stamps every held message on the link. *)
+  ctl.on_heal <-
+    (fun a b ->
+      Hashtbl.iter
+        (fun dst l ->
+          List.iter
+            (fun e ->
+              if
+                e.deliver_at = Float.infinity
+                && (norm e.src dst = norm a b)
+              then e.deliver_at <- !clock +. link_latency ~src:e.src ~dst)
+            !l)
+        inboxes);
+  let enqueue ~src ~dst msg =
+    incr seq;
+    let deliver_at =
+      if List.mem (norm src dst) ctl.down then Float.infinity
+      else !clock +. link_latency ~src ~dst
+    in
+    let env = { seq = !seq; src; deliver_at; payload = msg } in
+    let l = inbox dst in
+    l := env :: !l
+  in
+  let send ~src ~dst msg =
+    stats.Netstats.sent <- stats.Netstats.sent + 1;
+    stats.Netstats.bytes <- stats.Netstats.bytes + sizer msg;
+    enqueue ~src ~dst msg;
+    if duplicate > 0. && Random.State.float rng 1.0 < duplicate then
+      enqueue ~src ~dst msg
+  in
+  let drain dst =
+    let l = inbox dst in
+    let ready, waiting =
+      List.partition (fun e -> e.deliver_at <= !clock) !l
+    in
+    l := waiting;
+    let ready =
+      List.sort
+        (fun a b ->
+          match Float.compare a.deliver_at b.deliver_at with
+          | 0 -> Int.compare a.seq b.seq
+          | c -> c)
+        ready
+    in
+    stats.Netstats.delivered <- stats.Netstats.delivered + List.length ready;
+    List.map (fun e -> e.payload) ready
+  in
+  let pending () = Hashtbl.fold (fun _ l acc -> acc + List.length !l) inboxes 0 in
+  ( {
+      Transport.send;
+      drain;
+      pending;
+      advance = (fun dt -> clock := !clock +. dt);
+      now = (fun () -> !clock);
+      stats = (fun () -> stats);
+    },
+    ctl )
+
+let create ?sizer ?seed ?base_latency ?jitter ?duplicate ?latency () =
+  fst (create_with_control ?sizer ?seed ?base_latency ?jitter ?duplicate ?latency ())

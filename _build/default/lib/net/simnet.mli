@@ -1,0 +1,47 @@
+(** Discrete-event simulated network.
+
+    Each message is stamped with a delivery time [now + latency] where
+    latency is [base_latency ± jitter] for the link, drawn from a
+    deterministic seeded generator; it becomes deliverable once the
+    clock passes the stamp. With per-link jitter, messages from
+    different sources interleave and reorder exactly as on the paper's
+    LAN-plus-cloud topology (Fig. 2).
+
+    [latency] overrides the per-link base latency; reflexive links
+    (src = dst) are always instantaneous. *)
+
+type control
+
+val create :
+  ?sizer:('a -> int) ->
+  ?seed:int ->
+  ?base_latency:float ->
+  ?jitter:float ->
+  ?duplicate:float ->
+  ?latency:(src:string -> dst:string -> float) ->
+  unit ->
+  'a Transport.t
+(** Defaults: [seed = 42], [base_latency = 1.0], [jitter = 0.25],
+    [duplicate = 0.0]. [duplicate] is the probability that a message is
+    delivered twice (with independent latencies) — at-least-once
+    delivery, the failure mode the engine's idempotent batch/install
+    semantics must absorb. *)
+
+val create_with_control :
+  ?sizer:('a -> int) ->
+  ?seed:int ->
+  ?base_latency:float ->
+  ?jitter:float ->
+  ?duplicate:float ->
+  ?latency:(src:string -> dst:string -> float) ->
+  unit ->
+  'a Transport.t * control
+(** Like {!create}, plus a handle for injecting partitions. *)
+
+val partition : control -> between:string -> and_:string -> unit
+(** Cuts both directions of the link: messages sent while the link is
+    down are held (a disconnected laptop's TCP retries, not losses)
+    and released when {!heal} is called. *)
+
+val heal : control -> between:string -> and_:string -> unit
+val partitioned : control -> between:string -> and_:string -> bool

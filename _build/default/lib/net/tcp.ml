@@ -1,0 +1,153 @@
+type endpoint = { host : string; port : int }
+
+type control = {
+  server : Unix.file_descr;
+  actual_port : int;
+  registry : (string, endpoint) Hashtbl.t;
+  queues : (string, string Queue.t) Hashtbl.t;
+  local : (string, unit) Hashtbl.t;  (* peers that drained here at least once *)
+  mutable closed : bool;
+}
+
+(* Frame layout on one connection: "<dst-bytes>\n<payload-bytes>\n" as
+   decimal lengths, then the two byte strings. *)
+let write_frame fd ~dst payload =
+  let header = Printf.sprintf "%d\n%d\n" (String.length dst) (String.length payload) in
+  let all = header ^ dst ^ payload in
+  let rec loop off =
+    if off < String.length all then
+      let n = Unix.write_substring fd all off (String.length all - off) in
+      loop (off + n)
+  in
+  loop 0
+
+let read_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      loop ()
+    end
+  in
+  (try loop () with Unix.Unix_error (Unix.ECONNRESET, _, _) -> ());
+  Buffer.contents buf
+
+let parse_frame data =
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some i -> (
+    let rest_off = i + 1 in
+    match String.index_from_opt data rest_off '\n' with
+    | None -> None
+    | Some j -> (
+      match
+        ( int_of_string_opt (String.sub data 0 i),
+          int_of_string_opt (String.sub data rest_off (j - rest_off)) )
+      with
+      | Some dst_len, Some payload_len ->
+        let body_off = j + 1 in
+        if String.length data >= body_off + dst_len + payload_len then
+          Some
+            ( String.sub data body_off dst_len,
+              String.sub data (body_off + dst_len) payload_len )
+        else None
+      | _, _ -> None))
+
+let queue ctl name =
+  match Hashtbl.find_opt ctl.queues name with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace ctl.queues name q;
+    q
+
+(* Accept every connection already pending and enqueue its frame. *)
+let pump ctl =
+  if not ctl.closed then
+    let rec loop () =
+      match Unix.select [ ctl.server ] [] [] 0.0 with
+      | [ _ ], _, _ ->
+        let client, _ = Unix.accept ctl.server in
+        let data = read_all client in
+        Unix.close client;
+        (match parse_frame data with
+        | Some (dst, payload) -> Queue.push payload (queue ctl dst)
+        | None -> ());
+        loop ()
+      | _, _, _ -> ()
+    in
+    loop ()
+
+let create ?(sizer = String.length) ?(port = 0) () =
+  let server = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt server Unix.SO_REUSEADDR true;
+  Unix.bind server (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen server 64;
+  let actual_port =
+    match Unix.getsockname server with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let ctl =
+    {
+      server;
+      actual_port;
+      registry = Hashtbl.create 8;
+      queues = Hashtbl.create 8;
+      local = Hashtbl.create 8;
+      closed = false;
+    }
+  in
+  let stats = Netstats.create () in
+  let send ~src:_ ~dst payload =
+    stats.Netstats.sent <- stats.Netstats.sent + 1;
+    stats.Netstats.bytes <- stats.Netstats.bytes + sizer payload;
+    match Hashtbl.find_opt ctl.registry dst with
+    | None ->
+      (* No remote location: the peer lives in this process. *)
+      Queue.push payload (queue ctl dst)
+    | Some ep ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close sock)
+        (fun () ->
+          Unix.connect sock
+            (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port));
+          write_frame sock ~dst payload;
+          Unix.shutdown sock Unix.SHUTDOWN_SEND)
+  in
+  let drain name =
+    Hashtbl.replace ctl.local name ();
+    pump ctl;
+    let q = queue ctl name in
+    let msgs = List.of_seq (Queue.to_seq q) in
+    Queue.clear q;
+    stats.Netstats.delivered <- stats.Netstats.delivered + List.length msgs;
+    msgs
+  in
+  let pending () =
+    pump ctl;
+    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) ctl.queues 0
+  in
+  let transport =
+    {
+      Transport.send;
+      drain;
+      pending;
+      advance = (fun _ -> ());
+      now = (fun () -> 0.);
+      stats = (fun () -> stats);
+    }
+  in
+  (transport, ctl)
+
+let port ctl = ctl.actual_port
+let register ctl ~peer ep = Hashtbl.replace ctl.registry peer ep
+
+let close ctl =
+  if not ctl.closed then begin
+    ctl.closed <- true;
+    Unix.close ctl.server
+  end

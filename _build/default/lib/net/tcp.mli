@@ -1,0 +1,27 @@
+(** TCP transport: frames of bytes between processes over real sockets
+    (the paper's deployment runs peers on two laptops and a cloud
+    host; this transport is what {!Inmem}/{!Simnet} simulate).
+
+    One {!create} per process: it listens on a local port and serves
+    every peer hosted by the process. Remote peers are located through
+    {!register}. A frame is sent over a fresh connection (sender
+    closes after writing), so delivery per link is ordered and
+    [drain] never blocks: it accepts whatever connections are already
+    pending.
+
+    The payload is an opaque string — the engine's message codec is
+    {!Webdamlog.Wire}. *)
+
+type endpoint = { host : string; port : int }
+
+type control
+
+val create : ?sizer:(string -> int) -> ?port:int -> unit -> string Transport.t * control
+(** Listens on [127.0.0.1:port] (default [0]: ephemeral). *)
+
+val port : control -> int
+val register : control -> peer:string -> endpoint -> unit
+(** Where to connect for [peer]. A peer served by this same process
+    needs no registration: frames to it short-circuit locally. *)
+
+val close : control -> unit

@@ -1,0 +1,11 @@
+type 'a t = {
+  send : src:string -> dst:string -> 'a -> unit;
+  drain : string -> 'a list;
+  pending : unit -> int;
+  advance : float -> unit;
+  now : unit -> float;
+  stats : unit -> Netstats.t;
+}
+
+let send t = t.send
+let drain t = t.drain

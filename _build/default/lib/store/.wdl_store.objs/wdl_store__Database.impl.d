@@ -1,0 +1,1 @@
+lib/store/database.ml: Decl Fact Format Hashtbl List Option Relation Result String Tuple Wdl_syntax

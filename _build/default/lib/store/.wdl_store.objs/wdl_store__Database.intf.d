@@ -1,0 +1,1 @@
+lib/store/database.mli: Decl Format Relation Tuple Wdl_syntax

@@ -1,0 +1,1 @@
+lib/store/journal.ml: Decl Fact Format Fun List Parser Pp_util Printf Program Result String Sys Wdl_syntax

@@ -1,0 +1,1 @@
+lib/store/journal.mli: Decl Fact Format Wdl_syntax

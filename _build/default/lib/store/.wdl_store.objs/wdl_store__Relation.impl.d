@@ -1,0 +1,1 @@
+lib/store/relation.ml: Array Hashtbl Int List Printf Tuple Wdl_syntax

@@ -1,0 +1,1 @@
+lib/store/relation.mli: Tuple Wdl_syntax

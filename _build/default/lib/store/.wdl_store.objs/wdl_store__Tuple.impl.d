@@ -1,0 +1,1 @@
+lib/store/tuple.ml: Array Format Int Wdl_syntax

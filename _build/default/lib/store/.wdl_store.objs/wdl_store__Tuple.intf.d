@@ -1,0 +1,1 @@
+lib/store/tuple.mli: Format Wdl_syntax

@@ -1,0 +1,60 @@
+(** A peer-local database: the relations owned by one peer, keyed by
+    relation name.
+
+    Relations carry their {!Wdl_syntax.Decl.kind}: extensional
+    relations persist across stages and receive updates; intensional
+    relations are views recomputed at every stage. Receiving a fact for
+    an unknown relation creates it (extensional, arity taken from the
+    fact) — this is the paper's run-time discovery of new relations. *)
+
+open Wdl_syntax
+
+type info = {
+  name : string;
+  kind : Decl.kind;
+  arity : int;
+  cols : string list;  (** may be empty for auto-created relations *)
+  data : Relation.t;
+}
+
+type t
+
+type error =
+  | Arity_mismatch of { rel : string; expected : int; got : int }
+  | Kind_mismatch of { rel : string; declared : Decl.kind }
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : ?indexing:bool -> unit -> t
+
+val declare : t -> Decl.t -> (info, error) result
+(** Idempotent when the declaration matches the existing one. *)
+
+val ensure : t -> rel:string -> arity:int -> (info, error) result
+(** Finds the relation, auto-creating it as extensional if unknown. *)
+
+val find : t -> string -> info option
+val kind : t -> string -> Decl.kind option
+
+val insert : t -> rel:string -> Tuple.t -> (bool, error) result
+(** Auto-creates unknown relations. [Ok true] iff the tuple is new. *)
+
+val delete : t -> rel:string -> Tuple.t -> (bool, error) result
+
+val mem : t -> rel:string -> Tuple.t -> bool
+(** Whether the tuple is currently stored (false for unknown relations
+    and arity mismatches). *)
+
+val relations : t -> info list
+(** All relations, sorted by name — the range of relation variables. *)
+
+val fold : (info -> 'a -> 'a) -> t -> 'a -> 'a
+val clear_intensional : t -> unit
+(** Empties every intensional relation (start of a stage). *)
+
+val copy : t -> t
+(** Deep copy: relations, kinds and contents. Used to evaluate ad-hoc
+    queries without touching live state. *)
+
+val pp : peer:string -> Format.formatter -> t -> unit
+(** Dump as re-parseable facts, sorted. *)

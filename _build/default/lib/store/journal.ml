@@ -1,0 +1,82 @@
+open Wdl_syntax
+
+type entry =
+  | Insert of Fact.t
+  | Delete of Fact.t
+  | Declare of Decl.t
+
+type t = {
+  file : string;
+  mutable oc : out_channel;
+}
+
+let open_ file =
+  { file; oc = open_out_gen [ Open_append; Open_creat ] 0o644 file }
+
+let one_line = Pp_util.one_line
+
+let render = function
+  | Insert f -> "+ " ^ one_line Fact.pp f ^ ";"
+  | Delete f -> "- " ^ one_line Fact.pp f ^ ";"
+  | Declare d -> "d " ^ one_line Decl.pp d ^ ";"
+
+let append t entry =
+  output_string t.oc (render entry);
+  output_char t.oc '\n';
+  flush t.oc
+
+let close t = close_out_noerr t.oc
+let path t = t.file
+
+let truncate t =
+  close_out_noerr t.oc;
+  t.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 t.file
+
+let parse_line line =
+  if String.length line < 2 then Error "journal line too short"
+  else
+    let body = String.sub line 2 (String.length line - 2) in
+    match line.[0], line.[1] with
+    | '+', ' ' -> Result.map (fun f -> Insert f) (Parser.fact body)
+    | '-', ' ' -> Result.map (fun f -> Delete f) (Parser.fact body)
+    | 'd', ' ' -> (
+      match Parser.program body with
+      | Ok [ Program.Decl d ] -> Ok (Declare d)
+      | Ok _ -> Error "journal declaration line is not a declaration"
+      | Error e -> Error e)
+    | _, _ -> Error ("unknown journal tag: " ^ String.make 1 line.[0])
+
+let replay file =
+  if not (Sys.file_exists file) then Ok []
+  else begin
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc lineno =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> go acc (lineno + 1)
+          | line -> (
+            match parse_line line with
+            | Ok entry -> go (entry :: acc) (lineno + 1)
+            | Error msg ->
+              (* A torn final line is the normal crash artifact. *)
+              let at_eof =
+                match input_line ic with
+                | exception End_of_file -> true
+                | _ -> false
+              in
+              if at_eof then Ok (List.rev acc)
+              else Error (Printf.sprintf "journal line %d: %s" lineno msg))
+        in
+        go [] 1)
+  end
+
+let entry_equal a b =
+  match a, b with
+  | Insert x, Insert y | Delete x, Delete y -> Fact.equal x y
+  | Declare x, Declare y -> Decl.equal x y
+  | (Insert _ | Delete _ | Declare _), _ -> false
+
+let pp_entry ppf e = Format.pp_print_string ppf (render e)

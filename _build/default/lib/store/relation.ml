@@ -1,0 +1,139 @@
+module Value = Wdl_syntax.Value
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* Index keys are the projections of tuples on the index positions. *)
+module Key_tbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type index = {
+  positions : int array;  (** sorted *)
+  buckets : Tuple.t Tuple_tbl.t Key_tbl.t;
+}
+
+type t = {
+  arity : int;
+  indexing : bool;
+  tuples : unit Tuple_tbl.t;
+  mutable indexes : index list;
+}
+
+(* Below this size a scan is cheaper than building an index. *)
+let index_threshold = 16
+
+let create ?(indexing = true) ~arity () =
+  { arity; indexing; tuples = Tuple_tbl.create 64; indexes = [] }
+
+let arity r = r.arity
+let cardinal r = Tuple_tbl.length r.tuples
+let is_empty r = cardinal r = 0
+
+let project positions (t : Tuple.t) = Array.map (fun i -> t.(i)) positions
+
+let index_add idx t =
+  let key = project idx.positions t in
+  let bucket =
+    match Key_tbl.find_opt idx.buckets key with
+    | Some b -> b
+    | None ->
+      let b = Tuple_tbl.create 4 in
+      Key_tbl.add idx.buckets key b;
+      b
+  in
+  Tuple_tbl.replace bucket t t
+
+let index_remove idx t =
+  let key = project idx.positions t in
+  match Key_tbl.find_opt idx.buckets key with
+  | None -> ()
+  | Some b ->
+    Tuple_tbl.remove b t;
+    if Tuple_tbl.length b = 0 then Key_tbl.remove idx.buckets key
+
+let insert r t =
+  if Array.length t <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.insert: arity mismatch (expected %d, got %d)"
+         r.arity (Array.length t));
+  if Tuple_tbl.mem r.tuples t then false
+  else begin
+    Tuple_tbl.replace r.tuples t ();
+    List.iter (fun idx -> index_add idx t) r.indexes;
+    true
+  end
+
+let delete r t =
+  if Tuple_tbl.mem r.tuples t then begin
+    Tuple_tbl.remove r.tuples t;
+    List.iter (fun idx -> index_remove idx t) r.indexes;
+    true
+  end
+  else false
+
+let mem r t = Tuple_tbl.mem r.tuples t
+let iter f r = Tuple_tbl.iter (fun t () -> f t) r.tuples
+let fold f r acc = Tuple_tbl.fold (fun t () acc -> f t acc) r.tuples acc
+let to_list r = fold List.cons r []
+let to_sorted_list r = List.sort Tuple.compare (to_list r)
+
+let find_index r positions =
+  List.find_opt (fun idx -> idx.positions = positions) r.indexes
+
+let build_index r positions =
+  let idx = { positions; buckets = Key_tbl.create 64 } in
+  iter (fun t -> index_add idx t) r;
+  r.indexes <- idx :: r.indexes;
+  idx
+
+let scan r bound f =
+  iter
+    (fun t ->
+      if List.for_all (fun (i, v) -> Value.equal t.(i) v) bound then f t)
+    r
+
+let lookup r bound f =
+  match bound with
+  | [] -> iter f r
+  | bound ->
+    let positions =
+      Array.of_list (List.sort Int.compare (List.map fst bound))
+    in
+    let usable =
+      match find_index r positions with
+      | Some idx -> Some idx
+      | None ->
+        if r.indexing && cardinal r >= index_threshold then
+          Some (build_index r positions)
+        else None
+    in
+    (match usable with
+    | None -> scan r bound f
+    | Some idx ->
+      let key =
+        Array.map
+          (fun i -> List.assoc i bound)
+          idx.positions
+      in
+      (match Key_tbl.find_opt idx.buckets key with
+      | None -> ()
+      | Some bucket -> Tuple_tbl.iter (fun t _ -> f t) bucket))
+
+let clear r =
+  Tuple_tbl.reset r.tuples;
+  r.indexes <- []
+
+let copy r =
+  let fresh = create ~indexing:r.indexing ~arity:r.arity () in
+  iter (fun t -> ignore (insert fresh t)) r;
+  fresh
+
+let index_count r = List.length r.indexes

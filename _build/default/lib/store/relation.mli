@@ -1,0 +1,41 @@
+(** A relation instance: a set of same-arity tuples with lazily built
+    hash indexes on binding patterns.
+
+    An index on positions [{i1 < … < ik}] maps the projection of a
+    tuple on those positions to the set of matching tuples; it is
+    created the first time a lookup with that binding pattern is
+    attempted on a large-enough relation, and maintained incrementally
+    afterwards. [~indexing:false] disables index creation (used by the
+    T4 ablation benchmark). *)
+
+type t
+
+val create : ?indexing:bool -> arity:int -> unit -> t
+val arity : t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val insert : t -> Tuple.t -> bool
+(** [true] iff the tuple was not already present.
+    Raises [Invalid_argument] on arity mismatch. *)
+
+val delete : t -> Tuple.t -> bool
+(** [true] iff the tuple was present. *)
+
+val mem : t -> Tuple.t -> bool
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Tuple.t list
+(** In unspecified order. *)
+
+val to_sorted_list : t -> Tuple.t list
+
+val lookup : t -> (int * Wdl_syntax.Value.t) list -> (Tuple.t -> unit) -> unit
+(** [lookup rel bound f] calls [f] on every tuple agreeing with the
+    [(position, value)] constraints. Uses (and possibly creates) an
+    index on the bound positions. [bound] may be empty (full scan). *)
+
+val clear : t -> unit
+val copy : t -> t
+val index_count : t -> int
+(** Number of materialised indexes (observability for tests/bench). *)

@@ -1,0 +1,33 @@
+module Value = Wdl_syntax.Value
+
+type t = Value.t array
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let arity = Array.length
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  match Int.compare (Array.length a) (Array.length b) with
+  | 0 ->
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        match Value.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+    in
+    go 0
+  | c -> c
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    (Array.to_list t)

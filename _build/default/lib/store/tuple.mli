@@ -1,0 +1,11 @@
+(** Tuples: the stored form of fact arguments. *)
+
+type t = Wdl_syntax.Value.t array
+
+val of_list : Wdl_syntax.Value.t list -> t
+val to_list : t -> Wdl_syntax.Value.t list
+val arity : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

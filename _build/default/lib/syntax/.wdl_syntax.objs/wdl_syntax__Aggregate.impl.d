@@ -1,0 +1,1 @@
+lib/syntax/aggregate.ml: Float Format List Printf Result Value

@@ -1,0 +1,1 @@
+lib/syntax/aggregate.mli: Format Value

@@ -1,0 +1,1 @@
+lib/syntax/atom.ml: Fact Format List Option Subst Term

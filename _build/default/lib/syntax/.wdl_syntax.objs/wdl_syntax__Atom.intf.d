@@ -1,0 +1,1 @@
+lib/syntax/atom.mli: Fact Format Subst Term

@@ -1,0 +1,1 @@
+lib/syntax/decl.ml: Fact Format List Stdlib

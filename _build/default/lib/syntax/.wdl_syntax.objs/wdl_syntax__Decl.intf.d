@@ -1,0 +1,1 @@
+lib/syntax/decl.mli: Format

@@ -1,0 +1,1 @@
+lib/syntax/expr.ml: Format List Printf Result Stdlib Subst Value

@@ -1,0 +1,1 @@
+lib/syntax/expr.mli: Format Subst Value

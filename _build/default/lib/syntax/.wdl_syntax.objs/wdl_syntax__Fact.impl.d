@@ -1,0 +1,1 @@
+lib/syntax/fact.ml: Format Hashtbl List String Term Value

@@ -1,0 +1,1 @@
+lib/syntax/fact.mli: Format Value

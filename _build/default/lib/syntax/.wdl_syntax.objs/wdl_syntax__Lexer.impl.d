@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Buffer Char Format List Printf String

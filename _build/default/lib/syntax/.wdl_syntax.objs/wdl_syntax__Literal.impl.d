@@ -1,0 +1,1 @@
+lib/syntax/literal.ml: Atom Expr Float Format List Stdlib Value

@@ -1,0 +1,1 @@
+lib/syntax/literal.mli: Atom Expr Format Subst Value

@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Aggregate Atom Decl Expr Format Lexer List Literal Option Printf Program Result Rule Term Value

@@ -1,0 +1,1 @@
+lib/syntax/parser.mli: Atom Fact Lexer Literal Program Rule

@@ -1,0 +1,1 @@
+lib/syntax/pp_util.ml: Buffer Format String

@@ -1,0 +1,1 @@
+lib/syntax/program.ml: Decl Fact Format List Rule

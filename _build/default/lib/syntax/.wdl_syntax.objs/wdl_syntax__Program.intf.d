@@ -1,0 +1,1 @@
+lib/syntax/program.mli: Decl Fact Format Rule

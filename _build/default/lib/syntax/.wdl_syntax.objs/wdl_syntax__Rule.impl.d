@@ -1,0 +1,1 @@
+lib/syntax/rule.ml: Aggregate Atom Expr Format Int List Literal Stdlib Term

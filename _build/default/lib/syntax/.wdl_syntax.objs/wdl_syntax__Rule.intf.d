@@ -1,0 +1,1 @@
+lib/syntax/rule.mli: Aggregate Atom Format Literal Subst

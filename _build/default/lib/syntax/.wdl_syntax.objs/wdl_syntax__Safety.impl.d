@@ -1,0 +1,1 @@
+lib/syntax/safety.ml: Atom Expr Fact Format List Literal Program Rule Set String Term Value

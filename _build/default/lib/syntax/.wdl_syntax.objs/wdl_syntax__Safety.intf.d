@@ -1,0 +1,1 @@
+lib/syntax/safety.mli: Atom Fact Format Literal Program Rule Value

@@ -1,0 +1,1 @@
+lib/syntax/subst.ml: Format List Map String Term Value

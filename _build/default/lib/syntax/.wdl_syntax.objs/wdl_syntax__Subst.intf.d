@@ -1,0 +1,1 @@
+lib/syntax/subst.mli: Format Term Value

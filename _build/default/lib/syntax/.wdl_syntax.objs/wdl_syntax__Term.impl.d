@@ -1,0 +1,1 @@
+lib/syntax/term.ml: Char Format String Value

@@ -1,0 +1,1 @@
+lib/syntax/value.ml: Bool Buffer Float Format Hashtbl Int Printf String

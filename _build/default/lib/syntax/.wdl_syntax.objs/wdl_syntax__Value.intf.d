@@ -1,0 +1,1 @@
+lib/syntax/value.mli: Format

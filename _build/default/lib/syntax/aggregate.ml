@@ -1,0 +1,65 @@
+type op = Count | Sum | Min | Max | Avg
+
+type spec = {
+  op : op;
+  var : string;
+}
+
+let op_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+let op_of_name = function
+  | "count" -> Some Count
+  | "sum" -> Some Sum
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "avg" -> Some Avg
+  | _ -> None
+
+let pp ppf s = Format.fprintf ppf "%s($%s)" (op_name s.op) s.var
+
+let numbers values =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | Value.Int n :: rest -> go (float_of_int n :: acc) rest
+    | Value.Float f :: rest -> go (f :: acc) rest
+    | (Value.String _ | Value.Bool _) as v :: _ ->
+      Error
+        (Printf.sprintf "aggregate over non-numeric value %s" (Value.to_string v))
+  in
+  go [] values
+
+let all_ints values =
+  List.for_all (function Value.Int _ -> true | _ -> false) values
+
+let apply op values =
+  match op, values with
+  | _, [] -> Error "aggregate over an empty group"
+  | Count, _ -> Ok (Value.Int (List.length values))
+  | Avg, _ ->
+    Result.map
+      (fun ns -> Value.Float (List.fold_left ( +. ) 0. ns /. float_of_int (List.length ns)))
+      (numbers values)
+  | Sum, _ ->
+    Result.map
+      (fun ns ->
+        let total = List.fold_left ( +. ) 0. ns in
+        if all_ints values then Value.Int (int_of_float total) else Value.Float total)
+      (numbers values)
+  | (Min | Max), first :: rest ->
+    (* numeric coercion: compare as floats when int and float mix *)
+    let cmp a b =
+      match a, b with
+      | Value.Int x, Value.Float y -> Float.compare (float_of_int x) y
+      | Value.Float x, Value.Int y -> Float.compare x (float_of_int y)
+      | a, b -> Value.compare a b
+    in
+    let wins = match op with Min -> fun c -> c < 0 | _ -> fun c -> c > 0 in
+    Result.map
+      (fun (_ : float list) ->
+        List.fold_left (fun acc v -> if wins (cmp v acc) then v else acc) first rest)
+      (numbers values)

@@ -1,0 +1,60 @@
+type t = {
+  rel : Term.t;
+  peer : Term.t;
+  args : Term.t list;
+}
+
+let make ~rel ~peer args = { rel; peer; args }
+let app rel peer args = { rel = Term.str rel; peer = Term.str peer; args }
+let arity a = List.length a.args
+
+let compare a b =
+  match Term.compare a.rel b.rel with
+  | 0 -> (
+    match Term.compare a.peer b.peer with
+    | 0 -> List.compare Term.compare a.args b.args
+    | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let vars a =
+  let add acc t =
+    List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) acc (Term.vars t)
+  in
+  List.rev (List.fold_left add [] (a.rel :: a.peer :: a.args))
+
+let subst s a =
+  {
+    rel = Subst.apply s a.rel;
+    peer = Subst.apply s a.peer;
+    args = List.map (Subst.apply s) a.args;
+  }
+
+let is_ground a = vars a = []
+
+let to_fact a =
+  match Term.as_name a.rel, Term.as_name a.peer with
+  | Some rel, Some peer ->
+    let rec consts acc = function
+      | [] -> Some (List.rev acc)
+      | Term.Const v :: rest -> consts (v :: acc) rest
+      | Term.Var _ :: _ -> None
+    in
+    Option.map (fun args -> Fact.make ~rel ~peer args) (consts [] a.args)
+  | _, _ -> None
+
+let of_fact (f : Fact.t) =
+  {
+    rel = Term.str f.rel;
+    peer = Term.str f.peer;
+    args = List.map (fun v -> Term.Const v) f.args;
+  }
+
+let pp ppf a =
+  Format.fprintf ppf "@[<hov 2>%a@%a(%a)@]" Term.pp_name a.rel Term.pp_name
+    a.peer
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Term.pp)
+    a.args

@@ -1,0 +1,35 @@
+(** Atoms: [rel@peer(t1, …, tn)].
+
+    Relation and peer positions hold terms, which is the paper's key
+    syntactic novelty: [pictures@$attendee($id, $name)] has a peer
+    variable, and [$protocol@$attendee(…)] has both relation and peer
+    variables. *)
+
+type t = {
+  rel : Term.t;   (** relation-name term *)
+  peer : Term.t;  (** peer-name term *)
+  args : Term.t list;
+}
+
+val make : rel:Term.t -> peer:Term.t -> Term.t list -> t
+
+val app : string -> string -> Term.t list -> t
+(** [app rel peer args] builds an atom with constant relation and peer
+    names. *)
+
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val vars : t -> string list
+(** All variables, in position order (rel, peer, then args), each once. *)
+
+val subst : Subst.t -> t -> t
+val is_ground : t -> bool
+
+val to_fact : t -> Fact.t option
+(** [Some f] iff the atom is ground and its relation and peer terms are
+    names. *)
+
+val of_fact : Fact.t -> t
+val pp : Format.formatter -> t -> unit

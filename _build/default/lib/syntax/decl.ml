@@ -1,0 +1,29 @@
+type kind = Extensional | Intensional
+
+type t = {
+  kind : kind;
+  rel : string;
+  peer : string;
+  cols : string list;
+}
+
+let make ~kind ~rel ~peer cols =
+  if rel = "" then invalid_arg "Decl.make: empty relation name";
+  if peer = "" then invalid_arg "Decl.make: empty peer name";
+  { kind; rel; peer; cols }
+
+let arity d = List.length d.cols
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp_kind ppf = function
+  | Extensional -> Format.pp_print_string ppf "ext"
+  | Intensional -> Format.pp_print_string ppf "int"
+
+let pp ppf d =
+  Format.fprintf ppf "@[<hov 2>%a %a@%a(%a)@]" pp_kind d.kind Fact.pp_bare_name
+    d.rel Fact.pp_bare_name d.peer
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_string)
+    d.cols

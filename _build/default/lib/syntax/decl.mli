@@ -1,0 +1,24 @@
+(** Relation declarations.
+
+    WebdamLog distinguishes extensional relations (persistent, updated
+    by insertions/deletions, the targets of inductive rules) from
+    intensional relations (views, recomputed at every stage).
+    Concrete syntax:
+    {v ext pictures@Jules(id, name, owner, data)
+       int attendeePictures@Jules(id, name, owner, data) v} *)
+
+type kind = Extensional | Intensional
+
+type t = {
+  kind : kind;
+  rel : string;
+  peer : string;
+  cols : string list;  (** column names; the arity is their number *)
+}
+
+val make : kind:kind -> rel:string -> peer:string -> string list -> t
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_kind : Format.formatter -> kind -> unit

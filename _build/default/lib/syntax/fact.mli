@@ -1,0 +1,20 @@
+(** Ground facts: [rel@peer(v1, …, vn)]. *)
+
+type t = private {
+  rel : string;
+  peer : string;
+  args : Value.t list;
+}
+
+val make : rel:string -> peer:string -> Value.t list -> t
+(** Raises [Invalid_argument] if [rel] or [peer] is empty. *)
+
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val pp_bare_name : Format.formatter -> string -> unit
+(** Prints a relation/peer name bare when identifier-like, quoted
+    otherwise. *)

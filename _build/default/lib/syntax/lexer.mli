@@ -1,0 +1,31 @@
+(** Hand-written lexer for WebdamLog concrete syntax.
+
+    Identifiers may contain non-ASCII bytes (the paper's peers are
+    named [Émilien]); comments are [// …], [# …] and [/* … */]. *)
+
+type token =
+  | IDENT of string       (** bare name: relation, peer, or symbol *)
+  | VAR of string         (** [$x], payload without the [$] *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string      (** unescaped payload *)
+  | BOOL of bool
+  | KW_EXT                (** [ext] *)
+  | KW_INT                (** [int] *)
+  | KW_NOT                (** [not] *)
+  | LPAREN | RPAREN | COMMA | AT | SEMI
+  | COLONDASH             (** [:-] *)
+  | ASSIGN                (** [:=] *)
+  | EQ2 | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH
+  | EOF
+
+type pos = { line : int; col : int }
+
+exception Error of string * pos
+
+val tokenize : string -> (token * pos) list
+(** Raises {!Error} on malformed input; the resulting list always ends
+    with [EOF]. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,66 @@
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Pos of Atom.t
+  | Neg of Atom.t
+  | Cmp of cmpop * Expr.t * Expr.t
+  | Assign of string * Expr.t
+
+let atom = function Pos a | Neg a -> Some a | Cmp _ | Assign _ -> None
+
+let dedup l =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l)
+
+let vars = function
+  | Pos a | Neg a -> Atom.vars a
+  | Cmp (_, e1, e2) -> dedup (Expr.vars e1 @ Expr.vars e2)
+  | Assign (x, e) -> dedup (x :: Expr.vars e)
+
+let bound_vars = function
+  | Pos a -> Atom.vars a
+  | Neg _ | Cmp _ -> []
+  | Assign (x, _) -> [ x ]
+
+let subst s = function
+  | Pos a -> Pos (Atom.subst s a)
+  | Neg a -> Neg (Atom.subst s a)
+  | Cmp (op, e1, e2) -> Cmp (op, Expr.subst s e1, Expr.subst s e2)
+  | Assign (x, e) -> Assign (x, Expr.subst s e)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp_cmpop ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Eq -> "=="
+    | Neq -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp ppf = function
+  | Pos a -> Atom.pp ppf a
+  | Neg a -> Format.fprintf ppf "not %a" Atom.pp a
+  | Cmp (op, e1, e2) ->
+    Format.fprintf ppf "%a %a %a" Expr.pp e1 pp_cmpop op Expr.pp e2
+  | Assign (x, e) -> Format.fprintf ppf "$%s := %a" x Expr.pp e
+
+(* Numeric comparisons coerce int to float; everything else uses the
+   total order on values (so Eq/Neq work on any pair). *)
+let eval_cmp op a b =
+  let c =
+    match a, b with
+    | Value.Int x, Value.Float y -> Float.compare (float_of_int x) y
+    | Value.Float x, Value.Int y -> Float.compare x (float_of_int y)
+    | a, b -> Value.compare a b
+  in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0

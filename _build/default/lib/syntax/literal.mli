@@ -1,0 +1,32 @@
+(** Body literals.
+
+    A body is an ordered list of literals, evaluated left to right
+    (order matters in WebdamLog, unlike plain Datalog — §2 of the
+    paper): the position of the first atom whose peer resolves to a
+    remote name is where delegation happens. *)
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Pos of Atom.t          (** positive relational atom *)
+  | Neg of Atom.t          (** negated atom; must be local and bound *)
+  | Cmp of cmpop * Expr.t * Expr.t  (** comparison builtin *)
+  | Assign of string * Expr.t       (** [$x := expr] binds a fresh variable *)
+
+val atom : t -> Atom.t option
+val vars : t -> string list
+(** Variables in occurrence order, each once. *)
+
+val bound_vars : t -> string list
+(** Variables the literal can bind: args of a positive atom (plus its
+    rel/peer variables), or the assigned variable. Negations and
+    comparisons bind nothing. *)
+
+val subst : Subst.t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_cmpop : Format.formatter -> cmpop -> unit
+val eval_cmp : cmpop -> Value.t -> Value.t -> bool
+(** Total comparison using {!Value.compare}; numeric comparisons mix
+    ints and floats. *)

@@ -1,0 +1,334 @@
+exception Error of string * Lexer.pos
+
+type state = {
+  mutable toks : (Lexer.token * Lexer.pos) list;
+}
+
+let peek st =
+  match st.toks with
+  | (tok, _) :: _ -> tok
+  | [] -> Lexer.EOF
+
+let peek2 st =
+  match st.toks with
+  | _ :: (tok, _) :: _ -> tok
+  | _ :: [] | [] -> Lexer.EOF
+
+let cur_pos st =
+  match st.toks with
+  | (_, p) :: _ -> p
+  | [] -> { Lexer.line = 0; col = 0 }
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let fail st msg = raise (Error (msg, cur_pos st))
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Format.asprintf "expected %s but found %a" what Lexer.pp_token (peek st))
+
+(* A name term: relation or peer position. *)
+let name_term st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    Term.str s
+  | Lexer.STRING s ->
+    advance st;
+    if s = "" then fail st "empty string cannot be a relation or peer name";
+    Term.str s
+  | Lexer.VAR x ->
+    advance st;
+    Term.Var x
+  | tok ->
+    fail st
+      (Format.asprintf "expected a relation or peer name but found %a"
+         Lexer.pp_token tok)
+
+(* A term in argument position. Bare identifiers denote string values. *)
+let term st =
+  match peek st with
+  | Lexer.INT n -> advance st; Term.Const (Value.Int n)
+  | Lexer.FLOAT f -> advance st; Term.Const (Value.Float f)
+  | Lexer.STRING s -> advance st; Term.Const (Value.String s)
+  | Lexer.BOOL b -> advance st; Term.Const (Value.Bool b)
+  | Lexer.IDENT s -> advance st; Term.Const (Value.String s)
+  | Lexer.VAR x -> advance st; Term.Var x
+  | Lexer.MINUS -> (
+    advance st;
+    match peek st with
+    | Lexer.INT n -> advance st; Term.Const (Value.Int (-n))
+    | Lexer.FLOAT f -> advance st; Term.Const (Value.Float (-.f))
+    | tok ->
+      fail st
+        (Format.asprintf "expected a number after '-' but found %a"
+           Lexer.pp_token tok))
+  | tok -> fail st (Format.asprintf "expected a term but found %a" Lexer.pp_token tok)
+
+let comma_list st elem =
+  if peek st = Lexer.RPAREN then []
+  else
+    let rec go acc =
+      let x = elem st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go (x :: acc)
+      end
+      else List.rev (x :: acc)
+    in
+    go []
+
+let atom st =
+  let rel = name_term st in
+  expect st Lexer.AT "'@'";
+  let peer = name_term st in
+  expect st Lexer.LPAREN "'('";
+  let args = comma_list st term in
+  expect st Lexer.RPAREN "')'";
+  Atom.make ~rel ~peer args
+
+(* Rule heads additionally allow aggregate arguments: count($x), sum($x),
+   min($x), max($x), avg($x). *)
+type head_arg =
+  | Plain of Term.t
+  | Agg of Aggregate.spec
+
+let head_arg st =
+  match peek st, peek2 st with
+  | Lexer.IDENT s, Lexer.LPAREN when Aggregate.op_of_name s <> None ->
+    let op = Option.get (Aggregate.op_of_name s) in
+    advance st;
+    advance st;
+    (match peek st with
+    | Lexer.VAR v ->
+      advance st;
+      expect st Lexer.RPAREN "')'";
+      Agg { Aggregate.op; var = v }
+    | tok ->
+      fail st
+        (Format.asprintf "expected a variable inside %s(...) but found %a" s
+           Lexer.pp_token tok))
+  | _, _ -> Plain (term st)
+
+let head_atom st =
+  let rel = name_term st in
+  expect st Lexer.AT "'@'";
+  let peer = name_term st in
+  expect st Lexer.LPAREN "'('";
+  let args = comma_list st head_arg in
+  expect st Lexer.RPAREN "')'";
+  let terms =
+    List.map
+      (function Plain t -> t | Agg spec -> Term.Var spec.Aggregate.var)
+      args
+  in
+  let aggs =
+    List.concat
+      (List.mapi
+         (fun i -> function Agg spec -> [ (i, spec) ] | Plain _ -> [])
+         args)
+  in
+  (Atom.make ~rel ~peer terms, aggs)
+
+(* Expressions (for builtins): + - * / with usual precedence. *)
+let rec expr st =
+  let lhs = expr_term st in
+  expr_rest st lhs
+
+and expr_rest st lhs =
+  match peek st with
+  | Lexer.PLUS ->
+    advance st;
+    expr_rest st (Expr.Add (lhs, expr_term st))
+  | Lexer.MINUS ->
+    advance st;
+    expr_rest st (Expr.Sub (lhs, expr_term st))
+  | _ -> lhs
+
+and expr_term st =
+  let lhs = expr_factor st in
+  expr_term_rest st lhs
+
+and expr_term_rest st lhs =
+  match peek st with
+  | Lexer.STAR ->
+    advance st;
+    expr_term_rest st (Expr.Mul (lhs, expr_factor st))
+  | Lexer.SLASH ->
+    advance st;
+    expr_term_rest st (Expr.Div (lhs, expr_factor st))
+  | _ -> lhs
+
+and expr_factor st =
+  match peek st with
+  | Lexer.INT n -> advance st; Expr.Const (Value.Int n)
+  | Lexer.FLOAT f -> advance st; Expr.Const (Value.Float f)
+  | Lexer.STRING s -> advance st; Expr.Const (Value.String s)
+  | Lexer.BOOL b -> advance st; Expr.Const (Value.Bool b)
+  | Lexer.VAR x -> advance st; Expr.Var x
+  | Lexer.MINUS -> (
+    advance st;
+    (* Fold unary minus on numeric literals into the constant. *)
+    match peek st with
+    | Lexer.INT n ->
+      advance st;
+      Expr.Const (Value.Int (-n))
+    | Lexer.FLOAT f ->
+      advance st;
+      Expr.Const (Value.Float (-.f))
+    | _ -> Expr.Sub (Expr.Const (Value.Int 0), expr_factor st))
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | tok ->
+    fail st (Format.asprintf "expected an expression but found %a" Lexer.pp_token tok)
+
+let cmpop st =
+  match peek st with
+  | Lexer.EQ2 -> advance st; Some Literal.Eq
+  | Lexer.NEQ -> advance st; Some Literal.Neq
+  | Lexer.LT -> advance st; Some Literal.Lt
+  | Lexer.LE -> advance st; Some Literal.Le
+  | Lexer.GT -> advance st; Some Literal.Gt
+  | Lexer.GE -> advance st; Some Literal.Ge
+  | _ -> None
+
+(* An atom starts with a name term followed by '@'. *)
+let starts_atom st =
+  match peek st, peek2 st with
+  | (Lexer.IDENT _ | Lexer.STRING _ | Lexer.VAR _), Lexer.AT -> true
+  | _, _ -> false
+
+let literal st =
+  match peek st with
+  | Lexer.KW_NOT ->
+    advance st;
+    Literal.Neg (atom st)
+  | Lexer.VAR x when peek2 st = Lexer.ASSIGN ->
+    advance st;
+    advance st;
+    Literal.Assign (x, expr st)
+  | _ ->
+    if starts_atom st then Literal.Pos (atom st)
+    else
+      let e1 = expr st in
+      (match cmpop st with
+      | Some op -> Literal.Cmp (op, e1, expr st)
+      | None ->
+        fail st
+          (Format.asprintf "expected a comparison operator but found %a"
+             Lexer.pp_token (peek st)))
+
+let body st =
+  let rec go acc =
+    let l = literal st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      go (l :: acc)
+    end
+    else List.rev (l :: acc)
+  in
+  go []
+
+let ident st what =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | Lexer.STRING s when s <> "" -> advance st; s
+  | tok -> fail st (Format.asprintf "expected %s but found %a" what Lexer.pp_token tok)
+
+let decl st kind =
+  advance st (* ext / int *);
+  let rel = ident st "a relation name" in
+  expect st Lexer.AT "'@'";
+  let peer = ident st "a peer name" in
+  expect st Lexer.LPAREN "'('";
+  let cols = comma_list st (fun st -> ident st "a column name") in
+  expect st Lexer.RPAREN "')'";
+  Decl.make ~kind ~rel ~peer cols
+
+let fact_of_atom st a =
+  match Atom.to_fact a with
+  | Some f -> f
+  | None -> fail st "a fact must be ground (no variables)"
+
+let statement st =
+  match peek st with
+  | Lexer.KW_EXT -> Program.Decl (decl st Decl.Extensional)
+  | Lexer.KW_INT -> Program.Decl (decl st Decl.Intensional)
+  | _ ->
+    let head, aggs = head_atom st in
+    if peek st = Lexer.COLONDASH then begin
+      advance st;
+      let b = body st in
+      Program.Rule (Rule.make_agg ~aggs ~head ~body:b)
+    end
+    else if aggs <> [] then fail st "a fact cannot contain aggregates"
+    else Program.Fact (fact_of_atom st head)
+
+let program_toks st =
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.SEMI ->
+      advance st;
+      go acc
+    | _ ->
+      let s = statement st in
+      (match peek st with
+      | Lexer.SEMI -> advance st
+      | Lexer.EOF -> ()
+      | tok ->
+        fail st
+          (Format.asprintf "expected ';' or end of input but found %a"
+             Lexer.pp_token tok));
+      go (s :: acc)
+  in
+  go []
+
+let with_state src f =
+  let toks =
+    try Lexer.tokenize src with Lexer.Error (msg, p) -> raise (Error (msg, p))
+  in
+  let st = { toks } in
+  let x = f st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | tok ->
+    fail st (Format.asprintf "trailing input starting at %a" Lexer.pp_token tok));
+  x
+
+let parse_program src = with_state src program_toks
+
+let parse_rule src =
+  with_state src (fun st ->
+      let head, aggs = head_atom st in
+      expect st Lexer.COLONDASH "':-'";
+      let b = body st in
+      if peek st = Lexer.SEMI then advance st;
+      Rule.make_agg ~aggs ~head ~body:b)
+
+let parse_fact src =
+  with_state src (fun st ->
+      let a = atom st in
+      if peek st = Lexer.SEMI then advance st;
+      fact_of_atom st a)
+
+let parse_atom src = with_state src atom
+let parse_literal src = with_state src literal
+
+let wrap f src =
+  match f src with
+  | x -> Ok x
+  | exception Error (msg, p) ->
+    Result.Error (Printf.sprintf "line %d, col %d: %s" p.Lexer.line p.Lexer.col msg)
+
+let program src = wrap parse_program src
+let rule src = wrap parse_rule src
+let fact src = wrap parse_fact src

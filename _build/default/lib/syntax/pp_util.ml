@@ -1,0 +1,9 @@
+let one_line pp v =
+  let buf = Buffer.create 128 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 1_000_000_000;
+  Format.pp_set_max_indent ppf 999_999_999;
+  pp ppf v;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  String.map (function '\n' -> ' ' | c -> c) s

@@ -1,0 +1,7 @@
+(** Printing helpers shared by the line-oriented encoders (wire frames,
+    journals, snapshots). *)
+
+val one_line : (Format.formatter -> 'a -> unit) -> 'a -> string
+(** Renders with break hints disabled (unbounded margin {e and} max
+    indent — both matter: hints outside a box split at max-indent no
+    matter the margin), so the result is guaranteed newline-free. *)

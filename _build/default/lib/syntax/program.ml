@@ -1,0 +1,27 @@
+type statement =
+  | Decl of Decl.t
+  | Fact of Fact.t
+  | Rule of Rule.t
+
+type t = statement list
+
+let decls p =
+  List.filter_map (function Decl d -> Some d | Fact _ | Rule _ -> None) p
+
+let facts p =
+  List.filter_map (function Fact f -> Some f | Decl _ | Rule _ -> None) p
+
+let rules p =
+  List.filter_map (function Rule r -> Some r | Decl _ | Fact _ -> None) p
+
+let pp_statement ppf = function
+  | Decl d -> Format.fprintf ppf "%a;" Decl.pp d
+  | Fact f -> Format.fprintf ppf "%a;" Fact.pp f
+  | Rule r -> Format.fprintf ppf "%a;" Rule.pp r
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+       pp_statement)
+    p

@@ -1,0 +1,17 @@
+(** Programs: ordered lists of declarations, facts and rules, as they
+    appear in a source file. *)
+
+type statement =
+  | Decl of Decl.t
+  | Fact of Fact.t
+  | Rule of Rule.t
+
+type t = statement list
+
+val decls : t -> Decl.t list
+val facts : t -> Fact.t list
+val rules : t -> Rule.t list
+val pp_statement : Format.formatter -> statement -> unit
+val pp : Format.formatter -> t -> unit
+(** One statement per line, each terminated by [;]. Round-trips through
+    {!Parser.parse_program}. *)

@@ -1,0 +1,109 @@
+type t = {
+  head : Atom.t;
+  body : Literal.t list;
+  aggs : (int * Aggregate.spec) list;
+}
+
+let make_agg ~aggs ~head ~body =
+  let aggs = List.sort (fun (a, _) (b, _) -> Int.compare a b) aggs in
+  let arity = Atom.arity head in
+  List.iter
+    (fun (i, (spec : Aggregate.spec)) ->
+      if i < 0 || i >= arity then
+        invalid_arg "Rule.make: aggregate position out of range";
+      match List.nth head.Atom.args i with
+      | Term.Var v when v = spec.Aggregate.var -> ()
+      | _ ->
+        invalid_arg
+          "Rule.make: aggregate position must hold the aggregated variable")
+    aggs;
+  { head; body; aggs }
+
+let make ~head ~body = { head; body; aggs = [] }
+let is_aggregate r = r.aggs <> []
+
+let vars r =
+  let add acc l =
+    List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) acc l
+  in
+  List.rev
+    (List.fold_left
+       (fun acc lit -> add acc (Literal.vars lit))
+       (add [] (Atom.vars r.head))
+       r.body)
+
+let head_vars r = Atom.vars r.head
+
+let compare a b =
+  match Atom.compare a.head b.head with
+  | 0 -> (
+    match List.compare Literal.compare a.body b.body with
+    | 0 -> Stdlib.compare a.aggs b.aggs
+    | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let subst s r =
+  {
+    head = Atom.subst s r.head;
+    body = List.map (Literal.subst s) r.body;
+    aggs = r.aggs;
+  }
+
+let rename ~suffix r =
+  let rename_term = function
+    | Term.Var x -> Term.Var (x ^ suffix)
+    | Term.Const _ as t -> t
+  in
+  let rename_atom (a : Atom.t) =
+    Atom.make ~rel:(rename_term a.rel) ~peer:(rename_term a.peer)
+      (List.map rename_term a.args)
+  in
+  let rec rename_expr = function
+    | Expr.Const _ as e -> e
+    | Expr.Var x -> Expr.Var (x ^ suffix)
+    | Expr.Add (a, b) -> Expr.Add (rename_expr a, rename_expr b)
+    | Expr.Sub (a, b) -> Expr.Sub (rename_expr a, rename_expr b)
+    | Expr.Mul (a, b) -> Expr.Mul (rename_expr a, rename_expr b)
+    | Expr.Div (a, b) -> Expr.Div (rename_expr a, rename_expr b)
+  in
+  let rename_lit = function
+    | Literal.Pos a -> Literal.Pos (rename_atom a)
+    | Literal.Neg a -> Literal.Neg (rename_atom a)
+    | Literal.Cmp (op, e1, e2) -> Literal.Cmp (op, rename_expr e1, rename_expr e2)
+    | Literal.Assign (x, e) -> Literal.Assign (x ^ suffix, rename_expr e)
+  in
+  {
+    head = rename_atom r.head;
+    body = List.map rename_lit r.body;
+    aggs =
+      List.map
+        (fun (i, (spec : Aggregate.spec)) ->
+          (i, { spec with Aggregate.var = spec.Aggregate.var ^ suffix }))
+        r.aggs;
+  }
+
+let pp_head ppf r =
+  let (a : Atom.t) = r.head in
+  let pp_arg ppf (i, term) =
+    match List.assoc_opt i r.aggs with
+    | Some spec -> Aggregate.pp ppf spec
+    | None -> Term.pp ppf term
+  in
+  Format.fprintf ppf "@[<hov 2>%a@%a(%a)@]" Term.pp_name a.Atom.rel Term.pp_name
+    a.Atom.peer
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_arg)
+    (List.mapi (fun i t -> (i, t)) a.Atom.args)
+
+let pp ppf r =
+  match r.body with
+  | [] -> Format.fprintf ppf "%a :- " pp_head r
+  | body ->
+    Format.fprintf ppf "@[<hov 2>%a :-@ %a@]" pp_head r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         Literal.pp)
+      body

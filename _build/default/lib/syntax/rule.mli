@@ -1,0 +1,42 @@
+(** Rules: [head :- lit1, …, litn].
+
+    The body is an ordered list; evaluation is left to right (§2).
+
+    [aggs] marks head argument positions that aggregate instead of
+    copying a binding: at such a position [head.args] holds
+    [Var spec.var] and the engine groups valuations by the remaining
+    head arguments ({!Aggregate}). Aggregate rules must evaluate
+    entirely locally (enforced at installation). *)
+
+type t = {
+  head : Atom.t;
+  body : Literal.t list;
+  aggs : (int * Aggregate.spec) list;  (** sorted by position *)
+}
+
+val make : head:Atom.t -> body:Literal.t list -> t
+(** A plain (non-aggregate) rule. *)
+
+val make_agg :
+  aggs:(int * Aggregate.spec) list -> head:Atom.t -> body:Literal.t list -> t
+(** Raises [Invalid_argument] if an aggregate position is out of range
+    or does not hold [Var spec.var]. *)
+
+val is_aggregate : t -> bool
+
+val vars : t -> string list
+(** All variables, head first then body, each once. *)
+
+val head_vars : t -> string list
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val subst : Subst.t -> t -> t
+(** Applies a substitution everywhere — this is how residual
+    (delegated) rules are produced. *)
+
+val rename : suffix:string -> t -> t
+(** Alpha-renames every variable by appending [suffix]; used to avoid
+    capture when combining rules from different origins. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+type error =
+  | Unbound_in_head of string
+  | Unbound_name_var of string * Atom.t
+  | Unbound_in_negation of string * Atom.t
+  | Unbound_in_builtin of string * Literal.t
+  | Rebound_assignment of string * Literal.t
+  | Invalid_name_constant of Value.t * Atom.t
+
+let pp_error ppf = function
+  | Unbound_in_head x ->
+    Format.fprintf ppf "head variable $%s is not bound by the body" x
+  | Unbound_name_var (x, a) ->
+    Format.fprintf ppf
+      "relation/peer variable $%s in %a is not bound by the preceding literals"
+      x Atom.pp a
+  | Unbound_in_negation (x, a) ->
+    Format.fprintf ppf
+      "variable $%s in negated atom %a is not bound by the preceding literals" x
+      Atom.pp a
+  | Unbound_in_builtin (x, l) ->
+    Format.fprintf ppf
+      "variable $%s in builtin %a is not bound by the preceding literals" x
+      Literal.pp l
+  | Rebound_assignment (x, l) ->
+    Format.fprintf ppf "assignment %a rebinds already-bound variable $%s"
+      Literal.pp l x
+  | Invalid_name_constant (v, a) ->
+    Format.fprintf ppf
+      "constant %a cannot be a relation or peer name (in %a)" Value.pp v
+      Atom.pp a
+
+module Sset = Set.Make (String)
+
+let name_errors (a : Atom.t) =
+  let check = function
+    | Term.Const v when Value.as_name v = None -> [ Invalid_name_constant (v, a) ]
+    | Term.Const _ | Term.Var _ -> []
+  in
+  check a.rel @ check a.peer
+
+let check_rule (r : Rule.t) =
+  let errs = ref [] in
+  let err e = errs := e :: !errs in
+  List.iter (fun e -> err e) (name_errors r.head);
+  let bound = ref Sset.empty in
+  let is_bound x = Sset.mem x !bound in
+  let bind x = bound := Sset.add x !bound in
+  let check_lit lit =
+    match lit with
+    | Literal.Pos a ->
+      List.iter err (name_errors a);
+      List.iter
+        (fun x -> if not (is_bound x) then err (Unbound_name_var (x, a)))
+        (Term.vars a.rel @ Term.vars a.peer);
+      List.iter bind (Atom.vars a)
+    | Literal.Neg a ->
+      List.iter err (name_errors a);
+      List.iter
+        (fun x -> if not (is_bound x) then err (Unbound_in_negation (x, a)))
+        (Atom.vars a)
+    | Literal.Cmp (_, e1, e2) ->
+      List.iter
+        (fun x -> if not (is_bound x) then err (Unbound_in_builtin (x, lit)))
+        (Expr.vars e1 @ Expr.vars e2)
+    | Literal.Assign (x, e) ->
+      List.iter
+        (fun y -> if not (is_bound y) then err (Unbound_in_builtin (y, lit)))
+        (Expr.vars e);
+      if is_bound x then err (Rebound_assignment (x, lit)) else bind x
+  in
+  List.iter check_lit r.body;
+  List.iter
+    (fun x -> if not (is_bound x) then err (Unbound_in_head x))
+    (Rule.head_vars r);
+  match List.rev !errs with [] -> Ok () | l -> Error l
+
+let check_fact (_ : Fact.t) = Ok ()
+
+let check_program (p : Program.t) =
+  let errs =
+    List.concat_map
+      (function
+        | Program.Decl _ -> []
+        | Program.Fact f -> (
+          match check_fact f with Ok () -> [] | Error l -> l)
+        | Program.Rule r -> (
+          match check_rule r with Ok () -> [] | Error l -> l))
+      p
+  in
+  match errs with [] -> Ok () | l -> Error l
+
+let errors_to_string errs =
+  String.concat "; " (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)

@@ -1,0 +1,30 @@
+(** Static safety ("range restriction") checks for WebdamLog rules.
+
+    Because bodies are evaluated left to right (§2), safety is
+    positional: every variable used in relation/peer position, in a
+    negated atom, or in a builtin must be bound by the {e preceding}
+    positive literals; every head variable must be bound by the body.
+    These checks are what make the dynamic delegation boundary
+    well-defined: when evaluation reaches an atom, its peer term is
+    guaranteed to be ground. *)
+
+type error =
+  | Unbound_in_head of string
+      (** head variable not bound by the body *)
+  | Unbound_name_var of string * Atom.t
+      (** relation/peer variable not bound by the preceding prefix *)
+  | Unbound_in_negation of string * Atom.t
+  | Unbound_in_builtin of string * Literal.t
+  | Rebound_assignment of string * Literal.t
+      (** [$x := …] where [$x] is already bound *)
+  | Invalid_name_constant of Value.t * Atom.t
+      (** a constant in relation/peer position that is not a name *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val check_rule : Rule.t -> (unit, error list) result
+val check_fact : Fact.t -> (unit, error list) result
+val check_program : Program.t -> (unit, error list) result
+(** All errors from all statements, in order. *)
+
+val errors_to_string : error list -> string

@@ -1,0 +1,40 @@
+module M = Map.Make (String)
+
+type t = Value.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let mem = M.mem
+let find x s = M.find_opt x s
+let cardinal = M.cardinal
+
+let bind x v s =
+  match M.find_opt x s with
+  | None -> Some (M.add x v s)
+  | Some v' -> if Value.equal v v' then Some s else None
+
+let bind_exn x v s =
+  match bind x v s with
+  | Some s -> s
+  | None -> invalid_arg ("Subst.bind_exn: conflicting binding for $" ^ x)
+
+let of_list l =
+  List.fold_left
+    (fun acc (x, v) -> match acc with None -> None | Some s -> bind x v s)
+    (Some empty) l
+
+let to_list s = M.bindings s
+
+let apply s = function
+  | Term.Var x as t -> (match M.find_opt x s with Some v -> Term.Const v | None -> t)
+  | Term.Const _ as t -> t
+
+let compare = M.compare Value.compare
+let equal = M.equal Value.equal
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (x, v) -> Format.fprintf ppf "$%s=%a" x Value.pp v))
+    (M.bindings s)

@@ -1,0 +1,32 @@
+(** Substitutions: finite maps from variable names to ground values.
+
+    Substitutions are produced by matching body atoms against stored
+    facts and consumed when grounding heads and when computing the
+    residual rules sent as delegations. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val mem : string -> t -> bool
+val find : string -> t -> Value.t option
+val cardinal : t -> int
+
+val bind : string -> Value.t -> t -> t option
+(** [bind x v s] extends [s] with [x ↦ v]; [None] if [x] is already
+    bound to a different value. *)
+
+val bind_exn : string -> Value.t -> t -> t
+(** Like {!bind} but raises [Invalid_argument] on conflict. *)
+
+val of_list : (string * Value.t) list -> t option
+val to_list : t -> (string * Value.t) list
+(** In increasing variable-name order. *)
+
+val apply : t -> Term.t -> Term.t
+(** Replaces bound variables by their values; unbound variables are
+    left in place (this is what makes residual delegated rules). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

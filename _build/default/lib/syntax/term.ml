@@ -1,0 +1,40 @@
+type t =
+  | Var of string
+  | Const of Value.t
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Value.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Var x -> Format.fprintf ppf "$%s" x
+  | Const v -> Value.pp ppf v
+
+(* Keep in sync with the lexer's notion of identifier. *)
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\'' || Char.code c >= 0x80
+
+let is_ident s =
+  String.length s > 0
+  && (match s.[0] with '0' .. '9' -> false | _ -> true)
+  && (match s with "not" | "true" | "false" | "ext" | "int" -> false | _ -> true)
+  && String.for_all is_ident_char s
+
+let pp_name ppf = function
+  | Const (Value.String s) when is_ident s -> Format.pp_print_string ppf s
+  | t -> pp ppf t
+
+let var x = Var x
+let int n = Const (Value.Int n)
+let str s = Const (Value.String s)
+let is_var = function Var _ -> true | Const _ -> false
+let vars = function Var x -> [ x ] | Const _ -> []
+let as_name = function Var _ -> None | Const v -> Value.as_name v

@@ -1,0 +1,33 @@
+(** Terms: the building blocks of atoms.
+
+    A term is a variable ([$x] in concrete syntax) or a constant value.
+    Relation and peer positions use the same term type; there a constant
+    must be a string value denoting a name (checked by {!Safety}). *)
+
+type t =
+  | Var of string  (** variable name, without the leading [$] *)
+  | Const of Value.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val var : string -> t
+val int : int -> t
+val str : string -> t
+(** [str s] is the string constant [s]; in relation/peer position it
+    denotes the name [s]. *)
+
+val is_var : t -> bool
+val vars : t -> string list
+(** [] or a singleton. *)
+
+val as_name : t -> string option
+(** The name denoted by a constant term, if it is one. *)
+
+val is_ident : string -> bool
+(** Whether [s] is lexically a bare identifier (and not a keyword). *)
+
+val pp_name : Format.formatter -> t -> unit
+(** Prints a term in relation/peer position: identifier-like string
+    constants are printed bare ([pictures]), everything else as {!pp}. *)

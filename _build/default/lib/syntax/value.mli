@@ -1,0 +1,27 @@
+(** Ground data values carried in WebdamLog facts.
+
+    Peer and relation names are ordinary [String] values: when a data
+    variable bound to ["Émilien"] is used in peer position (the paper's
+    [pictures@$attendee]), the string is interpreted as a peer name. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints in re-parseable concrete syntax (strings are quoted). *)
+
+val to_string : t -> string
+
+val as_name : t -> string option
+(** [as_name v] is the peer/relation name denoted by [v], if any.
+    Only non-empty strings denote names. *)
+
+val type_name : t -> string
+(** "int", "float", "string" or "bool" — used in error messages. *)

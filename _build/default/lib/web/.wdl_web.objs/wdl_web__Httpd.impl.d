@@ -1,0 +1,1 @@
+lib/web/httpd.ml: Buffer Bytes Char Fun List Option Printexc Printf Str_find String Unix

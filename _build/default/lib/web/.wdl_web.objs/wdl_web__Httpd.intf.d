@@ -1,0 +1,1 @@
+lib/web/httpd.mli:

@@ -1,0 +1,1 @@
+lib/web/str_find.ml: String

@@ -1,0 +1,1 @@
+lib/web/ui.ml: Buffer Fact Format Httpd List Printf Rule String Value Wdl_syntax Webdamlog

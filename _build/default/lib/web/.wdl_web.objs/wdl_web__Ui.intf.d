@@ -1,0 +1,1 @@
+lib/web/ui.mli: Httpd Webdamlog

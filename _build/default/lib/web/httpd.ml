@@ -1,0 +1,225 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let html body = { status = 200; content_type = "text/html; charset=utf-8"; body }
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let not_found = text ~status:404 "not found\n"
+
+let redirect location =
+  {
+    status = 303;
+    content_type = "text/plain; charset=utf-8";
+    body = "see " ^ location ^ "\n" (* Location added at render time *);
+  }
+
+type t = {
+  server : Unix.file_descr;
+  actual_port : int;
+  handler : request -> response;
+  mutable redirects : (string * string) list;  (* body marker -> location *)
+  mutable closed : bool;
+}
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let url_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      (match s.[i] with
+      | '+' -> Buffer.add_char buf ' '
+      | '%' when i + 2 < n && hex_value s.[i + 1] >= 0 && hex_value s.[i + 2] >= 0
+        ->
+        Buffer.add_char buf
+          (Char.chr ((hex_value s.[i + 1] * 16) + hex_value s.[i + 2]))
+      | c -> Buffer.add_char buf c);
+      match s.[i] with
+      | '%' when i + 2 < n && hex_value s.[i + 1] >= 0 && hex_value s.[i + 2] >= 0
+        ->
+        go (i + 3)
+      | _ -> go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let form_values body =
+  String.split_on_char '&' body
+  |> List.filter_map (fun pair ->
+         match String.index_opt pair '=' with
+         | Some i ->
+           Some
+             ( url_decode (String.sub pair 0 i),
+               url_decode (String.sub pair (i + 1) (String.length pair - i - 1))
+             )
+         | None -> if pair = "" then None else Some (url_decode pair, ""))
+
+let start ?(port = 0) handler =
+  let server = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt server Unix.SO_REUSEADDR true;
+  Unix.bind server (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen server 64;
+  let actual_port =
+    match Unix.getsockname server with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  { server; actual_port; handler; redirects = []; closed = false }
+
+let port t = t.actual_port
+
+let status_text = function
+  | 200 -> "OK"
+  | 303 -> "See Other"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+(* Read until the end of headers, then Content-Length more bytes. *)
+let read_request fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec until_headers () =
+    let s = Buffer.contents buf in
+    match Str_find.find s "\r\n\r\n" with
+    | Some i -> Some i
+    | None ->
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then None
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        until_headers ()
+      end
+  in
+  match until_headers () with
+  | None -> None
+  | Some header_end ->
+    let header_text = String.sub (Buffer.contents buf) 0 header_end in
+    let content_length =
+      String.split_on_char '\n' header_text
+      |> List.find_map (fun line ->
+             let line = String.trim line in
+             let lower = String.lowercase_ascii line in
+             if String.length lower >= 15 && String.sub lower 0 15 = "content-length:"
+             then int_of_string_opt (String.trim (String.sub line 15 (String.length line - 15)))
+             else None)
+      |> Option.value ~default:0
+    in
+    let body_start = header_end + 4 in
+    let rec until_body () =
+      if Buffer.length buf >= body_start + content_length then ()
+      else
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then ()
+        else begin
+          Buffer.add_subbytes buf chunk 0 n;
+          until_body ()
+        end
+    in
+    until_body ();
+    let all = Buffer.contents buf in
+    let body =
+      if String.length all >= body_start + content_length then
+        String.sub all body_start content_length
+      else String.sub all body_start (String.length all - body_start)
+    in
+    (match String.split_on_char ' ' (List.hd (String.split_on_char '\r' header_text)) with
+    | meth :: target :: _ ->
+      let path, query =
+        match String.index_opt target '?' with
+        | Some i ->
+          ( String.sub target 0 i,
+            form_values (String.sub target (i + 1) (String.length target - i - 1))
+          )
+        | None -> (target, [])
+      in
+      Some { meth; path = url_decode path; query; body }
+    | _ -> None)
+
+let write_response fd (r : response) =
+  let location =
+    if r.status = 303 then
+      (* redirect bodies carry "see LOCATION\n" *)
+      match String.split_on_char ' ' (String.trim r.body) with
+      | [ "see"; loc ] -> Printf.sprintf "Location: %s\r\n" loc
+      | _ -> ""
+    else ""
+  in
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n%sContent-Length: %d\r\nConnection: close\r\n\r\n"
+      r.status (status_text r.status) r.content_type location
+      (String.length r.body)
+  in
+  let all = head ^ r.body in
+  let rec loop off =
+    if off < String.length all then
+      let n = Unix.write_substring fd all off (String.length all - off) in
+      loop (off + n)
+  in
+  loop 0
+
+let poll t =
+  if t.closed then 0
+  else begin
+    let served = ref 0 in
+    let rec loop () =
+      match Unix.select [ t.server ] [] [] 0.0 with
+      | [ _ ], _, _ ->
+        let client, _ = Unix.accept t.server in
+        Fun.protect
+          ~finally:(fun () -> Unix.close client)
+          (fun () ->
+            match read_request client with
+            | None -> ()
+            | Some req ->
+              let resp =
+                try t.handler req
+                with e -> text ~status:500 (Printexc.to_string e ^ "\n")
+              in
+              write_response client resp;
+              incr served);
+        loop ()
+      | _, _, _ -> ()
+    in
+    loop ();
+    !served
+  end
+
+let stop t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.server
+  end

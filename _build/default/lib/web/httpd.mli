@@ -1,0 +1,43 @@
+(** A minimal HTTP/1.1 server over plain sockets — the substrate for
+    the demo's Web GUI (audience members drive their peer from a
+    browser, §4). Poll-driven like {!Wdl_net.Tcp}: the host loop calls
+    {!poll}, which accepts and answers every connection already
+    pending; no threads. One request per connection. *)
+
+type request = {
+  meth : string;  (** "GET", "POST", … *)
+  path : string;  (** decoded, without the query string *)
+  query : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+val html : string -> response
+val text : ?status:int -> string -> response
+val not_found : response
+
+val redirect : string -> response
+(** 303 See Other. *)
+
+type t
+
+val start : ?port:int -> (request -> response) -> t
+(** Listens on [127.0.0.1:port] (default 0: ephemeral). *)
+
+val port : t -> int
+val poll : t -> int
+(** Handles every pending connection; returns how many were served. *)
+
+val stop : t -> unit
+
+(** {1 Helpers} *)
+
+val url_decode : string -> string
+val html_escape : string -> string
+val form_values : string -> (string * string) list
+(** Parses an [application/x-www-form-urlencoded] body. *)

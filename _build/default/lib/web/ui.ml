@@ -1,0 +1,181 @@
+open Wdl_syntax
+module Peer = Webdamlog.Peer
+module System = Webdamlog.System
+
+let fmt pp v = Format.asprintf "%a" pp v
+let esc = Httpd.html_escape
+
+let page title body =
+  Httpd.html
+    (Printf.sprintf
+       {|<!doctype html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+ pre, code { background: #f4f4f4; }
+ pre { padding: .5em; }
+ h2 { border-bottom: 1px solid #ccc; }
+ form.inline { display: inline; }
+ .pending { background: #fff3cd; padding: .5em; margin: .5em 0; }
+</style></head><body>%s</body></html>|}
+       (esc title) body)
+
+let peer_url name = "/peer/" ^ esc name
+
+let index sys =
+  let rows =
+    System.peers sys
+    |> List.map (fun p ->
+           let name = Peer.name p in
+           Printf.sprintf
+             "<li><a href=\"%s\">%s</a> — stage %d, %d relation(s), %d rule(s)%s</li>"
+             (peer_url name) (esc name) (Peer.stage_number p)
+             (List.length (Peer.relation_names p))
+             (List.length (Peer.rules p))
+             (match Peer.pending_delegations p with
+             | [] -> ""
+             | l -> Printf.sprintf " — <b>%d pending delegation(s)</b>" (List.length l)))
+    |> String.concat "\n"
+  in
+  page "WebdamLog peers"
+    (Printf.sprintf "<h1>WebdamLog peers</h1><ul>%s</ul>" rows)
+
+let peer_page p =
+  let name = Peer.name p in
+  let buf = Buffer.create 4096 in
+  let w fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  w "<h1>peer %s</h1><p><a href=\"/\">&larr; all peers</a></p>" (esc name);
+  (match Peer.pending_delegations p with
+  | [] -> ()
+  | pending ->
+    w "<h2>Pending delegations</h2>";
+    List.iter
+      (fun (src, rule) ->
+        let rule_s = fmt Rule.pp rule in
+        w
+          {|<div class="pending"><b>%s</b> asks to install:<pre>%s</pre>
+            <form class="inline" method="post" action="%s/accept">
+              <input type="hidden" name="src" value="%s">
+              <input type="hidden" name="rule" value="%s">
+              <button>Accept</button></form>
+            <form class="inline" method="post" action="%s/reject">
+              <input type="hidden" name="src" value="%s">
+              <input type="hidden" name="rule" value="%s">
+              <button>Reject</button></form></div>|}
+          (esc src) (esc rule_s) (peer_url name) (esc src) (esc rule_s)
+          (peer_url name) (esc src) (esc rule_s))
+      pending);
+  w "<h2>Relations</h2>";
+  List.iter
+    (fun rel ->
+      let facts = Peer.query p rel in
+      w "<h3>%s (%d)</h3><pre>" (esc rel) (List.length facts);
+      List.iter (fun f -> w "%s;\n" (esc (fmt Fact.pp f))) facts;
+      w "</pre>")
+    (Peer.relation_names p);
+  w "<h2>Program</h2><pre>";
+  List.iter (fun r -> w "%s;\n" (esc (fmt Rule.pp r))) (Peer.rules p);
+  w "</pre>";
+  (match Peer.delegated_rules p with
+  | [] -> ()
+  | delegated ->
+    w "<h2>Installed delegations</h2><pre>";
+    List.iter
+      (fun (src, r) -> w "// from %s\n%s;\n" (esc src) (esc (fmt Rule.pp r)))
+      delegated;
+    w "</pre>");
+  w
+    {|<h2>Add statements</h2>
+      <form method="post" action="%s/statement">
+      <textarea name="stmt" rows="4" cols="70"
+        placeholder="pictures@%s(1, &quot;sea.jpg&quot;);"></textarea><br>
+      <button>Apply</button></form>|}
+    (peer_url name) (esc name);
+  w
+    {|<h2>Query</h2>
+      <form method="get" action="%s/query">
+      <input name="q" size="70" placeholder="q@%s($x) :- m@%s($x)">
+      <button>Run</button></form>|}
+    (peer_url name) (esc name) (esc name);
+  page ("peer " ^ name) (Buffer.contents buf)
+
+let query_page p q =
+  let name = Peer.name p in
+  match Peer.ask p q with
+  | Error msg ->
+    page "query error"
+      (Printf.sprintf "<h1>query error</h1><pre>%s</pre><p><a href=\"%s\">back</a></p>"
+         (esc msg) (peer_url name))
+  | Ok answer ->
+    let buf = Buffer.create 1024 in
+    let w fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    w "<h1>query on %s</h1><pre>%s</pre><table border=\"1\" cellpadding=\"4\"><tr>"
+      (esc name) (esc q);
+    List.iter (fun c -> w "<th>%s</th>" (esc c)) answer.Peer.columns;
+    w "</tr>";
+    List.iter
+      (fun row ->
+        w "<tr>";
+        List.iter (fun v -> w "<td>%s</td>" (esc (Value.to_string v))) row;
+        w "</tr>")
+      answer.Peer.rows;
+    w "</table><p>%d row(s)</p>" (List.length answer.Peer.rows);
+    (match answer.Peer.requires_delegation with
+    | [] -> ()
+    | ds ->
+      w "<p>Running this permanently would delegate:</p><pre>";
+      List.iter
+        (fun (dst, r) -> w "// at %s\n%s;\n" (esc dst) (esc (fmt Rule.pp r)))
+        ds;
+      w "</pre>");
+    w "<p><a href=\"%s\">back</a></p>" (peer_url name);
+    page "query" (Buffer.contents buf)
+
+(* /peer/NAME or /peer/NAME/ACTION *)
+let split_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "peer"; name ] -> Some (name, None)
+  | [ ""; "peer"; name; action ] -> Some (name, Some action)
+  | _ -> None
+
+let handler sys ~settle (req : Httpd.request) =
+  match req.Httpd.meth, req.Httpd.path with
+  | "GET", "/" -> index sys
+  | meth, path -> (
+    match split_path path with
+    | None -> Httpd.not_found
+    | Some (name, action) -> (
+      match System.find_peer sys name with
+      | None -> Httpd.not_found
+      | Some p -> (
+        match meth, action with
+        | "GET", None -> peer_page p
+        | "GET", Some "query" -> (
+          match List.assoc_opt "q" req.Httpd.query with
+          | Some q -> query_page p q
+          | None -> Httpd.text ~status:400 "missing q\n")
+        | "POST", Some "statement" -> (
+          let form = Httpd.form_values req.Httpd.body in
+          match List.assoc_opt "stmt" form with
+          | None -> Httpd.text ~status:400 "missing stmt\n"
+          | Some stmt -> (
+            match Peer.load_string p stmt with
+            | Ok () ->
+              settle ();
+              Httpd.redirect ("/peer/" ^ name)
+            | Error msg -> Httpd.text ~status:400 (msg ^ "\n")))
+        | "POST", Some (("accept" | "reject") as which) -> (
+          let form = Httpd.form_values req.Httpd.body in
+          match List.assoc_opt "src" form, List.assoc_opt "rule" form with
+          | Some src, Some rule_text -> (
+            match Wdl_syntax.Parser.rule rule_text with
+            | Error msg -> Httpd.text ~status:400 (msg ^ "\n")
+            | Ok rule ->
+              let changed =
+                if which = "accept" then Peer.accept_delegation p ~src rule
+                else Peer.reject_delegation p ~src rule
+              in
+              if changed then settle ();
+              Httpd.redirect ("/peer/" ^ name))
+          | _, _ -> Httpd.text ~status:400 "missing src/rule\n")
+        | _, _ -> Httpd.not_found)))

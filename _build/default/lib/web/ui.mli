@@ -1,0 +1,14 @@
+(** The Wepic-style Web interface (Figs. 1 and 3) over {!Httpd}.
+
+    One page per peer: its relations, its program, its installed
+    delegations, the pending-delegation notifications with
+    accept/reject buttons, plus forms to add statements and run
+    ad-hoc queries — exactly the demo's surfaces, server-rendered. *)
+
+val handler :
+  Webdamlog.System.t ->
+  settle:(unit -> unit) ->
+  Httpd.request ->
+  Httpd.response
+(** [settle] is called after every mutation (it should run the system
+    to quiescence so the next page shows the converged state). *)

@@ -1,0 +1,1 @@
+lib/wepic/wepic.ml: Atom Buffer Fact Format Hashtbl Int List Parser Printf Rule String Term Value Wdl_syntax Wdl_wrappers Webdamlog

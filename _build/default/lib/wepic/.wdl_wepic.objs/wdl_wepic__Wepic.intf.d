@@ -1,0 +1,1 @@
+lib/wepic/wepic.mli: Fact Rule Wdl_net Wdl_syntax Wdl_wrappers Webdamlog

@@ -1,0 +1,1 @@
+lib/wepic/workload.ml: Char Hashtbl List Printf Random String Wepic

@@ -1,0 +1,1 @@
+lib/wepic/workload.mli: Wepic

@@ -1,0 +1,388 @@
+open Wdl_syntax
+module Peer = Webdamlog.Peer
+module System = Webdamlog.System
+module Facebook = Wdl_wrappers.Facebook
+module Email = Wdl_wrappers.Email
+module Wrapper = Wdl_wrappers.Wrapper
+
+let sigmod_peer_name = "sigmod"
+let fb_peer_name = "SigmodFB"
+let fb_group_name = "sigmod2013"
+
+(* Peer/relation names are injected into generated rule text in quoted
+   form, so arbitrary attendee names (accents, spaces) stay parseable. *)
+let q name = Value.to_string (Value.String name)
+
+type t = {
+  system : System.t;
+  sigmod : Peer.t;
+  facebook : Facebook.t;
+  email : Email.t;
+  fb_group_wrapper : Wrapper.t;
+  fb_group_peer : Peer.t;
+  untrusted_by_default : bool;
+  mutable wrappers : Wrapper.t list;
+  attendee_peers : (string, Peer.t) Hashtbl.t;
+  mutable attendee_order : string list;
+}
+
+let sigmod_program =
+  Printf.sprintf
+    {|
+    ext attendees@%s(name);
+    ext pictures@%s(id, name, owner, data);
+    ext fbComments@%s(picId, author, text);
+    ext news@%s(text);
+
+    // conference-wide fanout: the head's peer comes from the registry
+    announcements@$a($text) :- attendees@%s($a), news@%s($text);
+
+    pictures@%s($id, $name, $owner, $data) :-
+      pictures@%s($id, $name, $owner, $data),
+      authorized@$owner("Facebook", $id, $owner);
+
+    pictures@%s($id, $name, $owner, $data) :-
+      pictures@%s($id, $name, $owner, $data);
+
+    fbComments@%s($picId, $author, $text) :-
+      comments@%s($picId, $author, $text);
+    |}
+    (q sigmod_peer_name) (q sigmod_peer_name) (q sigmod_peer_name)
+    (q sigmod_peer_name)
+    (q sigmod_peer_name) (q sigmod_peer_name)
+    (q fb_peer_name) (q sigmod_peer_name)
+    (q sigmod_peer_name) (q fb_peer_name)
+    (q sigmod_peer_name) (q fb_peer_name)
+
+let create ?transport ?(untrusted_by_default = false) () =
+  (* Every Wepic peer lives in this process; facts owned by outsiders
+     (e.g. pictures posted on Facebook by a non-attendee) must not
+     block quiescence waiting for a peer that will never exist. *)
+  let system = System.create ?transport ~drop_unknown:true () in
+  let sigmod = System.add_peer system sigmod_peer_name in
+  let facebook = Facebook.create () in
+  let email = Email.create () in
+  let fb_group_wrapper, fb_group_peer =
+    Facebook.group_wrapper ~system ~service:facebook ~group:fb_group_name
+      ~peer_name:fb_peer_name
+  in
+  (match Peer.load_string sigmod sigmod_program with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Wepic.create: sigmod program: " ^ e));
+  {
+    system;
+    sigmod;
+    facebook;
+    email;
+    fb_group_wrapper;
+    fb_group_peer;
+    untrusted_by_default;
+    wrappers = [ fb_group_wrapper ];
+    attendee_peers = Hashtbl.create 16;
+    attendee_order = [];
+  }
+
+let system t = t.system
+let sigmod t = t.sigmod
+let facebook t = t.facebook
+let email t = t.email
+let fb_group_peer t = t.fb_group_peer
+
+let standard_view_rule ~viewer =
+  Parser.parse_rule
+    (Printf.sprintf
+       {|attendeePictures@%s($id, $name, $owner, $data) :-
+           selectedAttendee@%s($attendee),
+           pictures@$attendee($id, $name, $owner, $data)|}
+       (q viewer) (q viewer))
+
+let min_rating_view_rule ~viewer ~min_rating =
+  Parser.parse_rule
+    (Printf.sprintf
+       {|attendeePictures@%s($id, $name, $owner, $data) :-
+           selectedAttendee@%s($attendee),
+           pictures@$attendee($id, $name, $owner, $data),
+           rate@$owner($id, %d)|}
+       (q viewer) (q viewer) min_rating)
+
+let attendee_program name =
+  Printf.sprintf
+    {|
+    ext pictures@%s(id, name, owner, data);
+    ext selectedAttendee@%s(attendee);
+    ext selectedPictures@%s(name, id, owner);
+    ext communicate@%s(protocol);
+    ext rate@%s(id, rating);
+    ext tags@%s(id, who);
+    ext comments@%s(id, author, text);
+    ext authorized@%s(service, id, owner);
+    ext wepic@%s(attendee, name, id, owner);
+    ext email@%s(attendee, name, id, owner);
+    int attendeePictures@%s(id, name, owner, data);
+    int attendeeTags@%s(id, who);
+    int bestRating@%s(id, rating);
+    int ratedPictures@%s(id, name, owner, rating);
+
+    attendeePictures@%s($id, $name, $owner, $data) :-
+      selectedAttendee@%s($attendee),
+      pictures@$attendee($id, $name, $owner, $data);
+
+    // name tags of the pictures currently on screen (delegates to owners)
+    attendeeTags@%s($id, $who) :-
+      attendeePictures@%s($id, $name, $owner, $data),
+      tags@$owner($id, $who);
+
+    // one row per picture: its best rating so far (aggregate view)
+    bestRating@%s($id, max($r)) :- rate@%s($id, $r);
+
+    ratedPictures@%s($id, $name, $owner, $rating) :-
+      attendeePictures@%s($id, $name, $owner, $data),
+      bestRating@$owner($id, $rating);
+
+    $protocol@$attendee($attendee, $name, $id, $owner) :-
+      selectedAttendee@%s($attendee),
+      communicate@$attendee($protocol),
+      selectedPictures@%s($name, $id, $owner);
+
+    pictures@%s($id, $name, $owner, $data) :-
+      pictures@%s($id, $name, $owner, $data);
+    |}
+    (* declarations: 10 ext + 4 int *)
+    (q name) (q name) (q name) (q name) (q name) (q name) (q name) (q name)
+    (q name) (q name) (q name) (q name) (q name) (q name)
+    (* attendeePictures, attendeeTags, bestRating, ratedPictures rules *)
+    (q name) (q name)
+    (q name) (q name)
+    (q name) (q name)
+    (q name) (q name)
+    (* transfer rule *)
+    (q name) (q name)
+    (* publish-to-sigmod rule *)
+    (q sigmod_peer_name) (q name)
+
+let add_attendee t name =
+  if name = sigmod_peer_name || name = fb_peer_name then
+    invalid_arg (Printf.sprintf "Wepic.add_attendee: %s is reserved" name);
+  if Hashtbl.mem t.attendee_peers name then
+    invalid_arg (Printf.sprintf "Wepic.add_attendee: %s already exists" name);
+  let policy = if t.untrusted_by_default then Webdamlog.Acl.Closed else Webdamlog.Acl.Open in
+  let peer = System.add_peer t.system ~policy name in
+  if t.untrusted_by_default then
+    Webdamlog.Acl.trust (Peer.acl peer) sigmod_peer_name;
+  (match Peer.load_string peer (attendee_program name) with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Wepic.add_attendee: " ^ e));
+  (match
+     Peer.insert t.sigmod
+       (Fact.make ~rel:"attendees" ~peer:sigmod_peer_name [ Value.String name ])
+   with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Wepic.add_attendee: " ^ e));
+  let outbox = Email.outbox_wrapper ~service:t.email ~peer ~sender:name () in
+  t.wrappers <- t.wrappers @ [ outbox ];
+  Hashtbl.replace t.attendee_peers name peer;
+  t.attendee_order <- name :: t.attendee_order;
+  peer
+
+let attendee t name =
+  match Hashtbl.find_opt t.attendee_peers name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Wepic.attendee: unknown attendee %s" name)
+
+let attendees t = List.rev t.attendee_order
+
+(* {1 User operations} *)
+
+let must = function
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Wepic: " ^ e)
+
+let upload_picture t ~attendee:name ~id ~name:pic_name ~data =
+  must
+    (Peer.insert (attendee t name)
+       (Fact.make ~rel:"pictures" ~peer:name
+          [ Value.Int id; Value.String pic_name; Value.String name;
+            Value.String data ]))
+
+let select_attendee t ~viewer ~attendee:target =
+  must
+    (Peer.insert (attendee t viewer)
+       (Fact.make ~rel:"selectedAttendee" ~peer:viewer [ Value.String target ]))
+
+let deselect_attendee t ~viewer ~attendee:target =
+  must
+    (Peer.delete (attendee t viewer)
+       (Fact.make ~rel:"selectedAttendee" ~peer:viewer [ Value.String target ]))
+
+let select_picture t ~viewer ~name ~id ~owner =
+  must
+    (Peer.insert (attendee t viewer)
+       (Fact.make ~rel:"selectedPictures" ~peer:viewer
+          [ Value.String name; Value.Int id; Value.String owner ]))
+
+let set_protocol t ~attendee:name ~protocol =
+  must
+    (Peer.insert (attendee t name)
+       (Fact.make ~rel:"communicate" ~peer:name [ Value.String protocol ]))
+
+let rate t ~rater:_ ~owner ~id ~rating =
+  must
+    (Peer.insert (attendee t owner)
+       (Fact.make ~rel:"rate" ~peer:owner [ Value.Int id; Value.Int rating ]))
+
+let tag t ~owner ~id ~who =
+  must
+    (Peer.insert (attendee t owner)
+       (Fact.make ~rel:"tags" ~peer:owner [ Value.Int id; Value.String who ]))
+
+let comment t ~owner ~id ~author ~text =
+  must
+    (Peer.insert (attendee t owner)
+       (Fact.make ~rel:"comments" ~peer:owner
+          [ Value.Int id; Value.String author; Value.String text ]))
+
+let announce t text =
+  must
+    (Peer.insert t.sigmod
+       (Fact.make ~rel:"news" ~peer:sigmod_peer_name [ Value.String text ]))
+
+let announcements t ~attendee:name =
+  Peer.query (attendee t name) "announcements"
+  |> List.filter_map (fun (f : Fact.t) ->
+         match f.Fact.args with
+         | [ Value.String text ] -> Some text
+         | _ -> None)
+
+let authorize_facebook t ~attendee:name ~id =
+  must
+    (Peer.insert (attendee t name)
+       (Fact.make ~rel:"authorized" ~peer:name
+          [ Value.String "Facebook"; Value.Int id; Value.String name ]))
+
+(* {1 Running and views} *)
+
+let sync_wrappers t =
+  List.fold_left
+    (fun n w -> n + w.Wrapper.push () + w.Wrapper.refresh ())
+    0 t.wrappers
+
+let run ?max_rounds t =
+  (* Wrappers and rules feed each other (a pushed picture re-enters via
+     refresh), so alternate until neither side moves. *)
+  let rec go total guard =
+    if guard > 100 then Error "wrapper synchronisation did not stabilise"
+    else
+      let crossed = sync_wrappers t in
+      match System.run ?max_rounds t.system with
+      | Error e -> Error e
+      | Ok rounds ->
+        if crossed = 0 && rounds = 0 then Ok total
+        else go (total + rounds) (guard + 1)
+  in
+  go 0 0
+
+let attendee_pictures t ~viewer = Peer.query (attendee t viewer) "attendeePictures"
+
+let attendee_tags t ~viewer =
+  Peer.query (attendee t viewer) "attendeeTags"
+  |> List.filter_map (fun (f : Fact.t) ->
+         match f.Fact.args with
+         | [ Value.Int id; Value.String who ] -> Some (id, who)
+         | _ -> None)
+
+(* §3 item 3b: "get pictures from another Wepic peer": everything the
+   attendeePictures frame shows is copied into the local collection. *)
+let download_rule ~viewer =
+  Parser.parse_rule
+    (Printf.sprintf
+       {|pictures@%s($id, $name, $owner, $data) :-
+           attendeePictures@%s($id, $name, $owner, $data)|}
+       (q viewer) (q viewer))
+
+let enable_download t ~viewer = Peer.add_rule (attendee t viewer) (download_rule ~viewer)
+
+let disable_download t ~viewer =
+  ignore (Peer.remove_rule (attendee t viewer) (download_rule ~viewer))
+
+let rated_pictures t ~viewer =
+  let parse (f : Fact.t) =
+    match f.Fact.args with
+    | [ Value.Int id; Value.String name; Value.String owner; Value.Int rating ] ->
+      Some (id, name, owner, rating)
+    | _ -> None
+  in
+  Peer.query (attendee t viewer) "ratedPictures"
+  |> List.filter_map parse
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Int.compare b a)
+
+let pictures_at_sigmod t = Peer.query t.sigmod "pictures"
+let pictures_on_facebook t = Facebook.group_pictures t.facebook ~group:fb_group_name
+
+let render_ui t ~viewer =
+  let peer = attendee t viewer in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let selected =
+    List.filter_map
+      (fun (f : Fact.t) ->
+        match f.Fact.args with [ Value.String a ] -> Some a | _ -> None)
+      (Peer.query peer "selectedAttendee")
+  in
+  line "+--- Wepic : %s ---" viewer;
+  line "| Attendees:";
+  List.iter
+    (fun a ->
+      if a <> viewer then
+        line "|   [%s] %s" (if List.mem a selected then "x" else " ") a)
+    (attendees t);
+  line "| My pictures:";
+  List.iter
+    (fun (f : Fact.t) ->
+      match f.Fact.args with
+      | [ Value.Int id; Value.String name; _; _ ] -> line "|   %4d %s" id name
+      | _ -> ())
+    (Peer.query peer "pictures");
+  line "| Attendee pictures:";
+  let ratings =
+    List.filter_map
+      (fun (f : Fact.t) ->
+        match f.Fact.args with
+        | [ Value.Int id; _; _; Value.Int r ] -> Some (id, r)
+        | _ -> None)
+      (Peer.query peer "ratedPictures")
+  in
+  List.iter
+    (fun (f : Fact.t) ->
+      match f.Fact.args with
+      | [ Value.Int id; Value.String name; Value.String owner; _ ] ->
+        let stars =
+          match List.assoc_opt id ratings with
+          | Some r -> " " ^ String.make (max 0 (min 5 r)) '*'
+          | None -> ""
+        in
+        line "|   %4d %s (%s)%s" id name owner stars
+      | _ -> ())
+    (attendee_pictures t ~viewer);
+  (match Peer.pending_delegations peer with
+  | [] -> ()
+  | pending ->
+    line "| Pending delegations (Fig. 3):";
+    List.iter
+      (fun (src, rule) ->
+        line "|   %s asks to install: %s" src
+          (Format.asprintf "%a" Wdl_syntax.Rule.pp rule))
+      pending);
+  line "+---";
+  Buffer.contents buf
+
+let customize_view t ~viewer rule =
+  let peer = attendee t viewer in
+  let is_view_rule (r : Rule.t) =
+    match Term.as_name r.Rule.head.Atom.rel, Term.as_name r.Rule.head.Atom.peer with
+    | Some "attendeePictures", Some p -> p = viewer
+    | _, _ -> false
+  in
+  List.iter
+    (fun r -> if is_view_rule r then ignore (Peer.remove_rule peer r))
+    (Peer.rules peer);
+  Peer.add_rule peer rule

@@ -1,0 +1,125 @@
+(** Wepic (§3): the conference picture manager demonstrated in the
+    paper, assembled from WebdamLog rules over the core engine and the
+    Facebook/email wrappers.
+
+    Topology (Fig. 2): one [sigmod] peer (the Webdam cloud host), one
+    Wepic peer per attendee (their laptops), the [SigmodFB] group
+    wrapper, and an email service. Attendee peers run the paper's
+    rules:
+
+    {v
+    attendeePictures@A($id,$nm,$ow,$d) :-
+      selectedAttendee@A($att), pictures@$att($id,$nm,$ow,$d);
+
+    $protocol@$att($att,$nm,$id,$ow) :-
+      selectedAttendee@A($att), communicate@$att($protocol),
+      selectedPictures@A($nm,$id,$ow);
+
+    pictures@sigmod($id,$nm,$ow,$d) :- pictures@A($id,$nm,$ow,$d);
+    v}
+
+    and the sigmod peer runs the §4 Facebook rules:
+
+    {v
+    pictures@SigmodFB($id,$nm,$ow,$d) :-
+      pictures@sigmod($id,$nm,$ow,$d), authorized@$ow("Facebook",$id,$ow);
+
+    pictures@sigmod($id,$nm,$ow,$d) :- pictures@SigmodFB($id,$nm,$ow,$d);
+    v} *)
+
+open Wdl_syntax
+
+type t
+
+val sigmod_peer_name : string
+val fb_peer_name : string
+
+val create :
+  ?transport:Webdamlog.Message.t Wdl_net.Transport.t ->
+  ?untrusted_by_default:bool ->
+  unit ->
+  t
+(** [untrusted_by_default] reproduces the demo's delegation-control
+    setting: every peer except [sigmod] must be approved (default
+    [false] so programmatic scenarios run unattended). *)
+
+val system : t -> Webdamlog.System.t
+val sigmod : t -> Webdamlog.Peer.t
+val facebook : t -> Wdl_wrappers.Facebook.t
+val email : t -> Wdl_wrappers.Email.t
+val fb_group_peer : t -> Webdamlog.Peer.t
+
+val add_attendee : t -> string -> Webdamlog.Peer.t
+(** Creates the attendee's peer with the standard Wepic program,
+    registers it at [sigmod], and attaches an email outbox wrapper. *)
+
+val attendee : t -> string -> Webdamlog.Peer.t
+val attendees : t -> string list
+
+(** {1 User operations (the buttons of Fig. 1)} *)
+
+val upload_picture :
+  t -> attendee:string -> id:int -> name:string -> data:string -> unit
+
+val select_attendee : t -> viewer:string -> attendee:string -> unit
+val deselect_attendee : t -> viewer:string -> attendee:string -> unit
+val select_picture : t -> viewer:string -> name:string -> id:int -> owner:string -> unit
+val set_protocol : t -> attendee:string -> protocol:string -> unit
+(** Protocols: ["wepic"] (deliver into the recipient's [wepic]
+    relation), ["email"] (one mail per picture via the email wrapper),
+    or any relation name of the recipient's choosing. *)
+
+val rate : t -> rater:string -> owner:string -> id:int -> rating:int -> unit
+(** Stored at the picture owner's peer, as in the paper's
+    [rate@$owner($id, 5)]. *)
+
+val tag : t -> owner:string -> id:int -> who:string -> unit
+val comment : t -> owner:string -> id:int -> author:string -> text:string -> unit
+val authorize_facebook : t -> attendee:string -> id:int -> unit
+
+val announce : t -> string -> unit
+(** Conference-wide announcement: a [news@sigmod] fact fans out to
+    every registered attendee through a dynamic-head rule
+    ([announcements@$a($text) :- attendees@sigmod($a), news@…]). *)
+
+val announcements : t -> attendee:string -> string list
+
+(** {1 Views} *)
+
+val run : ?max_rounds:int -> t -> (int, string) result
+(** Wrapper sync + rounds to quiescence. *)
+
+val attendee_pictures : t -> viewer:string -> Fact.t list
+
+val attendee_tags : t -> viewer:string -> (int * string) list
+(** Name tags of the pictures currently in the frame: [(picture id,
+    who appears)], collected from the owners by delegation. *)
+
+val enable_download : t -> viewer:string -> (unit, string) result
+(** §3 "download ... the pictures of others": while enabled, everything
+    in the attendeePictures frame is copied into the viewer's own
+    [pictures] collection (an inductive rule). Downloads already taken
+    persist after {!disable_download}. *)
+
+val disable_download : t -> viewer:string -> unit
+val rated_pictures : t -> viewer:string -> (int * string * string * int) list
+(** [(id, name, owner, rating)] sorted by decreasing rating — the §3
+    "select and rank photos based on their annotations" feature. *)
+
+val pictures_at_sigmod : t -> Fact.t list
+val pictures_on_facebook : t -> Wdl_wrappers.Facebook.picture list
+
+val render_ui : t -> viewer:string -> string
+(** A textual rendering of the Fig. 1 interface for one attendee:
+    the attendee list with selections, the viewer's own pictures, the
+    "Attendee pictures" frame (with ratings where known) and the
+    pending-delegation notifications of Fig. 3. *)
+
+(** {1 Customisation (§4)} *)
+
+val standard_view_rule : viewer:string -> Rule.t
+val min_rating_view_rule : viewer:string -> min_rating:int -> Rule.t
+(** The §4 customisation: only pictures rated exactly [min_rating]. *)
+
+val customize_view : t -> viewer:string -> Rule.t -> (unit, string) result
+(** Replaces the current [attendeePictures] rule with the given one. *)

@@ -1,0 +1,62 @@
+type spec = {
+  attendees : int;
+  pictures_per_attendee : int;
+  payload_bytes : int;
+  rating_density : float;
+  seed : int;
+}
+
+let default =
+  {
+    attendees = 5;
+    pictures_per_attendee = 10;
+    payload_bytes = 64;
+    rating_density = 0.5;
+    seed = 7;
+  }
+
+let attendee_name i = Printf.sprintf "attendee%d" i
+
+let payload ~seed ~bytes =
+  let rng = Random.State.make [| seed |] in
+  String.init bytes (fun _ -> Char.chr (33 + Random.State.int rng 94))
+
+let populate env spec =
+  let rng = Random.State.make [| spec.seed |] in
+  for i = 1 to spec.attendees do
+    ignore (Wepic.add_attendee env (attendee_name i))
+  done;
+  for i = 1 to spec.attendees do
+    let name = attendee_name i in
+    Wepic.set_protocol env ~attendee:name ~protocol:"wepic";
+    for j = 1 to spec.pictures_per_attendee do
+      let id = (i * 10_000) + j in
+      Wepic.upload_picture env ~attendee:name ~id
+        ~name:(Printf.sprintf "pic_%d_%d.jpg" i j)
+        ~data:(payload ~seed:(spec.seed + id) ~bytes:spec.payload_bytes);
+      if Random.State.float rng 1.0 < spec.rating_density then
+        Wepic.rate env ~rater:name ~owner:name ~id
+          ~rating:(1 + Random.State.int rng 5)
+    done
+  done
+
+let chain_edges ~n = List.init (max 0 (n - 1)) (fun i -> (i, i + 1))
+
+let random_edges ~seed ~nodes ~edges =
+  if nodes < 2 then []
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let seen = Hashtbl.create edges in
+    let acc = ref [] in
+    let attempts = ref 0 in
+    let max_attempts = edges * 50 in
+    while Hashtbl.length seen < edges && !attempts < max_attempts do
+      incr attempts;
+      let a = Random.State.int rng nodes and b = Random.State.int rng nodes in
+      if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.replace seen (a, b) ();
+        acc := (a, b) :: !acc
+      end
+    done;
+    List.rev !acc
+  end

@@ -1,0 +1,33 @@
+(** Deterministic synthetic workloads.
+
+    The demo's data (attendees uploading conference photos, rating and
+    tagging each other's pictures) is replaced by a seeded generator —
+    DESIGN.md documents the substitution. Also provides the generic
+    graph/payload generators used by the engine benchmarks. *)
+
+type spec = {
+  attendees : int;
+  pictures_per_attendee : int;
+  payload_bytes : int;  (** size of the synthetic picture "content" *)
+  rating_density : float;  (** fraction of pictures that get a rating *)
+  seed : int;
+}
+
+val default : spec
+
+val attendee_name : int -> string
+(** ["attendee<i>"], stable across runs. *)
+
+val populate : Wepic.t -> spec -> unit
+(** Adds the attendees, uploads their pictures, sets every protocol to
+    ["wepic"] and rates a [rating_density] fraction of pictures with a
+    seeded rating in 1..5. Does not run the system. *)
+
+val payload : seed:int -> bytes:int -> string
+(** Printable pseudo-random payload. *)
+
+val chain_edges : n:int -> (int * int) list
+(** [(0,1); (1,2); …] — worst case depth for transitive closure. *)
+
+val random_edges : seed:int -> nodes:int -> edges:int -> (int * int) list
+(** Distinct directed edges, no self-loops. *)

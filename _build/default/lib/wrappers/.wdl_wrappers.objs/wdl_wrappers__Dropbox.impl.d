@@ -1,0 +1,1 @@
+lib/wrappers/dropbox.ml: Fact Hashtbl List Printf String Value Wdl_store Wdl_syntax Webdamlog Wrapper

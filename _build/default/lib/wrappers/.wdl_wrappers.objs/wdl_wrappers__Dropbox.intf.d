@@ -1,0 +1,1 @@
+lib/wrappers/dropbox.mli: Webdamlog Wrapper

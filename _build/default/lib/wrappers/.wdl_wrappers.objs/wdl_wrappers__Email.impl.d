@@ -1,0 +1,1 @@
+lib/wrappers/email.ml: Fact Format Hashtbl List Value Wdl_store Wdl_syntax Webdamlog Wrapper

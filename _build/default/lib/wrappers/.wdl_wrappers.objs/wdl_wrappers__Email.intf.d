@@ -1,0 +1,1 @@
+lib/wrappers/email.mli: Webdamlog Wrapper

@@ -1,0 +1,1 @@
+lib/wrappers/facebook.ml: Fact Hashtbl List Option Printf Value Wdl_store Wdl_syntax Webdamlog Wrapper

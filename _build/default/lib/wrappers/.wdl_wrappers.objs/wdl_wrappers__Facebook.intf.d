@@ -1,0 +1,1 @@
+lib/wrappers/facebook.mli: Webdamlog Wrapper

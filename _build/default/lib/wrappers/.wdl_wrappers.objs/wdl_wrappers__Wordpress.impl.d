@@ -1,0 +1,1 @@
+lib/wrappers/wordpress.ml: Fact Hashtbl List Printf Value Wdl_store Wdl_syntax Webdamlog Wrapper

@@ -1,0 +1,1 @@
+lib/wrappers/wordpress.mli: Webdamlog Wrapper

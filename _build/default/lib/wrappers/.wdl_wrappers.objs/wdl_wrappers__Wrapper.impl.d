@@ -1,0 +1,1 @@
+lib/wrappers/wrapper.ml: Hashtbl List Wdl_syntax Webdamlog

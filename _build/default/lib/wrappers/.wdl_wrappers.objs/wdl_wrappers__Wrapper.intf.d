@@ -1,0 +1,1 @@
+lib/wrappers/wrapper.mli: Wdl_syntax Webdamlog

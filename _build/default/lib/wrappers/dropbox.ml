@@ -1,0 +1,59 @@
+open Wdl_syntax
+
+type t = { folders : (string, (string, string) Hashtbl.t) Hashtbl.t }
+
+let create () = { folders = Hashtbl.create 16 }
+
+let folder t user =
+  match Hashtbl.find_opt t.folders user with
+  | Some f -> f
+  | None ->
+    let f = Hashtbl.create 16 in
+    Hashtbl.replace t.folders user f;
+    f
+
+let put t ~user ~path ~content = Hashtbl.replace (folder t user) path content
+let get t ~user ~path = Hashtbl.find_opt (folder t user) path
+
+let files t ~user =
+  Hashtbl.fold (fun path content acc -> (path, content) :: acc) (folder t user) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let value_string = function
+  | Value.String s -> s
+  | (Value.Int _ | Value.Float _ | Value.Bool _) as v -> Value.to_string v
+
+let folder_wrapper ~system ~service ~user ~peer_name =
+  let peer = Webdamlog.System.add_peer system peer_name in
+  (match
+     Webdamlog.Peer.load_string peer
+       (Printf.sprintf "ext files@%s(path, content);" peer_name)
+   with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Dropbox.folder_wrapper: " ^ e));
+  let refresh () =
+    let crossed = ref 0 in
+    List.iter
+      (fun (path, content) ->
+        let fact =
+          Fact.make ~rel:"files" ~peer:peer_name
+            [ Value.String path; Value.String content ]
+        in
+        let db = Webdamlog.Peer.database peer in
+        let tuple = Wdl_store.Tuple.of_list fact.Fact.args in
+        if not (Wdl_store.Database.mem db ~rel:"files" tuple) then
+          match Webdamlog.Peer.insert peer fact with
+          | Ok () -> incr crossed
+          | Error _ -> ())
+      (files service ~user);
+    !crossed
+  in
+  let push =
+    Wrapper.watcher ~peer ~rel:"files" (fun fact ->
+        match fact.Fact.args with
+        | [ path; content ] ->
+          put service ~user ~path:(value_string path)
+            ~content:(value_string content)
+        | _ -> ())
+  in
+  ({ Wrapper.label = "dropbox:" ^ user; refresh; push }, peer)

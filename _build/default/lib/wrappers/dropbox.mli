@@ -1,0 +1,22 @@
+(** A simulated Dropbox: folders of (path, content) files per user.
+
+    Used by the intro scenario (Joe links his movie from his Dropbox
+    folder) and by tests. {!folder_wrapper} exposes one user's folder
+    as a two-way [files@peer(path, content)] relation. *)
+
+type t
+
+val create : unit -> t
+val put : t -> user:string -> path:string -> content:string -> unit
+(** Overwrites. *)
+
+val get : t -> user:string -> path:string -> string option
+val files : t -> user:string -> (string * string) list
+(** Sorted by path. *)
+
+val folder_wrapper :
+  system:Webdamlog.System.t ->
+  service:t ->
+  user:string ->
+  peer_name:string ->
+  Wrapper.t * Webdamlog.Peer.t

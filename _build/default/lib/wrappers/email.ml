@@ -1,0 +1,81 @@
+open Wdl_syntax
+
+type message = {
+  id : int;
+  sender : string;
+  recipient : string;
+  subject : string;
+  body : string;
+}
+
+type t = {
+  mutable next_id : int;
+  boxes : (string, message list ref) Hashtbl.t;  (* newest first *)
+  mutable sent : int;
+}
+
+let create () = { next_id = 1; boxes = Hashtbl.create 16; sent = 0 }
+
+let box t user =
+  match Hashtbl.find_opt t.boxes user with
+  | Some b -> b
+  | None ->
+    let b = ref [] in
+    Hashtbl.replace t.boxes user b;
+    b
+
+let send t ~sender ~recipient ~subject ~body =
+  let msg = { id = t.next_id; sender; recipient; subject; body } in
+  t.next_id <- t.next_id + 1;
+  t.sent <- t.sent + 1;
+  let b = box t recipient in
+  b := msg :: !b;
+  msg
+
+let inbox t user = List.rev !(box t user)
+let total_sent t = t.sent
+
+let value_string = function
+  | Value.String s -> s
+  | (Value.Int _ | Value.Float _ | Value.Bool _) as v -> Value.to_string v
+
+let outbox_wrapper ~service ~peer ?(rel = "email") ~sender () =
+  let push =
+    Wrapper.watcher ~peer ~rel (fun fact ->
+        let recipient, subject =
+          match fact.Fact.args with
+          | recipient :: name :: _ ->
+            (value_string recipient, "wepic picture: " ^ value_string name)
+          | [ recipient ] -> (value_string recipient, "wepic notification")
+          | [] -> ("", "wepic notification")
+        in
+        if recipient <> "" then
+          ignore
+            (send service ~sender ~recipient ~subject
+               ~body:(Format.asprintf "%a" Fact.pp fact)))
+  in
+  { Wrapper.label = "email-out:" ^ Webdamlog.Peer.name peer;
+    refresh = (fun () -> 0);
+    push }
+
+let inbox_wrapper ~service ~peer ?(rel = "inbox") ~user () =
+  let peer_name = Webdamlog.Peer.name peer in
+  let refresh () =
+    let crossed = ref 0 in
+    List.iter
+      (fun m ->
+        let fact =
+          Fact.make ~rel ~peer:peer_name
+            [ Value.Int m.id; Value.String m.sender; Value.String m.subject;
+              Value.String m.body ]
+        in
+        let db = Webdamlog.Peer.database peer in
+        let tuple = Wdl_store.Tuple.of_list fact.Fact.args in
+        if not (Wdl_store.Database.mem db ~rel tuple) then
+          match Webdamlog.Peer.insert peer fact with
+          | Ok () -> incr crossed
+          | Error _ -> ())
+      (inbox service user);
+    !crossed
+  in
+  { Wrapper.label = "email-in:" ^ peer_name; refresh; push = (fun () -> 0) }

@@ -1,0 +1,47 @@
+(** A simulated email service: the demo's second standard wrapper.
+
+    The Wepic transfer rule derives facts whose relation name comes
+    from the [communicate] preference: when an attendee prefers
+    ["email"], facts land in the attendee peer's [email] relation.
+    {!outbox_wrapper} watches that relation and turns each new fact
+    into one delivered message; {!inbox_wrapper} surfaces a user's
+    mailbox as an [inbox@peer(id, from, subject, body)] relation. *)
+
+type message = {
+  id : int;
+  sender : string;
+  recipient : string;
+  subject : string;
+  body : string;
+}
+
+type t
+
+val create : unit -> t
+val send : t -> sender:string -> recipient:string -> subject:string -> body:string -> message
+val inbox : t -> string -> message list
+(** Oldest first. *)
+
+val total_sent : t -> int
+
+val outbox_wrapper :
+  service:t ->
+  peer:Webdamlog.Peer.t ->
+  ?rel:string ->
+  sender:string ->
+  unit ->
+  Wrapper.t
+(** Watches [rel] (default ["email"]). A fact
+    [email@p(recipient, name, id, owner)] is sent as one message whose
+    subject names the picture and whose body carries the full fact.
+    [refresh] is a no-op. *)
+
+val inbox_wrapper :
+  service:t ->
+  peer:Webdamlog.Peer.t ->
+  ?rel:string ->
+  user:string ->
+  unit ->
+  Wrapper.t
+(** Pulls [user]'s mailbox into [rel] (default ["inbox"], declared
+    extensional on first refresh). [push] is a no-op. *)

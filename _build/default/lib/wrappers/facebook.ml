@@ -1,0 +1,240 @@
+open Wdl_syntax
+
+type picture = { id : int; name : string; owner : string; data : string }
+type comment = { pic_id : int; author : string; text : string }
+
+type group = {
+  mutable g_members : string list;  (* reverse join order *)
+  mutable g_pictures : picture list;
+  mutable g_comments : comment list;
+}
+
+type t = {
+  user_set : (string, unit) Hashtbl.t;
+  mutable user_order : string list;
+  friendship : (string, string list ref) Hashtbl.t;
+  walls : (string, picture list ref) Hashtbl.t;
+  groups : (string, group) Hashtbl.t;
+}
+
+let create () =
+  {
+    user_set = Hashtbl.create 16;
+    user_order = [];
+    friendship = Hashtbl.create 16;
+    walls = Hashtbl.create 16;
+    groups = Hashtbl.create 4;
+  }
+
+let add_user t u =
+  if not (Hashtbl.mem t.user_set u) then begin
+    Hashtbl.replace t.user_set u ();
+    t.user_order <- u :: t.user_order
+  end
+
+let users t = List.rev t.user_order
+
+let friend_list t u =
+  match Hashtbl.find_opt t.friendship u with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.replace t.friendship u l;
+    l
+
+let befriend t a b =
+  add_user t a;
+  add_user t b;
+  let la = friend_list t a and lb = friend_list t b in
+  if not (List.mem b !la) then la := b :: !la;
+  if not (List.mem a !lb) then lb := a :: !lb
+
+let friends t u = List.rev !(friend_list t u)
+
+let group t name =
+  match Hashtbl.find_opt t.groups name with
+  | Some g -> g
+  | None ->
+    let g = { g_members = []; g_pictures = []; g_comments = [] } in
+    Hashtbl.replace t.groups name g;
+    g
+
+let create_group t name = ignore (group t name)
+
+let join_group t ~user ~group:gname =
+  add_user t user;
+  let g = group t gname in
+  if not (List.mem user g.g_members) then g.g_members <- user :: g.g_members
+
+let members t ~group:gname = List.rev (group t gname).g_members
+
+let post_group_picture t ~group:gname pic =
+  let g = group t gname in
+  if List.exists (fun p -> p.id = pic.id) g.g_pictures then false
+  else begin
+    g.g_pictures <- pic :: g.g_pictures;
+    true
+  end
+
+let group_pictures t ~group:gname = List.rev (group t gname).g_pictures
+
+let comment_group_picture t ~group:gname c =
+  let g = group t gname in
+  if List.mem c g.g_comments then false
+  else begin
+    g.g_comments <- c :: g.g_comments;
+    true
+  end
+
+let group_comments t ~group:gname = List.rev (group t gname).g_comments
+
+let wall t u =
+  match Hashtbl.find_opt t.walls u with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.replace t.walls u l;
+    l
+
+let post_user_picture t ~user pic =
+  add_user t user;
+  let w = wall t user in
+  if List.exists (fun p -> p.id = pic.id) !w then false
+  else begin
+    w := pic :: !w;
+    true
+  end
+
+let user_pictures t ~user = List.rev !(wall t user)
+
+(* {1 Wrappers} *)
+
+let str s = Value.String s
+let num n = Value.Int n
+
+(* Insert, reporting whether the fact is new (refresh counts these). *)
+let insert_new peer (fact : Fact.t) =
+  let db = Webdamlog.Peer.database peer in
+  let tuple = Wdl_store.Tuple.of_list fact.Fact.args in
+  let existed = Wdl_store.Database.mem db ~rel:fact.Fact.rel tuple in
+  match Webdamlog.Peer.insert peer fact with
+  | Ok () -> not existed
+  | Error _ -> false
+
+let pic_fact ~rel ~peer pic =
+  Fact.make ~rel ~peer [ num pic.id; str pic.name; str pic.owner; str pic.data ]
+
+let as_string = function
+  | Value.String s -> s
+  | (Value.Int _ | Value.Float _ | Value.Bool _) as v -> Value.to_string v
+
+let as_int = function Value.Int n -> Some n | Value.Float _ | Value.String _ | Value.Bool _ -> None
+
+let pic_of_args = function
+  | [ id; name; owner; data ] ->
+    Option.map
+      (fun id ->
+        { id; name = as_string name; owner = as_string owner; data = as_string data })
+      (as_int id)
+  | _ -> None
+
+let group_wrapper ~system ~service ~group:gname ~peer_name =
+  create_group service gname;
+  let peer = Webdamlog.System.add_peer system peer_name in
+  (match
+     Webdamlog.Peer.load_string peer
+       (Printf.sprintf
+          {|
+          ext pictures@%s(id, name, owner, data);
+          ext comments@%s(picId, author, text);
+          ext members@%s(user);
+          |}
+          peer_name peer_name peer_name)
+   with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Facebook.group_wrapper: " ^ e));
+  let refresh () =
+    let crossed = ref 0 in
+    let pull fact = if insert_new peer fact then incr crossed in
+    List.iter
+      (fun pic -> pull (pic_fact ~rel:"pictures" ~peer:peer_name pic))
+      (group_pictures service ~group:gname);
+    List.iter
+      (fun c ->
+        pull
+          (Fact.make ~rel:"comments" ~peer:peer_name
+             [ num c.pic_id; str c.author; str c.text ]))
+      (group_comments service ~group:gname);
+    List.iter
+      (fun m -> pull (Fact.make ~rel:"members" ~peer:peer_name [ str m ]))
+      (members service ~group:gname);
+    !crossed
+  in
+  let push_pictures =
+    Wrapper.watcher ~peer ~rel:"pictures" (fun fact ->
+        match pic_of_args fact.Fact.args with
+        | Some pic -> ignore (post_group_picture service ~group:gname pic)
+        | None -> ())
+  in
+  let push_comments =
+    Wrapper.watcher ~peer ~rel:"comments" (fun fact ->
+        match fact.Fact.args with
+        | [ pic_id; author; text ] -> (
+          match as_int pic_id with
+          | Some pic_id ->
+            ignore
+              (comment_group_picture service ~group:gname
+                 { pic_id; author = as_string author; text = as_string text })
+          | None -> ())
+        | _ -> ())
+  in
+  let push_members =
+    Wrapper.watcher ~peer ~rel:"members" (fun fact ->
+        match fact.Fact.args with
+        | [ user ] -> join_group service ~user:(as_string user) ~group:gname
+        | _ -> ())
+  in
+  let push () = push_pictures () + push_comments () + push_members () in
+  ({ Wrapper.label = "facebook:" ^ gname; refresh; push }, peer)
+
+let user_wrapper ~system ~service ~user ~peer_name =
+  add_user service user;
+  let peer = Webdamlog.System.add_peer system peer_name in
+  (match
+     Webdamlog.Peer.load_string peer
+       (Printf.sprintf
+          {|
+          ext friends@%s(userID, friendName);
+          ext pictures@%s(picID, owner, url);
+          |}
+          peer_name peer_name)
+   with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Facebook.user_wrapper: " ^ e));
+  let refresh () =
+    let crossed = ref 0 in
+    let pull fact = if insert_new peer fact then incr crossed in
+    List.iter
+      (fun f -> pull (Fact.make ~rel:"friends" ~peer:peer_name [ str user; str f ]))
+      (friends service user);
+    List.iter
+      (fun pic ->
+        pull
+          (Fact.make ~rel:"pictures" ~peer:peer_name
+             [ num pic.id; str pic.owner; str ("fb://" ^ pic.name) ]))
+      (user_pictures service ~user);
+    !crossed
+  in
+  let push =
+    Wrapper.watcher ~peer ~rel:"pictures" (fun fact ->
+        match fact.Fact.args with
+        | [ id; owner; url ] -> (
+          match as_int id with
+          | Some id ->
+            ignore
+              (post_user_picture service ~user
+                 { id; name = as_string url; owner = as_string owner; data = "" })
+          | None -> ())
+        | _ -> ())
+  in
+  ({ Wrapper.label = "facebook:" ^ user; refresh; push }, peer)

@@ -1,0 +1,56 @@
+(** A simulated Facebook: the demo's wrapper backend.
+
+    The paper wraps a live Facebook account/group; the substitution
+    (DESIGN.md) keeps the wrapper protocol identical — relations in,
+    relations out — over a deterministic in-memory service with users,
+    friendship, walls, and groups holding pictures and comments.
+
+    Wrappers exported (the relations of §2):
+    - {!group_wrapper}: [pictures@G(id, name, owner, data)],
+      [comments@G(picId, author, text)], [members@G(user)] for a group
+      [G] (the demo's [SigmodFB]); pictures and comments are two-way.
+    - {!user_wrapper}: [friends@U(userID, friendName)] and
+      [pictures@U(picID, owner, url)] for one user (the demo's
+      [ÉmilienFB]); pictures are two-way, friends are read-only. *)
+
+type picture = { id : int; name : string; owner : string; data : string }
+type comment = { pic_id : int; author : string; text : string }
+
+type t
+
+val create : unit -> t
+val add_user : t -> string -> unit
+val users : t -> string list
+val befriend : t -> string -> string -> unit
+(** Symmetric; registers unknown users. *)
+
+val friends : t -> string -> string list
+val create_group : t -> string -> unit
+val join_group : t -> user:string -> group:string -> unit
+val members : t -> group:string -> string list
+
+val post_group_picture : t -> group:string -> picture -> bool
+(** [false] if a picture with that id is already in the group. *)
+
+val group_pictures : t -> group:string -> picture list
+val comment_group_picture : t -> group:string -> comment -> bool
+val group_comments : t -> group:string -> comment list
+
+val post_user_picture : t -> user:string -> picture -> bool
+val user_pictures : t -> user:string -> picture list
+
+(** {1 Wrappers} *)
+
+val group_wrapper :
+  system:Webdamlog.System.t ->
+  service:t ->
+  group:string ->
+  peer_name:string ->
+  Wrapper.t * Webdamlog.Peer.t
+
+val user_wrapper :
+  system:Webdamlog.System.t ->
+  service:t ->
+  user:string ->
+  peer_name:string ->
+  Wrapper.t * Webdamlog.Peer.t

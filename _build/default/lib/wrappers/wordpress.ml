@@ -1,0 +1,95 @@
+open Wdl_syntax
+
+type post = { title : string; body : string; link : string }
+type comment = { post_title : string; author : string; text : string }
+
+type blog = {
+  mutable b_posts : post list;  (* reverse publication order *)
+  mutable b_comments : comment list;
+}
+
+type t = { blogs : (string, blog) Hashtbl.t }
+
+let create () = { blogs = Hashtbl.create 4 }
+
+let blog t name =
+  match Hashtbl.find_opt t.blogs name with
+  | Some b -> b
+  | None ->
+    let b = { b_posts = []; b_comments = [] } in
+    Hashtbl.replace t.blogs name b;
+    b
+
+let publish t ~blog:name post =
+  let b = blog t name in
+  if List.exists (fun p -> p.title = post.title) b.b_posts then false
+  else begin
+    b.b_posts <- post :: b.b_posts;
+    true
+  end
+
+let posts t ~blog:name = List.rev (blog t name).b_posts
+
+let add_comment t ~blog:name c =
+  let b = blog t name in
+  if List.mem c b.b_comments then false
+  else begin
+    b.b_comments <- c :: b.b_comments;
+    true
+  end
+
+let comments t ~blog:name = List.rev (blog t name).b_comments
+
+let value_string = function
+  | Value.String s -> s
+  | (Value.Int _ | Value.Float _ | Value.Bool _) as v -> Value.to_string v
+
+let insert_new peer (fact : Fact.t) =
+  let db = Webdamlog.Peer.database peer in
+  let tuple = Wdl_store.Tuple.of_list fact.Fact.args in
+  let existed = Wdl_store.Database.mem db ~rel:fact.Fact.rel tuple in
+  match Webdamlog.Peer.insert peer fact with
+  | Ok () -> not existed
+  | Error _ -> false
+
+let blog_wrapper ~system ~service ~blog:blog_name ~peer_name =
+  ignore (blog service blog_name);
+  let peer = Webdamlog.System.add_peer system peer_name in
+  (match
+     Webdamlog.Peer.load_string peer
+       (Printf.sprintf
+          {|ext entries@%s(title, body, link);
+            ext blogComments@%s(title, author, text);|}
+          peer_name peer_name)
+   with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Wordpress.blog_wrapper: " ^ e));
+  let refresh () =
+    let crossed = ref 0 in
+    let pull fact = if insert_new peer fact then incr crossed in
+    List.iter
+      (fun p ->
+        pull
+          (Fact.make ~rel:"entries" ~peer:peer_name
+             [ Value.String p.title; Value.String p.body; Value.String p.link ]))
+      (posts service ~blog:blog_name);
+    List.iter
+      (fun c ->
+        pull
+          (Fact.make ~rel:"blogComments" ~peer:peer_name
+             [ Value.String c.post_title; Value.String c.author;
+               Value.String c.text ]))
+      (comments service ~blog:blog_name);
+    !crossed
+  in
+  let push =
+    Wrapper.watcher ~peer ~rel:"entries" (fun fact ->
+        match fact.Fact.args with
+        | [ title; body; link ] ->
+          ignore
+            (publish service ~blog:blog_name
+               { title = value_string title; body = value_string body;
+                 link = value_string link })
+        | _ -> ())
+  in
+  ({ Wrapper.label = "wordpress:" ^ blog_name; refresh; push }, peer)

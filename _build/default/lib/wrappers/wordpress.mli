@@ -1,0 +1,31 @@
+(** A simulated blog platform (the introduction's "blog on
+    Wordpress.com").
+
+    Joe "wants to post on his blog a review of the last movie he
+    watched"; the wrapper turns that into WebdamLog relations. A blog
+    holds posts (title, body, link) and per-post comments.
+
+    {!blog_wrapper} exposes a two-way [entries@B(title, body, link)]
+    relation (derive into it to publish; refresh pulls externally
+    published posts) and a read-only [blogComments@B(title, author,
+    text)] relation. *)
+
+type post = { title : string; body : string; link : string }
+type comment = { post_title : string; author : string; text : string }
+
+type t
+
+val create : unit -> t
+val publish : t -> blog:string -> post -> bool
+(** [false] when a post with that title already exists on the blog. *)
+
+val posts : t -> blog:string -> post list
+val add_comment : t -> blog:string -> comment -> bool
+val comments : t -> blog:string -> comment list
+
+val blog_wrapper :
+  system:Webdamlog.System.t ->
+  service:t ->
+  blog:string ->
+  peer_name:string ->
+  Wrapper.t * Webdamlog.Peer.t

@@ -1,0 +1,30 @@
+type t = {
+  label : string;
+  refresh : unit -> int;
+  push : unit -> int;
+}
+
+let sync t () =
+  ignore (t.push ());
+  ignore (t.refresh ())
+
+module Fact_tbl = Hashtbl.Make (struct
+  type t = Wdl_syntax.Fact.t
+
+  let equal = Wdl_syntax.Fact.equal
+  let hash = Wdl_syntax.Fact.hash
+end)
+
+let watcher ~peer ~rel action =
+  let seen = Fact_tbl.create 64 in
+  fun () ->
+    let crossed = ref 0 in
+    List.iter
+      (fun fact ->
+        if not (Fact_tbl.mem seen fact) then begin
+          Fact_tbl.replace seen fact ();
+          action fact;
+          incr crossed
+        end)
+      (Webdamlog.Peer.query peer rel);
+    !crossed

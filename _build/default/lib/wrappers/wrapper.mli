@@ -1,0 +1,34 @@
+(** Wrappers (§2): adapters between WebdamLog relations and an external
+    service.
+
+    "A wrapper to some existing system X provides software that exports
+    to WebdamLog one or more relations corresponding to the data in X,
+    as well as rules to access/update this data."
+
+    A wrapper owns two directions:
+    - [refresh]: pull service state into the wrapper peer's relations
+      (new service facts become WebdamLog insertions);
+    - [push]: watch designated relations and apply new facts to the
+      service (a WebdamLog-derived fact becomes a service action).
+
+    Both are idempotent and return how many facts crossed. Register
+    [sync] with {!Webdamlog.System.on_round} to keep a live system and
+    its services consistent. *)
+
+type t = {
+  label : string;
+  refresh : unit -> int;
+  push : unit -> int;
+}
+
+val sync : t -> unit -> unit
+(** [push] then [refresh], ignoring counts. *)
+
+val watcher :
+  peer:Webdamlog.Peer.t ->
+  rel:string ->
+  (Wdl_syntax.Fact.t -> unit) ->
+  unit ->
+  int
+(** Builds a push function: calls the action exactly once per fact ever
+    seen in [rel] at [peer] (keeps a seen-set). *)

@@ -1,0 +1,1 @@
+test/test_acl.ml: Acl Alcotest List Parser Wdl_syntax Webdamlog

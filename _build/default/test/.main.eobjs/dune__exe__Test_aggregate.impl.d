@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate Alcotest Fact Format List Parser Peer Result Rule System Value Wdl_syntax Webdamlog

@@ -1,0 +1,1 @@
+test/test_authz.ml: Alcotest Authz List Parser Peer Result System Trace Wdl_syntax Webdamlog

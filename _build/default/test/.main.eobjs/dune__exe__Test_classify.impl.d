@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Classify Parser Str_helper Wdl_syntax Webdamlog

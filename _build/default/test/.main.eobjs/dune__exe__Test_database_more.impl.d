@@ -1,0 +1,1 @@
+test/test_database_more.ml: Alcotest Database Format List Parser Relation Tuple Value Wdl_store Wdl_syntax

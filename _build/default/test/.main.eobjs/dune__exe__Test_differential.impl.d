@@ -1,0 +1,1 @@
+test/test_differential.ml: Database Decl Fact Fixpoint Format List Option Parser Printf QCheck QCheck_alcotest Reference Rule String Tuple Value Wdl_eval Wdl_store Wdl_syntax

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Buffer Database Fact Fixpoint Format List Parser Printf Program Relation Rule Runtime_error Stratify Tuple Value Wdl_eval Wdl_store Wdl_syntax

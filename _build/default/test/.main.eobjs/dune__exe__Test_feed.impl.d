@@ -1,0 +1,1 @@
+test/test_feed.ml: Alcotest List Printf Wdl_feed Wdl_net Webdamlog

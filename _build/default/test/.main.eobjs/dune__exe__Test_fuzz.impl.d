@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Atom Char Fact Format List Parser Peer Printf QCheck QCheck_alcotest Rule String System Term Value Wdl_eval Wdl_feed Wdl_net Wdl_syntax Webdamlog

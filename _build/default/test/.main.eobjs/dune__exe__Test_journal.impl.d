@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Array Decl Fact Filename List Peer Persist Printf Result String Sys System Unix Value Wdl_store Wdl_syntax Webdamlog

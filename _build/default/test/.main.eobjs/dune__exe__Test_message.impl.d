@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Fact Format List Message Parser Str_helper Value Wdl_syntax Webdamlog

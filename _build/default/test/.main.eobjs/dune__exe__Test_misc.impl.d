@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bytes Classify Fact Format Fun List Message Parser Peer Program Str_helper String System Unix Value Wdl_net Wdl_syntax Wdl_web Webdamlog Wire

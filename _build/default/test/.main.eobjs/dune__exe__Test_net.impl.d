@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Inmem List Netstats Simnet Transport Wdl_net

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Atom Decl Fact Format List Literal Parser Program Rule String Term Value Wdl_syntax

@@ -1,0 +1,1 @@
+test/test_peer.ml: Alcotest Fact List Message Parser Peer Result String Trace Value Wdl_syntax Webdamlog

@@ -1,0 +1,1 @@
+test/test_persist.ml: Acl Alcotest Fact List Message Parser Peer Result String System Wdl_syntax Webdamlog

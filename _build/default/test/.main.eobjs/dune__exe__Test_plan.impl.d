@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array List Parser Plan Subst Value Wdl_eval Wdl_syntax

@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Fact List Peer Rule Str_helper String System Value Wdl_eval Wdl_syntax Webdamlog

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest List Peer Result Value Wdl_syntax Webdamlog

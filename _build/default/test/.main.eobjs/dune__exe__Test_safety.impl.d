@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Atom List Literal Parser Rule Safety Term Value Wdl_syntax

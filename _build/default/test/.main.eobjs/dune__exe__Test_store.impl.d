@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Database Decl List Relation Result Tuple Value Wdl_store Wdl_syntax

@@ -1,0 +1,1 @@
+test/test_stratify.ml: Alcotest Array Format List Parser Result Stratify Wdl_eval Wdl_syntax

@@ -1,0 +1,1 @@
+test/test_system.ml: Acl Alcotest Fact Format List Parser Peer Printf Rule System Trace Value Wdl_eval Wdl_net Wdl_syntax Webdamlog

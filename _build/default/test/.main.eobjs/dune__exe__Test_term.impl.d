@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest Atom Fact Format List Literal Parser Rule Subst Term Value Wdl_syntax

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Fact Format List Message Parser String Trace Value Wdl_eval Wdl_syntax Webdamlog

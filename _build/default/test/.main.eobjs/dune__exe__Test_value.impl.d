@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Fact Format List Parser Value Wdl_syntax

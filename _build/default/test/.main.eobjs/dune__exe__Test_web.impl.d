@@ -1,0 +1,1 @@
+test/test_web.ml: Acl Alcotest Buffer Bytes Char Format Fun List Option Peer Printf Str_helper String System Unix Wdl_syntax Wdl_web Webdamlog

@@ -1,0 +1,1 @@
+test/test_wepic.ml: Alcotest Fact Format List Printf Str_helper Value Wdl_net Wdl_syntax Wdl_wepic Wdl_wrappers Webdamlog

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Fact List Message Option Parser Peer Result Rule String System Value Wdl_net Wdl_syntax Webdamlog Wire

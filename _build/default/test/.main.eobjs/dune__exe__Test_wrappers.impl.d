@@ -1,0 +1,1 @@
+test/test_wrappers.ml: Alcotest Fact List Value Wdl_syntax Wdl_wrappers Webdamlog

@@ -1,0 +1,14 @@
+  $ wdl parse tc.wdl
+  $ echo 'v@p($x) :- a@p($y);' > unsafe.wdl
+  $ wdl parse unsafe.wdl
+  $ wdl run --peer local tc.wdl
+  $ wdl run --peer local --strategy naive tc.wdl
+  $ wdl query --peer local tc.wdl 'q@local($y) :- tc@local(1, $y)'
+  $ wdl simulate Jules=jules.wdl Emilien=emilien.wdl
+  $ printf 'n@local(1);\nn@local(2);\nint v@local(x);\nv@local($x) :- n@local($x), $x > 1;\n.run\n.dump v\n.quit\n' | wdl repl
+  $ wdl analyze --peer Jules jules.wdl
+  $ printf 'e@local(1,2);\ne@local(2,3);\nint t@local(x,y);\nt@local($x,$y) :- e@local($x,$y);\nt@local($x,$z) :- t@local($x,$y), e@local($y,$z);\n.explain t@local(1,3);\n.quit\n' | wdl repl
+  $ wdl fmt tc.wdl
+  $ wdl run --peer local same_generation.wdl | grep -c 'sg@local'
+  $ wdl run --peer local aggregates.wdl | sed -n '/perCity/,$p'
+  $ wdl run --peer local negation.wdl | sed -n '/empty@local (/,/^$/p'

@@ -1,0 +1,8 @@
+// Aggregation over a toy sales relation.
+int perCity@local(city, total, best);
+int overall@local(n, avgAmount);
+sales@local("paris", 10);
+sales@local("paris", 25);
+sales@local("nyc", 40);
+perCity@local($c, sum($a), max($a)) :- sales@local($c, $a);
+overall@local(count($a), avg($a)) :- sales@local($c, $a);

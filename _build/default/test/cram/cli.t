@@ -1,0 +1,152 @@
+The wdl CLI drives every demo surface. Parse + pretty-print:
+
+  $ wdl parse tc.wdl
+  int tc@local(x, y);
+  edge@local(1, 2);
+  edge@local(2, 3);
+  edge@local(3, 4);
+  tc@local($x, $y) :- edge@local($x, $y);
+  tc@local($x, $z) :- tc@local($x, $y), edge@local($y, $z);
+
+Reject unsafe programs with a position:
+
+  $ echo 'v@p($x) :- a@p($y);' > unsafe.wdl
+  $ wdl parse unsafe.wdl
+  unsafe program: head variable $x is not bound by the body
+  [1]
+
+Single-peer fixpoint:
+
+  $ wdl run --peer local tc.wdl
+  fixpoint after 1 round(s)
+  
+  edge@local (3):
+    edge@local(1, 2)
+    edge@local(2, 3)
+    edge@local(3, 4)
+  tc@local (6):
+    tc@local(1, 2)
+    tc@local(1, 3)
+    tc@local(1, 4)
+    tc@local(2, 3)
+    tc@local(2, 4)
+    tc@local(3, 4)
+
+Naive strategy computes the same relations:
+
+  $ wdl run --peer local --strategy naive tc.wdl
+  fixpoint after 1 round(s)
+  
+  edge@local (3):
+    edge@local(1, 2)
+    edge@local(2, 3)
+    edge@local(3, 4)
+  tc@local (6):
+    tc@local(1, 2)
+    tc@local(1, 3)
+    tc@local(1, 4)
+    tc@local(2, 3)
+    tc@local(2, 4)
+    tc@local(3, 4)
+
+Ad-hoc queries (the demo's Query tab):
+
+  $ wdl query --peer local tc.wdl 'q@local($y) :- tc@local(1, $y)'
+  $y
+  2
+  3
+  4
+
+Multi-peer simulation with delegation:
+
+  $ wdl simulate Jules=jules.wdl Emilien=emilien.wdl
+  quiescent after 3 round(s), 2 message(s)
+  
+  === peer Jules ===
+  attendeePictures@Jules (1):
+    attendeePictures@Jules(32, "sea.jpg", "Emilien", "100...")
+  selectedAttendee@Jules (1):
+    selectedAttendee@Jules("Emilien")
+  stats: stages=2 iterations=2 derivations=0 sent=1 received=1 installed=0 retracted=0 rejected=0 errors=0
+  
+  === peer Emilien ===
+  pictures@Emilien (1):
+    pictures@Emilien(32, "sea.jpg", "Emilien", "100...")
+  delegated rules:
+    from Jules: attendeePictures@Jules($id, $name, $owner, $data) :-
+                  pictures@Emilien($id, $name, $owner, $data)
+  stats: stages=2 iterations=2 derivations=1 sent=1 received=1 installed=1 retracted=0 rejected=0 errors=0
+  
+
+A scripted repl session:
+
+  $ printf 'n@local(1);\nn@local(2);\nint v@local(x);\nv@local($x) :- n@local($x), $x > 1;\n.run\n.dump v\n.quit\n' | wdl repl
+  WebdamLog repl: peer local (.help for commands)
+  > > > > > stage 3
+  >   v@local(2)
+  > 
+  bye
+
+Static analysis classifies every rule:
+
+  $ wdl analyze --peer Jules jules.wdl
+  2 declaration(s), 1 fact(s), 1 rule(s)
+  
+  rule 1: attendeePictures@Jules($id, $name, $owner, $data) :-
+            selectedAttendee@Jules($attendee),
+            pictures@$attendee($id, $name, $owner, $data)
+    view rule (deductive); delegation boundary dynamic from literal 2
+  
+  stratification: 1 stratum(s)
+
+Why-provenance in the repl:
+
+  $ printf 'e@local(1,2);\ne@local(2,3);\nint t@local(x,y);\nt@local($x,$y) :- e@local($x,$y);\nt@local($x,$z) :- t@local($x,$y), e@local($y,$z);\n.explain t@local(1,3);\n.quit\n' | wdl repl
+  WebdamLog repl: peer local (.help for commands)
+  > > > > > > t@local(1, 3)
+    by t@local($x, $z) :- t@local($x, $y), e@local($y, $z)
+    t@local(1, 2)
+      by t@local($x, $y) :- e@local($x, $y)
+      e@local(1, 2) [stored]
+    e@local(2, 3) [stored]
+  > 
+  bye
+
+Canonical formatting:
+
+  $ wdl fmt tc.wdl
+  int tc@local(x, y);
+  edge@local(1, 2);
+  edge@local(2, 3);
+  edge@local(3, 4);
+  tc@local($x, $y) :- edge@local($x, $y);
+  tc@local($x, $z) :- tc@local($x, $y), edge@local($y, $z);
+
+The classic Datalog programs run as expected — same generation:
+
+  $ wdl run --peer local same_generation.wdl | grep -c 'sg@local'
+  9
+
+Aggregates:
+
+  $ wdl run --peer local aggregates.wdl | sed -n '/perCity/,$p'
+  perCity@local (2):
+    perCity@local("nyc", 40, 40)
+    perCity@local("paris", 35, 25)
+  sales@local (3):
+    sales@local("nyc", 40)
+    sales@local("paris", 10)
+    sales@local("paris", 25)
+
+Stratified negation:
+
+  $ wdl run --peer local negation.wdl | sed -n '/empty@local (/,/^$/p'
+  empty@local (1):
+    empty@local("crowdsourcing")
+  registered@local (2):
+    registered@local("datalog", "joe")
+    registered@local("provenance", "alice")
+  session@local (3):
+    session@local("crowdsourcing")
+    session@local("datalog")
+    session@local("provenance")

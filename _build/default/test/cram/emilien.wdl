@@ -1,0 +1,2 @@
+ext pictures@Emilien(id, name, owner, data);
+pictures@Emilien(32, "sea.jpg", "Emilien", "100...");

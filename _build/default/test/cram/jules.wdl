@@ -1,0 +1,6 @@
+ext selectedAttendee@Jules(attendee);
+int attendeePictures@Jules(id, name, owner, data);
+selectedAttendee@Jules("Emilien");
+attendeePictures@Jules($id, $name, $owner, $data) :-
+  selectedAttendee@Jules($attendee),
+  pictures@$attendee($id, $name, $owner, $data);

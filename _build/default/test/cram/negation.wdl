@@ -1,0 +1,9 @@
+// Stratified negation: conference sessions nobody registered for.
+int empty@local(session);
+session@local("datalog");
+session@local("provenance");
+session@local("crowdsourcing");
+registered@local("datalog", "joe");
+registered@local("provenance", "alice");
+attended@local($s) :- registered@local($s, $w);
+empty@local($s) :- session@local($s), not attended@local($s);

@@ -1,0 +1,8 @@
+// The classic same-generation program: relatives at equal depth.
+int sg@local(x, y);
+parent@local("ann", "bob");
+parent@local("ann", "carol");
+parent@local("bob", "dave");
+parent@local("carol", "erin");
+sg@local($x, $y) :- parent@local($p, $x), parent@local($p, $y);
+sg@local($x, $y) :- parent@local($px, $x), sg@local($px, $py), parent@local($py, $y);

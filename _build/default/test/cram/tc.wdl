@@ -1,0 +1,6 @@
+int tc@local(x, y);
+edge@local(1, 2);
+edge@local(2, 3);
+edge@local(3, 4);
+tc@local($x, $y) :- edge@local($x, $y);
+tc@local($x, $z) :- tc@local($x, $y), edge@local($y, $z);

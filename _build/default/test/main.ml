@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "webdamlog"
+    [
+      ("value", Test_value.suite);
+      ("term-subst-atom-rule", Test_term.suite);
+      ("expr", Test_expr.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("safety", Test_safety.suite);
+      ("store", Test_store.suite);
+      ("store-more", Test_database_more.suite);
+      ("stratify", Test_stratify.suite);
+      ("eval", Test_eval.suite);
+      ("plan", Test_plan.suite);
+      ("acl", Test_acl.suite);
+      ("net", Test_net.suite);
+      ("trace", Test_trace.suite);
+      ("message", Test_message.suite);
+      ("peer", Test_peer.suite);
+      ("system", Test_system.suite);
+      ("query", Test_query.suite);
+      ("wire-tcp", Test_wire.suite);
+      ("persist", Test_persist.suite);
+      ("journal", Test_journal.suite);
+      ("web", Test_web.suite);
+      ("authz", Test_authz.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("provenance", Test_provenance.suite);
+      ("classify", Test_classify.suite);
+      ("wrappers", Test_wrappers.suite);
+      ("wepic", Test_wepic.suite);
+      ("properties", Test_props.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("feed", Test_feed.suite);
+      ("differential", Test_differential.suite);
+      ("misc", Test_misc.suite);
+    ]

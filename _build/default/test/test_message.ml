@@ -1,0 +1,44 @@
+open Wdl_syntax
+open Webdamlog
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+
+let rule = Parser.parse_rule "a@p($x) :- b@p($x)"
+let fact = Fact.make ~rel:"m" ~peer:"p" [ Value.String "payload" ]
+
+let suite =
+  [
+    tc "is_empty: only a no-change message is empty" (fun () ->
+        check_bool "empty" (Message.is_empty (Message.make ~src:"a" ~dst:"b" ~stage:1 ()));
+        check_bool "empty batch is a change"
+          (not (Message.is_empty
+                  (Message.make ~src:"a" ~dst:"b" ~stage:1 ~facts:(Some []) ())));
+        check_bool "installs"
+          (not (Message.is_empty
+                  (Message.make ~src:"a" ~dst:"b" ~stage:1 ~installs:[ rule ] ())));
+        check_bool "retracts"
+          (not (Message.is_empty
+                  (Message.make ~src:"a" ~dst:"b" ~stage:1 ~retracts:[ rule ] ()))));
+    tc "size grows with content" (fun () ->
+        let base = Message.size (Message.make ~src:"a" ~dst:"b" ~stage:1 ()) in
+        let with_fact =
+          Message.size (Message.make ~src:"a" ~dst:"b" ~stage:1 ~facts:(Some [ fact ]) ())
+        in
+        let with_rule =
+          Message.size (Message.make ~src:"a" ~dst:"b" ~stage:1 ~installs:[ rule ] ())
+        in
+        check_bool "fact adds" (with_fact > base);
+        check_bool "rule adds" (with_rule > base));
+    tc "pp renders all sections" (fun () ->
+        let m =
+          Message.make ~src:"a" ~dst:"b" ~stage:4 ~facts:(Some [ fact ])
+            ~installs:[ rule ] ~retracts:[ rule ] ()
+        in
+        let s = Format.asprintf "%a" Message.pp m in
+        List.iter
+          (fun needle ->
+            check_bool needle
+              (Str_helper.contains s needle))
+          [ "a -> b"; "stage 4"; "fact"; "install"; "retract" ]);
+  ]

@@ -1,0 +1,80 @@
+open Wdl_net
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+let check_int msg = Alcotest.check Alcotest.int msg
+
+let suite =
+  [
+    tc "inmem: immediate FIFO delivery" (fun () ->
+        let t = Inmem.create () in
+        t.Transport.send ~src:"a" ~dst:"b" 1;
+        t.Transport.send ~src:"a" ~dst:"b" 2;
+        Alcotest.check (Alcotest.list Alcotest.int) "fifo" [ 1; 2 ]
+          (t.Transport.drain "b");
+        check_int "empty" 0 (List.length (t.Transport.drain "b")));
+    tc "inmem: per-destination inboxes" (fun () ->
+        let t = Inmem.create () in
+        t.Transport.send ~src:"a" ~dst:"b" 1;
+        t.Transport.send ~src:"a" ~dst:"c" 2;
+        check_int "b" 1 (List.length (t.Transport.drain "b"));
+        check_int "c" 1 (List.length (t.Transport.drain "c")));
+    tc "inmem: stats and sizer" (fun () ->
+        let t = Inmem.create ~sizer:(fun n -> n) () in
+        t.Transport.send ~src:"a" ~dst:"b" 10;
+        t.Transport.send ~src:"a" ~dst:"b" 5;
+        let s = t.Transport.stats () in
+        check_int "sent" 2 s.Netstats.sent;
+        check_int "bytes" 15 s.Netstats.bytes;
+        ignore (t.Transport.drain "b");
+        check_int "delivered" 2 (t.Transport.stats ()).Netstats.delivered);
+    tc "inmem: pending counts undrained messages" (fun () ->
+        let t = Inmem.create () in
+        t.Transport.send ~src:"a" ~dst:"b" 1;
+        check_int "one" 1 (t.Transport.pending ());
+        ignore (t.Transport.drain "b");
+        check_int "zero" 0 (t.Transport.pending ()));
+    tc "simnet: nothing delivered before latency elapses" (fun () ->
+        let t = Simnet.create ~jitter:0. ~base_latency:2.0 () in
+        t.Transport.send ~src:"a" ~dst:"b" 1;
+        check_int "t0" 0 (List.length (t.Transport.drain "b"));
+        t.Transport.advance 1.0;
+        check_int "t1" 0 (List.length (t.Transport.drain "b"));
+        t.Transport.advance 1.0;
+        check_int "t2" 1 (List.length (t.Transport.drain "b")));
+    tc "simnet: reflexive links are instantaneous" (fun () ->
+        let t = Simnet.create ~base_latency:5.0 () in
+        t.Transport.send ~src:"a" ~dst:"a" 1;
+        check_int "self" 1 (List.length (t.Transport.drain "a")));
+    tc "simnet: deterministic under a fixed seed" (fun () ->
+        let run () =
+          let t = Simnet.create ~seed:7 ~base_latency:1.0 ~jitter:0.5 () in
+          for i = 0 to 9 do
+            t.Transport.send ~src:"a" ~dst:"b" i
+          done;
+          t.Transport.advance 1.5;
+          t.Transport.drain "b"
+        in
+        check_bool "same order" (run () = run ()));
+    tc "simnet: per-link latency function" (fun () ->
+        let t =
+          Simnet.create ~jitter:0.
+            ~latency:(fun ~src ~dst:_ -> if src = "far" then 10. else 1.)
+            ()
+        in
+        t.Transport.send ~src:"far" ~dst:"b" 1;
+        t.Transport.send ~src:"near" ~dst:"b" 2;
+        t.Transport.advance 1.0;
+        Alcotest.check (Alcotest.list Alcotest.int) "near only" [ 2 ]
+          (t.Transport.drain "b");
+        t.Transport.advance 9.0;
+        Alcotest.check (Alcotest.list Alcotest.int) "far arrives" [ 1 ]
+          (t.Transport.drain "b"));
+    tc "simnet: equal stamps preserve send order" (fun () ->
+        let t = Simnet.create ~jitter:0. ~base_latency:1.0 () in
+        t.Transport.send ~src:"a" ~dst:"b" 1;
+        t.Transport.send ~src:"a" ~dst:"b" 2;
+        t.Transport.advance 1.0;
+        Alcotest.check (Alcotest.list Alcotest.int) "fifo" [ 1; 2 ]
+          (t.Transport.drain "b"));
+  ]

@@ -1,0 +1,138 @@
+open Wdl_syntax
+open Webdamlog
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+let check_int msg = Alcotest.check Alcotest.int msg
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let fact rel peer args = Fact.make ~rel ~peer args
+
+let suite =
+  [
+    tc "create validates the name" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Peer.create: empty name")
+          (fun () -> ignore (Peer.create "")));
+    tc "load_program reports the failing statement" (fun () ->
+        let p = Peer.create "p" in
+        match Peer.load_string p "a@p(1); a@q(2);" with
+        | Error msg ->
+          check_bool "mentions statement 2"
+            (String.length msg >= 11 && String.sub msg 0 11 = "statement 2")
+        | Ok () -> Alcotest.fail "expected error");
+    tc "declarations for other peers rejected" (fun () ->
+        let p = Peer.create "p" in
+        check_bool "rejected"
+          (Result.is_error (Peer.load_string p "ext m@q(a);")));
+    tc "views cannot be updated directly" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "int v@p(x);");
+        check_bool "insert rejected"
+          (Result.is_error (Peer.insert p (fact "v" "p" [ Value.Int 1 ])));
+        check_bool "fact statement rejected"
+          (Result.is_error (Peer.load_string p "v@p(1);")));
+    tc "unsafe rules rejected at load" (fun () ->
+        let p = Peer.create "p" in
+        check_bool "rejected"
+          (Result.is_error (Peer.load_string p "v@p($x) :- a@p($y);")));
+    tc "negation cycles rejected at rule addition" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "int a@p(x); int b@p(x);");
+        ok (Peer.load_string p "a@p($x) :- base@p($x), not b@p($x);");
+        check_bool "cycle rejected"
+          (Result.is_error
+             (Peer.add_rule p
+                (Parser.parse_rule "b@p($x) :- base@p($x), not a@p($x)"))));
+    tc "insert/delete toggle has_work" (fun () ->
+        let p = Peer.create "p" in
+        check_bool "fresh" (not (Peer.has_work p));
+        ok (Peer.insert p (fact "m" "p" [ Value.Int 1 ]));
+        check_bool "dirty" (Peer.has_work p);
+        ignore (Peer.stage p);
+        check_bool "clean" (not (Peer.has_work p));
+        (* Duplicate insert is a no-op: stays clean. *)
+        ok (Peer.insert p (fact "m" "p" [ Value.Int 1 ]));
+        check_bool "still clean" (not (Peer.has_work p)));
+    tc "facts for other peers rejected" (fun () ->
+        let p = Peer.create "p" in
+        check_bool "rejected"
+          (Result.is_error (Peer.insert p (fact "m" "q" [ Value.Int 1 ]))));
+    tc "stage computes views" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "int v@p(x); a@p(1); a@p(2); v@p($x) :- a@p($x);");
+        ignore (Peer.stage p);
+        check_int "view" 2 (List.length (Peer.query p "v")));
+    tc "inductive updates land one stage later" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "a@p(1); b@p($x) :- a@p($x);");
+        ignore (Peer.stage p);
+        check_int "not yet" 0 (List.length (Peer.query p "b"));
+        check_bool "work pending" (Peer.has_work p);
+        ignore (Peer.stage p);
+        check_int "applied" 1 (List.length (Peer.query p "b"));
+        (* And the system settles: nothing new keeps arriving. *)
+        ignore (Peer.stage p);
+        check_bool "settled" (not (Peer.has_work p)));
+    tc "inductive chains take one stage per step" (fun () ->
+        let p = Peer.create "p" in
+        ok
+          (Peer.load_string p
+             "a@p(1); b@p($x) :- a@p($x); c@p($x) :- b@p($x);");
+        let rec settle n = if Peer.has_work p then begin ignore (Peer.stage p); settle (n + 1) end else n in
+        let stages = settle 0 in
+        check_int "c" 1 (List.length (Peer.query p "c"));
+        check_bool "several stages" (stages >= 2));
+    tc "query returns sorted facts, unknown relation empty" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "m@p(3); m@p(1);");
+        (match Peer.query p "m" with
+        | [ f1; f2 ] -> check_bool "sorted" (Fact.compare f1 f2 < 0)
+        | _ -> Alcotest.fail "expected two");
+        check_int "unknown" 0 (List.length (Peer.query p "nothing")));
+    tc "remove_rule stops derivation of views" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "int v@p(x); a@p(1); v@p($x) :- a@p($x);");
+        ignore (Peer.stage p);
+        check_int "before" 1 (List.length (Peer.query p "v"));
+        let r = List.hd (Peer.rules p) in
+        check_bool "removed" (Peer.remove_rule p r);
+        check_bool "absent now" (not (Peer.remove_rule p r));
+        ignore (Peer.stage p);
+        check_int "after" 0 (List.length (Peer.query p "v")));
+    tc "runtime errors surface in last_errors" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "sel@p(42); v@q($x) :- sel@p($a), d@$a($x);");
+        ignore (Peer.stage p);
+        check_bool "error recorded" (Peer.last_errors p <> []));
+    tc "stable stages stop emitting messages" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "a@p(1); out@q($x) :- a@p($x);");
+        let m1 = Peer.stage p in
+        check_int "first send" 1 (List.length m1);
+        (* Force another stage: same batch, nothing sent. *)
+        ok (Peer.insert p (fact "noise" "p" [ Value.Int 1 ]));
+        let m2 = Peer.stage p in
+        check_int "no resend" 0 (List.length m2));
+    tc "batch changes trigger a fresh send including removals" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "a@p(1); int v@p(x); v@p($x) :- a@p($x); out@q($x) :- v@p($x);");
+        let m1 = Peer.stage p in
+        check_int "send" 1 (List.length m1);
+        ok (Peer.delete p (fact "a" "p" [ Value.Int 1 ]));
+        let m2 = Peer.stage p in
+        (match m2 with
+        | [ m ] -> check_bool "empty batch sent" (m.Message.facts = Some [])
+        | _ -> Alcotest.fail "expected one message"));
+    tc "trace records lifecycle events" (fun () ->
+        let p = Peer.create "p" in
+        ok (Peer.load_string p "int v@p(x); a@p(1); v@p($x) :- a@p($x);");
+        ignore (Peer.stage p);
+        let events = Trace.events (Peer.trace p) in
+        check_bool "rule added"
+          (List.exists (function Trace.Rule_added _ -> true | _ -> false) events);
+        check_bool "fact inserted"
+          (List.exists (function Trace.Fact_inserted _ -> true | _ -> false) events);
+        check_bool "stage bracketed"
+          (List.exists (function Trace.Stage_start _ -> true | _ -> false) events
+          && List.exists (function Trace.Stage_end _ -> true | _ -> false) events));
+  ]

@@ -1,0 +1,68 @@
+(* Compiled rule plans: slot allocation and instantiation helpers. *)
+open Wdl_syntax
+open Wdl_eval
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+let check_int msg = Alcotest.check Alcotest.int msg
+
+let suite =
+  [
+    tc "slots are allocated in first-occurrence order" (fun () ->
+        let plan =
+          Plan.compile
+            (Parser.parse_rule "h@p($b, $a) :- x@p($a, $b), y@p($b, $c)")
+        in
+        Alcotest.check
+          (Alcotest.array Alcotest.string)
+          "names" [| "a"; "b"; "c" |] plan.Plan.slot_names;
+        check_int "nslots" 3 plan.Plan.nslots);
+    tc "name variables share slots with data variables" (fun () ->
+        (* $a is first a data variable, then a peer name. *)
+        let plan =
+          Plan.compile (Parser.parse_rule "h@p($x) :- sel@p($a), data@$a($x)")
+        in
+        check_int "slots" 2 plan.Plan.nslots;
+        match plan.Plan.steps with
+        | [ _; Plan.Match { peer = Plan.Name_slot 0; _ } ] -> ()
+        | _ -> Alcotest.fail "expected the peer to reference slot 0");
+    tc "constants compile to Fixed and Const" (fun () ->
+        let plan = Plan.compile (Parser.parse_rule "h@p($x) :- m@q(1, $x)") in
+        match plan.Plan.steps with
+        | [ Plan.Match { rel = Plan.Fixed "m"; peer = Plan.Fixed "q";
+                         args = [| Plan.Const (Value.Int 1); Plan.Slot _ |]; _ } ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected compilation");
+    tc "instantiate_args needs every slot bound" (fun () ->
+        let args = [| Plan.Const (Value.Int 7); Plan.Slot 0 |] in
+        check_bool "unbound" (Plan.instantiate_args args [| None |] = None);
+        check_bool "bound"
+          (Plan.instantiate_args args [| Some (Value.Int 3) |]
+          = Some [| Value.Int 7; Value.Int 3 |]));
+    tc "subst_of_env maps bound slots back to variable names" (fun () ->
+        let plan = Plan.compile (Parser.parse_rule "h@p($x, $y) :- m@p($x, $y)") in
+        let env = [| Some (Value.Int 1); None |] in
+        let s = Plan.subst_of_env plan env in
+        check_bool "x" (Subst.find "x" s = Some (Value.Int 1));
+        check_bool "y free" (Subst.find "y" s = None));
+    tc "eval_cexpr matches Expr.eval" (fun () ->
+        let plan =
+          Plan.compile (Parser.parse_rule "h@p($z) :- n@p($x), $z := $x * 2 + 1")
+        in
+        match plan.Plan.steps with
+        | [ _; Plan.Assign (_, ce, _) ] -> (
+          let env = Array.make plan.Plan.nslots None in
+          env.(0) <- Some (Value.Int 5);
+          match Plan.eval_cexpr ce env ~slot_names:plan.Plan.slot_names with
+          | Ok (Value.Int 11) -> ()
+          | Ok v -> Alcotest.fail ("got " ^ Value.to_string v)
+          | Error _ -> Alcotest.fail "eval failed")
+        | _ -> Alcotest.fail "unexpected steps");
+    tc "premise patterns keep only positive atoms" (fun () ->
+        let plan =
+          Plan.compile
+            (Parser.parse_rule
+               "h@p($x) :- a@p($x), not b@p($x), $x > 0, c@p($x)")
+        in
+        check_int "two premises" 2 (List.length plan.Plan.premise_patterns));
+  ]

@@ -1,0 +1,384 @@
+(* Property-based tests (qcheck) on the core data structures and on the
+   engine's equivalences. *)
+open Wdl_syntax
+open Wdl_store
+
+let ident_gen =
+  QCheck.Gen.(
+    let* len = int_range 1 8 in
+    let* chars = list_size (return len) (char_range 'a' 'z') in
+    let s = String.init len (List.nth chars) in
+    (* avoid keywords *)
+    return (if Term.is_ident s then s else "k" ^ s))
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun n -> Value.Int n) small_signed_int);
+        (2, map (fun s -> Value.String s) (string_size ~gen:printable (int_range 0 12)));
+        (2, map (fun f -> Value.Float f)
+             (map (fun n -> float_of_int n /. 16.) small_signed_int));
+        (1, map (fun b -> Value.Bool b) bool);
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let fact_gen =
+  QCheck.Gen.(
+    let* rel = ident_gen in
+    let* peer = ident_gen in
+    let* args = list_size (int_range 0 5) value_gen in
+    return (Fact.make ~rel ~peer args))
+
+let fact_arb = QCheck.make ~print:(Format.asprintf "%a" Fact.pp) fact_gen
+
+let term_gen =
+  QCheck.Gen.(
+    frequency
+      [ (2, map (fun v -> Term.Const v) value_gen);
+        (2, map (fun x -> Term.Var x) ident_gen) ])
+
+let name_term_gen =
+  QCheck.Gen.(
+    frequency
+      [ (3, map Term.str ident_gen); (1, map (fun x -> Term.Var x) ident_gen) ])
+
+let atom_gen =
+  QCheck.Gen.(
+    let* rel = name_term_gen in
+    let* peer = name_term_gen in
+    let* args = list_size (int_range 0 4) term_gen in
+    return (Atom.make ~rel ~peer args))
+
+let literal_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, map (fun a -> Literal.Pos a) atom_gen);
+        (1, map (fun a -> Literal.Neg a) atom_gen);
+        ( 1,
+          let* x = ident_gen in
+          let* v = value_gen in
+          return (Literal.Cmp (Literal.Lt, Expr.Var x, Expr.Const v)) );
+        ( 1,
+          let* x = ident_gen in
+          let* v = value_gen in
+          return (Literal.Assign (x, Expr.Add (Expr.Const v, Expr.Const (Value.Int 1)))) )
+      ])
+
+(* Arbitrary rules (not necessarily safe): printer/parser and wire codec
+   must round-trip anything the AST can hold. *)
+let rule_gen =
+  QCheck.Gen.(
+    let* head = atom_gen in
+    let* body = list_size (int_range 1 4) literal_gen in
+    let* agg = bool in
+    match head.Atom.args with
+    | Term.Var v :: _ when agg ->
+      let* op =
+        oneofl Aggregate.[ Count; Sum; Min; Max; Avg ]
+      in
+      return (Rule.make_agg ~aggs:[ (0, { Aggregate.op; var = v }) ] ~head ~body)
+    | _ -> return (Rule.make ~head ~body))
+
+let rule_arb = QCheck.make ~print:(Format.asprintf "%a" Rule.pp) rule_gen
+
+let message_gen =
+  QCheck.Gen.(
+    let* src = ident_gen in
+    let* dst = ident_gen in
+    let* stage = int_range 0 1000 in
+    let* facts =
+      frequency
+        [ (1, return None); (3, map Option.some (list_size (int_range 0 5) fact_gen)) ]
+    in
+    let* installs = list_size (int_range 0 3) rule_gen in
+    let* retracts = list_size (int_range 0 3) rule_gen in
+    return (Webdamlog.Message.make ~src ~dst ~stage ~facts ~installs ~retracts ()))
+
+let message_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Webdamlog.Message.pp) message_gen
+
+let policy_gen =
+  QCheck.Gen.(
+    frequency
+      [ (1, return Webdamlog.Authz.Everyone);
+        (3, map (fun l -> Webdamlog.Authz.Only l) (list_size (int_range 0 4) ident_gen)) ])
+
+let policy_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Webdamlog.Authz.pp_policy) policy_gen
+
+let edges_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 12 in
+    let* m = int_range 1 30 in
+    let* pairs = list_size (return m) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+    return pairs)
+
+let tests =
+  [
+    QCheck.Test.make ~count:500 ~name:"value pp/parse round-trip" value_arb
+      (fun v ->
+        let src = Format.asprintf "m@p(%a)" Value.pp v in
+        match (Parser.parse_fact src).Fact.args with
+        | [ v' ] -> Value.equal v v'
+        | _ -> false);
+    QCheck.Test.make ~count:300 ~name:"fact pp/parse round-trip" fact_arb
+      (fun f ->
+        let printed = Format.asprintf "%a" Fact.pp f in
+        Fact.equal f (Parser.parse_fact printed));
+    QCheck.Test.make ~count:300 ~name:"value compare is antisymmetric"
+      (QCheck.pair value_arb value_arb) (fun (a, b) ->
+        let c1 = Value.compare a b and c2 = Value.compare b a in
+        (c1 = 0 && c2 = 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0));
+    QCheck.Test.make ~count:300 ~name:"value compare is transitive"
+      (QCheck.triple value_arb value_arb value_arb) (fun (a, b, c) ->
+        let sorted = List.sort Value.compare [ a; b; c ] in
+        match sorted with
+        | [ x; y; z ] ->
+          Value.compare x y <= 0 && Value.compare y z <= 0
+          && Value.compare x z <= 0
+        | _ -> false);
+    QCheck.Test.make ~count:300 ~name:"equal values hash equally"
+      (QCheck.pair value_arb value_arb) (fun (a, b) ->
+        (not (Value.equal a b)) || Value.hash a = Value.hash b);
+    QCheck.Test.make ~count:200 ~name:"tuple equal implies equal hash"
+      (QCheck.pair (QCheck.list value_arb) (QCheck.list value_arb))
+      (fun (a, b) ->
+        let ta = Tuple.of_list a and tb = Tuple.of_list b in
+        (not (Tuple.equal ta tb)) || Tuple.hash ta = Tuple.hash tb);
+    QCheck.Test.make ~count:200 ~name:"subst apply is idempotent"
+      (QCheck.pair (QCheck.list (QCheck.pair (QCheck.make ident_gen) value_arb))
+         (QCheck.make ident_gen))
+      (fun (bindings, x) ->
+        match Subst.of_list bindings with
+        | None -> true
+        | Some s ->
+          let t = Term.Var x in
+          Term.equal (Subst.apply s (Subst.apply s t)) (Subst.apply s t));
+    QCheck.Test.make ~count:100
+      ~name:"relation behaves like a set under random insert/delete"
+      (QCheck.list
+         (QCheck.pair QCheck.bool (QCheck.make (QCheck.Gen.int_range 0 20))))
+      (fun ops ->
+        let r = Relation.create ~arity:1 () in
+        let reference = Hashtbl.create 16 in
+        List.iter
+          (fun (ins, v) ->
+            let tuple = Tuple.of_list [ Value.Int v ] in
+            if ins then begin
+              ignore (Relation.insert r tuple);
+              Hashtbl.replace reference v ()
+            end
+            else begin
+              ignore (Relation.delete r tuple);
+              Hashtbl.remove reference v
+            end)
+          ops;
+        Relation.cardinal r = Hashtbl.length reference
+        && Hashtbl.fold
+             (fun v () acc ->
+               acc && Relation.mem r (Tuple.of_list [ Value.Int v ]))
+             reference true);
+    QCheck.Test.make ~count:50 ~name:"indexed lookup equals scan"
+      (QCheck.make edges_gen) (fun edges ->
+        let mk indexing =
+          let r = Relation.create ~indexing ~arity:2 () in
+          List.iter
+            (fun (a, b) ->
+              ignore (Relation.insert r (Tuple.of_list [ Value.Int a; Value.Int b ])))
+            edges;
+          r
+        in
+        let indexed = mk true and plain = mk false in
+        List.for_all
+          (fun key ->
+            let collect r =
+              let acc = ref [] in
+              Relation.lookup r [ (0, Value.Int key) ] (fun t -> acc := t :: !acc);
+              List.sort Tuple.compare !acc
+            in
+            List.equal Tuple.equal (collect indexed) (collect plain))
+          (List.init 12 (fun i -> i)));
+    QCheck.Test.make ~count:50 ~name:"seminaive equals naive on random TC"
+      (QCheck.make edges_gen) (fun edges ->
+        let mk strategy =
+          let db = Database.create () in
+          ignore
+            (Database.declare db
+               (Decl.make ~kind:Decl.Intensional ~rel:"tc" ~peer:"p" [ "x"; "y" ]));
+          List.iter
+            (fun (a, b) ->
+              ignore
+                (Database.insert db ~rel:"edge"
+                   (Tuple.of_list [ Value.Int a; Value.Int b ])))
+            edges;
+          let rules =
+            [ Parser.parse_rule "tc@p($x,$y) :- edge@p($x,$y)";
+              Parser.parse_rule "tc@p($x,$z) :- tc@p($x,$y), edge@p($y,$z)" ]
+          in
+          match Wdl_eval.Fixpoint.run ~strategy ~self:"p" db rules with
+          | Ok _ ->
+            (match Database.find db "tc" with
+            | Some info -> Relation.to_sorted_list info.Database.data
+            | None -> [])
+          | Error _ -> []
+        in
+        List.equal Tuple.equal
+          (mk Wdl_eval.Fixpoint.Seminaive)
+          (mk Wdl_eval.Fixpoint.Naive));
+    QCheck.Test.make ~count:30
+      ~name:"distributed view equals the centralised join"
+      (QCheck.make
+         QCheck.Gen.(
+           pair
+             (list_size (int_range 0 6) (int_range 0 4))
+             (list_size (int_range 0 10) (pair (int_range 0 4) small_nat))))
+      (fun (selected, pictures) ->
+        (* selected: which owners Jules selects; pictures: (owner, id). *)
+        let owner i = Printf.sprintf "owner%d" i in
+        let sys = Webdamlog.System.create () in
+        let jules = Webdamlog.System.add_peer sys "Jules" in
+        (match
+           Webdamlog.Peer.load_string jules
+             {|ext selectedAttendee@Jules(a); int view@Jules(o, i);
+               view@Jules($a, $i) :- selectedAttendee@Jules($a), pics@$a($i);|}
+         with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        for i = 0 to 4 do
+          ignore (Webdamlog.System.add_peer sys (owner i))
+        done;
+        List.iter
+          (fun o ->
+            match
+              Webdamlog.Peer.insert jules
+                (Fact.make ~rel:"selectedAttendee" ~peer:"Jules"
+                   [ Value.String (owner o) ])
+            with
+            | Ok () -> ()
+            | Error e -> failwith e)
+          selected;
+        List.iter
+          (fun (o, id) ->
+            match
+              Webdamlog.Peer.insert
+                (Webdamlog.System.peer sys (owner o))
+                (Fact.make ~rel:"pics" ~peer:(owner o) [ Value.Int id ])
+            with
+            | Ok () -> ()
+            | Error e -> failwith e)
+          pictures;
+        (match Webdamlog.System.run sys with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        let expected =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (o, id) ->
+                 if List.mem o selected then [ (owner o, id) ] else [])
+               pictures)
+        in
+        let got =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (f : Fact.t) ->
+                 match f.Fact.args with
+                 | [ Value.String o; Value.Int i ] -> Some (o, i)
+                 | _ -> None)
+               (Webdamlog.Peer.query jules "view"))
+        in
+        expected = got);
+    QCheck.Test.make ~count:300 ~name:"rule pp/parse round-trip" rule_arb
+      (fun r ->
+        let printed = Format.asprintf "%a" Rule.pp r in
+        Rule.equal r (Parser.parse_rule printed));
+    QCheck.Test.make ~count:200 ~name:"wire codec round-trips any message"
+      message_arb (fun m ->
+        match Webdamlog.Wire.decode (Webdamlog.Wire.encode m) with
+        | Error _ -> false
+        | Ok m' ->
+          m.Webdamlog.Message.src = m'.Webdamlog.Message.src
+          && m.Webdamlog.Message.dst = m'.Webdamlog.Message.dst
+          && m.Webdamlog.Message.stage = m'.Webdamlog.Message.stage
+          && Option.equal (List.equal Fact.equal) m.Webdamlog.Message.facts
+               m'.Webdamlog.Message.facts
+          && List.equal Rule.equal m.Webdamlog.Message.installs
+               m'.Webdamlog.Message.installs
+          && List.equal Rule.equal m.Webdamlog.Message.retracts
+               m'.Webdamlog.Message.retracts);
+    QCheck.Test.make ~count:300 ~name:"authz meet is commutative and idempotent"
+      (QCheck.pair policy_arb policy_arb) (fun (a, b) ->
+        Webdamlog.Authz.policy_equal
+          (Webdamlog.Authz.meet a b)
+          (Webdamlog.Authz.meet b a)
+        && Webdamlog.Authz.policy_equal (Webdamlog.Authz.meet a a) a);
+    QCheck.Test.make ~count:300 ~name:"authz meet is associative with Everyone as unit"
+      (QCheck.triple policy_arb policy_arb policy_arb) (fun (a, b, c) ->
+        let open Webdamlog.Authz in
+        policy_equal (meet a (meet b c)) (meet (meet a b) c)
+        && policy_equal (meet a Everyone) a);
+    QCheck.Test.make ~count:300 ~name:"meet only shrinks access"
+      (QCheck.triple policy_arb policy_arb (QCheck.make ident_gen))
+      (fun (a, b, reader) ->
+        let open Webdamlog.Authz in
+        (not (allows (meet a b) reader)) || (allows a reader && allows b reader));
+    QCheck.Test.make ~count:200 ~name:"aggregates agree with list folds"
+      (QCheck.list_of_size (QCheck.Gen.int_range 1 20)
+         (QCheck.make QCheck.Gen.small_signed_int))
+      (fun ints ->
+        let vs = List.map (fun n -> Value.Int n) ints in
+        let open Wdl_syntax.Aggregate in
+        apply Count vs = Ok (Value.Int (List.length ints))
+        && apply Sum vs = Ok (Value.Int (List.fold_left ( + ) 0 ints))
+        && apply Min vs = Ok (Value.Int (List.fold_left min max_int ints))
+        && apply Max vs = Ok (Value.Int (List.fold_left max min_int ints)));
+    QCheck.Test.make ~count:100 ~name:"snapshots are stable under restore"
+      (QCheck.make edges_gen) (fun edges ->
+        let p = Webdamlog.Peer.create "p" in
+        (match
+           Webdamlog.Peer.load_string p
+             "int tc@p(x,y); tc@p($x,$y) :- edge@p($x,$y); tc@p($x,$z) :- tc@p($x,$y), edge@p($y,$z);"
+         with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        List.iter
+          (fun (a, b) ->
+            match
+              Webdamlog.Peer.insert p
+                (Fact.make ~rel:"edge" ~peer:"p" [ Value.Int a; Value.Int b ])
+            with
+            | Ok () -> ()
+            | Error e -> failwith e)
+          edges;
+        ignore (Webdamlog.Peer.stage p);
+        let s1 = Webdamlog.Peer.snapshot p in
+        match Webdamlog.Peer.restore s1 with
+        | Error _ -> false
+        | Ok p' -> Webdamlog.Peer.snapshot p' = s1);
+    QCheck.Test.make ~count:30 ~name:"stage determinism"
+      (QCheck.make edges_gen) (fun edges ->
+        let run () =
+          let p = Webdamlog.Peer.create "p" in
+          (match
+             Webdamlog.Peer.load_string p
+               "int tc@p(x,y); tc@p($x,$y) :- edge@p($x,$y); tc@p($x,$z) :- tc@p($x,$y), edge@p($y,$z);"
+           with
+          | Ok () -> ()
+          | Error e -> failwith e);
+          List.iter
+            (fun (a, b) ->
+              match
+                Webdamlog.Peer.insert p
+                  (Fact.make ~rel:"edge" ~peer:"p" [ Value.Int a; Value.Int b ])
+              with
+              | Ok () -> ()
+              | Error e -> failwith e)
+            edges;
+          ignore (Webdamlog.Peer.stage p);
+          List.map (Format.asprintf "%a" Fact.pp) (Webdamlog.Peer.query p "tc")
+        in
+        run () = run ());
+  ]
+
+let suite = List.map QCheck_alcotest.to_alcotest tests

@@ -1,0 +1,119 @@
+open Wdl_syntax
+open Wdl_eval
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+let check_int msg = Alcotest.check Alcotest.int msg
+
+let rules srcs = List.map Parser.parse_rule srcs
+
+let compute ?(intensional = fun _ -> true) srcs =
+  Stratify.compute ~self:"p" ~intensional (rules srcs)
+
+let strata_count = function
+  | Ok { Stratify.strata } -> Array.length strata
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Stratify.pp_error e)
+
+let suite =
+  [
+    tc "positive recursion stays in one stratum" (fun () ->
+        check_int "strata" 1
+          (strata_count
+             (compute
+                [ "tc@p($x,$y) :- edge@p($x,$y)";
+                  "tc@p($x,$z) :- tc@p($x,$y), edge@p($y,$z)" ]
+                ~intensional:(fun r -> r = "tc"))));
+    tc "negation forces a new stratum" (fun () ->
+        let r =
+          compute
+            ~intensional:(fun r -> r = "a" || r = "b")
+            [ "a@p($x) :- base@p($x)"; "b@p($x) :- base@p($x), not a@p($x)" ]
+        in
+        check_int "strata" 2 (strata_count r);
+        match r with
+        | Ok { Stratify.strata } ->
+          check_int "first stratum rules" 1 (List.length strata.(0));
+          check_int "second stratum rules" 1 (List.length strata.(1))
+        | Error _ -> Alcotest.fail "unexpected");
+    tc "negative cycle rejected" (fun () ->
+        match
+          compute
+            ~intensional:(fun r -> r = "a" || r = "b")
+            [ "a@p($x) :- base@p($x), not b@p($x)";
+              "b@p($x) :- base@p($x), not a@p($x)" ]
+        with
+        | Error (Stratify.Negative_cycle members) ->
+          check_bool "names" (List.mem "a" members && List.mem "b" members)
+        | Ok _ -> Alcotest.fail "expected negative cycle");
+    tc "self negation rejected" (fun () ->
+        match
+          compute ~intensional:(fun r -> r = "a")
+            [ "a@p($x) :- base@p($x), not a@p($x)" ]
+        with
+        | Error (Stratify.Negative_cycle _) -> ()
+        | Ok _ -> Alcotest.fail "expected negative cycle");
+    tc "extensional negation needs no extra stratum" (fun () ->
+        check_int "strata" 1
+          (strata_count
+             (compute
+                ~intensional:(fun r -> r = "v")
+                [ "v@p($x) :- base@p($x), not blocked@p($x)" ])));
+    tc "atoms after a remote constant peer contribute nothing" (fun () ->
+        (* The negation of v sits after a remote atom: never evaluated
+           locally, so no cycle. *)
+        check_bool "stratifies"
+          (Result.is_ok
+             (compute
+                ~intensional:(fun r -> r = "v")
+                [ "v@p($x) :- base@p($x), remote@q($x), not v@p($x)" ])));
+    tc "peer variables are conservatively local" (fun () ->
+        match
+          compute
+            ~intensional:(fun r -> r = "v")
+            [ "v@p($x) :- peers@p($a), w@$a($x), not v@p($x)" ]
+        with
+        | Error (Stratify.Negative_cycle _) -> ()
+        | Ok _ -> Alcotest.fail "expected negative cycle");
+    tc "relation variable (star) reads everything" (fun () ->
+        (* not $r@p(...) would negate over any relation incl. the head's:
+           rejected. *)
+        match
+          compute
+            ~intensional:(fun r -> r = "v")
+            [ "v@p($x) :- names@p($r), $r@p($x), not v@p($x)" ]
+        with
+        | Error (Stratify.Negative_cycle _) -> ()
+        | Ok _ -> Alcotest.fail "expected negative cycle");
+    tc "variable head (star) derives everything" (fun () ->
+        (* A star head with no intensional reads stratifies (it runs
+           before the negation)... *)
+        check_bool "benign star head"
+          (Result.is_ok
+             (compute
+                ~intensional:(fun r -> r = "v" || r = "w")
+                [ "$r@p($x) :- names@p($r), base@p($x)";
+                  "w@p($x) :- base@p($x), not v@p($x)" ]));
+        (* ...but a star head reading w while (potentially) deriving v
+           closes a cycle through the negation. *)
+        match
+          compute
+            ~intensional:(fun r -> r = "v" || r = "w")
+            [ "$r@p($x) :- names@p($r), w@p($x)";
+              "w@p($x) :- base@p($x), not v@p($x)" ]
+        with
+        | Error (Stratify.Negative_cycle _) -> ()
+        | Ok _ -> Alcotest.fail "expected negative cycle (star head feeds v)");
+    tc "rules with remote heads are scheduled after their negations" (fun () ->
+        match
+          compute
+            ~intensional:(fun r -> r = "v")
+            [ "v@p($x) :- base@p($x)";
+              "out@q($x) :- base@p($x), not v@p($x)" ]
+        with
+        | Ok { Stratify.strata } ->
+          check_int "strata" 2 (Array.length strata);
+          check_int "remote-head rule in stratum 1" 1 (List.length strata.(1))
+        | Error e -> Alcotest.fail (Format.asprintf "%a" Stratify.pp_error e));
+    tc "empty rule set" (fun () ->
+        check_int "strata" 1 (strata_count (compute [])));
+  ]

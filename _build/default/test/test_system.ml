@@ -1,0 +1,365 @@
+open Wdl_syntax
+open Webdamlog
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+let check_int msg = Alcotest.check Alcotest.int msg
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let setup_jules_emilien () =
+  let sys = System.create () in
+  let jules = System.add_peer sys "Jules" in
+  let emilien = System.add_peer sys "Emilien" in
+  ok
+    (Peer.load_string jules
+       {|
+       ext selectedAttendee@Jules(attendee);
+       int attendeePictures@Jules(id, name, owner, data);
+       selectedAttendee@Jules("Emilien");
+       attendeePictures@Jules($id, $n, $o, $d) :-
+         selectedAttendee@Jules($a), pictures@$a($id, $n, $o, $d);
+       |});
+  ok
+    (Peer.load_string emilien
+       {|
+       ext pictures@Emilien(id, name, owner, data);
+       pictures@Emilien(32, "sea.jpg", "Emilien", "b0");
+       pictures@Emilien(33, "talk.jpg", "Emilien", "b1");
+       |});
+  (sys, jules, emilien)
+
+let suite =
+  [
+    tc "the paper's delegation example end to end" (fun () ->
+        let sys, jules, emilien = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        check_int "view" 2 (List.length (Peer.query jules "attendeePictures"));
+        (match Peer.delegated_rules emilien with
+        | [ (src, rule) ] ->
+          Alcotest.check Alcotest.string "origin" "Jules" src;
+          check_bool "residual"
+            (Rule.equal rule
+               (Parser.parse_rule
+                  {|attendeePictures@Jules($id, $n, $o, $d) :-
+                      pictures@Emilien($id, $n, $o, $d)|}))
+        | l -> Alcotest.fail (Printf.sprintf "expected 1 delegation, got %d" (List.length l))));
+    tc "incremental: new remote facts reach the view" (fun () ->
+        let sys, jules, emilien = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        ok
+          (Peer.insert emilien
+             (Fact.make ~rel:"pictures" ~peer:"Emilien"
+                [ Value.Int 34; Value.String "x.jpg"; Value.String "Emilien";
+                  Value.String "b2" ]));
+        ignore (ok (System.run sys));
+        check_int "view grows" 3 (List.length (Peer.query jules "attendeePictures")));
+    tc "retraction: deselecting empties the view and uninstalls" (fun () ->
+        let sys, jules, emilien = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        ok
+          (Peer.delete jules
+             (Fact.make ~rel:"selectedAttendee" ~peer:"Jules"
+                [ Value.String "Emilien" ]));
+        ignore (ok (System.run sys));
+        check_int "view empty" 0 (List.length (Peer.query jules "attendeePictures"));
+        check_int "uninstalled" 0 (List.length (Peer.delegated_rules emilien)));
+    tc "remote deletion shrinks the view (one-stage semantics)" (fun () ->
+        let sys, jules, emilien = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        ok
+          (Peer.delete emilien
+             (Fact.make ~rel:"pictures" ~peer:"Emilien"
+                [ Value.Int 32; Value.String "sea.jpg"; Value.String "Emilien";
+                  Value.String "b0" ]));
+        ignore (ok (System.run sys));
+        check_int "view shrinks" 1 (List.length (Peer.query jules "attendeePictures")));
+    tc "remote facts into extensional relations persist" (fun () ->
+        let sys = System.create () in
+        let src = System.add_peer sys "src" in
+        let dst = System.add_peer sys "dst" in
+        ok (Peer.load_string src "a@src(1); stored@dst($x) :- a@src($x);");
+        ignore (ok (System.run sys));
+        check_int "arrived" 1 (List.length (Peer.query dst "stored"));
+        (* Deleting the support does NOT remove the update. *)
+        ok (Peer.delete src (Fact.make ~rel:"a" ~peer:"src" [ Value.Int 1 ]));
+        ignore (ok (System.run sys));
+        check_int "persists" 1 (List.length (Peer.query dst "stored")));
+    tc "chained delegation across three peers" (fun () ->
+        let sys = System.create () in
+        let a = System.add_peer sys "a" in
+        let b = System.add_peer sys "b" in
+        let c = System.add_peer sys "c" in
+        ok
+          (Peer.load_string a
+             {|
+             ext who@a(peer);
+             int got@a(x);
+             who@a("b");
+             got@a($x) :- who@a($p), hop@$p($q), data@$q($x);
+             |});
+        ok (Peer.load_string b {| ext hop@b(q); hop@b("c"); |});
+        ok (Peer.load_string c "ext data@c(x); data@c(7);");
+        ignore (ok (System.run sys));
+        check_int "result" 1 (List.length (Peer.query a "got"));
+        check_bool "b holds a delegation" (Peer.delegated_rules b <> []);
+        check_bool "c holds a delegation from b" (Peer.delegated_rules c <> []);
+        (* Retract upstream: the whole chain unwinds. *)
+        ok (Peer.delete a (Fact.make ~rel:"who" ~peer:"a" [ Value.String "b" ]));
+        ignore (ok (System.run sys));
+        check_int "view empty" 0 (List.length (Peer.query a "got"));
+        check_int "b clean" 0 (List.length (Peer.delegated_rules b));
+        check_int "c clean" 0 (List.length (Peer.delegated_rules c)));
+    tc "distributed transitive closure over a chain of peers" (fun () ->
+        let sys = System.create () in
+        let n = 5 in
+        let peer_name i = Printf.sprintf "n%d" i in
+        for i = 0 to n - 1 do
+          let p = System.add_peer sys (peer_name i) in
+          ok
+            (Peer.load_string p
+               (Printf.sprintf "ext next@%s(peer);" (peer_name i)));
+          if i < n - 1 then
+            ok
+              (Peer.load_string p
+                 (Printf.sprintf {|next@%s("%s");|} (peer_name i) (peer_name (i + 1))))
+        done;
+        (* reach@n0 collects every peer reachable by following next
+           pointers: the rule re-delegates itself down the chain. *)
+        let p0 = System.peer sys (peer_name 0) in
+        ok
+          (Peer.load_string p0
+             {|
+             int reach@n0(peer);
+             reach@n0($q) :- next@n0($q);
+             reach@n0($r) :- reach@n0($q), next@$q($r);
+             |});
+        ignore (ok (System.run sys));
+        check_int "reaches all" (n - 1) (List.length (Peer.query p0 "reach")));
+    tc "mutual recursion across two peers stabilises" (fun () ->
+        let sys = System.create () in
+        let p = System.add_peer sys "p" in
+        let q = System.add_peer sys "q" in
+        ok (Peer.load_string p "ext a@p(x); a@p(1); b@q($x) :- a@p($x);");
+        ok (Peer.load_string q "ext b@q(x); a@p($x) :- b@q($x);");
+        (match System.run sys with
+        | Ok _ ->
+          check_int "p has a(1)" 1 (List.length (Peer.query p "a"));
+          check_int "q has b(1)" 1 (List.length (Peer.query q "b"))
+        | Error e -> Alcotest.fail e));
+    tc "messages to unknown peers are dropped, system still quiesces" (fun () ->
+        let sys = System.create () in
+        let p = System.add_peer sys "p" in
+        ok (Peer.load_string p "a@p(1); out@ghost($x) :- a@p($x);");
+        ignore (ok (System.run sys));
+        check_bool "dropped" (System.messages_dropped sys > 0));
+    tc "same results over the simulated (reordering) network" (fun () ->
+        let mk transport =
+          let sys = System.create ?transport () in
+          let jules = System.add_peer sys "Jules" in
+          let emilien = System.add_peer sys "Emilien" in
+          ok
+            (Peer.load_string jules
+               {|ext selectedAttendee@Jules(a); int attendeePictures@Jules(i, n, o, d);
+                 selectedAttendee@Jules("Emilien");
+                 attendeePictures@Jules($i,$n,$o,$d) :-
+                   selectedAttendee@Jules($a), pictures@$a($i,$n,$o,$d);|});
+          ok
+            (Peer.load_string emilien
+               {|ext pictures@Emilien(i, n, o, d);
+                 pictures@Emilien(1, "a", "Emilien", "x");
+                 pictures@Emilien(2, "b", "Emilien", "y");|});
+          ignore (ok (System.run sys));
+          List.map (Format.asprintf "%a" Fact.pp) (Peer.query jules "attendeePictures")
+        in
+        let base = mk None in
+        let sim =
+          mk (Some (Wdl_net.Simnet.create ~seed:5 ~base_latency:2.5 ~jitter:1.0 ()))
+        in
+        check_bool "identical state" (base = sim));
+    tc "duplicated deliveries are absorbed (at-least-once tolerance)" (fun () ->
+        (* Facts batches replace caches and installs deduplicate, so a
+           duplicating network must yield the same final state. *)
+        let transport =
+          Wdl_net.Simnet.create ~seed:11 ~base_latency:1.0 ~jitter:0.5
+            ~duplicate:0.5 ()
+        in
+        let sys = System.create ~transport ~drop_unknown:true () in
+        let jules = System.add_peer sys "Jules" in
+        let emilien = System.add_peer sys "Emilien" in
+        ok
+          (Peer.load_string jules
+             {|ext sel@Jules(a); int view@Jules(i); sel@Jules("Emilien");
+               view@Jules($i) :- sel@Jules($a), pics@$a($i);|});
+        ok
+          (Peer.load_string emilien
+             "ext pics@Emilien(i); pics@Emilien(1); pics@Emilien(2);");
+        ignore (ok (System.run sys));
+        check_int "view exact" 2 (List.length (Peer.query jules "view"));
+        check_int "one delegation" 1 (List.length (Peer.delegated_rules emilien));
+        (* Retraction also survives duplication. *)
+        ok
+          (Peer.delete jules
+             (Fact.make ~rel:"sel" ~peer:"Jules" [ Value.String "Emilien" ]));
+        ignore (ok (System.run sys));
+        check_int "clean retract" 0 (List.length (Peer.delegated_rules emilien)));
+    tc "partition holds traffic; healing converges (laptops lose wifi)"
+      (fun () ->
+        let transport, net =
+          Wdl_net.Simnet.create_with_control ~seed:4 ~jitter:0. ~base_latency:1.0 ()
+        in
+        let sys = System.create ~transport () in
+        let jules = System.add_peer sys "Jules" in
+        let emilien = System.add_peer sys "Emilien" in
+        ok
+          (Peer.load_string jules
+             {|ext sel@Jules(a); int view@Jules(i); sel@Jules("Emilien");
+               view@Jules($i) :- sel@Jules($a), pics@$a($i);|});
+        ok (Peer.load_string emilien "ext pics@Emilien(i); pics@Emilien(1);");
+        Wdl_net.Simnet.partition net ~between:"Jules" ~and_:"Emilien";
+        check_bool "down" (Wdl_net.Simnet.partitioned net ~between:"Emilien" ~and_:"Jules");
+        for _ = 1 to 10 do
+          ignore (System.round sys)
+        done;
+        check_int "nothing crossed" 0 (List.length (Peer.query jules "view"));
+        check_int "no delegation" 0 (List.length (Peer.delegated_rules emilien));
+        (* Local progress continues during the outage. *)
+        ok (Peer.insert emilien (Fact.make ~rel:"pics" ~peer:"Emilien" [ Value.Int 2 ]));
+        for _ = 1 to 3 do
+          ignore (System.round sys)
+        done;
+        Wdl_net.Simnet.heal net ~between:"Jules" ~and_:"Emilien";
+        ignore (ok (System.run sys));
+        check_int "converged" 2 (List.length (Peer.query jules "view"));
+        check_int "delegation installed" 1
+          (List.length (Peer.delegated_rules emilien)));
+    tc "run is idempotent once quiescent" (fun () ->
+        let sys, _, _ = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        check_int "no more rounds" 0 (ok (System.run sys));
+        check_bool "quiescent" (System.quiescent sys));
+    tc "pending delegation blocks evaluation until accepted" (fun () ->
+        let sys = System.create () in
+        let jules = System.add_peer sys ~policy:Acl.Closed "Jules" in
+        let julia = System.add_peer sys "Julia" in
+        ok (Peer.load_string jules {|ext pictures@Jules(i); pictures@Jules(7);|});
+        ok
+          (Peer.load_string julia
+             {|int mine@Julia(i); mine@Julia($i) :- pictures@Jules($i);|});
+        ignore (ok (System.run sys));
+        check_int "blocked" 0 (List.length (Peer.query julia "mine"));
+        check_int "pending" 1 (List.length (Peer.pending_delegations jules));
+        let src, rule = List.hd (Peer.pending_delegations jules) in
+        check_bool "accepted" (Peer.accept_delegation jules ~src rule);
+        ignore (ok (System.run sys));
+        check_int "flows" 1 (List.length (Peer.query julia "mine")));
+    tc "rejected delegation never installs" (fun () ->
+        let sys = System.create () in
+        let jules = System.add_peer sys ~policy:Acl.Closed "Jules" in
+        let julia = System.add_peer sys "Julia" in
+        ok (Peer.load_string jules {|ext pictures@Jules(i); pictures@Jules(7);|});
+        ok
+          (Peer.load_string julia
+             {|int mine@Julia(i); mine@Julia($i) :- pictures@Jules($i);|});
+        ignore (ok (System.run sys));
+        let src, rule = List.hd (Peer.pending_delegations jules) in
+        check_bool "rejected" (Peer.reject_delegation jules ~src rule);
+        ignore (ok (System.run sys));
+        check_int "still blocked" 0 (List.length (Peer.query julia "mine"));
+        check_int "no delegations" 0 (List.length (Peer.delegated_rules jules)));
+    tc "ring topology: facts travel all the way around" (fun () ->
+        let sys = System.create () in
+        let n = 4 in
+        let name i = Printf.sprintf "r%d" i in
+        for i = 0 to n - 1 do
+          let p = System.add_peer sys (name i) in
+          ok
+            (Peer.load_string p
+               (Printf.sprintf "token@%s($x) :- token@%s($x);"
+                  (name ((i + 1) mod n))
+                  (name i)))
+        done;
+        ok
+          (Peer.insert
+             (System.peer sys (name 0))
+             (Fact.make ~rel:"token" ~peer:(name 0) [ Value.Int 42 ]));
+        ignore (ok (System.run sys));
+        for i = 0 to n - 1 do
+          check_int
+            (Printf.sprintf "token reached %s" (name i))
+            1
+            (List.length (Peer.query (System.peer sys (name i)) "token"))
+        done);
+    tc "removing the origin rule retracts its delegations" (fun () ->
+        let sys, jules, emilien = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        check_int "installed" 1 (List.length (Peer.delegated_rules emilien));
+        let rule = List.hd (Peer.rules jules) in
+        check_bool "removed" (Peer.remove_rule jules rule);
+        ignore (ok (System.run sys));
+        check_int "retracted" 0 (List.length (Peer.delegated_rules emilien));
+        check_int "view empty" 0 (List.length (Peer.query jules "attendeePictures")));
+    tc "peers with different strategies interoperate" (fun () ->
+        let sys = System.create () in
+        let jules =
+          System.add_peer sys ~strategy:Wdl_eval.Fixpoint.Naive "Jules"
+        in
+        let emilien = System.add_peer sys "Emilien" in
+        ok
+          (Peer.load_string jules
+             {|ext sel@Jules(a); int view@Jules(i); sel@Jules("Emilien");
+               view@Jules($i) :- sel@Jules($a), pics@$a($i);|});
+        ok
+          (Peer.load_string emilien
+             "ext pics@Emilien(i); pics@Emilien(1); pics@Emilien(2);");
+        ignore (ok (System.run sys));
+        check_int "view" 2 (List.length (Peer.query jules "view")));
+    tc "a delegation chain that returns to its origin stabilises" (fun () ->
+        let sys = System.create () in
+        let a = System.add_peer sys "a" in
+        let b = System.add_peer sys "b" in
+        (* a's rule hops to b, whose data sends it hopping back to a. *)
+        ok
+          (Peer.load_string a
+             {|ext here@a(x); int got@a(x); here@a(7);
+               got@a($x) :- hop@b($q), here@$q($x);|});
+        ok (Peer.load_string b {|ext hop@b(q); hop@b("a");|});
+        ignore (ok (System.run sys));
+        check_int "round trip result" 1 (List.length (Peer.query a "got"));
+        check_bool "b holds a's rule" (Peer.delegated_rules b <> []);
+        check_bool "a holds b's residual" (Peer.delegated_rules a <> []));
+    tc "trace records message flow on both ends" (fun () ->
+        let sys, jules, emilien = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        let sent_by p =
+          List.length
+            (List.filter
+               (function Trace.Message_sent _ -> true | _ -> false)
+               (Trace.events (Peer.trace p)))
+        in
+        let received_by p =
+          List.length
+            (List.filter
+               (function Trace.Message_received _ -> true | _ -> false)
+               (Trace.events (Peer.trace p)))
+        in
+        check_bool "jules sent" (sent_by jules > 0);
+        check_bool "emilien received" (received_by emilien > 0);
+        check_int "conservation"
+          (sent_by jules + sent_by emilien)
+          (received_by jules + received_by emilien));
+    tc "accept_all installs every pending delegation" (fun () ->
+        let sys = System.create () in
+        let jules = System.add_peer sys ~policy:Acl.Closed "Jules" in
+        let a = System.add_peer sys "a" in
+        let b = System.add_peer sys "b" in
+        ok (Peer.load_string jules "ext pictures@Jules(i); pictures@Jules(1);");
+        ok (Peer.load_string a "int v@a(i); v@a($i) :- pictures@Jules($i);");
+        ok (Peer.load_string b "int v@b(i); v@b($i) :- pictures@Jules($i);");
+        ignore (ok (System.run sys));
+        check_int "two pending" 2 (List.length (Peer.pending_delegations jules));
+        check_int "two installed" 2 (Peer.accept_all_delegations jules);
+        ignore (ok (System.run sys));
+        check_int "a sees" 1 (List.length (Peer.query a "v"));
+        check_int "b sees" 1 (List.length (Peer.query b "v")));
+  ]

@@ -1,0 +1,69 @@
+open Wdl_syntax
+open Webdamlog
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+let check_int msg = Alcotest.check Alcotest.int msg
+
+let fact = Fact.make ~rel:"m" ~peer:"p" [ Value.Int 1 ]
+let ev i = Trace.Fact_inserted { peer = "p"; fact = Fact.make ~rel:"m" ~peer:"p" [ Value.Int i ] }
+
+let suite =
+  [
+    tc "events come back oldest first" (fun () ->
+        let t = Trace.create () in
+        Trace.record t (ev 1);
+        Trace.record t (ev 2);
+        match Trace.events t with
+        | [ Trace.Fact_inserted { fact = f1; _ }; Trace.Fact_inserted { fact = f2; _ } ] ->
+          check_bool "order" (Fact.compare f1 f2 < 0)
+        | _ -> Alcotest.fail "unexpected events");
+    tc "capacity bounds storage but not the counter" (fun () ->
+        let t = Trace.create ~capacity:3 () in
+        for i = 1 to 10 do
+          Trace.record t (ev i)
+        done;
+        check_int "stored" 3 (List.length (Trace.events t));
+        check_int "total" 10 (Trace.count t));
+    tc "clear resets everything" (fun () ->
+        let t = Trace.create () in
+        Trace.record t (ev 1);
+        Trace.clear t;
+        check_int "events" 0 (List.length (Trace.events t));
+        check_int "count" 0 (Trace.count t));
+    tc "find locates the first match" (fun () ->
+        let t = Trace.create () in
+        Trace.record t (Trace.Stage_start { peer = "p"; stage = 1 });
+        Trace.record t (ev 1);
+        check_bool "found"
+          (Trace.find t (function Trace.Fact_inserted _ -> true | _ -> false)
+          <> None);
+        check_bool "absent"
+          (Trace.find t (function Trace.Message_sent _ -> true | _ -> false)
+          = None));
+    tc "every event variant prints" (fun () ->
+        let rule = Parser.parse_rule "a@p($x) :- b@p($x)" in
+        let msg = Message.make ~src:"a" ~dst:"b" ~stage:1 ~installs:[ rule ] () in
+        let events =
+          [ Trace.Stage_start { peer = "p"; stage = 1 };
+            Trace.Stage_end { peer = "p"; stage = 1; derivations = 2; iterations = 3 };
+            Trace.Fact_inserted { peer = "p"; fact };
+            Trace.Fact_deleted { peer = "p"; fact };
+            Trace.Message_sent { msg };
+            Trace.Message_received { msg };
+            Trace.Delegation_installed { peer = "p"; src = "q"; rule };
+            Trace.Delegation_pending { peer = "p"; src = "q"; rule };
+            Trace.Delegation_retracted { peer = "p"; src = "q"; rule };
+            Trace.Delegation_rejected { peer = "p"; src = "q"; rule; reason = "r" };
+            Trace.Rule_added { peer = "p"; rule };
+            Trace.Rule_removed { peer = "p"; rule };
+            Trace.Runtime_errors
+              { peer = "p";
+                errors = [ Wdl_eval.Runtime_error.Store_error { rel = "m"; message = "x" } ] } ]
+        in
+        List.iter
+          (fun e ->
+            check_bool "nonempty"
+              (String.length (Format.asprintf "%a" Trace.pp_event e) > 0))
+          events);
+  ]

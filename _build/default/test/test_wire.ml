@@ -1,0 +1,120 @@
+(* Wire codec and TCP transport: real distribution substrate. *)
+open Wdl_syntax
+open Webdamlog
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+let check_int msg = Alcotest.check Alcotest.int msg
+let ok' = function Ok v -> v | Error e -> Alcotest.fail e
+
+let msg_equal (a : Message.t) (b : Message.t) =
+  a.Message.src = b.Message.src
+  && a.Message.dst = b.Message.dst
+  && a.Message.stage = b.Message.stage
+  && Option.equal (List.equal Fact.equal) a.Message.facts b.Message.facts
+  && List.equal Rule.equal a.Message.installs b.Message.installs
+  && List.equal Rule.equal a.Message.retracts b.Message.retracts
+
+let sample_rule =
+  Parser.parse_rule
+    {|attendeePictures@Jules($id, $n, $o, $d) :-
+        pictures@Émilien($id, $n, $o, $d), rate@$o($id, 5)|}
+
+let sample_fact =
+  Fact.make ~rel:"pictures" ~peer:"sigmod"
+    [ Value.Int 32; Value.String "sea \"quoted\".jpg"; Value.String "Émilien";
+      Value.Float 0.5; Value.Bool true ]
+
+let roundtrip m = check_bool "round-trip" (msg_equal m (ok' (Wire.decode (Wire.encode m))))
+
+let suite =
+  [
+    tc "encode/decode: full message" (fun () ->
+        roundtrip
+          (Message.make ~src:"Jules" ~dst:"Émilien" ~stage:7
+             ~facts:(Some [ sample_fact; sample_fact ])
+             ~installs:[ sample_rule ] ~retracts:[ sample_rule ] ()));
+    tc "encode/decode: facts None vs Some []" (fun () ->
+        roundtrip (Message.make ~src:"a" ~dst:"b" ~stage:1 ());
+        roundtrip (Message.make ~src:"a" ~dst:"b" ~stage:1 ~facts:(Some []) ()));
+    tc "encode/decode: names needing quoting" (fun () ->
+        roundtrip
+          (Message.make ~src:"peer with spaces" ~dst:"ext" ~stage:0
+             ~facts:(Some [ Fact.make ~rel:"not" ~peer:"ext" [] ])
+             ()));
+    tc "decode rejects garbage" (fun () ->
+        check_bool "garbage" (Result.is_error (Wire.decode "not a frame"));
+        check_bool "missing header"
+          (Result.is_error (Wire.decode "m@p(1);"));
+        check_bool "truncated"
+          (Result.is_error
+             (Wire.decode
+                {|header@wire("a", "b", 1, 3, 0, 0); m@p(1);|})));
+    tc "frames are single-line statements" (fun () ->
+        let m =
+          Message.make ~src:"a" ~dst:"b" ~stage:1 ~installs:[ sample_rule ] ()
+        in
+        let lines = String.split_on_char '\n' (Wire.encode m) in
+        (* header + 1 rule + trailing empty *)
+        check_int "lines" 3 (List.length lines));
+    tc "tcp: frame crosses a loopback socket" (fun () ->
+        let ta, ca = Wdl_net.Tcp.create () in
+        let _tb, cb = Wdl_net.Tcp.create () in
+        Wdl_net.Tcp.register ca ~peer:"bob"
+          { Wdl_net.Tcp.host = "127.0.0.1"; port = Wdl_net.Tcp.port cb };
+        ta.Wdl_net.Transport.send ~src:"alice" ~dst:"bob" "hello";
+        let tb = _tb in
+        let got = tb.Wdl_net.Transport.drain "bob" in
+        Wdl_net.Tcp.close ca;
+        Wdl_net.Tcp.close cb;
+        Alcotest.check (Alcotest.list Alcotest.string) "payload" [ "hello" ] got);
+    tc "tcp: local peers short-circuit" (fun () ->
+        let t, c = Wdl_net.Tcp.create () in
+        t.Wdl_net.Transport.send ~src:"a" ~dst:"b" "x";
+        Alcotest.check (Alcotest.list Alcotest.string) "local" [ "x" ]
+          (t.Wdl_net.Transport.drain "b");
+        Wdl_net.Tcp.close c);
+    tc "tcp: large frames survive" (fun () ->
+        let ta, ca = Wdl_net.Tcp.create () in
+        let tb, cb = Wdl_net.Tcp.create () in
+        Wdl_net.Tcp.register ca ~peer:"bob"
+          { Wdl_net.Tcp.host = "127.0.0.1"; port = Wdl_net.Tcp.port cb };
+        let payload = String.make 200_000 'x' in
+        ta.Wdl_net.Transport.send ~src:"a" ~dst:"bob" payload;
+        (match tb.Wdl_net.Transport.drain "bob" with
+        | [ got ] -> check_int "length" 200_000 (String.length got)
+        | _ -> Alcotest.fail "expected one frame");
+        Wdl_net.Tcp.close ca;
+        Wdl_net.Tcp.close cb);
+    tc "two systems talk over tcp + wire" (fun () ->
+        (* Jules' process and Émilien's process, each with its own
+           System, exchanging real bytes over loopback. *)
+        let bytes_a, ca = Wdl_net.Tcp.create () in
+        let bytes_b, cb = Wdl_net.Tcp.create () in
+        Wdl_net.Tcp.register ca ~peer:"Emilien"
+          { Wdl_net.Tcp.host = "127.0.0.1"; port = Wdl_net.Tcp.port cb };
+        Wdl_net.Tcp.register cb ~peer:"Jules"
+          { Wdl_net.Tcp.host = "127.0.0.1"; port = Wdl_net.Tcp.port ca };
+        let sys_a = System.create ~transport:(Wire.transport bytes_a) () in
+        let sys_b = System.create ~transport:(Wire.transport bytes_b) () in
+        let jules = System.add_peer sys_a "Jules" in
+        let emilien = System.add_peer sys_b "Emilien" in
+        ok'
+          (Peer.load_string jules
+             {|ext sel@Jules(a); int view@Jules(i);
+               sel@Jules("Emilien");
+               view@Jules($i) :- sel@Jules($a), pics@$a($i);|});
+        ok'
+          (Peer.load_string emilien
+             "ext pics@Emilien(i); pics@Emilien(1); pics@Emilien(2);");
+        (* Alternate rounds until both processes are idle. *)
+        for _ = 1 to 8 do
+          ignore (System.round sys_a);
+          ignore (System.round sys_b)
+        done;
+        Wdl_net.Tcp.close ca;
+        Wdl_net.Tcp.close cb;
+        check_int "delegation crossed processes" 1
+          (List.length (Peer.delegated_rules emilien));
+        check_int "facts flowed back" 2 (List.length (Peer.query jules "view")));
+  ]
