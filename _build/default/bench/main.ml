@@ -617,10 +617,222 @@ let d4 () =
         stats.Wdl_net.Netstats.sent stats.Wdl_net.Netstats.bytes (pp_ns ns))
     [ 2; 8; 32 ]
 
+(* {1 FT: the reliable session layer — overhead and fault tolerance} *)
+
+module Simnet = Wdl_net.Simnet
+module Reliable = Wdl_net.Reliable
+
+let envelope_sizer e =
+  match e.Reliable.env_payload with
+  | Some m -> Webdamlog.Message.size m
+  | None -> 8
+
+(* The album/attendee delegation scenario: sigmod aggregates everyone's
+   pictures; every attendee mirrors the album back. Delegations and
+   fact batches cross every link in both directions. *)
+let ft_attendees = [ "alice"; "bob"; "carol"; "dave" ]
+
+let ft_load sys =
+  let sigmod = System.add_peer sys "sigmod" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "ext attendee@sigmod(a);\nint album@sigmod(id, name, owner);\n";
+  List.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "attendee@sigmod(%S);\n" a))
+    ft_attendees;
+  Buffer.add_string buf
+    "album@sigmod($i, $n, $a) :- attendee@sigmod($a), pictures@$a($i, $n);\n";
+  ok (Peer.load_string sigmod (Buffer.contents buf));
+  List.iter
+    (fun a ->
+      let p = System.add_peer sys a in
+      ok
+        (Peer.load_string p
+           (Printf.sprintf
+              {|ext pictures@%s(id, name);
+                int myAlbum@%s(id, name, owner);
+                pictures@%s(1, "%s_1.jpg");
+                pictures@%s(2, "%s_2.jpg");
+                myAlbum@%s($i, $n, $o) :- album@sigmod($i, $n, $o);|}
+              a a a a a a a)))
+    ft_attendees
+
+let ft_dump sys =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun rel ->
+          List.iter
+            (fun f ->
+              Buffer.add_string buf (Format.asprintf "%a" Fact.pp f);
+              Buffer.add_char buf '\n')
+            (Peer.query p rel))
+        (List.sort String.compare (Peer.relation_names p)))
+    (List.sort
+       (fun p q -> String.compare (Peer.name p) (Peer.name q))
+       (System.peers sys));
+  Buffer.contents buf
+
+let ft_variants =
+  [ ("inmem", `Inmem); ("simnet raw", `Raw); ("reliable clean", `Clean);
+    ("reliable 25%loss+10%dup", `Faulty) ]
+
+let ft_setup variant () =
+  let transport =
+    match variant with
+    | `Inmem -> Wdl_net.Inmem.create ~sizer:Webdamlog.Message.size ()
+    | `Raw -> Simnet.create ~sizer:Webdamlog.Message.size ~seed:42 ()
+    | `Clean ->
+      fst (Reliable.wrap (Simnet.create ~sizer:envelope_sizer ~seed:42 ()))
+    | `Faulty ->
+      fst
+        (Reliable.wrap
+           (Simnet.create ~sizer:envelope_sizer ~seed:42 ~loss:0.25
+              ~duplicate:0.10 ()))
+  in
+  let sys = System.create ~transport ~drop_unknown:true () in
+  ft_load sys;
+  sys
+
+let ft () =
+  header "FT  reliable session layer vs raw transport (album scenario)";
+  pf "%-26s %8s %10s %12s %12s %12s %14s@." "variant" "rounds" "messages"
+    "retransmit" "dup_drop" "acked" "time";
+  let times = ref [] in
+  List.iter
+    (fun (label, variant) ->
+      let test =
+        Test.make ~name:label
+          (Staged.stage (fun () ->
+               ignore (ok (System.run (ft_setup variant ())))))
+      in
+      let ns = match measure test with (_, v) :: _ -> v | [] -> nan in
+      times := (label, ns) :: !times;
+      let sys = ft_setup variant () in
+      let rounds = ok (System.run sys) in
+      let stats = (System.transport sys).Wdl_net.Transport.stats () in
+      pf "%-26s %8d %10d %12d %12d %12d %14s@." label rounds
+        stats.Wdl_net.Netstats.sent stats.Wdl_net.Netstats.retransmits
+        stats.Wdl_net.Netstats.dup_dropped stats.Wdl_net.Netstats.acked
+        (pp_ns ns))
+    ft_variants;
+  match
+    (List.assoc_opt "simnet raw" !times, List.assoc_opt "reliable clean" !times)
+  with
+  | Some raw, Some clean ->
+    pf "reliable-layer overhead on a clean network: %.1f%%@."
+      ((clean -. raw) /. raw *. 100.)
+  | _ -> ()
+
+(* Deterministic fault-injection smoke: fixed seeds, bounded rounds, no
+   timing — referenced from the cram suite so a delivery-guarantee
+   regression fails `dune runtest`. *)
+let ft_smoke () =
+  let failures = ref 0 in
+  let check label ok_ =
+    if not ok_ then incr failures;
+    pf "%-46s %s@." label (if ok_ then "ok" else "FAIL")
+  in
+  pf "FT-SMOKE fault-injection smoke (fixed seeds, bounded rounds)@.";
+  (* Reference: the same program with zero faults. *)
+  let ref_sys = ft_setup `Inmem () in
+  ignore (ok (System.run ref_sys));
+  let expected = ft_dump ref_sys in
+  (* Loss + duplication + a mid-run partition that heals. *)
+  let inner, net =
+    Simnet.create_with_control ~sizer:envelope_sizer ~seed:42 ~loss:0.25
+      ~duplicate:0.10 ()
+  in
+  let transport, rctl = Reliable.wrap inner in
+  let sys = System.create ~transport ~drop_unknown:true () in
+  ft_load sys;
+  for _ = 1 to 3 do
+    ignore (System.round sys)
+  done;
+  Simnet.partition net ~between:"sigmod" ~and_:"alice";
+  for _ = 1 to 12 do
+    ignore (System.round sys)
+  done;
+  Simnet.heal net ~between:"sigmod" ~and_:"alice";
+  (match System.run ~max_rounds:2000 sys with
+  | Ok _ ->
+    check "converged under 25% loss + 10% dup + partition" true;
+    check "relation contents byte-identical to inmem" (ft_dump sys = expected);
+    let s = Reliable.stats rctl in
+    check "retransmits nonzero" (s.Wdl_net.Netstats.retransmits > 0);
+    check "dup_dropped nonzero" (s.Wdl_net.Netstats.dup_dropped > 0);
+    check "no link given up" (Reliable.dead_links rctl = []);
+    check "round loop saw no transport exceptions"
+      (System.transport_errors sys = 0)
+  | Error e ->
+    pf "did not converge: %s@." e;
+    incr failures);
+  (* Crash a peer mid-run and recover it from its journal. *)
+  let dir = Filename.temp_file "wdl_ft_smoke" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let inner2, net2 =
+    Simnet.create_with_control ~sizer:envelope_sizer ~seed:7 ~loss:0.2
+      ~duplicate:0.1 ()
+  in
+  let transport2, _ = Reliable.wrap inner2 in
+  let sys2 = System.create ~transport:transport2 ~drop_unknown:false () in
+  ft_load sys2;
+  ok (Peer.load_string (System.peer sys2 "bob") "ext inbox@bob(id, name);");
+  ok
+    (Peer.load_string (System.peer sys2 "sigmod")
+       "inbox@bob($i, $n) :- album@sigmod($i, $n, $o);");
+  Webdamlog.Persist.attach (System.peer sys2 "bob") ~dir;
+  ignore (ok (System.run ~max_rounds:2000 sys2));
+  Webdamlog.Persist.checkpoint (System.peer sys2 "bob") ~dir;
+  ok
+    (Peer.insert (System.peer sys2 "alice")
+       (Fact.make ~rel:"pictures" ~peer:"alice"
+          [ Value.Int 3; Value.String "alice_3.jpg" ]));
+  ignore (ok (System.run ~max_rounds:2000 sys2));
+  let inbox_before = List.length (Peer.query (System.peer sys2 "bob") "inbox") in
+  Simnet.crash net2 "bob";
+  System.remove_peer sys2 "bob";
+  ok
+    (Peer.insert (System.peer sys2 "alice")
+       (Fact.make ~rel:"pictures" ~peer:"alice"
+          [ Value.Int 4; Value.String "alice_4.jpg" ]));
+  for _ = 1 to 6 do
+    ignore (System.round sys2)
+  done;
+  let replayed = ref 0 in
+  (match
+     Webdamlog.Persist.recover
+       ~on_replay:(fun _ -> incr replayed)
+       ~dir ~fallback_name:"bob" ()
+   with
+  | Error e ->
+    pf "recovery failed: %s@." e;
+    incr failures
+  | Ok bob ->
+    check "journal replay restored pre-crash inbox"
+      (List.length (Peer.query bob "inbox") = inbox_before && !replayed > 0);
+    Simnet.restart net2 "bob";
+    System.adopt_peer sys2 bob;
+    (match System.run ~max_rounds:2000 sys2 with
+    | Ok _ ->
+      check "restarted peer reconverged"
+        (List.length (Peer.query bob "inbox")
+         = 2 + (2 * List.length ft_attendees))
+    | Error e ->
+      pf "post-restart run: %s@." e;
+      incr failures));
+  if !failures = 0 then pf "FT-SMOKE passed@."
+  else begin
+    pf "FT-SMOKE: %d check(s) failed@." !failures;
+    exit 1
+  end
+
 let experiments =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("a1", a1); ("a2", a2); ("f2", f2); ("f3", f3); ("d1", d1);
-    ("d3", d3); ("d4", d4) ]
+    ("d3", d3); ("d4", d4); ("ft", ft); ("ft-smoke", ft_smoke) ]
 
 let () =
   let requested =

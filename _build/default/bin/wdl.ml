@@ -338,7 +338,7 @@ let serve_cmd =
           | Some dir
             when Sys.file_exists (Filename.concat dir "snapshot.wdl")
                  || Sys.file_exists (Filename.concat dir "journal.wal") ->
-            let peer = or_die (Webdamlog.Persist.recover ~dir ~fallback_name:name) in
+            let peer = or_die (Webdamlog.Persist.recover ~dir ~fallback_name:name ()) in
             Webdamlog.System.adopt_peer sys peer;
             Format.printf "recovered %s from %s@." name dir;
             peer

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Fact Filename Format List Printf String Sys Value Wdl_net Wdl_syntax Webdamlog

@@ -1,1 +1,1 @@
-lib/core/persist.mli: Peer
+lib/core/persist.mli: Peer Wdl_store

@@ -1,1 +1,1 @@
-lib/core/wire.ml: Buffer Fact List Message Parser Pp_util Program Result Rule Value Wdl_net Wdl_syntax
+lib/core/wire.ml: Buffer Fact List Message Option Parser Pp_util Program Result Rule String Value Wdl_net Wdl_syntax

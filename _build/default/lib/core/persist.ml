@@ -42,7 +42,7 @@ let apply_entry peer entry =
   | Journal.Delete f ->
     Result.map_error (fun e -> "journal delete: " ^ e) (Peer.delete peer f)
 
-let recover ~dir ~fallback_name =
+let recover ?(on_replay = fun _ -> ()) ~dir ~fallback_name () =
   let* peer =
     if Sys.file_exists (snapshot_file dir) then
       Peer.restore (read_file (snapshot_file dir))
@@ -53,6 +53,7 @@ let recover ~dir ~fallback_name =
     List.fold_left
       (fun acc entry ->
         let* () = acc in
+        on_replay entry;
         apply_entry peer entry)
       (Ok ()) entries
   in

@@ -20,7 +20,13 @@ val checkpoint : Peer.t -> dir:string -> unit
 (** Atomic: the snapshot is written to a temporary file and renamed
     over [dir/snapshot.wdl] before the journal truncates. *)
 
-val recover : dir:string -> fallback_name:string -> (Peer.t, string) result
+val recover :
+  ?on_replay:(Wdl_store.Journal.entry -> unit) ->
+  dir:string ->
+  fallback_name:string ->
+  unit ->
+  (Peer.t, string) result
 (** Loads [dir/snapshot.wdl] if present (otherwise a fresh peer named
     [fallback_name]), replays [dir/journal.wal], and re-attaches the
-    journal so the peer keeps journaling. *)
+    journal so the peer keeps journaling. [on_replay] observes each
+    journal entry as it is applied (crash-recovery logging). *)

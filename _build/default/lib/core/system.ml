@@ -5,6 +5,7 @@ type t = {
   mutable order : string list;  (* reverse registration order *)
   mutable rounds : int;
   mutable dropped : int;  (* messages to peers the system doesn't know *)
+  mutable transport_errors : int;  (* exceptions swallowed at send/drain *)
   mutable hooks : (unit -> unit) list;  (* run before each round's stages *)
 }
 
@@ -28,6 +29,7 @@ let create ?transport ?drop_unknown () =
     order = [];
     rounds = 0;
     dropped = 0;
+    transport_errors = 0;
     hooks = [];
   }
 
@@ -48,6 +50,12 @@ let add_peer t ?strategy ?policy ?indexing ?diff_batches name =
   t.order <- name :: t.order;
   p
 
+let remove_peer t name =
+  if Hashtbl.mem t.peers name then begin
+    Hashtbl.remove t.peers name;
+    t.order <- List.filter (fun n -> n <> name) t.order
+  end
+
 let peer t name = Hashtbl.find t.peers name
 let find_peer t name = Hashtbl.find_opt t.peers name
 let peers t = List.rev_map (fun n -> Hashtbl.find t.peers n) t.order
@@ -67,16 +75,27 @@ let round t =
               t.dropped <- t.dropped + 1
             else begin
               incr sent;
-              t.transport.Wdl_net.Transport.send ~src:msg.Message.src
-                ~dst:msg.Message.dst msg
+              (* An unreachable peer must not kill everyone else's
+                 round: the transport is expected to park-and-retry
+                 (Tcp) or retransmit (Reliable); anything that still
+                 escapes is counted and the message abandoned. *)
+              try
+                t.transport.Wdl_net.Transport.send ~src:msg.Message.src
+                  ~dst:msg.Message.dst msg
+              with _ -> t.transport_errors <- t.transport_errors + 1
             end)
           (Peer.stage p))
     (peers t);
   t.transport.Wdl_net.Transport.advance 1.0;
   List.iter
     (fun p ->
-      List.iter (Peer.receive p)
-        (t.transport.Wdl_net.Transport.drain (Peer.name p)))
+      let inbox =
+        try t.transport.Wdl_net.Transport.drain (Peer.name p)
+        with _ ->
+          t.transport_errors <- t.transport_errors + 1;
+          []
+      in
+      List.iter (Peer.receive p) inbox)
     (peers t);
   !sent
 
@@ -100,3 +119,4 @@ let run ?(max_rounds = 10_000) t =
 
 let messages_sent t = (t.transport.Wdl_net.Transport.stats ()).Wdl_net.Netstats.sent
 let messages_dropped t = t.dropped
+let transport_errors t = t.transport_errors

@@ -33,6 +33,11 @@ val adopt_peer : t -> Peer.t -> unit
     instead of creating a fresh one. Raises [Invalid_argument] if the
     name is taken. *)
 
+val remove_peer : t -> string -> unit
+(** Unregisters a peer: it stops staging and stops draining its inbox
+    — the system-level half of a crash. Unknown names are ignored.
+    Re-register the recovered peer with {!adopt_peer}. *)
+
 val peer : t -> string -> Peer.t
 (** Raises [Not_found]. *)
 
@@ -62,3 +67,9 @@ val messages_sent : t -> int
 
 val messages_dropped : t -> int
 (** Messages addressed to peers this system does not know. *)
+
+val transport_errors : t -> int
+(** Exceptions that escaped the transport during send or drain and
+    were swallowed by the round loop (the message or inbox read is
+    abandoned; well-behaved transports park and retry internally
+    instead, so this stays 0). *)

@@ -75,6 +75,52 @@ let decode text =
     | _ -> Error "malformed wire header")
   | _ -> Error "missing wire header"
 
+let envelope_rel = "envelope"
+
+let encode_envelope (e : Message.t Wdl_net.Reliable.envelope) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (one_line Fact.pp
+       (Fact.make ~rel:envelope_rel ~peer:header_peer
+          [
+            Value.String e.Wdl_net.Reliable.env_src;
+            Value.Int e.Wdl_net.Reliable.env_seq;
+            Value.Int e.Wdl_net.Reliable.env_ack;
+            Value.Bool (Option.is_some e.Wdl_net.Reliable.env_payload);
+          ]));
+  Buffer.add_string buf ";\n";
+  (match e.Wdl_net.Reliable.env_payload with
+  | Some m -> Buffer.add_string buf (encode m)
+  | None -> ());
+  Buffer.contents buf
+
+let decode_envelope text =
+  match String.index_opt text '\n' with
+  | None -> Error "missing envelope header"
+  | Some i -> (
+    let first = String.sub text 0 i in
+    let rest = String.sub text (i + 1) (String.length text - i - 1) in
+    let* header = Parser.program first in
+    match header with
+    | [ Program.Fact f ]
+      when f.Fact.rel = envelope_rel && f.Fact.peer = header_peer -> (
+      match f.Fact.args with
+      | [ Value.String src; Value.Int seq; Value.Int ack; Value.Bool has ] ->
+        let* payload =
+          if has then Result.map Option.some (decode rest)
+          else if String.trim rest = "" then Ok None
+          else Error "trailing statements after a pure ack"
+        in
+        Ok
+          {
+            Wdl_net.Reliable.env_src = src;
+            env_seq = seq;
+            env_ack = ack;
+            env_payload = payload;
+          }
+      | _ -> Error "malformed envelope header")
+    | _ -> Error "missing envelope header")
+
 let transport (bytes : string Wdl_net.Transport.t) =
   {
     Wdl_net.Transport.send =
@@ -84,6 +130,23 @@ let transport (bytes : string Wdl_net.Transport.t) =
         List.filter_map
           (fun frame ->
             match decode frame with Ok m -> Some m | Error _ -> None)
+          (bytes.Wdl_net.Transport.drain name));
+    pending = bytes.Wdl_net.Transport.pending;
+    advance = bytes.Wdl_net.Transport.advance;
+    now = bytes.Wdl_net.Transport.now;
+    stats = bytes.Wdl_net.Transport.stats;
+  }
+
+let envelope_transport (bytes : string Wdl_net.Transport.t) =
+  {
+    Wdl_net.Transport.send =
+      (fun ~src ~dst env ->
+        bytes.Wdl_net.Transport.send ~src ~dst (encode_envelope env));
+    drain =
+      (fun name ->
+        List.filter_map
+          (fun frame ->
+            match decode_envelope frame with Ok e -> Some e | Error _ -> None)
           (bytes.Wdl_net.Transport.drain name));
     pending = bytes.Wdl_net.Transport.pending;
     advance = bytes.Wdl_net.Transport.advance;

@@ -15,3 +15,22 @@ val decode : string -> (Message.t, string) result
 val transport : string Wdl_net.Transport.t -> Message.t Wdl_net.Transport.t
 (** Frames that fail to decode are dropped (counted nowhere: a
     malformed frame from the outside world must not kill the peer). *)
+
+(** {1 Reliable-session envelopes}
+
+    {!Wdl_net.Reliable} stamps messages with sequence/ack metadata;
+    these frames carry it as one extra [envelope@wire] fact line ahead
+    of the normal message frame (absent for a pure ack), keeping the
+    whole envelope parseable WebdamLog text. *)
+
+val encode_envelope : Message.t Wdl_net.Reliable.envelope -> string
+val decode_envelope : string -> (Message.t Wdl_net.Reliable.envelope, string) result
+
+val envelope_transport :
+  string Wdl_net.Transport.t ->
+  Message.t Wdl_net.Reliable.envelope Wdl_net.Transport.t
+(** Lifts a byte transport (typically {!Wdl_net.Tcp}) to envelope
+    frames, ready for {!Wdl_net.Reliable.wrap}:
+    [Reliable.wrap (Wire.envelope_transport tcp)] is an exactly-once
+    [Message.t] transport over real sockets. Undecodable frames are
+    dropped. *)

@@ -1,0 +1,1 @@
+lib/net/reliable.ml: Float Hashtbl List Netstats Random Transport

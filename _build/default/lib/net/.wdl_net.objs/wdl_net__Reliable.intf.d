@@ -1,0 +1,1 @@
+lib/net/reliable.mli: Netstats Transport

@@ -2,14 +2,35 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
+  mutable retransmits : int;
+  mutable dup_dropped : int;
+  mutable send_failures : int;
+  mutable acked : int;
 }
 
-let create () = { sent = 0; delivered = 0; bytes = 0 }
+let create () =
+  {
+    sent = 0;
+    delivered = 0;
+    bytes = 0;
+    retransmits = 0;
+    dup_dropped = 0;
+    send_failures = 0;
+    acked = 0;
+  }
 
 let reset t =
   t.sent <- 0;
   t.delivered <- 0;
-  t.bytes <- 0
+  t.bytes <- 0;
+  t.retransmits <- 0;
+  t.dup_dropped <- 0;
+  t.send_failures <- 0;
+  t.acked <- 0
 
 let pp ppf t =
-  Format.fprintf ppf "sent=%d delivered=%d bytes=%d" t.sent t.delivered t.bytes
+  Format.fprintf ppf "sent=%d delivered=%d bytes=%d" t.sent t.delivered t.bytes;
+  if t.retransmits > 0 || t.dup_dropped > 0 || t.send_failures > 0 || t.acked > 0
+  then
+    Format.fprintf ppf " retransmits=%d dup_dropped=%d send_failures=%d acked=%d"
+      t.retransmits t.dup_dropped t.send_failures t.acked

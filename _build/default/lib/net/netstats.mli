@@ -4,8 +4,21 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;  (** estimated payload bytes, when a sizer is set *)
+  mutable retransmits : int;
+      (** copies re-sent by a reliability layer after a timeout *)
+  mutable dup_dropped : int;
+      (** received copies discarded by receiver-side dedup *)
+  mutable send_failures : int;
+      (** sends that failed at the transport (connect/write errors,
+          links given up on) — the message may still be retried *)
+  mutable acked : int;
+      (** messages confirmed delivered by a cumulative ack *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
 val pp : Format.formatter -> t -> unit
+(** Prints the base counters; the reliability counters are appended
+    only when at least one of them is nonzero, so transports that never
+    retransmit keep their historical rendering. *)

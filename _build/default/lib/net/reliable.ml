@@ -1,0 +1,237 @@
+type 'a envelope = {
+  env_src : string;
+  env_seq : int;  (* 0 for a pure ack *)
+  env_ack : int;
+  env_payload : 'a option;
+}
+
+let data ~src ~seq ~ack payload =
+  { env_src = src; env_seq = seq; env_ack = ack; env_payload = Some payload }
+
+let pure_ack ~src ~ack =
+  { env_src = src; env_seq = 0; env_ack = ack; env_payload = None }
+
+type config = {
+  rto : float;
+  backoff : float;
+  max_rto : float;
+  rto_jitter : float;
+  max_attempts : int;
+}
+
+let default_config =
+  { rto = 4.0; backoff = 2.0; max_rto = 64.0; rto_jitter = 0.25; max_attempts = 30 }
+
+(* Sender side of one directed link. *)
+type 'a outstanding = {
+  o_seq : int;
+  o_payload : 'a;
+  mutable o_next : float;  (* clock time of the next retransmission *)
+  mutable o_rto : float;
+  mutable o_attempts : int;
+}
+
+type 'a link_send = {
+  mutable next_seq : int;
+  mutable window : 'a outstanding list;  (* unacked, oldest first *)
+  mutable given_up : bool;
+}
+
+(* Receiver side of one directed link: the dedup window plus the
+   out-of-order buffer that restores per-link FIFO. *)
+type 'a link_recv = {
+  mutable delivered : int;  (* highest contiguous seq handed to the app *)
+  mutable held : (int * 'a) list;  (* buffered out of order, seq > delivered *)
+  mutable last_acked : int;
+  mutable need_ack : bool;
+}
+
+type 'a control = {
+  c_sends : (string * string, 'a link_send) Hashtbl.t;
+  c_recvs : (string * string, 'a link_recv) Hashtbl.t;
+  mutable c_dead : (string * string) list;
+  mutable c_on_dead : src:string -> dst:string -> unit;
+  c_stats : Netstats.t;
+}
+
+let dead_links ctl = List.rev ctl.c_dead
+let on_dead ctl f = ctl.c_on_dead <- f
+let stats ctl = ctl.c_stats
+
+let unacked ctl =
+  Hashtbl.fold (fun _ ls acc -> acc + List.length ls.window) ctl.c_sends 0
+
+let delivered_from ctl ~src ~dst =
+  match Hashtbl.find_opt ctl.c_recvs (src, dst) with
+  | Some r -> r.delivered
+  | None -> 0
+
+let revive ctl ~src ~dst =
+  ctl.c_dead <- List.filter (fun l -> l <> (src, dst)) ctl.c_dead;
+  match Hashtbl.find_opt ctl.c_sends (src, dst) with
+  | Some ls -> ls.given_up <- false
+  | None -> ()
+
+let wrap ?(config = default_config) ?(seed = 11)
+    (inner : 'a envelope Transport.t) : 'a Transport.t * 'a control =
+  let rng = Random.State.make [| seed |] in
+  let stats = Netstats.create () in
+  let ctl =
+    {
+      c_sends = Hashtbl.create 16;
+      c_recvs = Hashtbl.create 16;
+      c_dead = [];
+      c_on_dead = (fun ~src:_ ~dst:_ -> ());
+      c_stats = stats;
+    }
+  in
+  (* The wrapper keeps its own clock fed by [advance] so retransmission
+     works over transports whose [now] never moves (Tcp). *)
+  let clock = ref (inner.Transport.now ()) in
+  let link_send src dst =
+    match Hashtbl.find_opt ctl.c_sends (src, dst) with
+    | Some ls -> ls
+    | None ->
+      let ls = { next_seq = 0; window = []; given_up = false } in
+      Hashtbl.add ctl.c_sends (src, dst) ls;
+      ls
+  in
+  let link_recv src dst =
+    match Hashtbl.find_opt ctl.c_recvs (src, dst) with
+    | Some r -> r
+    | None ->
+      let r = { delivered = 0; held = []; last_acked = 0; need_ack = false } in
+      Hashtbl.add ctl.c_recvs (src, dst) r;
+      r
+  in
+  (* Cumulative ack piggybacked on anything [me] sends to [peer]:
+     everything [me] has contiguously delivered on the reverse link. *)
+  let ack_for ~me ~peer =
+    let r = link_recv peer me in
+    r.last_acked <- r.delivered;
+    r.need_ack <- false;
+    r.delivered
+  in
+  let jittered rto =
+    rto *. (1.0 +. (config.rto_jitter *. (Random.State.float rng 2.0 -. 1.0)))
+  in
+  let send ~src ~dst payload =
+    let ls = link_send src dst in
+    ls.next_seq <- ls.next_seq + 1;
+    let o =
+      {
+        o_seq = ls.next_seq;
+        o_payload = payload;
+        o_next = !clock +. jittered config.rto;
+        o_rto = config.rto;
+        o_attempts = 1;
+      }
+    in
+    ls.window <- ls.window @ [ o ];
+    stats.Netstats.sent <- stats.Netstats.sent + 1;
+    inner.Transport.send ~src ~dst
+      (data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst) payload)
+  in
+  let drain me =
+    let ready = ref [] in
+    List.iter
+      (fun env ->
+        let from = env.env_src in
+        (* Cumulative ack: prune our window towards [from]. *)
+        let ls = link_send me from in
+        let acked, live =
+          List.partition (fun o -> o.o_seq <= env.env_ack) ls.window
+        in
+        if acked <> [] then begin
+          ls.window <- live;
+          stats.Netstats.acked <- stats.Netstats.acked + List.length acked
+        end;
+        match env.env_payload with
+        | None -> ()
+        | Some payload ->
+          let r = link_recv from me in
+          if env.env_seq <= r.delivered || List.mem_assoc env.env_seq r.held
+          then begin
+            stats.Netstats.dup_dropped <- stats.Netstats.dup_dropped + 1;
+            (* The sender retransmitted, so our previous ack was
+               probably lost: re-ack even though nothing new landed. *)
+            r.need_ack <- true
+          end
+          else begin
+            r.held <- (env.env_seq, payload) :: r.held;
+            (* Flush the contiguous prefix. *)
+            let continue = ref true in
+            while !continue do
+              let next = r.delivered + 1 in
+              match List.assoc_opt next r.held with
+              | Some p ->
+                r.held <- List.remove_assoc next r.held;
+                r.delivered <- next;
+                ready := p :: !ready
+              | None -> continue := false
+            done;
+            r.need_ack <- true
+          end)
+      (inner.Transport.drain me);
+    (* Ack what this drain taught us: one cumulative frame per peer
+       that needs one. *)
+    Hashtbl.iter
+      (fun (from, to_) r ->
+        if to_ = me && r.need_ack then
+          inner.Transport.send ~src:me ~dst:from
+            (pure_ack ~src:me ~ack:(ack_for ~me ~peer:from)))
+      ctl.c_recvs;
+    let ready = List.rev !ready in
+    stats.Netstats.delivered <- stats.Netstats.delivered + List.length ready;
+    ready
+  in
+  let check_retransmits () =
+    Hashtbl.iter
+      (fun (src, dst) ls ->
+        if (not ls.given_up) && ls.window <> [] then
+          if
+            List.exists
+              (fun o ->
+                o.o_next <= !clock && o.o_attempts >= config.max_attempts)
+              ls.window
+          then begin
+            (* Give up on the whole link: drop the window so the system
+               can quiesce, and surface the dead peer instead of
+               blocking forever. *)
+            stats.Netstats.send_failures <-
+              stats.Netstats.send_failures + List.length ls.window;
+            ls.window <- [];
+            ls.given_up <- true;
+            ctl.c_dead <- (src, dst) :: ctl.c_dead;
+            ctl.c_on_dead ~src ~dst
+          end
+          else
+            List.iter
+              (fun o ->
+                if o.o_next <= !clock then begin
+                  o.o_attempts <- o.o_attempts + 1;
+                  o.o_rto <- Float.min config.max_rto (o.o_rto *. config.backoff);
+                  o.o_next <- !clock +. jittered o.o_rto;
+                  stats.Netstats.retransmits <- stats.Netstats.retransmits + 1;
+                  inner.Transport.send ~src ~dst
+                    (data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst)
+                       o.o_payload)
+                end)
+              ls.window)
+      ctl.c_sends
+  in
+  let advance dt =
+    inner.Transport.advance dt;
+    clock := !clock +. dt;
+    check_retransmits ()
+  in
+  let pending () = inner.Transport.pending () + unacked ctl in
+  ( {
+      Transport.send;
+      drain;
+      pending;
+      advance;
+      now = (fun () -> !clock);
+      stats = (fun () -> stats);
+    },
+    ctl )

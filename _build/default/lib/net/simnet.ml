@@ -7,7 +7,10 @@ type 'a envelope = {
 
 type control = {
   mutable down : (string * string) list;  (* normalised pairs *)
+  mutable crashed : string list;  (* peers currently down *)
+  mutable lost : int;  (* messages dropped by loss injection or crashes *)
   mutable on_heal : string -> string -> unit;
+  mutable on_crash : string -> unit;
 }
 
 let norm a b = if String.compare a b <= 0 then (a, b) else (b, a)
@@ -25,14 +28,27 @@ let heal ctl ~between ~and_ =
     ctl.on_heal between and_
   end
 
+let crash ctl peer =
+  if not (List.mem peer ctl.crashed) then begin
+    ctl.crashed <- peer :: ctl.crashed;
+    ctl.on_crash peer
+  end
+
+let restart ctl peer = ctl.crashed <- List.filter (fun p -> p <> peer) ctl.crashed
+let crashed ctl peer = List.mem peer ctl.crashed
+let messages_lost ctl = ctl.lost
+
 let create_with_control ?(sizer = fun _ -> 0) ?(seed = 42) ?(base_latency = 1.0)
-    ?(jitter = 0.25) ?(duplicate = 0.0) ?latency () =
+    ?(jitter = 0.25) ?(duplicate = 0.0) ?(loss = 0.0) ?latency () =
   let rng = Random.State.make [| seed |] in
   let clock = ref 0. in
   let seq = ref 0 in
   let stats = Netstats.create () in
   let inboxes : (string, 'a envelope list ref) Hashtbl.t = Hashtbl.create 16 in
-  let ctl = { down = []; on_heal = (fun _ _ -> ()) } in
+  let ctl =
+    { down = []; crashed = []; lost = 0;
+      on_heal = (fun _ _ -> ()); on_crash = (fun _ -> ()) }
+  in
   let inbox dst =
     match Hashtbl.find_opt inboxes dst with
     | Some l -> l
@@ -63,6 +79,15 @@ let create_with_control ?(sizer = fun _ -> 0) ?(seed = 42) ?(base_latency = 1.0)
               then e.deliver_at <- !clock +. link_latency ~src:e.src ~dst)
             !l)
         inboxes);
+  (* A crash loses whatever sat undelivered in the peer's inbox (the
+     kernel buffers of a dead process). *)
+  ctl.on_crash <-
+    (fun peer ->
+      match Hashtbl.find_opt inboxes peer with
+      | None -> ()
+      | Some l ->
+        ctl.lost <- ctl.lost + List.length !l;
+        l := []);
   let enqueue ~src ~dst msg =
     incr seq;
     let deliver_at =
@@ -73,29 +98,41 @@ let create_with_control ?(sizer = fun _ -> 0) ?(seed = 42) ?(base_latency = 1.0)
     let l = inbox dst in
     l := env :: !l
   in
+  (* Each enqueued copy is lost independently; a crashed endpoint
+     neither sends nor receives. *)
+  let offer ~src ~dst msg =
+    if List.mem dst ctl.crashed || List.mem src ctl.crashed then
+      ctl.lost <- ctl.lost + 1
+    else if loss > 0. && Random.State.float rng 1.0 < loss then
+      ctl.lost <- ctl.lost + 1
+    else enqueue ~src ~dst msg
+  in
   let send ~src ~dst msg =
     stats.Netstats.sent <- stats.Netstats.sent + 1;
     stats.Netstats.bytes <- stats.Netstats.bytes + sizer msg;
-    enqueue ~src ~dst msg;
+    offer ~src ~dst msg;
     if duplicate > 0. && Random.State.float rng 1.0 < duplicate then
-      enqueue ~src ~dst msg
+      offer ~src ~dst msg
   in
   let drain dst =
-    let l = inbox dst in
-    let ready, waiting =
-      List.partition (fun e -> e.deliver_at <= !clock) !l
-    in
-    l := waiting;
-    let ready =
-      List.sort
-        (fun a b ->
-          match Float.compare a.deliver_at b.deliver_at with
-          | 0 -> Int.compare a.seq b.seq
-          | c -> c)
-        ready
-    in
-    stats.Netstats.delivered <- stats.Netstats.delivered + List.length ready;
-    List.map (fun e -> e.payload) ready
+    if List.mem dst ctl.crashed then []
+    else begin
+      let l = inbox dst in
+      let ready, waiting =
+        List.partition (fun e -> e.deliver_at <= !clock) !l
+      in
+      l := waiting;
+      let ready =
+        List.sort
+          (fun a b ->
+            match Float.compare a.deliver_at b.deliver_at with
+            | 0 -> Int.compare a.seq b.seq
+            | c -> c)
+          ready
+      in
+      stats.Netstats.delivered <- stats.Netstats.delivered + List.length ready;
+      List.map (fun e -> e.payload) ready
+    end
   in
   let pending () = Hashtbl.fold (fun _ l acc -> acc + List.length !l) inboxes 0 in
   ( {
@@ -108,5 +145,7 @@ let create_with_control ?(sizer = fun _ -> 0) ?(seed = 42) ?(base_latency = 1.0)
     },
     ctl )
 
-let create ?sizer ?seed ?base_latency ?jitter ?duplicate ?latency () =
-  fst (create_with_control ?sizer ?seed ?base_latency ?jitter ?duplicate ?latency ())
+let create ?sizer ?seed ?base_latency ?jitter ?duplicate ?loss ?latency () =
+  fst
+    (create_with_control ?sizer ?seed ?base_latency ?jitter ?duplicate ?loss
+       ?latency ())

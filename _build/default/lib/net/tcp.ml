@@ -1,11 +1,25 @@
 type endpoint = { host : string; port : int }
 
+(* A send that failed at connect/write time, parked for retry with
+   exponential backoff (wall-clock driven: real sockets, real time). *)
+type parked = {
+  p_dst : string;
+  p_payload : string;
+  mutable p_attempts : int;
+  mutable p_next : float;
+}
+
 type control = {
   server : Unix.file_descr;
   actual_port : int;
   registry : (string, endpoint) Hashtbl.t;
   queues : (string, string Queue.t) Hashtbl.t;
   local : (string, unit) Hashtbl.t;  (* peers that drained here at least once *)
+  connect_timeout : float;
+  read_timeout : float;
+  retry_delay : float;
+  max_retries : int;
+  mutable parked : parked list;  (* failed sends awaiting retry, oldest first *)
   mutable closed : bool;
 }
 
@@ -21,18 +35,38 @@ let write_frame fd ~dst payload =
   in
   loop 0
 
-let read_all fd =
+(* Reads until the sender shuts down its write side, but never hangs on
+   one that doesn't: each read is bounded by [timeout], and on expiry
+   whatever partial frame accumulated is returned as-is (parse_frame
+   then rejects it — the frame is dropped, not the process). *)
+let read_all ?(timeout = 5.0) fd =
   let buf = Buffer.create 1024 in
   let chunk = Bytes.create 4096 in
   let rec loop () =
-    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-    if n > 0 then begin
-      Buffer.add_subbytes buf chunk 0 n;
-      loop ()
-    end
+    match Unix.select [ fd ] [] [] timeout with
+    | [ _ ], _, _ ->
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+      end
+    | _, _, _ -> ()  (* stalled writer: give up on the frame *)
   in
   (try loop () with Unix.Unix_error (Unix.ECONNRESET, _, _) -> ());
   Buffer.contents buf
+
+(* Blocking connect can stall for minutes on a black-holed address; do
+   it non-blocking under a select deadline instead. *)
+let connect_with_timeout sock addr timeout =
+  Unix.set_nonblock sock;
+  (try Unix.connect sock addr with
+  | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> ());
+  match Unix.select [] [ sock ] [] timeout with
+  | _, [ _ ], _ -> (
+    match Unix.getsockopt_error sock with
+    | None -> Unix.clear_nonblock sock
+    | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+  | _, _, _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
 
 let parse_frame data =
   match String.index_opt data '\n' with
@@ -59,18 +93,72 @@ let queue ctl name =
   match Hashtbl.find_opt ctl.queues name with
   | Some q -> q
   | None ->
-    let q = Queue.create () in
+    let q = Queue.create ()  in
     Hashtbl.replace ctl.queues name q;
     q
 
+let parked_sends ctl = List.length ctl.parked
+
+let connect_and_write ctl ep ~dst payload =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close sock)
+    (fun () ->
+      connect_with_timeout sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port))
+        ctl.connect_timeout;
+      write_frame sock ~dst payload;
+      Unix.shutdown sock Unix.SHUTDOWN_SEND)
+
+(* One delivery attempt; never raises. *)
+let try_send ctl stats ~dst payload =
+  match Hashtbl.find_opt ctl.registry dst with
+  | None ->
+    (* No remote location: the peer lives in this process. *)
+    Queue.push payload (queue ctl dst);
+    true
+  | Some ep -> (
+    match connect_and_write ctl ep ~dst payload with
+    | () -> true
+    | exception Unix.Unix_error _ ->
+      stats.Netstats.send_failures <- stats.Netstats.send_failures + 1;
+      false)
+
+(* Re-attempt parked sends whose backoff deadline passed. *)
+let retry_parked ctl stats =
+  if ctl.parked <> [] then begin
+    let now = Unix.gettimeofday () in
+    let keep =
+      List.filter
+        (fun p ->
+          if p.p_next > now then true
+          else if try_send ctl stats ~dst:p.p_dst p.p_payload then begin
+            stats.Netstats.retransmits <- stats.Netstats.retransmits + 1;
+            false
+          end
+          else begin
+            p.p_attempts <- p.p_attempts + 1;
+            p.p_next <-
+              now
+              +. (ctl.retry_delay *. (2. ** float_of_int (min 8 p.p_attempts)));
+            (* Bounded patience: a peer gone for good must not grow an
+               unbounded queue in its senders. *)
+            p.p_attempts <= ctl.max_retries
+          end)
+        ctl.parked
+    in
+    ctl.parked <- keep
+  end
+
 (* Accept every connection already pending and enqueue its frame. *)
-let pump ctl =
-  if not ctl.closed then
+let pump ctl stats =
+  if not ctl.closed then begin
+    retry_parked ctl stats;
     let rec loop () =
       match Unix.select [ ctl.server ] [] [] 0.0 with
       | [ _ ], _, _ ->
         let client, _ = Unix.accept ctl.server in
-        let data = read_all client in
+        let data = read_all ~timeout:ctl.read_timeout client in
         Unix.close client;
         (match parse_frame data with
         | Some (dst, payload) -> Queue.push payload (queue ctl dst)
@@ -79,8 +167,10 @@ let pump ctl =
       | _, _, _ -> ()
     in
     loop ()
+  end
 
-let create ?(sizer = String.length) ?(port = 0) () =
+let create ?(sizer = String.length) ?(port = 0) ?(connect_timeout = 5.0)
+    ?(read_timeout = 5.0) ?(retry_delay = 0.05) ?(max_retries = 24) () =
   let server = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt server Unix.SO_REUSEADDR true;
   Unix.bind server (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -97,6 +187,11 @@ let create ?(sizer = String.length) ?(port = 0) () =
       registry = Hashtbl.create 8;
       queues = Hashtbl.create 8;
       local = Hashtbl.create 8;
+      connect_timeout;
+      read_timeout;
+      retry_delay;
+      max_retries;
+      parked = [];
       closed = false;
     }
   in
@@ -104,23 +199,23 @@ let create ?(sizer = String.length) ?(port = 0) () =
   let send ~src:_ ~dst payload =
     stats.Netstats.sent <- stats.Netstats.sent + 1;
     stats.Netstats.bytes <- stats.Netstats.bytes + sizer payload;
-    match Hashtbl.find_opt ctl.registry dst with
-    | None ->
-      (* No remote location: the peer lives in this process. *)
-      Queue.push payload (queue ctl dst)
-    | Some ep ->
-      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Fun.protect
-        ~finally:(fun () -> Unix.close sock)
-        (fun () ->
-          Unix.connect sock
-            (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port));
-          write_frame sock ~dst payload;
-          Unix.shutdown sock Unix.SHUTDOWN_SEND)
+    if not (try_send ctl stats ~dst payload) then
+      (* Park it: connect/write failures (ECONNREFUSED, EHOSTUNREACH,
+         timeouts) must not escape into the caller's round loop. *)
+      ctl.parked <-
+        ctl.parked
+        @ [
+            {
+              p_dst = dst;
+              p_payload = payload;
+              p_attempts = 1;
+              p_next = Unix.gettimeofday () +. ctl.retry_delay;
+            };
+          ]
   in
   let drain name =
     Hashtbl.replace ctl.local name ();
-    pump ctl;
+    pump ctl stats;
     let q = queue ctl name in
     let msgs = List.of_seq (Queue.to_seq q) in
     Queue.clear q;
@@ -128,8 +223,9 @@ let create ?(sizer = String.length) ?(port = 0) () =
     msgs
   in
   let pending () =
-    pump ctl;
+    pump ctl stats;
     Hashtbl.fold (fun _ q acc -> acc + Queue.length q) ctl.queues 0
+    + List.length ctl.parked
   in
   let transport =
     {
@@ -149,5 +245,6 @@ let register ctl ~peer ep = Hashtbl.replace ctl.registry peer ep
 let close ctl =
   if not ctl.closed then begin
     ctl.closed <- true;
+    ctl.parked <- [];
     Unix.close ctl.server
   end

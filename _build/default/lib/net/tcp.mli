@@ -9,6 +9,17 @@
     [drain] never blocks: it accepts whatever connections are already
     pending.
 
+    Failure handling: a connect or write that fails (ECONNREFUSED,
+    EHOSTUNREACH, timeout) never escapes as an exception — the send is
+    counted in [Netstats.send_failures] and parked for retry with
+    exponential backoff, re-attempted on every [drain]/[pending] until
+    it succeeds (counted as a retransmit) or [max_retries] is
+    exhausted. Connects are bounded by [connect_timeout]; reads of an
+    accepted connection are bounded by [read_timeout], after which the
+    partial frame is dropped. At-least/at-most-once gaps left by this
+    best-effort discipline are what {!Reliable} (over
+    {!Webdamlog.Wire.envelope_transport}) closes.
+
     The payload is an opaque string — the engine's message codec is
     {!Webdamlog.Wire}. *)
 
@@ -16,12 +27,26 @@ type endpoint = { host : string; port : int }
 
 type control
 
-val create : ?sizer:(string -> int) -> ?port:int -> unit -> string Transport.t * control
-(** Listens on [127.0.0.1:port] (default [0]: ephemeral). *)
+val create :
+  ?sizer:(string -> int) ->
+  ?port:int ->
+  ?connect_timeout:float ->
+  ?read_timeout:float ->
+  ?retry_delay:float ->
+  ?max_retries:int ->
+  unit ->
+  string Transport.t * control
+(** Listens on [127.0.0.1:port] (default [0]: ephemeral). Defaults:
+    [connect_timeout = 5.0] s, [read_timeout = 5.0] s,
+    [retry_delay = 0.05] s (doubling per attempt, capped),
+    [max_retries = 24]. *)
 
 val port : control -> int
 val register : control -> peer:string -> endpoint -> unit
 (** Where to connect for [peer]. A peer served by this same process
     needs no registration: frames to it short-circuit locally. *)
+
+val parked_sends : control -> int
+(** Failed sends currently awaiting a backoff retry. *)
 
 val close : control -> unit

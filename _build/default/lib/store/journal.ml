@@ -73,6 +73,13 @@ let replay file =
         go [] 1)
   end
 
+let replay_iter file ~f =
+  match replay file with
+  | Error _ as e -> e
+  | Ok entries ->
+    List.iter f entries;
+    Ok (List.length entries)
+
 let entry_equal a b =
   match a, b with
   | Insert x, Insert y | Delete x, Delete y -> Fact.equal x y

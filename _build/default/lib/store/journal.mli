@@ -39,5 +39,11 @@ val replay : string -> (entry list, string) result
 (** Reads a journal file; a missing file is an empty journal. A torn
     last line is ignored; malformed earlier lines are errors. *)
 
+val replay_iter : string -> f:(entry -> unit) -> (int, string) result
+(** Replay hook: reads the journal and feeds each entry to [f] in
+    order, returning how many were replayed. Crash-recovery plumbing
+    ({!Webdamlog.Persist.recover}) threads its observer through this,
+    so operators can count/log what a restart replayed. *)
+
 val entry_equal : entry -> entry -> bool
 val pp_entry : Format.formatter -> entry -> unit

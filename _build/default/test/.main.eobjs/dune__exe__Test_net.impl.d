@@ -1,1 +1,1 @@
-test/test_net.ml: Alcotest Inmem List Netstats Simnet Transport Wdl_net
+test/test_net.ml: Alcotest Inmem List Netstats Simnet Tcp Transport Unix Wdl_net

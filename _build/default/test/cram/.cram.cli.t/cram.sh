@@ -12,3 +12,4 @@
   $ wdl run --peer local same_generation.wdl | grep -c 'sg@local'
   $ wdl run --peer local aggregates.wdl | sed -n '/perCity/,$p'
   $ wdl run --peer local negation.wdl | sed -n '/empty@local (/,/^$/p'
+  $ wdl-bench ft-smoke

@@ -150,3 +150,21 @@ Stratified negation:
     session@local("crowdsourcing")
     session@local("datalog")
     session@local("provenance")
+
+Delivery guarantees: the fault-injection smoke (fixed seeds, bounded
+rounds) must converge to the fault-free reference and recover a
+crashed peer from its journal — a regression here fails dune runtest:
+
+  $ wdl-bench ft-smoke
+  FT-SMOKE fault-injection smoke (fixed seeds, bounded rounds)
+  converged under 25% loss + 10% dup + partition ok
+  relation contents byte-identical to inmem      ok
+  retransmits nonzero                            ok
+  dup_dropped nonzero                            ok
+  no link given up                               ok
+  round loop saw no transport exceptions         ok
+  journal replay restored pre-crash inbox        ok
+  restarted peer reconverged                     ok
+  FT-SMOKE passed
+  
+  done.

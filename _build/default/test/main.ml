@@ -14,6 +14,7 @@ let () =
       ("plan", Test_plan.suite);
       ("acl", Test_acl.suite);
       ("net", Test_net.suite);
+      ("reliable", Test_reliable.suite);
       ("trace", Test_trace.suite);
       ("message", Test_message.suite);
       ("peer", Test_peer.suite);

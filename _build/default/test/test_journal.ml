@@ -98,7 +98,7 @@ let suite =
         ok' (Peer.load_string p "ext m@p(x); m@p(1); m@p(2);");
         ok' (Peer.delete p (fact 1));
         (* no checkpoint, "crash", recover *)
-        let p' = ok' (Persist.recover ~dir ~fallback_name:"p") in
+        let p' = ok' (Persist.recover ~dir ~fallback_name:"p" ()) in
         check_int "facts" 1 (List.length (Peer.query p' "m"));
         check_bool "right one" (List.hd (Peer.query p' "m") |> Fact.equal (fact 2)));
     tc "persist: checkpoint + journal tail" (fun () ->
@@ -110,7 +110,7 @@ let suite =
         Persist.checkpoint p ~dir;
         (* post-checkpoint changes live only in the journal *)
         ok' (Peer.insert p (fact 2));
-        let p' = ok' (Persist.recover ~dir ~fallback_name:"p") in
+        let p' = ok' (Persist.recover ~dir ~fallback_name:"p" ()) in
         check_int "both facts" 2 (List.length (Peer.query p' "m"));
         check_int "rules survive via snapshot" 1 (List.length (Peer.rules p'));
         ignore (Peer.stage p');
@@ -127,7 +127,7 @@ let suite =
         check_int "received" 1 (List.length (Peer.query q "stored"));
         check_int "induced" 1 (List.length (Peer.query q "b"));
         (* recover q alone: both kinds of fact are in its journal *)
-        let q' = ok' (Persist.recover ~dir ~fallback_name:"q") in
+        let q' = ok' (Persist.recover ~dir ~fallback_name:"q" ()) in
         check_int "received recovered" 1 (List.length (Peer.query q' "stored"));
         check_int "induced recovered" 1 (List.length (Peer.query q' "b")));
     tc "persist: recovery keeps journaling" (fun () ->
@@ -135,9 +135,9 @@ let suite =
         let p = Peer.create "p" in
         Persist.attach p ~dir;
         ok' (Peer.load_string p "ext m@p(x); m@p(1);");
-        let p' = ok' (Persist.recover ~dir ~fallback_name:"p") in
+        let p' = ok' (Persist.recover ~dir ~fallback_name:"p" ()) in
         ok' (Peer.insert p' (fact 2));
-        let p'' = ok' (Persist.recover ~dir ~fallback_name:"p") in
+        let p'' = ok' (Persist.recover ~dir ~fallback_name:"p" ()) in
         check_int "all facts" 2 (List.length (Peer.query p'' "m")));
     tc "persist: double recovery is idempotent" (fun () ->
         let dir = temp_dir () in
@@ -145,8 +145,8 @@ let suite =
         Persist.attach p ~dir;
         ok' (Peer.load_string p "ext m@p(x); m@p(1); m@p(2);");
         ok' (Peer.delete p (fact 2));
-        let once = ok' (Persist.recover ~dir ~fallback_name:"p") in
-        let twice = ok' (Persist.recover ~dir ~fallback_name:"p") in
+        let once = ok' (Persist.recover ~dir ~fallback_name:"p" ()) in
+        let twice = ok' (Persist.recover ~dir ~fallback_name:"p" ()) in
         check_bool "same"
           (List.equal Fact.equal (Peer.query once "m") (Peer.query twice "m")));
   ]

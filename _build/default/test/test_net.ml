@@ -77,4 +77,78 @@ let suite =
         t.Transport.advance 1.0;
         Alcotest.check (Alcotest.list Alcotest.int) "fifo" [ 1; 2 ]
           (t.Transport.drain "b"));
+    tc "simnet: loss drops copies and counts them" (fun () ->
+        let t, ctl = Simnet.create_with_control ~jitter:0. ~loss:1.0 () in
+        for i = 1 to 5 do
+          t.Transport.send ~src:"a" ~dst:"b" i
+        done;
+        t.Transport.advance 1.0;
+        check_int "all lost" 0 (List.length (t.Transport.drain "b"));
+        check_int "counted" 5 (Simnet.messages_lost ctl);
+        check_int "sent still counted" 5 (t.Transport.stats ()).Netstats.sent);
+    tc "simnet: partial loss is deterministic under the seed" (fun () ->
+        let run () =
+          let t = Simnet.create ~seed:9 ~jitter:0. ~loss:0.5 () in
+          for i = 1 to 20 do
+            t.Transport.send ~src:"a" ~dst:"b" i
+          done;
+          t.Transport.advance 1.0;
+          t.Transport.drain "b"
+        in
+        let got = run () in
+        check_bool "some lost" (List.length got < 20);
+        check_bool "some survive" (List.length got > 0);
+        check_bool "replayable" (got = run ()));
+    tc "simnet: a crashed peer loses its inbox and all traffic" (fun () ->
+        let t, ctl = Simnet.create_with_control ~jitter:0. () in
+        t.Transport.send ~src:"a" ~dst:"b" 1;
+        Simnet.crash ctl "b";
+        check_bool "crashed" (Simnet.crashed ctl "b");
+        t.Transport.send ~src:"a" ~dst:"b" 2;  (* dropped: b is down *)
+        t.Transport.send ~src:"b" ~dst:"a" 3;  (* dropped: b cannot send *)
+        t.Transport.advance 1.0;
+        check_int "nothing at b" 0 (List.length (t.Transport.drain "b"));
+        check_int "nothing from b" 0 (List.length (t.Transport.drain "a"));
+        check_int "inbox + both directions lost" 3 (Simnet.messages_lost ctl);
+        Simnet.restart ctl "b";
+        t.Transport.send ~src:"a" ~dst:"b" 4;
+        t.Transport.advance 1.0;
+        Alcotest.check (Alcotest.list Alcotest.int) "delivery resumes" [ 4 ]
+          (t.Transport.drain "b"));
+    tc "tcp: unreachable peer does not raise; send is parked and counted"
+      (fun () ->
+        (* Grab a port that is certainly closed by binding and
+           releasing it. *)
+        let dead_t, dead_c = Tcp.create () in
+        let dead_port = Tcp.port dead_c in
+        ignore dead_t;
+        Tcp.close dead_c;
+        let t, c = Tcp.create ~connect_timeout:0.5 ~retry_delay:0.01 () in
+        Tcp.register c ~peer:"gone"
+          { Tcp.host = "127.0.0.1"; port = dead_port };
+        t.Transport.send ~src:"a" ~dst:"gone" "hello?";  (* must not raise *)
+        check_bool "failure counted"
+          ((t.Transport.stats ()).Netstats.send_failures >= 1);
+        check_int "parked for retry" 1 (Tcp.parked_sends c);
+        check_bool "pending includes parked" (t.Transport.pending () >= 1);
+        Tcp.close c);
+    tc "tcp: read_all is bounded; a stalled writer only loses its frame"
+      (fun () ->
+        let t, c = Tcp.create ~read_timeout:0.15 () in
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect sock
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, Tcp.port c));
+        (* Half a frame, and the write side stays open forever. *)
+        ignore (Unix.write_substring sock "5\n" 0 2);
+        let t0 = Unix.gettimeofday () in
+        let got = t.Transport.drain "whoever" in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Unix.close sock;
+        check_int "partial frame dropped" 0 (List.length got);
+        check_bool "returned promptly, not hung" (elapsed < 2.0);
+        (* The transport still works afterwards. *)
+        t.Transport.send ~src:"a" ~dst:"b" "still alive";
+        Alcotest.check (Alcotest.list Alcotest.string) "subsequent frames ok"
+          [ "still alive" ] (t.Transport.drain "b");
+        Tcp.close c);
   ]

@@ -1,0 +1,364 @@
+(* Reliable session layer: exactly-once delivery over faulty links, and
+   crash recovery of a peer from its journal. *)
+open Wdl_syntax
+open Wdl_net
+open Webdamlog
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+let check_int msg = Alcotest.check Alcotest.int msg
+let ok' = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* {1 Transport-level unit tests} *)
+
+(* An Inmem that silently eats the first [n] sends — deterministic
+   loss, unlike Simnet's seeded coin. *)
+let drop_first n =
+  let inner : 'a Transport.t = Inmem.create () in
+  let dropped = ref 0 in
+  {
+    inner with
+    Transport.send =
+      (fun ~src ~dst m ->
+        if !dropped < n then incr dropped
+        else inner.Transport.send ~src ~dst m);
+  }
+
+let fast = { Reliable.default_config with rto = 1.0; rto_jitter = 0. }
+
+let unit_tests =
+  [
+    tc "lost message is retransmitted, delivered once, then acked" (fun () ->
+        let t, ctl = Reliable.wrap ~config:fast (drop_first 1) in
+        t.Transport.send ~src:"a" ~dst:"b" "x";
+        check_int "eaten" 0 (List.length (t.Transport.drain "b"));
+        check_int "unacked" 1 (Reliable.unacked ctl);
+        t.Transport.advance 1.1;
+        Alcotest.check (Alcotest.list Alcotest.string) "retransmitted" [ "x" ]
+          (t.Transport.drain "b");
+        check_int "once only" 0 (List.length (t.Transport.drain "b"));
+        (* b's cumulative ack rides a pure-ack frame drained by a. *)
+        ignore (t.Transport.drain "a");
+        check_int "acked" 0 (Reliable.unacked ctl);
+        let s = t.Transport.stats () in
+        check_int "retransmits counted" 1 s.Netstats.retransmits;
+        check_int "ack counted" 1 s.Netstats.acked);
+    tc "duplicated copies are deduped" (fun () ->
+        let inner = Simnet.create ~jitter:0. ~duplicate:1.0 () in
+        let t, _ = Reliable.wrap ~config:fast inner in
+        t.Transport.send ~src:"a" ~dst:"b" 7;
+        t.Transport.advance 1.0;
+        Alcotest.check (Alcotest.list Alcotest.int) "one copy" [ 7 ]
+          (t.Transport.drain "b");
+        check_bool "dup counted" ((t.Transport.stats ()).Netstats.dup_dropped >= 1));
+    tc "per-link FIFO survives inner reordering" (fun () ->
+        (* Heavy jitter reorders Simnet's deliveries within the link;
+           the sequence numbers restore send order. *)
+        let inner = Simnet.create ~seed:3 ~base_latency:1.0 ~jitter:0.9 () in
+        let t, _ = Reliable.wrap ~config:fast inner in
+        for i = 1 to 8 do
+          t.Transport.send ~src:"a" ~dst:"b" i
+        done;
+        let got = ref [] in
+        for _ = 1 to 30 do
+          t.Transport.advance 0.2;
+          got := !got @ t.Transport.drain "b"
+        done;
+        Alcotest.check (Alcotest.list Alcotest.int) "in order"
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ] !got);
+    tc "acks piggyback on reverse traffic" (fun () ->
+        let t, ctl = Reliable.wrap ~config:fast (Inmem.create ()) in
+        t.Transport.send ~src:"a" ~dst:"b" "ping";
+        ignore (t.Transport.drain "b");
+        t.Transport.send ~src:"b" ~dst:"a" "pong";
+        (* a's drain processes the cumulative ack riding on "pong" (and
+           the pure ack b emitted) — only "pong" itself stays unacked. *)
+        ignore (t.Transport.drain "a");
+        check_int "ping acked" 1 (Reliable.unacked ctl);
+        ignore (t.Transport.drain "b");
+        check_int "all quiet" 0 (Reliable.unacked ctl));
+    tc "give-up surfaces a dead peer instead of blocking forever" (fun () ->
+        (* "ghost" never drains, so nothing is ever acked. *)
+        let t, ctl =
+          Reliable.wrap
+            ~config:{ fast with max_attempts = 3; max_rto = 2.0 }
+            (Inmem.create ())
+        in
+        let died = ref [] in
+        Reliable.on_dead ctl (fun ~src ~dst -> died := (src, dst) :: !died);
+        t.Transport.send ~src:"a" ~dst:"ghost" "lost cause";
+        for _ = 1 to 20 do
+          t.Transport.advance 1.0
+        done;
+        check_bool "dead link signalled" (!died = [ ("a", "ghost") ]);
+        check_bool "listed" (Reliable.dead_links ctl = [ ("a", "ghost") ]);
+        check_int "window dropped, system can quiesce" 0
+          (Reliable.unacked ctl);
+        check_bool "counted as failures"
+          ((t.Transport.stats ()).Netstats.send_failures >= 1);
+        Reliable.revive ctl ~src:"a" ~dst:"ghost";
+        check_bool "revived" (Reliable.dead_links ctl = []));
+    tc "wire envelope codec round-trips" (fun () ->
+        let m =
+          Message.make ~src:"Jules" ~dst:"Émilien" ~stage:2
+            ~facts:(Some [ Fact.make ~rel:"p" ~peer:"Émilien" [ Value.Int 1 ] ])
+            ()
+        in
+        let e =
+          {
+            Reliable.env_src = "Jules";
+            env_seq = 5;
+            env_ack = 3;
+            env_payload = Some m;
+          }
+        in
+        let e' = ok' (Wire.decode_envelope (Wire.encode_envelope e)) in
+        check_bool "src" (e'.Reliable.env_src = "Jules");
+        check_int "seq" 5 e'.Reliable.env_seq;
+        check_int "ack" 3 e'.Reliable.env_ack;
+        check_bool "payload survives"
+          (match e'.Reliable.env_payload with
+          | Some m' -> m'.Message.src = m.Message.src
+          | None -> false);
+        let a = { e with Reliable.env_seq = 0; env_payload = None } in
+        let a' = ok' (Wire.decode_envelope (Wire.encode_envelope a)) in
+        check_bool "pure ack" (a'.Reliable.env_payload = None);
+        check_bool "garbage rejected"
+          (Result.is_error (Wire.decode_envelope "nope")));
+    tc "reliable over tcp + wire: ack crosses processes" (fun () ->
+        let bytes_a, ca = Tcp.create () in
+        let bytes_b, cb = Tcp.create () in
+        Tcp.register ca ~peer:"bob"
+          { Tcp.host = "127.0.0.1"; port = Tcp.port cb };
+        Tcp.register cb ~peer:"alice"
+          { Tcp.host = "127.0.0.1"; port = Tcp.port ca };
+        let ta, ctl_a = Reliable.wrap (Wire.envelope_transport bytes_a) in
+        let tb, _ = Reliable.wrap (Wire.envelope_transport bytes_b) in
+        let m = Message.make ~src:"alice" ~dst:"bob" ~stage:1 () in
+        ta.Transport.send ~src:"alice" ~dst:"bob" m;
+        check_int "delivered at bob" 1 (List.length (tb.Transport.drain "bob"));
+        check_int "dedup on redrain" 0 (List.length (tb.Transport.drain "bob"));
+        ignore (ta.Transport.drain "alice");
+        check_int "acked across sockets" 0 (Reliable.unacked ctl_a);
+        Tcp.close ca;
+        Tcp.close cb);
+  ]
+
+(* {1 Whole-system convergence under fault schedules} *)
+
+let envelope_sizer e =
+  match e.Reliable.env_payload with Some m -> Message.size m | None -> 8
+
+(* The album/attendee delegation scenario (the paper's Wepic shape):
+   sigmod aggregates every attendee's pictures into the album; each
+   attendee mirrors the album back. Delegations flow both ways and
+   fact batches cross every link. *)
+let load_album sys attendees =
+  let sigmod = System.add_peer sys "sigmod" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "ext attendee@sigmod(a);\nint album@sigmod(id, name, owner);\n";
+  List.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "attendee@sigmod(%S);\n" a))
+    attendees;
+  Buffer.add_string buf
+    "album@sigmod($i, $n, $a) :- attendee@sigmod($a), pictures@$a($i, $n);\n";
+  ok' (Peer.load_string sigmod (Buffer.contents buf));
+  List.iter
+    (fun a ->
+      let p = System.add_peer sys a in
+      ok'
+        (Peer.load_string p
+           (Printf.sprintf
+              {|ext pictures@%s(id, name);
+                int myAlbum@%s(id, name, owner);
+                pictures@%s(1, "%s_1.jpg");
+                pictures@%s(2, "%s_2.jpg");
+                myAlbum@%s($i, $n, $o) :- album@sigmod($i, $n, $o);|}
+              a a a a a a a)))
+    attendees
+
+(* Byte dump of every relation at every peer, canonically ordered. *)
+let dump sys =
+  let buf = Buffer.create 1024 in
+  let peers =
+    List.sort
+      (fun p q -> String.compare (Peer.name p) (Peer.name q))
+      (System.peers sys)
+  in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf ("== " ^ Peer.name p ^ "\n");
+      List.iter
+        (fun rel ->
+          List.iter
+            (fun f ->
+              Buffer.add_string buf (Format.asprintf "%a" Fact.pp f);
+              Buffer.add_char buf '\n')
+            (Peer.query p rel))
+        (List.sort String.compare (Peer.relation_names p)))
+    peers;
+  Buffer.contents buf
+
+let attendees = [ "alice"; "bob"; "carol" ]
+
+let reference_dump () =
+  let sys = System.create () in
+  load_album sys attendees;
+  ignore (ok' (System.run sys));
+  dump sys
+
+(* One faulty run: loss + duplication + a mid-run partition that heals. *)
+let faulty_run ~seed ~loss ~duplicate ~part_at ~part_len =
+  let inner, net =
+    Simnet.create_with_control ~sizer:envelope_sizer ~seed ~loss ~duplicate ()
+  in
+  let transport, rctl = Reliable.wrap ~seed:(seed + 1) inner in
+  let sys = System.create ~transport ~drop_unknown:true () in
+  load_album sys attendees;
+  for _ = 1 to part_at do
+    ignore (System.round sys)
+  done;
+  Simnet.partition net ~between:"sigmod" ~and_:"alice";
+  for _ = 1 to part_len do
+    ignore (System.round sys)
+  done;
+  Simnet.heal net ~between:"sigmod" ~and_:"alice";
+  match System.run ~max_rounds:5000 sys with
+  | Error e -> Error e
+  | Ok _ ->
+    if Reliable.dead_links rctl <> [] then Error "gave up on a live link"
+    else Ok (dump sys, Reliable.stats rctl)
+
+let convergence_prop =
+  QCheck.Test.make ~count:12
+    ~name:"random loss/dup/partition schedules reach the Inmem fixpoint"
+    QCheck.(
+      make
+        Gen.(
+          let* seed = int_range 1 10_000 in
+          let* loss = float_range 0.0 0.4 in
+          let* duplicate = float_range 0.0 0.3 in
+          let* part_at = int_range 1 8 in
+          let* part_len = int_range 1 30 in
+          return (seed, loss, duplicate, part_at, part_len)))
+    (fun (seed, loss, duplicate, part_at, part_len) ->
+      let expected = reference_dump () in
+      match faulty_run ~seed ~loss ~duplicate ~part_at ~part_len with
+      | Error e -> QCheck.Test.fail_reportf "did not converge: %s" e
+      | Ok (got, _) ->
+        if got <> expected then
+          QCheck.Test.fail_reportf "diverged under faults:@.%s@.vs@.%s" got
+            expected
+        else true)
+
+let acceptance =
+  tc "20% loss + 10% dup + partition converges; faults were exercised"
+    (fun () ->
+      let expected = reference_dump () in
+      match
+        faulty_run ~seed:42 ~loss:0.25 ~duplicate:0.10 ~part_at:3 ~part_len:12
+      with
+      | Error e -> Alcotest.fail e
+      | Ok (got, stats) ->
+        Alcotest.check Alcotest.string "byte-identical contents" expected got;
+        check_bool "retransmits nonzero" (stats.Netstats.retransmits > 0);
+        check_bool "dup_dropped nonzero" (stats.Netstats.dup_dropped > 0))
+
+(* {1 Crash + journal recovery} *)
+
+let temp_dir () =
+  let d = Filename.temp_file "wdl_reliable" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+(* bob receives album entries into an EXTENSIONAL inbox (journaled), so
+   a crash between checkpoints loses nothing the journal saw. *)
+let load_crash_scenario sys =
+  load_album sys [ "alice"; "bob" ];
+  ok'
+    (Peer.load_string (System.peer sys "bob") "ext inbox@bob(id, name);");
+  ok'
+    (Peer.load_string (System.peer sys "sigmod")
+       "inbox@bob($i, $n) :- album@sigmod($i, $n, $o);")
+
+let crash_test () =
+  let dir = temp_dir () in
+  (* Reference: the same script with no crash, on Inmem. *)
+  let ref_sys = System.create () in
+  load_crash_scenario ref_sys;
+  ignore (ok' (System.run ref_sys));
+  ok'
+    (Peer.insert (System.peer ref_sys "alice")
+       (Fact.make ~rel:"pictures" ~peer:"alice"
+          [ Value.Int 3; Value.String "alice_3.jpg" ]));
+  ignore (ok' (System.run ref_sys));
+  ok'
+    (Peer.insert (System.peer ref_sys "alice")
+       (Fact.make ~rel:"pictures" ~peer:"alice"
+          [ Value.Int 4; Value.String "alice_4.jpg" ]));
+  ignore (ok' (System.run ref_sys));
+  let expected = dump ref_sys in
+
+  (* Faulty twin: lossy reliable simnet; bob journals, crashes after
+     the first upload, recovers from checkpoint + journal tail. *)
+  let inner, net =
+    Simnet.create_with_control ~sizer:envelope_sizer ~seed:7 ~loss:0.2
+      ~duplicate:0.1 ()
+  in
+  let transport, _rctl = Reliable.wrap inner in
+  (* drop_unknown must stay off: while bob is crashed (unregistered),
+     messages to him must enter the transport and be retransmitted
+     until he returns — dropping them at the system layer would lose
+     the batch forever (it is only re-sent on change). *)
+  let sys = System.create ~transport ~drop_unknown:false () in
+  load_crash_scenario sys;
+  Persist.attach (System.peer sys "bob") ~dir;
+  ignore (ok' (System.run sys));
+  Persist.checkpoint (System.peer sys "bob") ~dir;
+
+  (* Post-checkpoint activity lands in bob's journal only. *)
+  ok'
+    (Peer.insert (System.peer sys "alice")
+       (Fact.make ~rel:"pictures" ~peer:"alice"
+          [ Value.Int 3; Value.String "alice_3.jpg" ]));
+  ignore (ok' (System.run sys));
+  let inbox_before = List.length (Peer.query (System.peer sys "bob") "inbox") in
+  check_bool "bob saw post-checkpoint traffic" (inbox_before > 0);
+
+  (* Crash: the process dies (peer object discarded, inbox lost). *)
+  Simnet.crash net "bob";
+  System.remove_peer sys "bob";
+  (* The world keeps moving while bob is down. *)
+  ok'
+    (Peer.insert (System.peer sys "alice")
+       (Fact.make ~rel:"pictures" ~peer:"alice"
+          [ Value.Int 4; Value.String "alice_4.jpg" ]));
+  for _ = 1 to 6 do
+    ignore (System.round sys)
+  done;
+
+  (* Restart: journal replay restores pre-crash base state offline. *)
+  let replayed = ref 0 in
+  let bob =
+    ok'
+      (Persist.recover
+         ~on_replay:(fun _ -> incr replayed)
+         ~dir ~fallback_name:"bob" ())
+  in
+  check_bool "journal replayed entries" (!replayed > 0);
+  check_int "journaled inbox survived the crash" inbox_before
+    (List.length (Peer.query bob "inbox"));
+  Simnet.restart net "bob";
+  System.adopt_peer sys bob;
+  (match System.run ~max_rounds:5000 sys with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.check Alcotest.string "reconverged to the no-fault state" expected
+    (dump sys)
+
+let suite =
+  unit_tests
+  @ [ acceptance; QCheck_alcotest.to_alcotest convergence_prop;
+      tc "crash, journal recovery, reconvergence" crash_test ]

@@ -8,7 +8,12 @@
     LAN-plus-cloud topology (Fig. 2).
 
     [latency] overrides the per-link base latency; reflexive links
-    (src = dst) are always instantaneous. *)
+    (src = dst) are always instantaneous.
+
+    Fault injection (all deterministic under the seed): [duplicate]
+    delivers extra copies, [loss] silently drops copies, {!partition}
+    holds a link, and {!crash} takes a whole peer down — the failure
+    menu the {!Reliable} session layer is built to absorb. *)
 
 type control
 
@@ -18,14 +23,18 @@ val create :
   ?base_latency:float ->
   ?jitter:float ->
   ?duplicate:float ->
+  ?loss:float ->
   ?latency:(src:string -> dst:string -> float) ->
   unit ->
   'a Transport.t
 (** Defaults: [seed = 42], [base_latency = 1.0], [jitter = 0.25],
-    [duplicate = 0.0]. [duplicate] is the probability that a message is
-    delivered twice (with independent latencies) — at-least-once
-    delivery, the failure mode the engine's idempotent batch/install
-    semantics must absorb. *)
+    [duplicate = 0.0], [loss = 0.0]. [duplicate] is the probability
+    that a message is delivered twice (with independent latencies) —
+    at-least-once delivery, the failure mode the engine's idempotent
+    batch/install semantics must absorb. [loss] is the independent
+    probability that each enqueued copy (original or duplicate)
+    vanishes — at-most-once delivery, which only a retransmitting
+    layer above ({!Reliable}) can hide. *)
 
 val create_with_control :
   ?sizer:('a -> int) ->
@@ -33,10 +42,12 @@ val create_with_control :
   ?base_latency:float ->
   ?jitter:float ->
   ?duplicate:float ->
+  ?loss:float ->
   ?latency:(src:string -> dst:string -> float) ->
   unit ->
   'a Transport.t * control
-(** Like {!create}, plus a handle for injecting partitions. *)
+(** Like {!create}, plus a handle for injecting partitions and
+    crashes. *)
 
 val partition : control -> between:string -> and_:string -> unit
 (** Cuts both directions of the link: messages sent while the link is
@@ -45,3 +56,14 @@ val partition : control -> between:string -> and_:string -> unit
 
 val heal : control -> between:string -> and_:string -> unit
 val partitioned : control -> between:string -> and_:string -> bool
+
+val crash : control -> string -> unit
+(** Takes a peer down: its undelivered inbox is lost, and until
+    {!restart} every message to or from it is dropped (a dead process
+    loses its kernel buffers; connections to it are refused). *)
+
+val restart : control -> string -> unit
+val crashed : control -> string -> bool
+
+val messages_lost : control -> int
+(** Copies dropped so far by loss injection and crashes. *)
