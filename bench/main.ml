@@ -829,10 +829,92 @@ let ft_smoke () =
     exit 1
   end
 
+(* {1 OBS: machine-readable snapshot sourced from the metrics registry}
+
+   Each scenario runs under a freshly cleared default registry, so the
+   counters read afterwards belong to that scenario alone.  Wall time
+   is the best of three runs measured directly (not Bechamel) to keep
+   this fast enough for the cram suite.  Emits BENCH_obs.json. *)
+
+let obs_sum_metric name =
+  List.fold_left
+    (fun acc s ->
+      if s.Wdl_obs.Obs.s_name = name then
+        match s.Wdl_obs.Obs.s_value with
+        | `Value v when not (Float.is_nan v) -> acc +. v
+        | `Value _ | `Histogram _ -> acc
+      else acc)
+    0. (Wdl_obs.Obs.collect ())
+
+let obs_tc_chain64 () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "int tc@p(x, y);\n";
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "edge@p(%d, %d);\n" a b))
+    (Wdl_wepic.Workload.chain_edges ~n:64);
+  Buffer.add_string buf "tc@p($x, $y) :- edge@p($x, $y);\n";
+  Buffer.add_string buf "tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);\n";
+  let sys = System.create () in
+  let p = System.add_peer sys "p" in
+  ok (Peer.load_string p (Buffer.contents buf));
+  ignore (ok (System.run sys))
+
+let obs_wepic_star4 () =
+  let env = Wdl_wepic.Wepic.create () in
+  Wdl_wepic.Workload.populate env
+    { Wdl_wepic.Workload.default with attendees = 4; pictures_per_attendee = 4 };
+  ignore (ok (Wdl_wepic.Wepic.run env))
+
+let obs_scenarios =
+  [ ("tc_chain64", obs_tc_chain64);
+    ("wepic_star4", obs_wepic_star4);
+    ("reliable_faulty_album",
+     fun () -> ignore (ok (System.run (ft_setup `Faulty ())))) ]
+
+let obs () =
+  header "OBS  registry-sourced scenario snapshot -> BENCH_obs.json";
+  pf "%-24s %10s %8s %12s %10s %12s@." "scenario" "wall_ms" "rounds"
+    "derivations" "messages" "retransmits";
+  let results =
+    List.map
+      (fun (name, f) ->
+        let wall_us = ref infinity in
+        for _ = 1 to 3 do
+          Wdl_obs.Obs.clear Wdl_obs.Obs.default;
+          let t0 = Wdl_obs.Obs.now_us () in
+          f ();
+          wall_us := Float.min !wall_us (Wdl_obs.Obs.now_us () -. t0)
+        done;
+        (* The registry still holds the last run's counters. *)
+        let rounds = Wdl_obs.Obs.read_one "wdl_system_rounds_total" in
+        let derivations = obs_sum_metric "wdl_peer_derivations_total" in
+        let messages = obs_sum_metric "wdl_peer_messages_sent_total" in
+        let retransmits = obs_sum_metric "wdl_net_retransmits_total" in
+        let wall_ms = !wall_us /. 1e3 in
+        pf "%-24s %10.2f %8.0f %12.0f %10.0f %12.0f@." name wall_ms rounds
+          derivations messages retransmits;
+        (name, wall_ms, rounds, derivations, messages, retransmits))
+      obs_scenarios
+  in
+  Wdl_obs.Obs.clear Wdl_obs.Obs.default;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"obs\",\n  \"schema\": 1,\n  \"scenarios\": [";
+  List.iteri
+    (fun i (name, wall_ms, rounds, derivations, messages, retransmits) ->
+      Printf.fprintf oc "%s\n    { \"name\": %S, \"wall_ms\": %.3f, \
+                         \"rounds\": %.0f, \"derivations\": %.0f, \
+                         \"messages\": %.0f, \"retransmits\": %.0f }"
+        (if i > 0 then "," else "")
+        name wall_ms rounds derivations messages retransmits)
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  pf "wrote BENCH_obs.json@."
+
 let experiments =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("a1", a1); ("a2", a2); ("f2", f2); ("f3", f3); ("d1", d1);
-    ("d3", d3); ("d4", d4); ("ft", ft); ("ft-smoke", ft_smoke) ]
+    ("d3", d3); ("d4", d4); ("ft", ft); ("ft-smoke", ft_smoke); ("obs", obs) ]
 
 let () =
   let requested =

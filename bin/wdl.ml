@@ -111,11 +111,16 @@ let simulate_cmd =
     Arg.(non_empty & pos_all binding_conv [] & info [] ~docv:"PEER=FILE")
   in
   let trace_flag = Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace") in
+  let metrics_flag =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print a metrics-registry snapshot after the run")
+  in
   let latency =
     Arg.(value & opt (some float) None & info [ "latency" ]
            ~doc:"Use the simulated network with this base latency")
   in
-  let run trace latency bindings =
+  let run trace metrics latency bindings =
     let transport =
       Option.map
         (fun base_latency ->
@@ -156,12 +161,14 @@ let simulate_cmd =
           List.iter
             (fun e -> Format.printf "%a@." Webdamlog.Trace.pp_event e)
             (Webdamlog.Trace.events (Webdamlog.Peer.trace peer)))
-        peers
+        peers;
+    if metrics then
+      Format.printf "=== metrics ===@.%s" (Wdl_obs.Obs.dump_string ())
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a system of peers to quiescence and dump their state")
-    Term.(const run $ trace_flag $ latency $ bindings)
+    Term.(const run $ trace_flag $ metrics_flag $ latency $ bindings)
 
 (* fmt *)
 

@@ -1,0 +1,70 @@
+(* Observability: drive a three-peer delegation chain, then look at
+   everything the run left behind in the metrics registry — the same
+   data `GET /metrics` serves in Prometheus text format and
+   `GET /trace.json` renders for chrome://tracing.
+
+   Run with: dune exec examples/observability.exe
+   (cram-checked: the output is diffed against observability.expected) *)
+
+module Obs = Wdl_obs.Obs
+module Peer = Webdamlog.Peer
+module System = Webdamlog.System
+
+let ok = function Ok v -> v | Error e -> failwith e
+let section fmt = Format.printf ("@.== " ^^ fmt ^^ " ==@.")
+
+(* Alice aggregates over Bob, who mirrors from Carol: facts and
+   delegations cross both links. *)
+let () =
+  Obs.clear Obs.default;
+  let sys = System.create () in
+  let alice = System.add_peer sys "Alice" in
+  let bob = System.add_peer sys "Bob" in
+  let carol = System.add_peer sys "Carol" in
+  ok
+    (Peer.load_string alice
+       {|int album@Alice(id, name);
+         ext friend@Alice(f);
+         friend@Alice("Bob");
+         album@Alice($i, $n) :- friend@Alice($f), pictures@$f($i, $n);|});
+  ok
+    (Peer.load_string bob
+       {|int pictures@Bob(id, name);
+         pictures@Bob($i, $n) :- originals@Carol($i, $n);|});
+  ok
+    (Peer.load_string carol
+       {|ext originals@Carol(id, name);
+         originals@Carol(1, "sea.jpg");
+         originals@Carol(2, "hall.jpg");|});
+  let rounds = ok (System.run sys) in
+  Format.printf "quiescent after %d round(s), %d message(s)@." rounds
+    (System.messages_sent sys);
+  Format.printf "Alice's album: %d picture(s)@."
+    (List.length (Peer.query alice "album"));
+
+  section "Obs.dump snapshot (what `wdl simulate --metrics` prints)";
+  print_string (Obs.dump_string ());
+
+  section "Prometheus exposition (what GET /metrics serves)";
+  (* Histogram sums are timings, so only the deterministic lines. *)
+  let exposition = Wdl_obs.Prometheus.expose () in
+  String.split_on_char '\n' exposition
+  |> List.filter (fun line ->
+         String.starts_with ~prefix:"# TYPE wdl_eval" line
+         || String.starts_with ~prefix:"wdl_peer_derivations_total" line
+         || String.starts_with ~prefix:"wdl_net_sent_total" line)
+  |> List.iter print_endline;
+
+  section "Chrome trace (what GET /trace.json serves)";
+  let events =
+    List.concat
+      (List.mapi
+         (fun i p -> Webdamlog.Trace.to_chrome ~tid:i (Peer.trace p))
+         (System.peers sys))
+  in
+  let count ph =
+    List.length
+      (List.filter (fun e -> e.Wdl_obs.Chrome_trace.ph = ph) events)
+  in
+  Format.printf "%d trace events: %d stage begin/end pairs, %d instants@."
+    (List.length events) (count "B") (count "i")

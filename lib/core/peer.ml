@@ -50,10 +50,41 @@ type t = {
   mutable last_errors : Wdl_eval.Runtime_error.t list;
 }
 
+(* Re-export the monotone counters through the metrics registry as
+   per-peer callback series, sampled at scrape time.  A later peer
+   created with the same name replaces the callbacks. *)
+let register_metrics t =
+  let labels = [ ("peer", t.name) ] in
+  let field name help read =
+    Wdl_obs.Obs.on_collect ~help ~labels ~kind:`Counter name (fun () ->
+        float_of_int (read ()))
+  in
+  field "wdl_peer_stages_total" "Stages run by this peer" (fun () ->
+      t.n_stages);
+  field "wdl_peer_iterations_total" "Fixpoint iterations across all stages"
+    (fun () -> t.n_iterations);
+  field "wdl_peer_derivations_total" "Head derivations across all stages"
+    (fun () -> t.n_derivations);
+  field "wdl_peer_messages_sent_total" "Messages this peer sent" (fun () ->
+      t.n_sent);
+  field "wdl_peer_messages_received_total" "Messages this peer consumed"
+    (fun () -> t.n_received);
+  field "wdl_peer_delegations_installed_total" "Delegations installed"
+    (fun () -> t.n_installed);
+  field "wdl_peer_delegations_retracted_total" "Delegations retracted"
+    (fun () -> t.n_retracted);
+  field "wdl_peer_delegations_rejected_total" "Delegations rejected"
+    (fun () -> t.n_rejected);
+  field "wdl_peer_runtime_errors_total" "Runtime errors reported by stages"
+    (fun () -> t.n_errors);
+  field "wdl_peer_trace_events_total"
+    "Trace events recorded (including ones beyond the ring's capacity)"
+    (fun () -> Trace.count t.trace)
+
 let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     ?trace_capacity ?(diff_batches = true) name =
   if name = "" then invalid_arg "Peer.create: empty name";
-  {
+  let t = {
     name;
     db = Database.create ?indexing ();
     acl = Acl.create ?policy ();
@@ -86,6 +117,9 @@ let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     dirty = false;
     last_errors = [];
   }
+  in
+  register_metrics t;
+  t
 
 let name t = t.name
 let database t = t.db

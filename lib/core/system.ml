@@ -7,6 +7,7 @@ type t = {
   mutable dropped : int;  (* messages to peers the system doesn't know *)
   mutable transport_errors : int;  (* exceptions swallowed at send/drain *)
   mutable hooks : (unit -> unit) list;  (* run before each round's stages *)
+  round_hist : Wdl_obs.Obs.histogram;
 }
 
 let create ?transport ?drop_unknown () =
@@ -22,16 +23,35 @@ let create ?transport ?drop_unknown () =
     | Some tr -> tr
     | None -> Wdl_net.Inmem.create ~sizer:Message.size ()
   in
-  {
-    transport;
-    drop_unknown;
-    peers = Hashtbl.create 8;
-    order = [];
-    rounds = 0;
-    dropped = 0;
-    transport_errors = 0;
-    hooks = [];
-  }
+  let t =
+    {
+      transport;
+      drop_unknown;
+      peers = Hashtbl.create 8;
+      order = [];
+      rounds = 0;
+      dropped = 0;
+      transport_errors = 0;
+      hooks = [];
+      round_hist =
+        Wdl_obs.Obs.histogram ~help:"Wall time of one System.round"
+          ~buckets:Wdl_obs.Obs.latency_buckets
+          "wdl_system_round_duration_microseconds";
+    }
+  in
+  (* Callback counters: sampled at scrape, nothing on the round path.
+     A later System replaces the series (last one wins). *)
+  Wdl_obs.Obs.on_collect ~help:"Rounds executed" ~kind:`Counter
+    "wdl_system_rounds_total" (fun () -> float_of_int t.rounds);
+  Wdl_obs.Obs.on_collect ~help:"Messages dropped for unknown peers"
+    ~kind:`Counter "wdl_system_messages_dropped_total" (fun () ->
+      float_of_int t.dropped);
+  Wdl_obs.Obs.on_collect ~help:"Transport exceptions absorbed by the round loop"
+    ~kind:`Counter "wdl_system_transport_errors_total" (fun () ->
+      float_of_int t.transport_errors);
+  Wdl_obs.Obs.on_collect ~help:"Registered peers" ~kind:`Gauge
+    "wdl_system_peers" (fun () -> float_of_int (Hashtbl.length t.peers));
+  t
 
 let on_round t hook = t.hooks <- t.hooks @ [ hook ]
 
@@ -63,6 +83,7 @@ let transport t = t.transport
 let rounds t = t.rounds
 
 let round t =
+  Wdl_obs.Obs.time t.round_hist @@ fun () ->
   t.rounds <- t.rounds + 1;
   List.iter (fun hook -> hook ()) t.hooks;
   let sent = ref 0 in

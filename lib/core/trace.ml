@@ -17,7 +17,7 @@ type event =
 
 type t = {
   capacity : int;
-  mutable events : event list;  (* newest first *)
+  mutable events : (float * event) list;  (* (µs timestamp, event), newest first *)
   mutable stored : int;
   mutable total : int;
 }
@@ -27,11 +27,12 @@ let create ?(capacity = 10_000) () = { capacity; events = []; stored = 0; total 
 let record t e =
   t.total <- t.total + 1;
   if t.stored < t.capacity then begin
-    t.events <- e :: t.events;
+    t.events <- (Wdl_obs.Obs.now_us (), e) :: t.events;
     t.stored <- t.stored + 1
   end
 
-let events t = List.rev t.events
+let timed_events t = List.rev t.events
+let events t = List.rev_map snd t.events
 let count t = t.total
 
 let clear t =
@@ -72,3 +73,40 @@ let pp_event ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
          Wdl_eval.Runtime_error.pp)
       errors
+
+(* Chrome trace-event export.  Stage_start/Stage_end become a "B"/"E"
+   duration pair on the peer's thread lane; everything else is an
+   instant event whose pretty-printed rendering rides in the args. *)
+let to_chrome ?(pid = 0) ~tid t =
+  List.map
+    (fun (ts, ev) ->
+      let open Wdl_obs.Chrome_trace in
+      match ev with
+      | Stage_start { peer; stage } ->
+        { name = "stage"; cat = "eval"; ph = "B"; ts; pid; tid;
+          args = [ ("peer", peer); ("stage", string_of_int stage) ] }
+      | Stage_end { peer; stage; derivations; iterations } ->
+        { name = "stage"; cat = "eval"; ph = "E"; ts; pid; tid;
+          args =
+            [ ("peer", peer); ("stage", string_of_int stage);
+              ("derivations", string_of_int derivations);
+              ("iterations", string_of_int iterations) ] }
+      | ev ->
+        let name =
+          match ev with
+          | Stage_start _ | Stage_end _ -> assert false
+          | Fact_inserted _ -> "fact_inserted"
+          | Fact_deleted _ -> "fact_deleted"
+          | Message_sent _ -> "message_sent"
+          | Message_received _ -> "message_received"
+          | Delegation_installed _ -> "delegation_installed"
+          | Delegation_pending _ -> "delegation_pending"
+          | Delegation_retracted _ -> "delegation_retracted"
+          | Delegation_rejected _ -> "delegation_rejected"
+          | Rule_added _ -> "rule_added"
+          | Rule_removed _ -> "rule_removed"
+          | Runtime_errors _ -> "runtime_errors"
+        in
+        { name; cat = "engine"; ph = "i"; ts; pid; tid;
+          args = [ ("detail", Format.asprintf "%a" pp_event ev) ] })
+    (timed_events t)

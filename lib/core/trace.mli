@@ -28,8 +28,13 @@ val create : ?capacity:int -> unit -> t
 (** Default capacity: 10_000 events. *)
 
 val record : t -> event -> unit
+(** Stamps the event with {!Wdl_obs.Obs.now_us}. *)
+
 val events : t -> event list
 (** Oldest first; at most [capacity]. *)
+
+val timed_events : t -> (float * event) list
+(** Oldest first, with the µs wall-clock timestamp of each [record]. *)
 
 val count : t -> int
 (** Total events recorded, including dropped ones. *)
@@ -37,3 +42,9 @@ val count : t -> int
 val clear : t -> unit
 val find : t -> (event -> bool) -> event option
 val pp_event : Format.formatter -> event -> unit
+
+val to_chrome : ?pid:int -> tid:int -> t -> Wdl_obs.Chrome_trace.event list
+(** Chrome trace-event rendering: [Stage_start]/[Stage_end] become a
+    "B"/"E" duration pair, every other event an instant ("i") carrying
+    its {!pp_event} text in [args].  [tid] separates peers into lanes
+    in the viewer. *)

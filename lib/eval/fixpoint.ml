@@ -67,6 +67,7 @@ type state = {
   mutable error_count : int;
   mutable derivations : int;
   mutable iterations : int;
+  delta_hist : Wdl_obs.Obs.histogram;
 }
 
 let max_errors = 1000
@@ -492,6 +493,11 @@ let run_stratum st strategy all_plans =
   let rec loop () =
     if Hashtbl.length st.delta_next = 0 then ()
     else begin
+      Wdl_obs.Obs.observe st.delta_hist
+        (float_of_int
+           (Hashtbl.fold
+              (fun _ r acc -> acc + Relation.cardinal r)
+              st.delta_next 0));
       st.delta <- st.delta_next;
       st.delta_next <- Hashtbl.create 8;
       st.iterations <- st.iterations + 1;
@@ -518,6 +524,22 @@ let run ?(strategy = Seminaive) ?(record_provenance = false) ~self db rules =
   match Stratify.compute ~self ~intensional rules with
   | Error e -> Error e
   | Ok { Stratify.strata } ->
+    (* Observability: get-or-create per call so a registry [clear]
+       between runs just re-creates the families.  Labels are per peer;
+       instruments are mutable cells, so nothing allocates per
+       derivation or iteration. *)
+    let peer_labels = [ ("peer", self) ] in
+    let stage_hist =
+      Wdl_obs.Obs.histogram ~labels:peer_labels
+        ~help:"Wall time of one fixpoint evaluation (all strata)"
+        ~buckets:Wdl_obs.Obs.latency_buckets
+        "wdl_eval_stage_duration_microseconds"
+    in
+    let iter_hist =
+      Wdl_obs.Obs.histogram ~labels:peer_labels
+        ~help:"Semi-naive iterations per fixpoint run"
+        ~buckets:Wdl_obs.Obs.iteration_buckets "wdl_eval_iterations"
+    in
     let st =
       {
         self;
@@ -534,11 +556,17 @@ let run ?(strategy = Seminaive) ?(record_provenance = false) ~self db rules =
         error_count = 0;
         derivations = 0;
         iterations = 0;
+        delta_hist =
+          Wdl_obs.Obs.histogram ~labels:peer_labels
+            ~help:"Tuples in the delta at each semi-naive iteration"
+            ~buckets:Wdl_obs.Obs.size_buckets "wdl_eval_delta_size";
       }
     in
-    Array.iter
-      (fun rules -> run_stratum st strategy (List.map Plan.compile rules))
-      strata;
+    Wdl_obs.Obs.time stage_hist (fun () ->
+        Array.iter
+          (fun rules -> run_stratum st strategy (List.map Plan.compile rules))
+          strata);
+    Wdl_obs.Obs.observe iter_hist (float_of_int st.iterations);
     let to_list tbl =
       Head_tbl.fold (fun k () acc -> Head_key.to_fact k :: acc) tbl []
     in

@@ -24,6 +24,8 @@ let create ?(sizer = fun _ -> 0) () =
   let pending () =
     Hashtbl.fold (fun _ q acc -> acc + Queue.length q) inboxes 0
   in
+  Netstats.register ~transport:"inmem" stats;
+  Netstats.register_pending ~transport:"inmem" pending;
   {
     Transport.send;
     drain;

@@ -28,6 +28,39 @@ let reset t =
   t.send_failures <- 0;
   t.acked <- 0
 
+(* Re-export every field through the metrics registry as callback
+   counters: sampled at scrape time, zero cost on the send/drain path.
+   Creating a second transport with the same label replaces the
+   callbacks (last one wins). *)
+let register ?registry ~transport t =
+  let labels = [ ("transport", transport) ] in
+  let field name help read =
+    Wdl_obs.Obs.on_collect ?registry ~help ~labels ~kind:`Counter name
+      (fun () -> float_of_int (read ()))
+  in
+  field "wdl_net_sent_total" "Messages handed to the transport" (fun () ->
+      t.sent);
+  field "wdl_net_delivered_total" "Messages drained by receivers" (fun () ->
+      t.delivered);
+  field "wdl_net_bytes_total" "Estimated payload bytes sent" (fun () ->
+      t.bytes);
+  field "wdl_net_retransmits_total"
+    "Copies re-sent by a reliability layer after a timeout" (fun () ->
+      t.retransmits);
+  field "wdl_net_dup_dropped_total"
+    "Received copies discarded by receiver-side dedup" (fun () ->
+      t.dup_dropped);
+  field "wdl_net_send_failures_total"
+    "Sends that failed at the transport" (fun () -> t.send_failures);
+  field "wdl_net_acked_total"
+    "Messages confirmed delivered by a cumulative ack" (fun () -> t.acked)
+
+let register_pending ?registry ~transport read =
+  Wdl_obs.Obs.on_collect ?registry
+    ~help:"Messages queued or in flight in the transport"
+    ~labels:[ ("transport", transport) ]
+    ~kind:`Gauge "wdl_net_pending" (fun () -> float_of_int (read ()))
+
 let pp ppf t =
   Format.fprintf ppf "sent=%d delivered=%d bytes=%d" t.sent t.delivered t.bytes;
   if t.retransmits > 0 || t.dup_dropped > 0 || t.send_failures > 0 || t.acked > 0

@@ -18,6 +18,17 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 
+val register : ?registry:Wdl_obs.Obs.t -> transport:string -> t -> unit
+(** Re-export every field through the metrics registry as
+    [wdl_net_*_total{transport=...}] callback counters, sampled at
+    scrape time — nothing is added to the send/drain path.  A second
+    transport registering the same label replaces the callbacks. *)
+
+val register_pending :
+  ?registry:Wdl_obs.Obs.t -> transport:string -> (unit -> int) -> unit
+(** Export a queue-depth reader as the gauge
+    [wdl_net_pending{transport=...}]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints the base counters; the reliability counters are appended
     only when at least one of them is nonzero, so transports that never

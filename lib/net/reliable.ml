@@ -26,6 +26,7 @@ let default_config =
 type 'a outstanding = {
   o_seq : int;
   o_payload : 'a;
+  o_sent : float;  (* clock time of the first transmission *)
   mutable o_next : float;  (* clock time of the next retransmission *)
   mutable o_rto : float;
   mutable o_attempts : int;
@@ -76,6 +77,15 @@ let wrap ?(config = default_config) ?(seed = 11)
     (inner : 'a envelope Transport.t) : 'a Transport.t * 'a control =
   let rng = Random.State.make [| seed |] in
   let stats = Netstats.create () in
+  Netstats.register ~transport:"reliable" stats;
+  (* Transport-clock units, not µs: delays scale with the RTO. *)
+  let ack_delay =
+    Wdl_obs.Obs.histogram
+      ~labels:[ ("transport", "reliable") ]
+      ~help:"Transport-clock delay between first transmission and its ack"
+      ~buckets:[| 0.5; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+      "wdl_net_ack_delay"
+  in
   let ctl =
     {
       c_sends = Hashtbl.create 16;
@@ -122,6 +132,7 @@ let wrap ?(config = default_config) ?(seed = 11)
       {
         o_seq = ls.next_seq;
         o_payload = payload;
+        o_sent = !clock;
         o_next = !clock +. jittered config.rto;
         o_rto = config.rto;
         o_attempts = 1;
@@ -144,6 +155,9 @@ let wrap ?(config = default_config) ?(seed = 11)
         in
         if acked <> [] then begin
           ls.window <- live;
+          List.iter
+            (fun o -> Wdl_obs.Obs.observe ack_delay (!clock -. o.o_sent))
+            acked;
           stats.Netstats.acked <- stats.Netstats.acked + List.length acked
         end;
         match env.env_payload with
@@ -226,6 +240,7 @@ let wrap ?(config = default_config) ?(seed = 11)
     check_retransmits ()
   in
   let pending () = inner.Transport.pending () + unacked ctl in
+  Netstats.register_pending ~transport:"reliable" pending;
   ( {
       Transport.send;
       drain;

@@ -135,6 +135,8 @@ let create_with_control ?(sizer = fun _ -> 0) ?(seed = 42) ?(base_latency = 1.0)
     end
   in
   let pending () = Hashtbl.fold (fun _ l acc -> acc + List.length !l) inboxes 0 in
+  Netstats.register ~transport:"simnet" stats;
+  Netstats.register_pending ~transport:"simnet" pending;
   ( {
       Transport.send;
       drain;

@@ -196,7 +196,21 @@ let create ?(sizer = String.length) ?(port = 0) ?(connect_timeout = 5.0)
     }
   in
   let stats = Netstats.create () in
+  Netstats.register ~transport:"tcp" stats;
+  let send_hist =
+    Wdl_obs.Obs.histogram
+      ~labels:[ ("transport", "tcp") ]
+      ~help:"Wall time of one transport send (connect + write)"
+      ~buckets:Wdl_obs.Obs.latency_buckets "wdl_net_send_duration_microseconds"
+  in
+  let drain_hist =
+    Wdl_obs.Obs.histogram
+      ~labels:[ ("transport", "tcp") ]
+      ~help:"Wall time of one transport drain (accept + read)"
+      ~buckets:Wdl_obs.Obs.latency_buckets "wdl_net_drain_duration_microseconds"
+  in
   let send ~src:_ ~dst payload =
+    Wdl_obs.Obs.time send_hist @@ fun () ->
     stats.Netstats.sent <- stats.Netstats.sent + 1;
     stats.Netstats.bytes <- stats.Netstats.bytes + sizer payload;
     if not (try_send ctl stats ~dst payload) then
@@ -214,6 +228,7 @@ let create ?(sizer = String.length) ?(port = 0) ?(connect_timeout = 5.0)
           ]
   in
   let drain name =
+    Wdl_obs.Obs.time drain_hist @@ fun () ->
     Hashtbl.replace ctl.local name ();
     pump ctl stats;
     let q = queue ctl name in
@@ -227,6 +242,7 @@ let create ?(sizer = String.length) ?(port = 0) ?(connect_timeout = 5.0)
     Hashtbl.fold (fun _ q acc -> acc + Queue.length q) ctl.queues 0
     + List.length ctl.parked
   in
+  Netstats.register_pending ~transport:"tcp" pending;
   let transport =
     {
       Transport.send;

@@ -1,0 +1,54 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : string;
+  ts : float;
+  pid : int;
+  tid : int;
+  args : (string * string) list;
+}
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_event b e =
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"name":"%s","cat":"%s","ph":"%s","ts":%.1f,"pid":%d,"tid":%d|}
+       (escape e.name) (escape e.cat) (escape e.ph) e.ts e.pid e.tid);
+  if e.ph = "i" then Buffer.add_string b {|,"s":"t"|};
+  if e.args <> [] then begin
+    Buffer.add_string b {|,"args":{|};
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf {|"%s":"%s"|} (escape k) (escape v)))
+      e.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}'
+
+let to_json events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b {|{"traceEvents":[|};
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      render_event b e)
+    events;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** Chrome trace-event JSON (load in [chrome://tracing] or Perfetto). *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : string;  (** "B"/"E" duration pair, "i" instant, ... *)
+  ts : float;  (** microseconds *)
+  pid : int;
+  tid : int;
+  args : (string * string) list;
+}
+
+val to_json : event list -> string
+(** [{"traceEvents":[...]}]; instant events get ["s":"t"] (thread
+    scope) as the viewer requires. *)
+
+val escape : string -> string
+(** JSON string-body escaping. *)

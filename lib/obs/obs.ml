@@ -1,0 +1,254 @@
+(* Metrics registry.  One hashtable of families keyed by name; each
+   family holds its series (distinct label sets) in a list — label
+   cardinality here is small (peers, transports), so a list scan at
+   get-or-create time is fine and keeps the increment path to a single
+   mutable store. *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (* ascending upper bounds *)
+  counts : int array;    (* length = Array.length bounds + 1; last = overflow *)
+  mutable sum : float;
+  mutable total : int;
+}
+
+type instrument =
+  | Counter_i of counter
+  | Gauge_i of gauge
+  | Histogram_i of histogram
+  | Callback_i of (unit -> float)
+
+type series = { labels : (string * string) list; mutable instrument : instrument }
+
+type kind = K_counter | K_gauge | K_histogram
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  mutable f_series : series list;
+}
+
+type t = { families : (string, family) Hashtbl.t }
+
+let create () = { families = Hashtbl.create 32 }
+let default = create ()
+let clear t = Hashtbl.reset t.families
+
+let valid_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let normalize labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let family registry ~help ~kind name =
+  if not (valid_name name) then invalid_arg ("Obs: invalid metric name " ^ name);
+  match Hashtbl.find_opt registry.families name with
+  | Some f ->
+    if f.f_kind <> kind then
+      invalid_arg ("Obs: metric " ^ name ^ " already registered with another kind");
+    f
+  | None ->
+    let f = { f_name = name; f_help = help; f_kind = kind; f_series = [] } in
+    Hashtbl.replace registry.families name f;
+    f
+
+let find_series f labels =
+  List.find_opt (fun s -> s.labels = labels) f.f_series
+
+let add_series f s = f.f_series <- f.f_series @ [ s ]
+
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  let labels = normalize labels in
+  let f = family registry ~help ~kind:K_counter name in
+  match find_series f labels with
+  | Some { instrument = Counter_i c; _ } -> c
+  | Some _ -> invalid_arg ("Obs: series of " ^ name ^ " is not a plain counter")
+  | None ->
+    let c = { c = 0 } in
+    add_series f { labels; instrument = Counter_i c };
+    c
+
+let inc ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  let labels = normalize labels in
+  let f = family registry ~help ~kind:K_gauge name in
+  match find_series f labels with
+  | Some { instrument = Gauge_i g; _ } -> g
+  | Some _ -> invalid_arg ("Obs: series of " ^ name ^ " is not a plain gauge")
+  | None ->
+    let g = { g = 0. } in
+    add_series f { labels; instrument = Gauge_i g };
+    g
+
+let set g v = g.g <- v
+let add g v = g.g <- g.g +. v
+let gauge_value g = g.g
+
+let latency_buckets =
+  [| 1.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1_000.; 2_500.; 5_000.;
+     10_000.; 25_000.; 50_000.; 100_000.; 250_000.; 500_000.; 1_000_000. |]
+
+let size_buckets =
+  [| 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1_000.; 2_500.; 5_000.;
+     10_000. |]
+
+let iteration_buckets = [| 1.; 2.; 3.; 4.; 5.; 8.; 12.; 16.; 24.; 32.; 64. |]
+
+let histogram ?(registry = default) ?(help = "") ?(labels = [])
+    ?(buckets = latency_buckets) name =
+  let labels = normalize labels in
+  let f = family registry ~help ~kind:K_histogram name in
+  match find_series f labels with
+  | Some { instrument = Histogram_i h; _ } -> h
+  | Some _ -> invalid_arg ("Obs: series of " ^ name ^ " is not a histogram")
+  | None ->
+    if Array.length buckets = 0 then invalid_arg "Obs: empty bucket array";
+    Array.iteri
+      (fun i b -> if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg "Obs: bucket bounds must be strictly ascending")
+      buckets;
+    let h =
+      { bounds = buckets; counts = Array.make (Array.length buckets + 1) 0;
+        sum = 0.; total = 0 }
+    in
+    add_series f { labels; instrument = Histogram_i h };
+    h
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do incr i done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.sum <- h.sum +. v;
+  h.total <- h.total + 1
+
+let histogram_count h = h.total
+let histogram_sum h = h.sum
+
+let on_collect ?(registry = default) ?(help = "") ?(labels = []) ~kind name fn =
+  let labels = normalize labels in
+  let kind = match kind with `Counter -> K_counter | `Gauge -> K_gauge in
+  let f = family registry ~help ~kind name in
+  match find_series f labels with
+  | Some s -> s.instrument <- Callback_i fn
+  | None -> add_series f { labels; instrument = Callback_i fn }
+
+(* Timing *)
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let time h f =
+  let t0 = now_us () in
+  Fun.protect ~finally:(fun () -> observe h (now_us () -. t0)) f
+
+let time_span ?registry ?labels name f =
+  time (histogram ?registry ?labels ~buckets:latency_buckets name) f
+
+(* Collection *)
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_kind : [ `Counter | `Gauge | `Histogram ];
+  s_labels : (string * string) list;
+  s_value :
+    [ `Value of float | `Histogram of (float * int) array * float * int ];
+}
+
+let sample_of_series f s =
+  let kind =
+    match f.f_kind with
+    | K_counter -> `Counter
+    | K_gauge -> `Gauge
+    | K_histogram -> `Histogram
+  in
+  let value =
+    match s.instrument with
+    | Counter_i c -> `Value (float_of_int c.c)
+    | Gauge_i g -> `Value g.g
+    | Callback_i fn -> `Value (try fn () with _ -> nan)
+    | Histogram_i h ->
+      let n = Array.length h.bounds in
+      let cum = Array.make (n + 1) (infinity, 0) in
+      let running = ref 0 in
+      for i = 0 to n - 1 do
+        running := !running + h.counts.(i);
+        cum.(i) <- (h.bounds.(i), !running)
+      done;
+      cum.(n) <- (infinity, !running + h.counts.(n));
+      `Histogram (cum, h.sum, h.total)
+  in
+  { s_name = f.f_name; s_help = f.f_help; s_kind = kind;
+    s_labels = s.labels; s_value = value }
+
+let compare_labels a b = compare a b
+
+let collect ?(registry = default) () =
+  let families =
+    Hashtbl.fold (fun _ f acc -> f :: acc) registry.families []
+    |> List.sort (fun a b -> String.compare a.f_name b.f_name)
+  in
+  List.concat_map
+    (fun f ->
+      f.f_series
+      |> List.sort (fun a b -> compare_labels a.labels b.labels)
+      |> List.map (sample_of_series f))
+    families
+
+let read ?(registry = default) ?(labels = []) name =
+  let labels = normalize labels in
+  match Hashtbl.find_opt registry.families name with
+  | None -> None
+  | Some f ->
+    (match find_series f labels with
+    | None -> None
+    | Some s ->
+      (match s.instrument with
+      | Counter_i c -> Some (float_of_int c.c)
+      | Gauge_i g -> Some g.g
+      | Callback_i fn -> (try Some (fn ()) with _ -> None)
+      | Histogram_i h -> Some (float_of_int h.total)))
+
+let read_one ?registry ?labels name =
+  match read ?registry ?labels name with Some v -> v | None -> 0.
+
+(* Dump: stable, cram-safe.  Histograms show only their observation
+   count; durations and sums vary run to run. *)
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         (fun ppf (k, v) -> Format.fprintf ppf "%s=%S" k v))
+      labels
+
+let pp_number ppf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%g" v
+
+let dump ?registry ppf () =
+  List.iter
+    (fun s ->
+      match s.s_value with
+      | `Value v ->
+        Format.fprintf ppf "%s%a %a@." s.s_name pp_labels s.s_labels
+          pp_number v
+      | `Histogram (_, _, total) ->
+        Format.fprintf ppf "%s%a count=%d@." s.s_name pp_labels s.s_labels
+          total)
+    (collect ?registry ())
+
+let dump_string ?registry () =
+  Format.asprintf "%a" (fun ppf () -> dump ?registry ppf ()) ()

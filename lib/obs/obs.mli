@@ -1,0 +1,131 @@
+(** Metrics registry: counters, gauges and fixed-bucket histograms.
+
+    Designed to sit on hot paths: an increment is one mutable field
+    update, an observation is a linear scan over a short bucket array —
+    no allocation either way.  Instruments are obtained by
+    get-or-create ([counter], [gauge], [histogram]); repeated lookups
+    with the same name and labels return the same instrument, so call
+    sites may resolve their instrument once and keep it, or resolve per
+    call when lifetimes are awkward.
+
+    A fourth instrument kind, registered with [on_collect], is a
+    callback sampled at scrape time — the zero-cost way to re-export a
+    counter that already exists as a mutable field elsewhere (e.g.
+    [Netstats]).  Registering a callback under an existing name+labels
+    replaces the previous one.
+
+    Metric names follow Prometheus conventions
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*]); a bad name or a kind clash on an
+    existing family raises [Invalid_argument]. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every instrument lands in unless
+    [?registry] says otherwise. *)
+
+val clear : t -> unit
+(** Drop every family.  Instruments created before [clear] keep
+    working but are no longer collected; engine code re-resolves via
+    get-or-create so its families reappear on next use. *)
+
+(** {1 Instruments} *)
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list ->
+  string -> counter
+(** Get or create a monotone counter series. *)
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list ->
+  string -> gauge
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list ->
+  ?buckets:float array -> string -> histogram
+(** Fixed upper bounds, ascending; an observation [v] lands in the
+    first bucket with [v <= bound], else the overflow bucket.
+    [buckets] only matters on first creation of the series. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val on_collect :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list ->
+  kind:[ `Counter | `Gauge ] -> string -> (unit -> float) -> unit
+(** Register a callback sampled at collection time.  Same name+labels
+    replaces the previous callback (last registration wins). *)
+
+(** {1 Timing} *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds ([Unix.gettimeofday *. 1e6]). *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run [f], observe the elapsed microseconds (also on exception). *)
+
+val time_span :
+  ?registry:t -> ?labels:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [time] against a get-or-create histogram named [name] with
+    {!latency_buckets}. *)
+
+(** {1 Bucket presets} *)
+
+val latency_buckets : float array
+(** Microseconds, 1 µs … 1 s. *)
+
+val size_buckets : float array
+(** Batch/delta sizes, 1 … 10_000. *)
+
+val iteration_buckets : float array
+(** Semi-naive iteration counts, 1 … 64. *)
+
+(** {1 Collection} *)
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_kind : [ `Counter | `Gauge | `Histogram ];
+  s_labels : (string * string) list;  (** sorted by key *)
+  s_value :
+    [ `Value of float
+    | `Histogram of (float * int) array * float * int
+      (** cumulative (bound, count) pairs ending with [infinity];
+          then sum; then total count *) ];
+}
+
+val collect : ?registry:t -> unit -> sample list
+(** Samples sorted by family name then labels; callbacks are invoked
+    here (a raising callback yields [nan]). *)
+
+val read : ?registry:t -> ?labels:(string * string) list -> string ->
+  float option
+(** Current value of one counter/gauge/callback series, if present. *)
+
+val read_one : ?registry:t -> ?labels:(string * string) list -> string ->
+  float
+(** [read] defaulting to [0.]. *)
+
+val dump : ?registry:t -> Format.formatter -> unit -> unit
+(** Human-readable snapshot, one line per series.  Histograms print
+    only their observation count — durations are unstable, so this
+    output is safe to diff in cram tests. *)
+
+val dump_string : ?registry:t -> unit -> string

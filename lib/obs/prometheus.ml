@@ -1,0 +1,90 @@
+(* Prometheus text format 0.0.4.  Reference:
+   https://prometheus.io/docs/instrumenting/exposition_formats/ *)
+
+let content_type = "text/plain; version=0.0.4"
+
+let escape ~quote s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' when quote -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label_value s = escape ~quote:true s
+let escape_help s = escape ~quote:false s
+
+let render_number v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let render_labels b labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (escape_label_value v);
+        Buffer.add_char b '"')
+      labels;
+    Buffer.add_char b '}'
+
+let sample_line b name labels value =
+  Buffer.add_string b name;
+  render_labels b labels;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (render_number value);
+  Buffer.add_char b '\n'
+
+let expose ?registry () =
+  let samples = Obs.collect ?registry () in
+  let b = Buffer.create 4096 in
+  let last_family = ref "" in
+  List.iter
+    (fun s ->
+      if s.Obs.s_name <> !last_family then begin
+        last_family := s.Obs.s_name;
+        if s.Obs.s_help <> "" then begin
+          Buffer.add_string b "# HELP ";
+          Buffer.add_string b s.Obs.s_name;
+          Buffer.add_char b ' ';
+          Buffer.add_string b (escape_help s.Obs.s_help);
+          Buffer.add_char b '\n'
+        end;
+        Buffer.add_string b "# TYPE ";
+        Buffer.add_string b s.Obs.s_name;
+        Buffer.add_string b
+          (match s.Obs.s_kind with
+          | `Counter -> " counter\n"
+          | `Gauge -> " gauge\n"
+          | `Histogram -> " histogram\n")
+      end;
+      match s.Obs.s_value with
+      | `Value v -> sample_line b s.Obs.s_name s.Obs.s_labels v
+      | `Histogram (cum, sum, total) ->
+        Array.iter
+          (fun (bound, count) ->
+            let le =
+              if bound = infinity then "+Inf" else render_number bound
+            in
+            sample_line b (s.Obs.s_name ^ "_bucket")
+              (s.Obs.s_labels @ [ ("le", le) ])
+              (float_of_int count))
+          cum;
+        sample_line b (s.Obs.s_name ^ "_sum") s.Obs.s_labels sum;
+        sample_line b (s.Obs.s_name ^ "_count") s.Obs.s_labels
+          (float_of_int total))
+    samples;
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** Prometheus text exposition (format 0.0.4) over an {!Obs} registry. *)
+
+val content_type : string
+(** ["text/plain; version=0.0.4"]. *)
+
+val expose : ?registry:Obs.t -> unit -> string
+(** Render every family: [# HELP] / [# TYPE] lines, then one sample
+    line per series; histograms expand to cumulative
+    [_bucket{le="..."}] samples plus [_sum] and [_count]. *)
+
+(** Exposed for tests. *)
+
+val escape_label_value : string -> string
+(** Backslash-escape backslash, double quote and newlines. *)
+
+val escape_help : string -> string
+(** Backslash-escape backslash and newlines. *)

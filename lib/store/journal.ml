@@ -8,10 +8,24 @@ type entry =
 type t = {
   file : string;
   mutable oc : out_channel;
+  append_hist : Wdl_obs.Obs.histogram;
+  appended : Wdl_obs.Obs.counter;
 }
 
 let open_ file =
-  { file; oc = open_out_gen [ Open_append; Open_creat ] 0o644 file }
+  {
+    file;
+    oc = open_out_gen [ Open_append; Open_creat ] 0o644 file;
+    append_hist =
+      Wdl_obs.Obs.histogram
+        ~help:"Wall time of one journal append (render + flush)"
+        ~buckets:Wdl_obs.Obs.latency_buckets
+        "wdl_journal_append_duration_microseconds";
+    appended =
+      Wdl_obs.Obs.counter ~help:"Journal entries written or replayed"
+        ~labels:[ ("op", "append") ]
+        "wdl_journal_entries_total";
+  }
 
 let one_line = Pp_util.one_line
 
@@ -21,9 +35,11 @@ let render = function
   | Declare d -> "d " ^ one_line Decl.pp d ^ ";"
 
 let append t entry =
+  Wdl_obs.Obs.time t.append_hist @@ fun () ->
   output_string t.oc (render entry);
   output_char t.oc '\n';
-  flush t.oc
+  flush t.oc;
+  Wdl_obs.Obs.inc t.appended
 
 let close t = close_out_noerr t.oc
 let path t = t.file
@@ -49,6 +65,17 @@ let parse_line line =
 let replay file =
   if not (Sys.file_exists file) then Ok []
   else begin
+    let replay_hist =
+      Wdl_obs.Obs.histogram ~help:"Wall time of one journal replay"
+        ~buckets:Wdl_obs.Obs.latency_buckets
+        "wdl_journal_replay_duration_microseconds"
+    in
+    let replayed =
+      Wdl_obs.Obs.counter ~help:"Journal entries written or replayed"
+        ~labels:[ ("op", "replay") ]
+        "wdl_journal_entries_total"
+    in
+    Wdl_obs.Obs.time replay_hist @@ fun () ->
     let ic = open_in_bin file in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
@@ -59,7 +86,9 @@ let replay file =
           | "" -> go acc (lineno + 1)
           | line -> (
             match parse_line line with
-            | Ok entry -> go (entry :: acc) (lineno + 1)
+            | Ok entry ->
+              Wdl_obs.Obs.inc replayed;
+              go (entry :: acc) (lineno + 1)
             | Error msg ->
               (* A torn final line is the normal crash artifact. *)
               let at_eof =

@@ -141,6 +141,25 @@ let split_path path =
 let handler sys ~settle (req : Httpd.request) =
   match req.Httpd.meth, req.Httpd.path with
   | "GET", "/" -> index sys
+  | "GET", "/metrics" ->
+    {
+      Httpd.status = 200;
+      content_type = Wdl_obs.Prometheus.content_type;
+      body = Wdl_obs.Prometheus.expose ();
+    }
+  | "GET", "/trace.json" ->
+    (* One viewer lane (tid) per peer, in registration order. *)
+    let events =
+      List.concat
+        (List.mapi
+           (fun i p -> Webdamlog.Trace.to_chrome ~tid:i (Peer.trace p))
+           (System.peers sys))
+    in
+    {
+      Httpd.status = 200;
+      content_type = "application/json";
+      body = Wdl_obs.Chrome_trace.to_json events;
+    }
   | meth, path -> (
     match split_path path with
     | None -> Httpd.not_found

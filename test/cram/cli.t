@@ -168,3 +168,59 @@ crashed peer from its journal — a regression here fails dune runtest:
   FT-SMOKE passed
   
   done.
+
+Observability: the registry snapshot after a simulated run is
+deterministic (histograms print observation counts, not durations):
+
+  $ wdl simulate --metrics Jules=jules.wdl Emilien=emilien.wdl | sed -n '/=== metrics ===/,$p'
+  === metrics ===
+  wdl_eval_delta_size{peer="Emilien"} count=0
+  wdl_eval_delta_size{peer="Jules"} count=0
+  wdl_eval_iterations{peer="Emilien"} count=2
+  wdl_eval_iterations{peer="Jules"} count=2
+  wdl_eval_stage_duration_microseconds{peer="Emilien"} count=2
+  wdl_eval_stage_duration_microseconds{peer="Jules"} count=2
+  wdl_net_acked_total{transport="inmem"} 0
+  wdl_net_bytes_total{transport="inmem"} 196
+  wdl_net_delivered_total{transport="inmem"} 2
+  wdl_net_dup_dropped_total{transport="inmem"} 0
+  wdl_net_pending{transport="inmem"} 0
+  wdl_net_retransmits_total{transport="inmem"} 0
+  wdl_net_send_failures_total{transport="inmem"} 0
+  wdl_net_sent_total{transport="inmem"} 2
+  wdl_peer_delegations_installed_total{peer="Emilien"} 1
+  wdl_peer_delegations_installed_total{peer="Jules"} 0
+  wdl_peer_delegations_rejected_total{peer="Emilien"} 0
+  wdl_peer_delegations_rejected_total{peer="Jules"} 0
+  wdl_peer_delegations_retracted_total{peer="Emilien"} 0
+  wdl_peer_delegations_retracted_total{peer="Jules"} 0
+  wdl_peer_derivations_total{peer="Emilien"} 1
+  wdl_peer_derivations_total{peer="Jules"} 0
+  wdl_peer_iterations_total{peer="Emilien"} 2
+  wdl_peer_iterations_total{peer="Jules"} 2
+  wdl_peer_messages_received_total{peer="Emilien"} 1
+  wdl_peer_messages_received_total{peer="Jules"} 1
+  wdl_peer_messages_sent_total{peer="Emilien"} 1
+  wdl_peer_messages_sent_total{peer="Jules"} 1
+  wdl_peer_runtime_errors_total{peer="Emilien"} 0
+  wdl_peer_runtime_errors_total{peer="Jules"} 0
+  wdl_peer_stages_total{peer="Emilien"} 2
+  wdl_peer_stages_total{peer="Jules"} 2
+  wdl_peer_trace_events_total{peer="Emilien"} 8
+  wdl_peer_trace_events_total{peer="Jules"} 8
+  wdl_system_messages_dropped_total 0
+  wdl_system_peers 2
+  wdl_system_round_duration_microseconds count=3
+  wdl_system_rounds_total 3
+  wdl_system_transport_errors_total 0
+
+The bench suite emits a machine-readable snapshot sourced from the
+same registry — wall times vary, so only the shape is checked:
+
+  $ wdl-bench obs > /dev/null
+  $ grep -c '"name"' BENCH_obs.json
+  3
+  $ grep -o '"bench": "obs"' BENCH_obs.json
+  "bench": "obs"
+  $ grep -o '"retransmits"' BENCH_obs.json | sort -u
+  "retransmits"

@@ -109,6 +109,45 @@ let suite =
             in
             check_int "200" 200 (status resp);
             check_bool "row" (Str_helper.contains resp "sea.jpg")));
+    tc "GET /metrics exposes Prometheus text with engine metrics" (fun () ->
+        Wdl_obs.Obs.clear Wdl_obs.Obs.default;
+        with_ui (fun _ _ server ->
+            let resp = http server ~meth:"GET" ~path:"/metrics" () in
+            check_int "200" 200 (status resp);
+            check_bool "content type"
+              (Str_helper.contains resp "text/plain; version=0.0.4");
+            List.iter
+              (fun needle ->
+                check_bool needle (Str_helper.contains resp needle))
+              [
+                (* stage-duration histogram *)
+                "# TYPE wdl_eval_stage_duration_microseconds histogram";
+                "wdl_eval_stage_duration_microseconds_bucket{peer=\"Jules\",le=\"+Inf\"}";
+                "wdl_eval_stage_duration_microseconds_count{peer=\"Jules\"}";
+                (* per-peer derivation counter *)
+                "wdl_peer_derivations_total{peer=\"Jules\"} 1";
+                (* every Netstats field, re-exported *)
+                "wdl_net_sent_total{transport=\"inmem\"}";
+                "wdl_net_delivered_total{transport=\"inmem\"}";
+                "wdl_net_bytes_total{transport=\"inmem\"}";
+                "wdl_net_retransmits_total{transport=\"inmem\"}";
+                "wdl_net_dup_dropped_total{transport=\"inmem\"}";
+                "wdl_net_send_failures_total{transport=\"inmem\"}";
+                "wdl_net_acked_total{transport=\"inmem\"}";
+                "wdl_net_pending{transport=\"inmem\"}";
+                (* system counters *)
+                "# TYPE wdl_system_rounds_total counter";
+              ]));
+    tc "GET /trace.json returns chrome trace events" (fun () ->
+        with_ui (fun _ _ server ->
+            let resp = http server ~meth:"GET" ~path:"/trace.json" () in
+            check_int "200" 200 (status resp);
+            check_bool "content type"
+              (Str_helper.contains resp "application/json");
+            check_bool "envelope" (Str_helper.contains resp "\"traceEvents\":[");
+            check_bool "stage pair" (Str_helper.contains resp "\"ph\":\"B\"");
+            check_bool "fact instant"
+              (Str_helper.contains resp "fact_inserted")));
     tc "pending delegations can be accepted through the UI" (fun () ->
         let sys = System.create () in
         let jules = System.add_peer sys ~policy:Acl.Closed "Jules" in
