@@ -573,8 +573,12 @@ let a2 () =
         in
         match measure test with (_, ns) :: _ -> ns | [] -> nan
       in
-      let compiled = time (Wdl_eval.Fixpoint.run ?strategy:None ?record_provenance:None) in
-      let reference = time (Wdl_eval.Reference.run ?strategy:None ?record_provenance:None) in
+      let compiled =
+        time (fun ~self db rules -> Wdl_eval.Fixpoint.run ~self db rules)
+      in
+      let reference =
+        time (fun ~self db rules -> Wdl_eval.Reference.run ~self db rules)
+      in
       pf "%-22s %14s %14s %8.1fx@." label (pp_ns compiled) (pp_ns reference)
         (reference /. compiled))
     [ ("chain n=64", Wdl_wepic.Workload.chain_edges ~n:64);
@@ -632,8 +636,8 @@ let envelope_sizer e =
    fact batches cross every link in both directions. *)
 let ft_attendees = [ "alice"; "bob"; "carol"; "dave" ]
 
-let ft_load sys =
-  let sigmod = System.add_peer sys "sigmod" in
+let ft_load ?incremental sys =
+  let sigmod = System.add_peer sys ?incremental "sigmod" in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     "ext attendee@sigmod(a);\nint album@sigmod(id, name, owner);\n";
@@ -645,7 +649,7 @@ let ft_load sys =
   ok (Peer.load_string sigmod (Buffer.contents buf));
   List.iter
     (fun a ->
-      let p = System.add_peer sys a in
+      let p = System.add_peer sys ?incremental a in
       ok
         (Peer.load_string p
            (Printf.sprintf
@@ -911,10 +915,204 @@ let obs () =
   close_out oc;
   pf "wrote BENCH_obs.json@."
 
+(* {1 EVAL: incremental engine vs per-stage recompilation}
+
+   The same scenarios under two engine variants: [incremental:true]
+   (the default: compiled-program cache, delta-driven activation
+   scheduling, quiescence fast path) and [incremental:false] (the
+   pre-cache engine: restratify + recompile every stage, execute every
+   plan at every delta position every iteration).  Three repeated-stage
+   workloads per scenario:
+
+   - quiescent: the system has settled; stages keep coming (the
+     paper's timestep loop never stops) but carry no new inputs.
+   - trickle: one extensional fact lands per round, then the system
+     re-converges.
+   - burst: a batch of facts lands per round.
+
+   Wall time is measured directly ([Obs.now_us], best of three runs on
+   fresh systems) rather than through Bechamel: each run mutates its
+   system, so every repetition needs its own setup.  Emits
+   BENCH_eval.json. *)
+
+let eval_tc_setup ~n ~incremental () =
+  let sys = System.create () in
+  let p = System.add_peer sys ~incremental "p" in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "int tc@p(x, y);\n";
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "edge@p(%d, %d);\n" a b))
+    (Wdl_wepic.Workload.chain_edges ~n);
+  Buffer.add_string buf "tc@p($x, $y) :- edge@p($x, $y);\n";
+  Buffer.add_string buf "tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);\n";
+  ok (Peer.load_string p (Buffer.contents buf));
+  ignore (ok (System.run sys));
+  sys
+
+let eval_album_setup ~incremental () =
+  let sys = System.create () in
+  ft_load ~incremental sys;
+  ignore (ok (System.run sys));
+  sys
+
+(* Workloads.  Quiescent stages go through [Peer.stage] directly:
+   [System.run] would skip idle peers via [has_work], but the timestep
+   semantics stage peers regardless — that per-stage cost is exactly
+   what the fast path removes. *)
+let eval_quiescent ~rounds sys () =
+  let peers = System.peers sys in
+  for _ = 1 to rounds do
+    List.iter (fun p -> ignore (p |> Peer.stage)) peers
+  done
+
+let eval_trickle ~rounds ~fresh_fact sys () =
+  for i = 1 to rounds do
+    ok (Peer.insert (System.peer sys (fst (fresh_fact i))) (snd (fresh_fact i)));
+    ignore (ok (System.run sys))
+  done
+
+let eval_burst ~rounds ~batch ~fresh_fact sys () =
+  for r = 1 to rounds do
+    for j = 1 to batch do
+      let who, f = fresh_fact (((r - 1) * batch) + j) in
+      ok (Peer.insert (System.peer sys who) f)
+    done;
+    ignore (ok (System.run sys))
+  done
+
+let eval_tc_fact i =
+  (* Extends the chain: each insert genuinely grows the closure. *)
+  ("p", Fact.make ~rel:"edge" ~peer:"p" [ Value.Int (1000 + i - 1); Value.Int (1000 + i) ])
+
+let eval_album_fact i =
+  ( "alice",
+    Fact.make ~rel:"pictures" ~peer:"alice"
+      [ Value.Int (100 + i); Value.String (Printf.sprintf "alice_t%d.jpg" i) ] )
+
+let eval_workloads ~tc_n ~rounds =
+  let tc inc = eval_tc_setup ~n:tc_n ~incremental:inc in
+  let album inc = eval_album_setup ~incremental:inc in
+  [ ("tc_quiescent", tc, fun sys -> eval_quiescent ~rounds sys);
+    ("tc_trickle", tc, fun sys -> eval_trickle ~rounds ~fresh_fact:eval_tc_fact sys);
+    ("tc_burst", tc,
+     fun sys -> eval_burst ~rounds:(max 1 (rounds / 4)) ~batch:8 ~fresh_fact:eval_tc_fact sys);
+    ("album_quiescent", album, fun sys -> eval_quiescent ~rounds sys);
+    ("album_trickle", album,
+     fun sys -> eval_trickle ~rounds ~fresh_fact:eval_album_fact sys);
+    ("album_burst", album,
+     fun sys -> eval_burst ~rounds:(max 1 (rounds / 4)) ~batch:8 ~fresh_fact:eval_album_fact sys) ]
+
+let eval_measure ~tc_n ~rounds =
+  List.map
+    (fun (name, setup, workload) ->
+      let time incremental =
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let sys = setup incremental () in
+          let t0 = Wdl_obs.Obs.now_us () in
+          workload sys ();
+          best := Float.min !best (Wdl_obs.Obs.now_us () -. t0)
+        done;
+        !best /. 1e3
+      in
+      let incremental_ms = time true in
+      let baseline_ms = time false in
+      (name, incremental_ms, baseline_ms))
+    (eval_workloads ~tc_n ~rounds)
+
+let eval_write_json rows =
+  let oc = open_out "BENCH_eval.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"eval\",\n  \"schema\": 1,\n  \"workloads\": [";
+  List.iteri
+    (fun i (name, inc_ms, base_ms) ->
+      Printf.fprintf oc "%s\n    { \"name\": %S, \"incremental_ms\": %.3f, \
+                         \"baseline_ms\": %.3f, \"speedup\": %.2f }"
+        (if i > 0 then "," else "")
+        name inc_ms base_ms (base_ms /. inc_ms))
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+let eval () =
+  header "EVAL  incremental engine vs per-stage recompilation -> BENCH_eval.json";
+  pf "%-20s %14s %14s %10s@." "workload" "incremental" "baseline" "speedup";
+  let rows = eval_measure ~tc_n:64 ~rounds:60 in
+  List.iter
+    (fun (name, inc_ms, base_ms) ->
+      pf "%-20s %12.3fms %12.3fms %9.1fx@." name inc_ms base_ms
+        (base_ms /. inc_ms))
+    rows;
+  eval_write_json rows;
+  pf "wrote BENCH_eval.json@."
+
+(* Deterministic equivalence smoke for the incremental engine: the
+   cached/scheduled/fast-path stage pipeline must be observationally
+   identical to per-stage recompilation, including across cache
+   invalidations (rule added, delegation installed mid-run).  Also
+   writes BENCH_eval.json (reduced sizes) so the cram suite can check
+   its schema without paying full measurement time. *)
+let eval_smoke () =
+  let failures = ref 0 in
+  let check label ok_ =
+    if not ok_ then incr failures;
+    pf "%-46s %s@." label (if ok_ then "ok" else "FAIL")
+  in
+  pf "EVAL-SMOKE incremental-engine equivalence (deterministic)@.";
+  let inc = eval_tc_setup ~n:32 ~incremental:true () in
+  let base = eval_tc_setup ~n:32 ~incremental:false () in
+  check "tc: engines byte-identical after settle" (ft_dump inc = ft_dump base);
+  let p = System.peer inc "p" in
+  let quiet = ref true in
+  for _ = 1 to 3 do
+    if Peer.stage p <> [] then quiet := false
+  done;
+  check "tc: quiescent stages emit nothing" !quiet;
+  List.iter
+    (fun sys ->
+      ignore (ok (System.run sys));
+      eval_trickle ~rounds:3 ~fresh_fact:eval_tc_fact sys ())
+    [ inc; base ];
+  check "tc: trickle updates stay identical" (ft_dump inc = ft_dump base);
+  List.iter
+    (fun sys ->
+      ok
+        (Peer.load_string (System.peer sys "p")
+           "int sym@p(x, y);\nsym@p($y, $x) :- tc@p($x, $y);");
+      ignore (ok (System.run sys)))
+    [ inc; base ];
+  check "tc: mid-run rule addition stays identical" (ft_dump inc = ft_dump base);
+  List.iter
+    (fun sys ->
+      Peer.receive (System.peer sys "p")
+        (Webdamlog.Message.make ~src:"q" ~dst:"p" ~stage:0
+           ~installs:
+             [ Wdl_syntax.Parser.parse_rule "mirror@q($x, $y) :- tc@p($x, $y)" ]
+           ());
+      ignore (ok (System.run sys)))
+    [ inc; base ];
+  check "tc: mid-run delegation install stays identical"
+    (ft_dump inc = ft_dump base
+    && Peer.delegated_rules (System.peer inc "p")
+       = Peer.delegated_rules (System.peer base "p"));
+  let ainc = eval_album_setup ~incremental:true () in
+  let abase = eval_album_setup ~incremental:false () in
+  check "album: engines byte-identical after settle" (ft_dump ainc = ft_dump abase);
+  List.iter
+    (fun sys -> eval_trickle ~rounds:2 ~fresh_fact:eval_album_fact sys ())
+    [ ainc; abase ];
+  check "album: trickle updates stay identical" (ft_dump ainc = ft_dump abase);
+  eval_write_json (eval_measure ~tc_n:24 ~rounds:10);
+  if !failures = 0 then pf "EVAL-SMOKE passed@."
+  else begin
+    pf "EVAL-SMOKE: %d check(s) failed@." !failures;
+    exit 1
+  end
+
 let experiments =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("a1", a1); ("a2", a2); ("f2", f2); ("f3", f3); ("d1", d1);
-    ("d3", d3); ("d4", d4); ("ft", ft); ("ft-smoke", ft_smoke); ("obs", obs) ]
+    ("d3", d3); ("d4", d4); ("ft", ft); ("ft-smoke", ft_smoke); ("obs", obs);
+    ("eval", eval); ("eval-smoke", eval_smoke) ]
 
 let () =
   let requested =

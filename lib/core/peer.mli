@@ -19,12 +19,21 @@ val create :
   ?indexing:bool ->
   ?trace_capacity:int ->
   ?diff_batches:bool ->
+  ?incremental:bool ->
   string ->
   t
 (** Raises [Invalid_argument] on an empty name. [diff_batches] (default
     true) sends per-destination fact batches only when they changed;
     turning it off re-sends on every stage — the naive messaging
-    discipline measured by the A1 ablation benchmark. *)
+    discipline measured by the A1 ablation benchmark. [incremental]
+    (default true) enables the incremental evaluation engine: the
+    compiled program is cached across stages (invalidated by rule
+    changes, delegation installs/retracts, and declarations),
+    semi-naive iterations skip plans whose delta relations are empty,
+    and quiescent stages (no new facts, messages, or rule changes)
+    skip the fixpoint entirely. Turning it off restores full
+    per-stage recompilation and exhaustive plan execution — the
+    baseline measured by the eval benchmark. *)
 
 val name : t -> string
 val database : t -> Wdl_store.Database.t

@@ -62,10 +62,10 @@ let adopt_peer t p =
   Hashtbl.replace t.peers name p;
   t.order <- name :: t.order
 
-let add_peer t ?strategy ?policy ?indexing ?diff_batches name =
+let add_peer t ?strategy ?policy ?indexing ?diff_batches ?incremental name =
   if Hashtbl.mem t.peers name then
     invalid_arg (Printf.sprintf "System.add_peer: peer %s already exists" name);
-  let p = Peer.create ?strategy ?policy ?indexing ?diff_batches name in
+  let p = Peer.create ?strategy ?policy ?indexing ?diff_batches ?incremental name in
   Hashtbl.replace t.peers name p;
   t.order <- name :: t.order;
   p

@@ -24,9 +24,11 @@ val add_peer :
   ?policy:Acl.policy ->
   ?indexing:bool ->
   ?diff_batches:bool ->
+  ?incremental:bool ->
   string ->
   Peer.t
-(** Raises [Invalid_argument] if the name is already taken. *)
+(** Raises [Invalid_argument] if the name is already taken. All
+    optional flags are forwarded to {!Peer.create}. *)
 
 val adopt_peer : t -> Peer.t -> unit
 (** Registers an existing peer (e.g. one rebuilt by {!Persist.recover})

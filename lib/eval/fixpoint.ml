@@ -1,3 +1,7 @@
+(* Bound before [open Wdl_syntax], which has its own [Program] (the
+   parsed-statement list); this one is the compiled-plan cache. *)
+module Prog = Program
+
 open Wdl_syntax
 open Wdl_store
 
@@ -67,7 +71,9 @@ type state = {
   mutable error_count : int;
   mutable derivations : int;
   mutable iterations : int;
+  schedule : bool;  (* skip (plan, pos) pairs whose delta is absent *)
   delta_hist : Wdl_obs.Obs.histogram;
+  skipped_ctr : Wdl_obs.Obs.counter;
 }
 
 let max_errors = 1000
@@ -81,7 +87,9 @@ let delta_add st rel tuple =
     match Hashtbl.find_opt st.delta_next rel with
     | Some r -> r
     | None ->
-      let r = Relation.create ~arity:(Tuple.arity tuple) () in
+      (* Deltas are discarded after one iteration: auto-building
+         binding-pattern indexes on them is pure waste. *)
+      let r = Relation.create ~indexing:false ~arity:(Tuple.arity tuple) () in
       Hashtbl.add st.delta_next rel r;
       r
   in
@@ -478,17 +486,50 @@ let pos_atom_positions (plan : Plan.t) =
       | Plan.Match _ | Plan.Cmp _ | Plan.Assign _ -> None)
     plan.Plan.steps
 
-let run_stratum st strategy all_plans =
-  (* Aggregate rules read complete lower strata, so they run once, up
-     front; their outputs then feed the stratum's fixpoint normally. *)
-  let agg_plans, plans =
-    List.partition (fun p -> Rule.is_aggregate p.Plan.rule) all_plans
-  in
+(* One semi-naive iteration over the stratum's activations. With
+   scheduling on, only (plan, pos) pairs whose delta relation received
+   tuples last iteration execute — running the others costs the full
+   enumeration of the body prefix before [pos] just to find an empty
+   delta. Wildcard positions (relation variables) may read any delta,
+   so they always run. *)
+let seminaive_iteration st (stratum : Prog.stratum) =
+  if not st.schedule then
+    List.iter
+      (fun p ->
+        List.iter
+          (fun pos -> eval_plan st ~delta_pos:(Some pos) p)
+          (pos_atom_positions p))
+      stratum.Prog.plans
+  else begin
+    let executed = ref 0 in
+    Hashtbl.iter
+      (fun name _delta ->
+        match Hashtbl.find_opt stratum.Prog.by_rel name with
+        | None -> ()
+        | Some acts ->
+          List.iter
+            (fun (a : Prog.activation) ->
+              incr executed;
+              eval_plan st ~delta_pos:(Some a.Prog.pos) a.Prog.plan)
+            acts)
+      st.delta;
+    List.iter
+      (fun (a : Prog.activation) ->
+        incr executed;
+        eval_plan st ~delta_pos:(Some a.Prog.pos) a.Prog.plan)
+      stratum.Prog.wildcard;
+    let skipped = stratum.Prog.n_activations - !executed in
+    if skipped > 0 then Wdl_obs.Obs.inc ~by:skipped st.skipped_ctr
+  end
+
+let run_stratum st strategy (stratum : Prog.stratum) =
   st.delta <- Hashtbl.create 8;
   st.delta_next <- Hashtbl.create 8;
-  List.iter (fun p -> eval_agg_plan st p) agg_plans;
+  (* Aggregate rules read complete lower strata, so they run once, up
+     front; their outputs then feed the stratum's fixpoint normally. *)
+  List.iter (fun p -> eval_agg_plan st p) stratum.Prog.agg_plans;
   (* Iteration 1: full evaluation of every rule. *)
-  List.iter (fun p -> eval_plan st ~delta_pos:None p) plans;
+  List.iter (fun p -> eval_plan st ~delta_pos:None p) stratum.Prog.plans;
   st.iterations <- st.iterations + 1;
   let rec loop () =
     if Hashtbl.length st.delta_next = 0 then ()
@@ -502,28 +543,32 @@ let run_stratum st strategy all_plans =
       st.delta_next <- Hashtbl.create 8;
       st.iterations <- st.iterations + 1;
       (match strategy with
-      | Naive -> List.iter (fun p -> eval_plan st ~delta_pos:None p) plans
-      | Seminaive ->
+      | Naive ->
         List.iter
-          (fun p ->
-            List.iter
-              (fun pos -> eval_plan st ~delta_pos:(Some pos) p)
-              (pos_atom_positions p))
-          plans);
+          (fun p -> eval_plan st ~delta_pos:None p)
+          stratum.Prog.plans
+      | Seminaive -> seminaive_iteration st stratum);
       loop ()
     end
   in
   loop ()
 
-let run ?(strategy = Seminaive) ?(record_provenance = false) ~self db rules =
-  let intensional rel =
-    match Database.kind db rel with
-    | Some Decl.Intensional -> true
-    | Some Decl.Extensional | None -> false
+let run ?(strategy = Seminaive) ?(record_provenance = false) ?(schedule = true)
+    ?program ~self db rules =
+  let compiled =
+    match program with
+    | Some p -> Ok p
+    | None ->
+      let intensional rel =
+        match Database.kind db rel with
+        | Some Decl.Intensional -> true
+        | Some Decl.Extensional | None -> false
+      in
+      Prog.compile ~self ~intensional rules
   in
-  match Stratify.compute ~self ~intensional rules with
+  match compiled with
   | Error e -> Error e
-  | Ok { Stratify.strata } ->
+  | Ok prog ->
     (* Observability: get-or-create per call so a registry [clear]
        between runs just re-creates the families.  Labels are per peer;
        instruments are mutable cells, so nothing allocates per
@@ -556,16 +601,21 @@ let run ?(strategy = Seminaive) ?(record_provenance = false) ~self db rules =
         error_count = 0;
         derivations = 0;
         iterations = 0;
+        schedule;
         delta_hist =
           Wdl_obs.Obs.histogram ~labels:peer_labels
             ~help:"Tuples in the delta at each semi-naive iteration"
             ~buckets:Wdl_obs.Obs.size_buckets "wdl_eval_delta_size";
+        skipped_ctr =
+          Wdl_obs.Obs.counter ~labels:peer_labels
+            ~help:
+              "(plan, delta position) pairs skipped by activation \
+               scheduling because their delta relation was empty"
+            "wdl_eval_plans_skipped_total";
       }
     in
     Wdl_obs.Obs.time stage_hist (fun () ->
-        Array.iter
-          (fun rules -> run_stratum st strategy (List.map Plan.compile rules))
-          strata);
+        Array.iter (run_stratum st strategy) prog.Prog.strata);
     Wdl_obs.Obs.observe iter_hist (float_of_int st.iterations);
     let to_list tbl =
       Head_tbl.fold (fun k () acc -> Head_key.to_fact k :: acc) tbl []

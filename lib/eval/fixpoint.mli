@@ -18,22 +18,26 @@
     Both semi-naive (default) and naive strategies implement identical
     semantics; naive is kept as the benchmark baseline (T1). *)
 
-open Wdl_syntax
+(* No [open Wdl_syntax] here: it would shadow this library's [Program]
+   module with the syntax-level one of the same name. *)
 
 type strategy = Seminaive | Naive
 
 type derivation = {
-  fact : Fact.t;
-  rule : Rule.t;
-  premises : Fact.t list;
+  fact : Wdl_syntax.Fact.t;
+  rule : Wdl_syntax.Rule.t;
+  premises : Wdl_syntax.Fact.t list;
       (** the ground positive body atoms of one supporting valuation *)
 }
 
 type result = {
-  deduced : Fact.t list;  (** new local intensional facts (also inserted) *)
-  induced : Fact.t list;  (** local extensional insertions for next stage *)
-  messages : Fact.t list; (** facts whose [peer] field is the destination *)
-  suspensions : (string * Rule.t) list;
+  deduced : Wdl_syntax.Fact.t list;
+      (** new local intensional facts (also inserted) *)
+  induced : Wdl_syntax.Fact.t list;
+      (** local extensional insertions for next stage *)
+  messages : Wdl_syntax.Fact.t list;
+      (** facts whose [peer] field is the destination *)
+  suspensions : (string * Wdl_syntax.Rule.t) list;
       (** (target peer, residual rule), deduplicated *)
   errors : Runtime_error.t list;
   iterations : int;       (** fixpoint iterations summed over strata *)
@@ -51,10 +55,27 @@ val statically_local : self:string -> Wdl_syntax.Rule.t -> bool
 val run :
   ?strategy:strategy ->
   ?record_provenance:bool ->
+  ?schedule:bool ->
+  ?program:Program.t ->
   self:string ->
   Wdl_store.Database.t ->
-  Rule.t list ->
+  Wdl_syntax.Rule.t list ->
   (result, Stratify.error) Stdlib.result
 (** Mutates the database's intensional relations. The caller is
     responsible for {!Wdl_store.Database.clear_intensional} at stage
-    start and for applying [induced] at the next stage. *)
+    start and for applying [induced] at the next stage.
+
+    [program], when given, must have been compiled (see
+    {!Program.compile}) from exactly [rules] against a database whose
+    relation kinds match [db]'s — the [rules] argument is then ignored
+    and the cached stratification and plans are used directly, saving
+    the per-call [Stratify.compute] + [Plan.compile] work. [Peer]
+    caches one program per rule-set version.
+
+    [schedule] (default true) enables rule-activation scheduling:
+    semi-naive iterations after the first execute only the
+    [(plan, delta position)] pairs whose delta relation is non-empty.
+    Scheduling never changes results — a skipped pair reads an empty
+    delta and derives nothing — only which no-op plan executions are
+    paid for; [~schedule:false] restores exhaustive execution (the
+    pre-optimization engine, kept as the bench baseline). *)

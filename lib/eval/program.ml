@@ -1,0 +1,75 @@
+open Wdl_syntax
+
+type activation = { plan : Plan.t; pos : int }
+
+type stratum = {
+  agg_plans : Plan.t list;
+  plans : Plan.t list;
+  by_rel : (string, activation list) Hashtbl.t;
+  wildcard : activation list;
+  n_activations : int;
+}
+
+type t = {
+  version : int;
+  rules : Rule.t list;
+  strata : stratum array;
+}
+
+(* Positive body atoms of a plan with the statically-known relation
+   name read at each, or None for a relation variable. A variable may
+   have been bound by an earlier literal at run time, but scheduling is
+   static: anything not provably tied to one relation is a wildcard. *)
+let delta_reads (plan : Plan.t) =
+  List.filter_map
+    (function
+      | Plan.Match { neg = false; pos; rel; _ } ->
+        Some (pos, match rel with Plan.Fixed n -> Some n | Plan.Name_slot _ -> None)
+      | Plan.Match _ | Plan.Cmp _ | Plan.Assign _ -> None)
+    plan.Plan.steps
+
+let compile_stratum rules =
+  let all_plans = List.map Plan.compile rules in
+  let agg_plans, plans =
+    List.partition (fun p -> Rule.is_aggregate p.Plan.rule) all_plans
+  in
+  let by_rel = Hashtbl.create 8 in
+  let wildcard = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun plan ->
+      List.iter
+        (fun (pos, rel) ->
+          incr n;
+          let a = { plan; pos } in
+          match rel with
+          | None -> wildcard := a :: !wildcard
+          | Some name ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt by_rel name) in
+            Hashtbl.replace by_rel name (a :: cur))
+        (delta_reads plan))
+    plans;
+  (* Restore source order inside each bucket: scheduling must not
+     change which derivation an evaluator finds first. *)
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) by_rel;
+  {
+    agg_plans;
+    plans;
+    by_rel;
+    wildcard = List.rev !wildcard;
+    n_activations = !n;
+  }
+
+let compile ?(version = 0) ~self ~intensional rules =
+  match Stratify.compute ~self ~intensional rules with
+  | Error e -> Error e
+  | Ok { Stratify.strata } ->
+    Ok { version; rules; strata = Array.map compile_stratum strata }
+
+let version t = t.version
+let rules t = t.rules
+
+let plan_count t =
+  Array.fold_left
+    (fun acc s -> acc + List.length s.agg_plans + List.length s.plans)
+    0 t.strata

@@ -1,0 +1,60 @@
+(** A compiled rule program: stratification and compiled plans, cached
+    so repeated stages stop paying [Stratify.compute] + [Plan.compile]
+    for an unchanged rule set.
+
+    A [t] is immutable once built. Callers that cache one (notably
+    [Peer]) key it on a {e rule-set version counter}: any change to the
+    rule set (rule added/removed, delegation installed/retracted) or to
+    the relation-kind map (a declaration can turn a name intensional,
+    which changes stratification) must bump the version, so a cached
+    program whose [version] no longer matches is recompiled.
+
+    Each stratum also carries the {e activation index} driving
+    semi-naive scheduling: an inverted index from body-relation name to
+    the [(plan, body position)] pairs reading that relation at that
+    position. During iterations 2+, only activations whose delta
+    relation actually received tuples need to run — a plan whose delta
+    position reads relation [c] can derive nothing new when the
+    previous iteration produced no [c] tuples, yet executing it still
+    costs the full enumeration of the body prefix before that position.
+    Positions whose relation is a {e variable} may read any delta and
+    live in [wildcard]; they run every iteration. *)
+
+open Wdl_syntax
+
+type activation = {
+  plan : Plan.t;
+  pos : int;  (** body position of the positive atom reading the delta *)
+}
+
+type stratum = {
+  agg_plans : Plan.t list;  (** aggregate rules, run once before the fixpoint *)
+  plans : Plan.t list;      (** non-aggregate plans, iteration-1 order *)
+  by_rel : (string, activation list) Hashtbl.t;
+      (** delta-relation name -> activations statically reading it *)
+  wildcard : activation list;
+      (** activations whose relation position is a variable *)
+  n_activations : int;  (** total (plan, pos) pairs in this stratum *)
+}
+
+type t = {
+  version : int;
+  rules : Rule.t list;     (** the rules this program was compiled from *)
+  strata : stratum array;  (** bottom-up stratification order *)
+}
+
+val compile :
+  ?version:int ->
+  self:string ->
+  intensional:(string -> bool) ->
+  Rule.t list ->
+  (t, Stratify.error) result
+(** Stratify and compile [rules]. [intensional] must be the same
+    relation-kind predicate the evaluating database will answer;
+    [version] (default 0) is stored verbatim for cache keying. *)
+
+val version : t -> int
+val rules : t -> Rule.t list
+
+val plan_count : t -> int
+(** Total compiled plans across strata (observability/tests). *)

@@ -104,9 +104,19 @@ let lookup r bound f =
   match bound with
   | [] -> iter f r
   | bound ->
-    let positions =
-      Array.of_list (List.sort Int.compare (List.map fst bound))
+    (* One sort of the bindings gives both the index signature and the
+       probe key, position-aligned — no per-position association scans. *)
+    let sorted =
+      List.sort (fun (i, _) (j, _) -> Int.compare i j) bound
     in
+    let n = List.length sorted in
+    let positions = Array.make n 0 in
+    let key = Array.make n (Value.Int 0) in
+    List.iteri
+      (fun k (i, v) ->
+        positions.(k) <- i;
+        key.(k) <- v)
+      sorted;
     let usable =
       match find_index r positions with
       | Some idx -> Some idx
@@ -118,11 +128,6 @@ let lookup r bound f =
     (match usable with
     | None -> scan r bound f
     | Some idx ->
-      let key =
-        Array.map
-          (fun i -> List.assoc i bound)
-          idx.positions
-      in
       (match Key_tbl.find_opt idx.buckets key with
       | None -> ()
       | Some bucket -> Tuple_tbl.iter (fun t _ -> f t) bucket))

@@ -178,8 +178,14 @@ deterministic (histograms print observation counts, not durations):
   wdl_eval_delta_size{peer="Jules"} count=0
   wdl_eval_iterations{peer="Emilien"} count=2
   wdl_eval_iterations{peer="Jules"} count=2
+  wdl_eval_plans_skipped_total{peer="Emilien"} 0
+  wdl_eval_plans_skipped_total{peer="Jules"} 0
+  wdl_eval_program_cache_hits_total{peer="Emilien"} 0
+  wdl_eval_program_cache_hits_total{peer="Jules"} 1
   wdl_eval_stage_duration_microseconds{peer="Emilien"} count=2
   wdl_eval_stage_duration_microseconds{peer="Jules"} count=2
+  wdl_eval_stage_fastpath_total{peer="Emilien"} 0
+  wdl_eval_stage_fastpath_total{peer="Jules"} 0
   wdl_net_acked_total{transport="inmem"} 0
   wdl_net_bytes_total{transport="inmem"} 196
   wdl_net_delivered_total{transport="inmem"} 2
@@ -224,3 +230,28 @@ same registry — wall times vary, so only the shape is checked:
   "bench": "obs"
   $ grep -o '"retransmits"' BENCH_obs.json | sort -u
   "retransmits"
+
+The incremental evaluation engine (compiled-program cache, activation
+scheduling, quiescence fast path) must be observationally identical to
+per-stage recompilation, including across mid-run cache invalidations;
+the smoke also writes the perf-trajectory file, whose shape is checked
+(wall times vary):
+
+  $ wdl-bench eval-smoke
+  EVAL-SMOKE incremental-engine equivalence (deterministic)
+  tc: engines byte-identical after settle        ok
+  tc: quiescent stages emit nothing              ok
+  tc: trickle updates stay identical             ok
+  tc: mid-run rule addition stays identical      ok
+  tc: mid-run delegation install stays identical ok
+  album: engines byte-identical after settle     ok
+  album: trickle updates stay identical          ok
+  EVAL-SMOKE passed
+  
+  done.
+  $ grep -c '"name"' BENCH_eval.json
+  6
+  $ grep -o '"bench": "eval"' BENCH_eval.json
+  "bench": "eval"
+  $ grep -o '"speedup"' BENCH_eval.json | sort -u
+  "speedup"

@@ -14,45 +14,45 @@ type dspec = {
   rules : string list;
 }
 
+let rule_pool =
+  [
+    (* recursion *)
+    "tc@p($x,$y) :- e@p($x,$y);";
+    "tc@p($x,$z) :- tc@p($x,$y), e@p($y,$z);";
+    (* negation over base data *)
+    "only@p($x) :- r@p($x), not s@p($x);";
+    (* negation over a view *)
+    "vr@p($x) :- r@p($x);";
+    "nots@p($x) :- s@p($x), not vr@p($x);";
+    (* builtins *)
+    "shift@p($y) :- r@p($x), $y := $x + 10;";
+    "bigr@p($x) :- r@p($x), $x >= 3;";
+    (* aggregation *)
+    "counts@p(count($x)) :- r@p($x);";
+    "ends@p($x, max($y)) :- e@p($x,$y);";
+    (* relation variable *)
+    "anyof@p($n, $x) :- names@p($n), $n@p($x);";
+    (* delegation boundary (suspension output) *)
+    "away@p($x) :- r@p($x), data@q($x);";
+    (* inductive update *)
+    "accum@p($x) :- r@p($x);";
+    (* messaging *)
+    "out@q($x) :- s@p($x);";
+  ]
+
+let fact_gen =
+  QCheck.Gen.(
+    let* rel = oneofl [ "e"; "r"; "s" ] in
+    let* arity2 = bool in
+    let* a = int_range 0 5 in
+    let* b = int_range 0 5 in
+    return (rel, if arity2 && rel = "e" then [ a; b ] else [ a ]))
+
 let dspec_gen =
   QCheck.Gen.(
-    let* facts =
-      list_size (int_range 3 20)
-        (let* rel = oneofl [ "e"; "r"; "s" ] in
-         let* arity2 = bool in
-         let* a = int_range 0 5 in
-         let* b = int_range 0 5 in
-         return (rel, if arity2 && rel = "e" then [ a; b ] else [ a ]))
-    in
+    let* facts = list_size (int_range 3 20) fact_gen in
     let* names = list_size (int_range 0 2) (oneofl [ "r"; "s" ]) in
-    let* rules =
-      list_size (int_range 1 6)
-        (oneofl
-           [
-             (* recursion *)
-             "tc@p($x,$y) :- e@p($x,$y);";
-             "tc@p($x,$z) :- tc@p($x,$y), e@p($y,$z);";
-             (* negation over base data *)
-             "only@p($x) :- r@p($x), not s@p($x);";
-             (* negation over a view *)
-             "vr@p($x) :- r@p($x);";
-             "nots@p($x) :- s@p($x), not vr@p($x);";
-             (* builtins *)
-             "shift@p($y) :- r@p($x), $y := $x + 10;";
-             "bigr@p($x) :- r@p($x), $x >= 3;";
-             (* aggregation *)
-             "counts@p(count($x)) :- r@p($x);";
-             "ends@p($x, max($y)) :- e@p($x,$y);";
-             (* relation variable *)
-             "anyof@p($n, $x) :- names@p($n), $n@p($x);";
-             (* delegation boundary (suspension output) *)
-             "away@p($x) :- r@p($x), data@q($x);";
-             (* inductive update *)
-             "accum@p($x) :- r@p($x);";
-             (* messaging *)
-             "out@q($x) :- s@p($x);";
-           ])
-    in
+    let* rules = list_size (int_range 1 6) (oneofl rule_pool) in
     return { facts; names; rules })
 
 let dspec_print s =
@@ -69,18 +69,20 @@ let dspec_print s =
 let dspec_arb = QCheck.make ~print:dspec_print dspec_gen
 
 let views = [ "tc"; "only"; "vr"; "nots"; "shift"; "bigr"; "counts"; "ends"; "anyof"; "away" ]
+let view_arity = function "tc" | "ends" | "anyof" -> 2 | _ -> 1
 
-let build_db spec =
-  let db = Database.create () in
+let declare_views db =
   List.iter
     (fun v ->
       ignore
         (Database.declare db
            (Decl.make ~kind:Decl.Intensional ~rel:v ~peer:"p"
-              (List.init
-                 (match v with "tc" | "ends" | "anyof" -> 2 | _ -> 1)
-                 (Printf.sprintf "c%d")))))
-    views;
+              (List.init (view_arity v) (Printf.sprintf "c%d")))))
+    views
+
+let build_db spec =
+  let db = Database.create () in
+  declare_views db;
   List.iter
     (fun (rel, args) ->
       ignore
@@ -118,19 +120,156 @@ let run_engine engine spec =
   | Ok r -> Some (canon_result r)
   | Error _ -> None
 
+(* {1 Multi-stage scripts through a peer}
+
+   Drives a full [Peer] — compiled-program cache, activation
+   scheduling, quiescence fast path — through several stages with
+   facts, rule additions and delegation installs arriving mid-run
+   (each of which invalidates the cached program), and checks it
+   against (a) a peer with the incremental engine disabled, i.e. the
+   pre-cache per-stage recompilation path, and (b) the [Reference]
+   oracle re-run from scratch on the database state after every
+   stage. *)
+
+type stage_ev = {
+  inserts : (string * int list) list;
+  new_rule : string option;  (* added locally mid-run *)
+  delegate : string option;  (* arrives as a delegation install from q *)
+}
+
+type script = { base : dspec; stage_evs : stage_ev list }
+
+(* Delegations stay within what [install_delegation] accepts for any
+   rule set from the pool (no negation rules, which could fail
+   stratification against an already-installed cycle partner). *)
+let deleg_pool =
+  [
+    "tc@p($x,$y) :- e@p($x,$y);";
+    "tc@p($x,$z) :- tc@p($x,$y), e@p($y,$z);";
+    "counts@p(count($x)) :- r@p($x);";
+    "accum@p($x) :- r@p($x);";
+    "out@q($x) :- s@p($x);";
+    "away@p($x) :- r@p($x), data@q($x);";
+  ]
+
+let stage_ev_gen =
+  QCheck.Gen.(
+    let* inserts = list_size (int_range 0 3) fact_gen in
+    let* with_rule = int_range 0 2 in
+    let* rule = oneofl rule_pool in
+    let* with_deleg = int_range 0 3 in
+    let* deleg = oneofl deleg_pool in
+    return
+      {
+        inserts;
+        new_rule = (if with_rule = 0 then Some rule else None);
+        delegate = (if with_deleg = 0 then Some deleg else None);
+      })
+
+let script_gen =
+  QCheck.Gen.(
+    let* base = dspec_gen in
+    let* stage_evs = list_size (int_range 1 4) stage_ev_gen in
+    return { base; stage_evs })
+
+let script_print s =
+  let ev e =
+    Printf.sprintf "inserts=[%s] rule=%s deleg=%s"
+      (String.concat "; "
+         (List.map
+            (fun (r, args) ->
+              Printf.sprintf "%s(%s)" r
+                (String.concat "," (List.map string_of_int args)))
+            e.inserts))
+      (Option.value ~default:"-" e.new_rule)
+      (Option.value ~default:"-" e.delegate)
+  in
+  dspec_print s.base ^ "\n" ^ String.concat "\n" (List.map ev s.stage_evs)
+
+let script_arb = QCheck.make ~print:script_print script_gen
+
+let parse_rule_str s = Parser.parse_rule (String.sub s 0 (String.length s - 1))
+
+let dump_db db =
+  List.sort compare
+    (Database.fold
+       (fun (i : Database.info) acc ->
+         (i.Database.name, i.Database.kind, Relation.to_sorted_list i.Database.data)
+         :: acc)
+       db [])
+
+let intensional_dump db =
+  List.filter (fun (_, kind, _) -> kind = Decl.Intensional) (dump_db db)
+
+(* Run the script on one peer; two trailing empty stages exercise the
+   quiescence fast path. Returns one (db dump, sorted outbound
+   messages) observation per stage. *)
+let drive ~incremental script =
+  let open Webdamlog in
+  let p = Peer.create ~incremental "p" in
+  let db = Peer.database p in
+  declare_views db;
+  let insert_fact (rel, args) =
+    ignore
+      (Peer.insert p
+         (Fact.make ~rel ~peer:"p" (List.map (fun n -> Value.Int n) args)))
+  in
+  List.iter insert_fact script.base.facts;
+  List.iter
+    (fun n ->
+      ignore (Peer.insert p (Fact.make ~rel:"names" ~peer:"p" [ Value.String n ])))
+    script.base.names;
+  List.iter (fun r -> ignore (Peer.add_rule p (parse_rule_str r))) script.base.rules;
+  let quiet = { inserts = []; new_rule = None; delegate = None } in
+  List.map
+    (fun ev ->
+      List.iter insert_fact ev.inserts;
+      Option.iter
+        (fun r -> ignore (Peer.add_rule p (parse_rule_str r)))
+        ev.new_rule;
+      Option.iter
+        (fun r ->
+          Peer.receive p
+            (Message.make ~src:"q" ~dst:"p" ~stage:0
+               ~installs:[ parse_rule_str r ] ()))
+        ev.delegate;
+      let out = Peer.stage p in
+      let obs =
+        ( dump_db db,
+          List.sort compare (List.map (Format.asprintf "%a" Message.pp) out) )
+      in
+      (p, obs))
+    (script.stage_evs @ [ quiet; quiet ])
+
+(* From-scratch oracle for the peer's post-stage state: clear the
+   views on a copy and let [Reference] rebuild them under the peer's
+   current rule set. *)
+let oracle_agrees (p : Webdamlog.Peer.t) =
+  let open Webdamlog in
+  let db = Database.copy (Peer.database p) in
+  Database.clear_intensional db;
+  let rules = Peer.rules p @ List.map snd (Peer.delegated_rules p) in
+  match Reference.run ~self:"p" db rules with
+  | Error _ -> false
+  | Ok _ -> intensional_dump db = intensional_dump (Peer.database p)
+
 let tests =
   [
     QCheck.Test.make ~count:150
       ~name:"compiled evaluator agrees with the reference oracle" dspec_arb
       (fun spec ->
-        run_engine (Fixpoint.run ?strategy:None ?record_provenance:None) spec
-        = run_engine (Reference.run ?strategy:None ?record_provenance:None) spec);
+        run_engine (fun ~self db rules -> Fixpoint.run ~self db rules) spec
+        = run_engine (fun ~self db rules -> Reference.run ~self db rules) spec);
     QCheck.Test.make ~count:80
       ~name:"both engines agree under the naive strategy too" dspec_arb
       (fun spec ->
-        run_engine (Fixpoint.run ~strategy:Fixpoint.Naive ?record_provenance:None)
+        run_engine
+          (fun ~self db rules ->
+            Fixpoint.run ~strategy:Fixpoint.Naive ~self db rules)
           spec
-        = run_engine (Reference.run ~strategy:Fixpoint.Naive ?record_provenance:None)
+        = run_engine
+            (fun ~self db rules ->
+              Reference.run ~strategy:Fixpoint.Naive ~self db rules)
             spec);
     QCheck.Test.make ~count:60
       ~name:"provenance premises agree on derived facts" dspec_arb
@@ -158,8 +297,24 @@ let tests =
            derivations (each engine records the first it finds), so
            compare only the covered fact sets. *)
         let facts_of = Option.map (List.map fst) in
-        facts_of (prov (Fixpoint.run ~record_provenance:true ?strategy:None))
-        = facts_of (prov (Reference.run ~record_provenance:true ?strategy:None)));
+        facts_of
+          (prov (fun ~self db rules ->
+               Fixpoint.run ~record_provenance:true ~self db rules))
+        = facts_of
+            (prov (fun ~self db rules ->
+                 Reference.run ~record_provenance:true ~self db rules)));
+    QCheck.Test.make ~count:80
+      ~name:
+        "multi-stage: incremental engine agrees with per-stage recompilation"
+      script_arb
+      (fun script ->
+        List.map snd (drive ~incremental:true script)
+        = List.map snd (drive ~incremental:false script));
+    QCheck.Test.make ~count:80
+      ~name:"multi-stage: every stage's views agree with the reference oracle"
+      script_arb
+      (fun script ->
+        List.for_all (fun (p, _) -> oracle_agrees p) (drive ~incremental:true script));
   ]
 
 let suite = List.map QCheck_alcotest.to_alcotest tests

@@ -11,15 +11,15 @@ let db_of src =
   let db = Database.create () in
   List.iter
     (function
-      | Program.Decl d ->
+      | Wdl_syntax.Program.Decl d ->
         (match Database.declare db d with
         | Ok _ -> ()
         | Error e -> Alcotest.fail (Format.asprintf "%a" Database.pp_error e))
-      | Program.Fact f ->
+      | Wdl_syntax.Program.Fact f ->
         (match Database.insert db ~rel:f.Fact.rel (Tuple.of_list f.Fact.args) with
         | Ok _ -> ()
         | Error e -> Alcotest.fail (Format.asprintf "%a" Database.pp_error e))
-      | Program.Rule _ -> Alcotest.fail "db_of: rules not allowed here")
+      | Wdl_syntax.Program.Rule _ -> Alcotest.fail "db_of: rules not allowed here")
     (Parser.parse_program src);
   db
 

@@ -123,6 +123,45 @@ let suite =
         (match m2 with
         | [ m ] -> check_bool "empty batch sent" (m.Message.facts = Some [])
         | _ -> Alcotest.fail "expected one message"));
+    tc "incremental engine: cache hits, fast path, and invalidation" (fun () ->
+        let read p name =
+          int_of_float (Wdl_obs.Obs.read_one ~labels:[ ("peer", name) ] p)
+        in
+        let p = Peer.create "inc_p" in
+        ok
+          (Peer.load_string p
+             "int v@inc_p(x); a@inc_p(1); v@inc_p($x) :- a@inc_p($x);");
+        ignore (Peer.stage p);
+        let hits0 = read "wdl_eval_program_cache_hits_total" "inc_p" in
+        let fast0 = read "wdl_eval_stage_fastpath_total" "inc_p" in
+        (* Quiescent: no inputs changed, the whole fixpoint is skipped. *)
+        check_int "quiescent stage sends nothing" 0 (List.length (Peer.stage p));
+        check_int "fast path taken" (fast0 + 1)
+          (read "wdl_eval_stage_fastpath_total" "inc_p");
+        (* New fact, same rules: full stage, served by the cached program. *)
+        ok (Peer.insert p (fact "a" "inc_p" [ Value.Int 2 ]));
+        ignore (Peer.stage p);
+        check_int "cached program reused" (hits0 + 1)
+          (read "wdl_eval_program_cache_hits_total" "inc_p");
+        check_int "view caught up" 2 (List.length (Peer.query p "v"));
+        (* Rule change invalidates: the next stage recompiles (no hit). *)
+        ok (Peer.load_string p "int w@inc_p(x); w@inc_p($x) :- a@inc_p($x);");
+        ignore (Peer.stage p);
+        check_int "invalidated, recompiled" (hits0 + 1)
+          (read "wdl_eval_program_cache_hits_total" "inc_p");
+        check_int "new view filled" 2 (List.length (Peer.query p "w"));
+        (* The ablation switch restores per-stage recompilation. *)
+        let b = Peer.create ~incremental:false "inc_b" in
+        ok
+          (Peer.load_string b
+             "int v@inc_b(x); a@inc_b(1); v@inc_b($x) :- a@inc_b($x);");
+        ignore (Peer.stage b);
+        ignore (Peer.stage b);
+        check_int "no fast path when disabled" 0
+          (read "wdl_eval_stage_fastpath_total" "inc_b");
+        check_int "no cache when disabled" 0
+          (read "wdl_eval_program_cache_hits_total" "inc_b");
+        check_int "same result" 1 (List.length (Peer.query b "v")));
     tc "trace records lifecycle events" (fun () ->
         let p = Peer.create "p" in
         ok (Peer.load_string p "int v@p(x); a@p(1); v@p($x) :- a@p($x);");
