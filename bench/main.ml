@@ -1108,11 +1108,299 @@ let eval_smoke () =
     exit 1
   end
 
+(* {1 NET: batched transport + persistent connections -> BENCH_net.json}
+
+   Replays the exact per-destination traffic of two scenarios — the
+   album delegation exchange and a two-peer transitive-closure mirror —
+   through each transport twice: message-at-a-time (the pre-batching
+   path; over TCP additionally [~reuse:false], one connection per
+   frame) and batched ([send_many]; over TCP one persistent connection
+   carrying many frames).  The traffic is recorded from a real
+   [System.run], so batch boundaries are the system's own per-round,
+   per-destination flushes — the bench measures transport cost, not a
+   synthetic firehose. *)
+
+module Wire = Webdamlog.Wire
+
+(* Run [load] over a recording inmem transport; returns the flushed
+   per-destination groups, in flush order. *)
+let net_record load =
+  let inner = Wdl_net.Inmem.create ~sizer:Webdamlog.Message.size () in
+  let groups = ref [] in
+  let transport =
+    { inner with
+      Wdl_net.Transport.send =
+        (fun ~src ~dst m ->
+          groups := (dst, [ (src, m) ]) :: !groups;
+          inner.Wdl_net.Transport.send ~src ~dst m);
+      send_many =
+        (fun ~dst items ->
+          if items <> [] then groups := (dst, items) :: !groups;
+          inner.Wdl_net.Transport.send_many ~dst items) }
+  in
+  let sys = System.create ~transport () in
+  load sys;
+  ignore (ok (System.run sys));
+  List.rev !groups
+
+(* Album plus a trickle of fresh pictures: each insert ripples
+   attendee -> sigmod -> every attendee, so the recording spans many
+   rounds of small cross-peer messages. *)
+let net_album_load sys =
+  ft_load sys;
+  ignore (ok (System.run sys));
+  List.iteri
+    (fun i who ->
+      ok
+        (Peer.insert (System.peer sys who)
+           (Fact.make ~rel:"pictures" ~peer:who
+              [ Value.Int (500 + i);
+                Value.String (Printf.sprintf "%s_late.jpg" who) ]));
+      ignore (ok (System.run sys)))
+    (ft_attendees @ ft_attendees)
+
+(* Fan-in: many producers each maintain a local transitive closure and
+   mirror it to one collector — every trickle round lands a whole group
+   of small same-destination messages, the traffic shape batching
+   exists for (the closure itself is kept tiny so framing and
+   connection overhead, not codec volume, is what's measured). *)
+let net_fanin_load ?(producers = 12) ?(rounds = 60) ~n sys =
+  let q = System.add_peer sys "q" in
+  ok (Peer.load_string q "ext mirror@q(src, x, y);");
+  let names = List.init producers (fun i -> Printf.sprintf "p%d" (i + 1)) in
+  List.iteri
+    (fun i name ->
+      let p = System.add_peer sys name in
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf (Printf.sprintf "int tc@%s(x, y);\n" name);
+      List.iter
+        (fun (a, b) ->
+          Buffer.add_string buf (Printf.sprintf "edge@%s(%d, %d);\n" name a b))
+        (Wdl_wepic.Workload.chain_edges ~n);
+      Buffer.add_string buf
+        (Printf.sprintf "tc@%s($x, $y) :- edge@%s($x, $y);\n" name name);
+      Buffer.add_string buf
+        (Printf.sprintf "tc@%s($x, $z) :- tc@%s($x, $y), edge@%s($y, $z);\n"
+           name name name);
+      Buffer.add_string buf
+        (Printf.sprintf "mirror@q(%d, $x, $y) :- tc@%s($x, $y);\n" (i + 1) name);
+      ok (Peer.load_string p (Buffer.contents buf)))
+    names;
+  ignore (ok (System.run sys));
+  (* Rotate one side edge per round: remote-head relations are re-sent
+     whole every stage, so the mirrored set must stay bounded for the
+     per-message cost to be about framing, not payload growth. *)
+  for r = 1 to rounds do
+    List.iter
+      (fun name ->
+        let edge v =
+          Fact.make ~rel:"edge" ~peer:name [ Value.Int v; Value.Int (v + 1) ]
+        in
+        if r > 1 then
+          ok (Peer.delete (System.peer sys name) (edge (1000 + r - 1)));
+        ok (Peer.insert (System.peer sys name) (edge (1000 + r))))
+      names;
+    ignore (ok (System.run sys))
+  done
+
+type net_target = Net_inmem | Net_simnet | Net_tcp
+
+(* One timed replay over real [Wire] frames: send every recorded group,
+   pumping the receiving side between groups (a receiver drains its
+   socket between rounds), then wait for every message to land.
+   Frames are pre-encoded — encoding work is byte-for-byte identical in
+   both modes (a batch frame is the concatenated message encodings plus
+   one header line), so the timed section isolates what batching
+   changes: framing, connection handling, delivery, and the receiver's
+   decode back to messages. *)
+let net_replay target ~batched groups =
+  let prepared =
+    List.map
+      (fun (dst, items) ->
+        let msgs = List.map snd items in
+        (dst, Wire.batch msgs, List.map Wire.encode msgs, List.length msgs))
+      groups
+  in
+  let total = List.fold_left (fun n (_, _, _, k) -> n + k) 0 prepared in
+  let dsts = List.sort_uniq String.compare (List.map fst groups) in
+  let bytes_send, bytes_recv, cleanup =
+    match target with
+    | Net_inmem ->
+      let t = Wdl_net.Inmem.create ~sizer:String.length () in
+      (t, t, fun () -> ())
+    | Net_simnet ->
+      let t =
+        Wdl_net.Simnet.create ~sizer:String.length ~jitter:0.
+          ~base_latency:0.5 ()
+      in
+      (t, t, fun () -> ())
+    | Net_tcp ->
+      let sender, cs = Wdl_net.Tcp.create ~reuse:batched () in
+      let receiver, cr = Wdl_net.Tcp.create () in
+      List.iter
+        (fun dst ->
+          Wdl_net.Tcp.register cs ~peer:dst
+            { Wdl_net.Tcp.host = "127.0.0.1"; port = Wdl_net.Tcp.port cr })
+        dsts;
+      ( sender, receiver,
+        fun () ->
+          Wdl_net.Tcp.close cs;
+          Wdl_net.Tcp.close cr )
+  in
+  let received = ref 0 in
+  let pump () =
+    (match target with
+    | Net_simnet -> bytes_recv.Wdl_net.Transport.advance 1.0
+    | _ -> ());
+    List.iter
+      (fun dst ->
+        List.iter
+          (fun frame ->
+            match Wire.unbatch frame with
+            | Ok ms -> received := !received + List.length ms
+            | Error _ -> ())
+          (bytes_recv.Wdl_net.Transport.drain dst))
+      dsts
+  in
+  let t0 = Wdl_obs.Obs.now_us () in
+  List.iter
+    (fun (dst, bframe, frames, _) ->
+      (if batched then bytes_send.Wdl_net.Transport.send ~src:"bench" ~dst bframe
+       else
+         List.iter
+           (fun f -> bytes_send.Wdl_net.Transport.send ~src:"bench" ~dst f)
+           frames);
+      pump ())
+    prepared;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while !received < total && Unix.gettimeofday () < deadline do
+    pump ()
+  done;
+  let ms = (Wdl_obs.Obs.now_us () -. t0) /. 1e3 in
+  cleanup ();
+  if !received <> total then
+    failwith (Printf.sprintf "net replay lost messages: %d/%d" !received total);
+  (ms, total)
+
+let net_targets =
+  [ ("inmem", Net_inmem); ("simnet", Net_simnet); ("tcp", Net_tcp) ]
+
+let net_measure ?(reps = 3) ?(fanin_rounds = 60) ~n () =
+  let scenarios =
+    [ ("album", net_record net_album_load);
+      ("tc_fanin", net_record (net_fanin_load ~rounds:fanin_rounds ~n)) ]
+  in
+  List.concat_map
+    (fun (sname, groups) ->
+      List.map
+        (fun (tname, target) ->
+          let time batched =
+            let best = ref infinity and msgs = ref 0 in
+            for _ = 1 to reps do
+              let ms, n = net_replay target ~batched groups in
+              msgs := n;
+              best := Float.min !best ms
+            done;
+            (!best, !msgs)
+          in
+          let per_ms, msgs = time false in
+          let bat_ms, _ = time true in
+          (sname ^ "/" ^ tname, msgs, per_ms, bat_ms))
+        net_targets)
+    scenarios
+
+let net_write_json rows =
+  let oc = open_out "BENCH_net.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"net\",\n  \"schema\": 1,\n  \"scenarios\": [";
+  List.iteri
+    (fun i (name, msgs, per_ms, bat_ms) ->
+      Printf.fprintf oc
+        "%s\n    { \"name\": %S, \"messages\": %d, \"per_message_ms\": %.3f, \
+         \"batched_ms\": %.3f, \"speedup\": %.2f }"
+        (if i > 0 then "," else "")
+        name msgs per_ms bat_ms (per_ms /. bat_ms))
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+let net () =
+  header "NET  batched transport vs message-at-a-time -> BENCH_net.json";
+  pf "%-22s %9s %14s %14s %9s@." "scenario/transport" "messages"
+    "per-message" "batched" "speedup";
+  let rows = net_measure ~n:2 () in
+  List.iter
+    (fun (name, msgs, per_ms, bat_ms) ->
+      pf "%-22s %9d %12.3fms %12.3fms %8.1fx@." name msgs per_ms bat_ms
+        (per_ms /. bat_ms))
+    rows;
+  net_write_json rows;
+  pf "wrote BENCH_net.json@."
+
+(* Deterministic equivalence smoke: a [~batch:true] system and a
+   [~batch:false] system stepped in lockstep must expose identical
+   peer states after {e every} round — batching may only change wire
+   units, never the per-stage delivery schedule.  Referenced from the
+   cram suite; also writes BENCH_net.json (reduced sizes) for the
+   schema check. *)
+let net_smoke () =
+  let failures = ref 0 in
+  let check label ok_ =
+    if not ok_ then incr failures;
+    pf "%-46s %s@." label (if ok_ then "ok" else "FAIL")
+  in
+  pf "NET-SMOKE batched-transport equivalence (deterministic)@.";
+  let lockstep label mk_transport =
+    let mk batch =
+      let transport, cleanup = mk_transport () in
+      let sys = System.create ~transport ~batch ~drop_unknown:true () in
+      ft_load sys;
+      (sys, cleanup)
+    in
+    let sysb, cleanb = mk true in
+    let sysu, cleanu = mk false in
+    let identical = ref true in
+    let rounds = ref 0 in
+    while
+      (not (System.quiescent sysb && System.quiescent sysu)) && !rounds < 60
+    do
+      incr rounds;
+      ignore (System.round sysb);
+      ignore (System.round sysu);
+      if ft_dump sysb <> ft_dump sysu then identical := false
+    done;
+    check (label ^ ": every per-round state identical")
+      (!identical && !rounds < 60);
+    let batches sys =
+      ((System.transport sys).Wdl_net.Transport.stats ())
+        .Wdl_net.Netstats.batches
+    in
+    check
+      (label ^ ": batched run coalesced, ablation did not")
+      (batches sysb > 0 && batches sysu = 0);
+    cleanb ();
+    cleanu ()
+  in
+  lockstep "inmem" (fun () ->
+      (Wdl_net.Inmem.create ~sizer:Webdamlog.Message.size (), fun () -> ()));
+  lockstep "simnet" (fun () ->
+      ( Simnet.create ~sizer:Webdamlog.Message.size ~jitter:0. ~seed:42 (),
+        fun () -> () ));
+  lockstep "tcp+wire" (fun () ->
+      let bytes, ctl = Wdl_net.Tcp.create () in
+      (Wire.transport bytes, fun () -> Wdl_net.Tcp.close ctl));
+  net_write_json (net_measure ~reps:1 ~fanin_rounds:6 ~n:4 ());
+  if !failures = 0 then pf "NET-SMOKE passed@."
+  else begin
+    pf "NET-SMOKE: %d check(s) failed@." !failures;
+    exit 1
+  end
+
 let experiments =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("a1", a1); ("a2", a2); ("f2", f2); ("f3", f3); ("d1", d1);
     ("d3", d3); ("d4", d4); ("ft", ft); ("ft-smoke", ft_smoke); ("obs", obs);
-    ("eval", eval); ("eval-smoke", eval_smoke) ]
+    ("eval", eval); ("eval-smoke", eval_smoke); ("net", net);
+    ("net-smoke", net_smoke) ]
 
 let () =
   let requested =

@@ -48,7 +48,10 @@ let recover ?(on_replay = fun _ -> ()) ~dir ~fallback_name () =
       Peer.restore (read_file (snapshot_file dir))
     else Ok (Peer.create fallback_name)
   in
-  let* entries = Journal.replay (journal_file dir) in
+  (* repair, not replay: a torn tail must be cut off before [attach]
+     reopens the file for appending, or the next entry would be
+     concatenated onto the partial line and both lost. *)
+  let* entries = Journal.repair (journal_file dir) in
   let* () =
     List.fold_left
       (fun acc entry ->

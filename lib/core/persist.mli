@@ -4,8 +4,10 @@
     {!attach} starts journaling base-data changes to [dir/journal.wal];
     {!checkpoint} writes the full state to [dir/snapshot.wdl] and
     truncates the journal; {!recover} rebuilds the peer from the last
-    checkpoint plus the journal's tail (tolerating the torn final line
-    a crash leaves behind).
+    checkpoint plus the journal's tail, tolerating the torn final line
+    a crash leaves behind {e and} cutting it off the file
+    ({!Wdl_store.Journal.repair}) so post-recovery appends replay
+    cleanly.
 
     What the journal covers is local base data. Rules, delegations,
     pending approvals, caches and ACL state recover to the last

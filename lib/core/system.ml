@@ -1,5 +1,6 @@
 type t = {
   transport : Message.t Wdl_net.Transport.t;
+  batch : bool;  (* coalesce each round's outbox per destination *)
   drop_unknown : bool;
   peers : (string, Peer.t) Hashtbl.t;
   mutable order : string list;  (* reverse registration order *)
@@ -10,7 +11,7 @@ type t = {
   round_hist : Wdl_obs.Obs.histogram;
 }
 
-let create ?transport ?drop_unknown () =
+let create ?transport ?(batch = true) ?drop_unknown () =
   (* With the default in-process transport a message to an unknown peer
      can never be delivered, so it is dropped; with an explicit
      transport (TCP across processes) unknown peers may live elsewhere
@@ -26,6 +27,7 @@ let create ?transport ?drop_unknown () =
   let t =
     {
       transport;
+      batch;
       drop_unknown;
       peers = Hashtbl.create 8;
       order = [];
@@ -87,6 +89,13 @@ let round t =
   t.rounds <- t.rounds + 1;
   List.iter (fun hook -> hook ()) t.hooks;
   let sent = ref 0 in
+  (* Stage every peer first, coalescing the round's outbox per
+     destination (in first-appearance order): one transport batch per
+     peer instead of one wire unit per message. *)
+  let outbox : (string, (string * Message.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let dsts = ref [] in
   List.iter
     (fun p ->
       if Peer.has_work p then
@@ -96,17 +105,32 @@ let round t =
               t.dropped <- t.dropped + 1
             else begin
               incr sent;
-              (* An unreachable peer must not kill everyone else's
-                 round: the transport is expected to park-and-retry
-                 (Tcp) or retransmit (Reliable); anything that still
-                 escapes is counted and the message abandoned. *)
-              try
-                t.transport.Wdl_net.Transport.send ~src:msg.Message.src
-                  ~dst:msg.Message.dst msg
-              with _ -> t.transport_errors <- t.transport_errors + 1
+              let dst = msg.Message.dst in
+              match Hashtbl.find_opt outbox dst with
+              | Some l -> l := (msg.Message.src, msg) :: !l
+              | None ->
+                Hashtbl.add outbox dst (ref [ (msg.Message.src, msg) ]);
+                dsts := dst :: !dsts
             end)
           (Peer.stage p))
     (peers t);
+  (* An unreachable peer must not kill everyone else's round: the
+     transport is expected to park-and-retry (Tcp) or retransmit
+     (Reliable); anything that still escapes is counted and the batch
+     (or message) abandoned. *)
+  List.iter
+    (fun dst ->
+      let items = List.rev !(Hashtbl.find outbox dst) in
+      if t.batch then (
+        try t.transport.Wdl_net.Transport.send_many ~dst items
+        with _ -> t.transport_errors <- t.transport_errors + 1)
+      else
+        List.iter
+          (fun (src, msg) ->
+            try t.transport.Wdl_net.Transport.send ~src ~dst msg
+            with _ -> t.transport_errors <- t.transport_errors + 1)
+          items)
+    (List.rev !dsts);
   t.transport.Wdl_net.Transport.advance 1.0;
   List.iter
     (fun p ->

@@ -11,12 +11,20 @@
 type t
 
 val create :
-  ?transport:Message.t Wdl_net.Transport.t -> ?drop_unknown:bool -> unit -> t
+  ?transport:Message.t Wdl_net.Transport.t ->
+  ?batch:bool ->
+  ?drop_unknown:bool ->
+  unit ->
+  t
 (** Default transport: {!Wdl_net.Inmem} sized with {!Message.size}.
-    [drop_unknown] controls messages to peers this system doesn't
-    host: dropped when using the default in-process transport (they
-    could never be delivered), sent otherwise (over TCP the peer may
-    live in another process). *)
+    [batch] (default [true]) coalesces each round's outbox per
+    destination into one [send_many] — the delivery schedule is
+    unchanged (everything still lands in the same round; per-stage
+    observability is preserved), only the number of wire units drops.
+    Set [false] for the per-message ablation. [drop_unknown] controls
+    messages to peers this system doesn't host: dropped when using the
+    default in-process transport (they could never be delivered), sent
+    otherwise (over TCP the peer may live in another process). *)
 
 val add_peer :
   t ->

@@ -52,9 +52,11 @@ let take_rules n statements =
 
 let ( let* ) = Result.bind
 
-let decode text =
-  let* program = Parser.program text in
-  match program with
+(* Consume one message (header + its counted statements) off the front
+   of a parsed statement list — the building block shared by {!decode}
+   (exactly one message) and {!unbatch} (a counted run of them). *)
+let decode_one statements =
+  match statements with
   | Program.Fact header :: rest
     when header.Fact.rel = header_rel && header.Fact.peer = header_peer -> (
     match header.Fact.args with
@@ -66,14 +68,62 @@ let decode text =
       in
       let* installs, rest = take_rules ni rest in
       let* retracts, rest = take_rules nr rest in
-      if rest <> [] then Error "trailing statements in frame"
-      else
-        Ok
-          (Message.make ~src ~dst ~stage
-             ~facts:(if nf < 0 then None else Some facts)
-             ~installs ~retracts ())
+      Ok
+        ( Message.make ~src ~dst ~stage
+            ~facts:(if nf < 0 then None else Some facts)
+            ~installs ~retracts (),
+          rest )
     | _ -> Error "malformed wire header")
   | _ -> Error "missing wire header"
+
+let decode text =
+  let* program = Parser.program text in
+  let* m, rest = decode_one program in
+  if rest <> [] then Error "trailing statements in frame" else Ok m
+
+let batch_rel = "batch"
+let batch_version = 1
+
+let batch msgs =
+  match msgs with
+  | [ m ] ->
+    (* A singleton rides as a plain single-message frame, so a new
+       sender stays readable by an old receiver. *)
+    encode m
+  | _ ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (one_line Fact.pp
+         (Fact.make ~rel:batch_rel ~peer:header_peer
+            [ Value.Int batch_version; Value.Int (List.length msgs) ]));
+    Buffer.add_string buf ";\n";
+    List.iter (fun m -> Buffer.add_string buf (encode m)) msgs;
+    Buffer.contents buf
+
+let unbatch text =
+  let* program = Parser.program text in
+  match program with
+  | Program.Fact b :: rest
+    when b.Fact.rel = batch_rel && b.Fact.peer = header_peer -> (
+    match b.Fact.args with
+    | [ Value.Int version; Value.Int n ] ->
+      if version <> batch_version then
+        Error (Printf.sprintf "unsupported batch version %d" version)
+      else
+        let rec go acc n rest =
+          if n = 0 then
+            if rest = [] then Ok (List.rev acc)
+            else Error "trailing statements in batch"
+          else
+            let* m, rest = decode_one rest in
+            go (m :: acc) (n - 1) rest
+        in
+        go [] n rest
+    | _ -> Error "malformed batch header")
+  | _ ->
+    (* Old format: a bare single-message frame. *)
+    let* m, rest = decode_one program in
+    if rest <> [] then Error "trailing statements in frame" else Ok [ m ]
 
 let envelope_rel = "envelope"
 
@@ -122,14 +172,32 @@ let decode_envelope text =
     | _ -> Error "missing envelope header")
 
 let transport (bytes : string Wdl_net.Transport.t) =
+  let batch_size = Wdl_net.Netstats.batch_hist ~transport:"wire" () in
   {
     Wdl_net.Transport.send =
       (fun ~src ~dst msg -> bytes.Wdl_net.Transport.send ~src ~dst (encode msg));
+    send_many =
+      (fun ~dst items ->
+        (* The whole round's worth for one destination becomes ONE
+           frame (a batch envelope); the byte transport sees a single
+           send so connection reuse and one-write delivery apply.  The
+           coalescing happens here, so the batch is counted here — into
+           the byte transport's live stats record. *)
+        match items with
+        | [] -> ()
+        | (src0, _) :: _ ->
+          let s = bytes.Wdl_net.Transport.stats () in
+          s.Wdl_net.Netstats.batches <- s.Wdl_net.Netstats.batches + 1;
+          Wdl_obs.Obs.observe batch_size (float_of_int (List.length items));
+          bytes.Wdl_net.Transport.send ~src:src0 ~dst
+            (batch (List.map snd items)));
     drain =
       (fun name ->
-        List.filter_map
+        (* unbatch accepts both batch frames and old single-message
+           frames, so mixed-version traffic drains uniformly. *)
+        List.concat_map
           (fun frame ->
-            match decode frame with Ok m -> Some m | Error _ -> None)
+            match unbatch frame with Ok ms -> ms | Error _ -> [])
           (bytes.Wdl_net.Transport.drain name));
     pending = bytes.Wdl_net.Transport.pending;
     advance = bytes.Wdl_net.Transport.advance;
@@ -142,6 +210,13 @@ let envelope_transport (bytes : string Wdl_net.Transport.t) =
     Wdl_net.Transport.send =
       (fun ~src ~dst env ->
         bytes.Wdl_net.Transport.send ~src ~dst (encode_envelope env));
+    send_many =
+      (fun ~dst items ->
+        (* Each envelope keeps its own frame (it owns a sequence
+           number), but the run of frames is handed down as one batch —
+           over {!Wdl_net.Tcp} that is one write on one connection. *)
+        bytes.Wdl_net.Transport.send_many ~dst
+          (List.map (fun (src, e) -> (src, encode_envelope e)) items));
     drain =
       (fun name ->
         List.filter_map

@@ -12,9 +12,26 @@
 val encode : Message.t -> string
 val decode : string -> (Message.t, string) result
 
+(** {1 Batch frames}
+
+    Everything queued for one destination in a round can ride as one
+    frame: a [batch@wire(version, count)] fact followed by [count]
+    ordinary message sections. The version tag keeps the format
+    evolvable; a singleton batch is emitted as a plain single-message
+    frame, and {!unbatch} accepts both shapes — so old and new
+    processes interoperate in either direction. *)
+
+val batch : Message.t list -> string
+
+val unbatch : string -> (Message.t list, string) result
+(** Inverse of {!batch}; a bare single-message frame (the pre-batching
+    format) decodes as a singleton list. *)
+
 val transport : string Wdl_net.Transport.t -> Message.t Wdl_net.Transport.t
 (** Frames that fail to decode are dropped (counted nowhere: a
-    malformed frame from the outside world must not kill the peer). *)
+    malformed frame from the outside world must not kill the peer).
+    [send_many] coalesces the batch into one {!batch} frame — one byte
+    send, one wire unit. *)
 
 (** {1 Reliable-session envelopes}
 

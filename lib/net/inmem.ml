@@ -14,6 +14,12 @@ let create ?(sizer = fun _ -> 0) () =
     stats.Netstats.bytes <- stats.Netstats.bytes + sizer msg;
     Queue.push msg (inbox dst)
   in
+  let batch_size = Netstats.batch_hist ~transport:"inmem" () in
+  let send_many ~dst items =
+    stats.Netstats.batches <- stats.Netstats.batches + 1;
+    Wdl_obs.Obs.observe batch_size (float_of_int (List.length items));
+    List.iter (fun (src, msg) -> send ~src ~dst msg) items
+  in
   let drain dst =
     let q = inbox dst in
     let msgs = List.of_seq (Queue.to_seq q) in
@@ -28,6 +34,7 @@ let create ?(sizer = fun _ -> 0) () =
   Netstats.register_pending ~transport:"inmem" pending;
   {
     Transport.send;
+    send_many;
     drain;
     pending;
     advance = (fun _ -> ());

@@ -6,6 +6,7 @@ type t = {
   mutable dup_dropped : int;
   mutable send_failures : int;
   mutable acked : int;
+  mutable batches : int;
 }
 
 let create () =
@@ -17,6 +18,7 @@ let create () =
     dup_dropped = 0;
     send_failures = 0;
     acked = 0;
+    batches = 0;
   }
 
 let reset t =
@@ -26,7 +28,8 @@ let reset t =
   t.retransmits <- 0;
   t.dup_dropped <- 0;
   t.send_failures <- 0;
-  t.acked <- 0
+  t.acked <- 0;
+  t.batches <- 0
 
 (* Re-export every field through the metrics registry as callback
    counters: sampled at scrape time, zero cost on the send/drain path.
@@ -53,7 +56,19 @@ let register ?registry ~transport t =
   field "wdl_net_send_failures_total"
     "Sends that failed at the transport" (fun () -> t.send_failures);
   field "wdl_net_acked_total"
-    "Messages confirmed delivered by a cumulative ack" (fun () -> t.acked)
+    "Messages confirmed delivered by a cumulative ack" (fun () -> t.acked);
+  field "wdl_net_batches_total"
+    "Coalesced per-destination batches handed to the transport" (fun () ->
+      t.batches)
+
+(* Messages per coalesced per-destination flush; one observation per
+   send_many call. *)
+let batch_hist ?registry ~transport () =
+  Wdl_obs.Obs.histogram ?registry
+    ~labels:[ ("transport", transport) ]
+    ~help:"Messages per coalesced per-destination batch"
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+    "wdl_net_batch_size"
 
 let register_pending ?registry ~transport read =
   Wdl_obs.Obs.on_collect ?registry

@@ -13,6 +13,9 @@ type t = {
           links given up on) — the message may still be retried *)
   mutable acked : int;
       (** messages confirmed delivered by a cumulative ack *)
+  mutable batches : int;
+      (** coalesced per-destination batches handed to the transport
+          (one [send_many] call = one batch) *)
 }
 
 val create : unit -> t
@@ -28,6 +31,14 @@ val register_pending :
   ?registry:Wdl_obs.Obs.t -> transport:string -> (unit -> int) -> unit
 (** Export a queue-depth reader as the gauge
     [wdl_net_pending{transport=...}]. *)
+
+val batch_hist :
+  ?registry:Wdl_obs.Obs.t ->
+  transport:string ->
+  unit ->
+  Wdl_obs.Obs.histogram
+(** The [wdl_net_batch_size{transport=...}] histogram: messages per
+    coalesced per-destination batch, one observation per [send_many]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints the base counters; the reliability counters are appended

@@ -125,7 +125,9 @@ let wrap ?(config = default_config) ?(seed = 11)
   let jittered rto =
     rto *. (1.0 +. (config.rto_jitter *. (Random.State.float rng 2.0 -. 1.0)))
   in
-  let send ~src ~dst payload =
+  (* Stamp one payload: allocate its sequence number and record it in
+     the retransmission window. *)
+  let stamp ~src ~dst payload =
     let ls = link_send src dst in
     ls.next_seq <- ls.next_seq + 1;
     let o =
@@ -140,8 +142,30 @@ let wrap ?(config = default_config) ?(seed = 11)
     in
     ls.window <- ls.window @ [ o ];
     stats.Netstats.sent <- stats.Netstats.sent + 1;
+    o
+  in
+  let send ~src ~dst payload =
+    let o = stamp ~src ~dst payload in
     inner.Transport.send ~src ~dst
       (data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst) payload)
+  in
+  let batch_size = Netstats.batch_hist ~transport:"reliable" () in
+  let send_many ~dst items =
+    if items <> [] then begin
+      stats.Netstats.batches <- stats.Netstats.batches + 1;
+      Wdl_obs.Obs.observe batch_size (float_of_int (List.length items));
+      (* Every payload keeps its own sequence number (per-link windows
+         are untouched by batching), but the stamped envelopes travel
+         as one coalesced inner batch — and the receiver's single
+         cumulative ack covers all of them. *)
+      inner.Transport.send_many ~dst
+        (List.map
+           (fun (src, payload) ->
+             let o = stamp ~src ~dst payload in
+             (src, data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst)
+                     payload))
+           items)
+    end
   in
   let drain me =
     let ready = ref [] in
@@ -219,19 +243,32 @@ let wrap ?(config = default_config) ?(seed = 11)
             ctl.c_dead <- (src, dst) :: ctl.c_dead;
             ctl.c_on_dead ~src ~dst
           end
-          else
-            List.iter
-              (fun o ->
-                if o.o_next <= !clock then begin
+          else begin
+            let due = List.filter (fun o -> o.o_next <= !clock) ls.window in
+            if due <> [] then begin
+              List.iter
+                (fun o ->
                   o.o_attempts <- o.o_attempts + 1;
-                  o.o_rto <- Float.min config.max_rto (o.o_rto *. config.backoff);
+                  o.o_rto <-
+                    Float.min config.max_rto (o.o_rto *. config.backoff);
                   o.o_next <- !clock +. jittered o.o_rto;
-                  stats.Netstats.retransmits <- stats.Netstats.retransmits + 1;
-                  inner.Transport.send ~src ~dst
-                    (data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst)
-                       o.o_payload)
-                end)
-              ls.window)
+                  stats.Netstats.retransmits <- stats.Netstats.retransmits + 1)
+                due;
+              (* One coalesced re-send per link instead of one wire
+                 unit per overdue message: retransmission amplification
+                 drops to a single batch the receiver acks once. *)
+              let ack = ack_for ~me:src ~peer:dst in
+              match due with
+              | [ o ] ->
+                inner.Transport.send ~src ~dst
+                  (data ~src ~seq:o.o_seq ~ack o.o_payload)
+              | _ ->
+                inner.Transport.send_many ~dst
+                  (List.map
+                     (fun o -> (src, data ~src ~seq:o.o_seq ~ack o.o_payload))
+                     due)
+            end
+          end)
       ctl.c_sends
   in
   let advance dt =
@@ -243,6 +280,7 @@ let wrap ?(config = default_config) ?(seed = 11)
   Netstats.register_pending ~transport:"reliable" pending;
   ( {
       Transport.send;
+      send_many;
       drain;
       pending;
       advance;

@@ -114,6 +114,59 @@ let create_with_control ?(sizer = fun _ -> 0) ?(seed = 42) ?(base_latency = 1.0)
     if duplicate > 0. && Random.State.float rng 1.0 < duplicate then
       offer ~src ~dst msg
   in
+  (* A coalesced (src, dst) group is one wire unit: a single loss,
+     duplicate, and latency draw covers the whole group, so it either
+     arrives intact (in order, together) or not at all — exactly what
+     one batched envelope on a real link does. *)
+  let send_group ~src ~dst msgs =
+    let n = List.length msgs in
+    stats.Netstats.sent <- stats.Netstats.sent + n;
+    List.iter
+      (fun m -> stats.Netstats.bytes <- stats.Netstats.bytes + sizer m)
+      msgs;
+    let offer_group () =
+      if List.mem dst ctl.crashed || List.mem src ctl.crashed then
+        ctl.lost <- ctl.lost + n
+      else if loss > 0. && Random.State.float rng 1.0 < loss then
+        ctl.lost <- ctl.lost + n
+      else begin
+        let deliver_at =
+          if List.mem (norm src dst) ctl.down then Float.infinity
+          else !clock +. link_latency ~src ~dst
+        in
+        List.iter
+          (fun msg ->
+            incr seq;
+            let env = { seq = !seq; src; deliver_at; payload = msg } in
+            let l = inbox dst in
+            l := env :: !l)
+          msgs
+      end
+    in
+    offer_group ();
+    if duplicate > 0. && Random.State.float rng 1.0 < duplicate then
+      offer_group ()
+  in
+  let batch_size = Netstats.batch_hist ~transport:"simnet" () in
+  let send_many ~dst items =
+    stats.Netstats.batches <- stats.Netstats.batches + 1;
+    Wdl_obs.Obs.observe batch_size (float_of_int (List.length items));
+    (* Consecutive same-source runs share an envelope; distinct sources
+       stay distinct wire units even inside one round's flush. *)
+    let flush src msgs = if msgs <> [] then send_group ~src ~dst (List.rev msgs) in
+    let last_src, run =
+      List.fold_left
+        (fun (cur, run) (src, msg) ->
+          match cur with
+          | Some s when s = src -> (cur, msg :: run)
+          | Some s ->
+            flush s run;
+            (Some src, [ msg ])
+          | None -> (Some src, [ msg ]))
+        (None, []) items
+    in
+    match last_src with None -> () | Some s -> flush s run
+  in
   let drain dst =
     if List.mem dst ctl.crashed then []
     else begin
@@ -139,6 +192,7 @@ let create_with_control ?(sizer = fun _ -> 0) ?(seed = 42) ?(base_latency = 1.0)
   Netstats.register_pending ~transport:"simnet" pending;
   ( {
       Transport.send;
+      send_many;
       drain;
       pending;
       advance = (fun dt -> clock := !clock +. dt);

@@ -4,21 +4,29 @@
 
     One {!create} per process: it listens on a local port and serves
     every peer hosted by the process. Remote peers are located through
-    {!register}. A frame is sent over a fresh connection (sender
-    closes after writing), so delivery per link is ordered and
-    [drain] never blocks: it accepts whatever connections are already
-    pending.
+    {!register}. A connection to each registered endpoint is opened
+    once and reused for every subsequent frame ([reuse], the default) —
+    no connect-per-send, no shutdown-per-frame — and a [send_many]
+    batch rides the wire as one write. [drain] never blocks: it
+    accepts pending connections and reads whatever bytes each open
+    connection has ready into per-connection buffers, so a stalled
+    writer delays only its own frames (no head-of-line blocking).
 
     Failure handling: a connect or write that fails (ECONNREFUSED,
     EHOSTUNREACH, timeout) never escapes as an exception — the send is
-    counted in [Netstats.send_failures] and parked for retry with
-    exponential backoff, re-attempted on every [drain]/[pending] until
-    it succeeds (counted as a retransmit) or [max_retries] is
-    exhausted. Connects are bounded by [connect_timeout]; reads of an
-    accepted connection are bounded by [read_timeout], after which the
-    partial frame is dropped. At-least/at-most-once gaps left by this
-    best-effort discipline are what {!Reliable} (over
-    {!Webdamlog.Wire.envelope_transport}) closes.
+    counted in [Netstats.send_failures] and parked in a
+    deadline-ordered heap for retry with exponential backoff,
+    re-attempted on every [drain]/[pending] until it succeeds (counted
+    as a retransmit) or [max_retries] is exhausted, at which point it
+    is dropped and counted in {!dead_letters}. A destination that is
+    neither registered nor known to live in this process (it has never
+    drained here) parks the same way rather than silently accumulating
+    in a queue nobody reads. Connects are bounded by
+    [connect_timeout]; a sender silent mid-frame for longer than
+    [read_timeout] loses the partial frame and its connection.
+    At-least/at-most-once gaps left by this best-effort discipline are
+    what {!Reliable} (over {!Webdamlog.Wire.envelope_transport})
+    closes.
 
     The payload is an opaque string — the engine's message codec is
     {!Webdamlog.Wire}. *)
@@ -30,6 +38,7 @@ type control
 val create :
   ?sizer:(string -> int) ->
   ?port:int ->
+  ?reuse:bool ->
   ?connect_timeout:float ->
   ?read_timeout:float ->
   ?retry_delay:float ->
@@ -37,16 +46,30 @@ val create :
   unit ->
   string Transport.t * control
 (** Listens on [127.0.0.1:port] (default [0]: ephemeral). Defaults:
-    [connect_timeout = 5.0] s, [read_timeout = 5.0] s,
-    [retry_delay = 0.05] s (doubling per attempt, capped),
-    [max_retries = 24]. *)
+    [reuse = true] (set [false] for the historical connect-per-frame
+    behaviour — the benchmark ablation), [connect_timeout = 5.0] s,
+    [read_timeout = 5.0] s, [retry_delay = 0.05] s (doubling per
+    attempt, capped), [max_retries = 24]. *)
 
 val port : control -> int
+
 val register : control -> peer:string -> endpoint -> unit
 (** Where to connect for [peer]. A peer served by this same process
-    needs no registration: frames to it short-circuit locally. *)
+    needs no registration: frames to it short-circuit locally once it
+    has drained (before its first drain they sit parked, flushed the
+    moment it does). *)
 
 val parked_sends : control -> int
-(** Failed sends currently awaiting a backoff retry. *)
+(** Sends currently awaiting a backoff retry. *)
+
+val dead_letters : control -> int
+(** Parked sends dropped after [max_retries] — misrouted or
+    permanently unreachable destinations. *)
+
+val conns_opened : control -> int
+(** Outbound connections opened since [create]. *)
+
+val conns_reused : control -> int
+(** Sends that rode an already-open connection. *)
 
 val close : control -> unit

@@ -1,5 +1,6 @@
 type 'a t = {
   send : src:string -> dst:string -> 'a -> unit;
+  send_many : dst:string -> (string * 'a) list -> unit;
   drain : string -> 'a list;
   pending : unit -> int;
   advance : float -> unit;
@@ -8,4 +9,10 @@ type 'a t = {
 }
 
 let send t = t.send
+let send_many t = t.send_many
 let drain t = t.drain
+
+(* Fallback for transports without native batching: one plain send per
+   message, in order. *)
+let send_many_via send ~dst items =
+  List.iter (fun (src, payload) -> send ~src ~dst payload) items

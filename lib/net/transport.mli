@@ -11,6 +11,13 @@
 
 type 'a t = {
   send : src:string -> dst:string -> 'a -> unit;
+  send_many : dst:string -> (string * 'a) list -> unit;
+      (** Deliver every [(src, payload)] of one round destined to one
+          peer as a single wire unit (one envelope / one connection
+          write), preserving list order. Semantically equivalent to
+          [send]-ing each element; transports exploit the coalescing
+          for throughput ({!Tcp} persistent connections, one {!Simnet}
+          latency draw, batched {!Reliable} retransmits). *)
   drain : string -> 'a list;
       (** Messages currently deliverable to a peer, oldest first;
           removes them from the transport. *)
@@ -23,4 +30,14 @@ type 'a t = {
 }
 
 val send : 'a t -> src:string -> dst:string -> 'a -> unit
+val send_many : 'a t -> dst:string -> (string * 'a) list -> unit
 val drain : 'a t -> string -> 'a list
+
+val send_many_via :
+  (src:string -> dst:string -> 'a -> unit) ->
+  dst:string ->
+  (string * 'a) list ->
+  unit
+(** [send_many_via send] is the trivial batching implementation: one
+    plain [send] per element, in order — for wrappers that add no
+    batching of their own. *)

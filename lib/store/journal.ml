@@ -62,8 +62,13 @@ let parse_line line =
       | Error e -> Error e)
     | _, _ -> Error ("unknown journal tag: " ^ String.make 1 line.[0])
 
-let replay file =
-  if not (Sys.file_exists file) then Ok []
+(* Reads a journal, tolerating the crash artifact at its tail: a torn
+   final line, possibly followed by nothing but blank lines (a crash
+   mid-append can leave both). Returns the entries plus — when a torn
+   tail was tolerated — the byte offset where the last complete entry
+   ends, so {!repair} can cut the file there. *)
+let replay_status file =
+  if not (Sys.file_exists file) then Ok ([], None)
   else begin
     let replay_hist =
       Wdl_obs.Obs.histogram ~help:"Wall time of one journal replay"
@@ -80,27 +85,46 @@ let replay file =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        let rec go acc lineno =
+        let rec go acc lineno good_end =
           match input_line ic with
-          | exception End_of_file -> Ok (List.rev acc)
-          | "" -> go acc (lineno + 1)
+          | exception End_of_file -> Ok (List.rev acc, None)
+          | "" -> go acc (lineno + 1) (pos_in ic)
           | line -> (
             match parse_line line with
             | Ok entry ->
               Wdl_obs.Obs.inc replayed;
-              go (entry :: acc) (lineno + 1)
+              go (entry :: acc) (lineno + 1) (pos_in ic)
             | Error msg ->
-              (* A torn final line is the normal crash artifact. *)
-              let at_eof =
+              (* A torn final line is the normal crash artifact — and
+                 only blank lines may follow it; a parse failure with
+                 real entries after it is corruption. *)
+              let rec only_blanks () =
                 match input_line ic with
                 | exception End_of_file -> true
-                | _ -> false
+                | l -> String.trim l = "" && only_blanks ()
               in
-              if at_eof then Ok (List.rev acc)
+              if only_blanks () then Ok (List.rev acc, Some good_end)
               else Error (Printf.sprintf "journal line %d: %s" lineno msg))
         in
-        go [] 1)
+        go [] 1 0)
   end
+
+let replay file = Result.map fst (replay_status file)
+
+let repair file =
+  match replay_status file with
+  | Error _ as e -> e
+  | Ok (entries, torn) -> (
+    match torn with
+    | None -> Ok entries
+    | Some good_end -> (
+      (* Cut the torn tail off so the next append starts on a fresh
+         line; appending onto the partial line would corrupt both the
+         old and the new entry. *)
+      match Unix.truncate file good_end with
+      | () -> Ok entries
+      | exception Unix.Unix_error (e, _, _) ->
+        Error ("journal repair: cannot truncate: " ^ Unix.error_message e)))
 
 let replay_iter file ~f =
   match replay file with

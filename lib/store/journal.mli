@@ -37,7 +37,16 @@ val truncate : t -> unit
 
 val replay : string -> (entry list, string) result
 (** Reads a journal file; a missing file is an empty journal. A torn
-    last line is ignored; malformed earlier lines are errors. *)
+    last line is ignored, even when trailing blank lines follow it (a
+    crash mid-append can leave both); malformed lines with real
+    entries after them are errors. *)
+
+val repair : string -> (entry list, string) result
+(** {!replay}, and when a torn tail was tolerated the file is
+    truncated back to the end of the last complete entry — so a later
+    append starts a fresh line instead of concatenating onto the torn
+    one, which would lose both entries at the next replay. Recovery
+    ({!Webdamlog.Persist.recover}) uses this before re-attaching. *)
 
 val replay_iter : string -> f:(entry -> unit) -> (int, string) result
 (** Replay hook: reads the journal and feeds each entry to [f] in

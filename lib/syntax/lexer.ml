@@ -224,8 +224,10 @@ let next_token st =
   in
   (tok, p)
 
+let init src = { src; off = 0; line = 1; col = 1 }
+
 let tokenize src =
-  let st = { src; off = 0; line = 1; col = 1 } in
+  let st = init src in
   let rec go acc =
     let ((tok, _) as t) = next_token st in
     match tok with EOF -> List.rev (t :: acc) | _ -> go (t :: acc)

@@ -24,8 +24,21 @@ type pos = { line : int; col : int }
 
 exception Error of string * pos
 
+type state
+(** Incremental lexing state over one source string. *)
+
+val init : string -> state
+
+val next_token : state -> token * pos
+(** Raises {!Error} on malformed input; returns [EOF] (repeatedly) at
+    the end of input. The parser pulls tokens on demand instead of
+    materialising a list: on large inputs (batch frames, journals) a
+    full token list outlives minor GC cycles and the whole of it gets
+    promoted, which made parsing superlinear in input size. *)
+
 val tokenize : string -> (token * pos) list
 (** Raises {!Error} on malformed input; the resulting list always ends
-    with [EOF]. *)
+    with [EOF]. Convenience for tests — parsing goes through
+    {!next_token}. *)
 
 val pp_token : Format.formatter -> token -> unit

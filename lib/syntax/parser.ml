@@ -1,28 +1,37 @@
 exception Error of string * Lexer.pos
 
+(* Tokens are pulled from the lexer on demand (one token of lookahead,
+   materialised lazily for [peek2]) — building the whole token list up
+   front made parsing superlinear on large inputs: the list survives
+   minor collections mid-lex and every cell gets promoted. *)
 type state = {
-  mutable toks : (Lexer.token * Lexer.pos) list;
+  lex : Lexer.state;
+  mutable cur : Lexer.token * Lexer.pos;
+  mutable ahead : (Lexer.token * Lexer.pos) option;
 }
 
-let peek st =
-  match st.toks with
-  | (tok, _) :: _ -> tok
-  | [] -> Lexer.EOF
+let peek st = fst st.cur
 
 let peek2 st =
-  match st.toks with
-  | _ :: (tok, _) :: _ -> tok
-  | _ :: [] | [] -> Lexer.EOF
+  match st.ahead with
+  | Some (tok, _) -> tok
+  | None ->
+    if fst st.cur = Lexer.EOF then Lexer.EOF
+    else begin
+      let t = Lexer.next_token st.lex in
+      st.ahead <- Some t;
+      fst t
+    end
 
-let cur_pos st =
-  match st.toks with
-  | (_, p) :: _ -> p
-  | [] -> { Lexer.line = 0; col = 0 }
+let cur_pos st = snd st.cur
 
 let advance st =
-  match st.toks with
-  | _ :: rest -> st.toks <- rest
-  | [] -> ()
+  match st.ahead with
+  | Some t ->
+    st.cur <- t;
+    st.ahead <- None
+  | None ->
+    if fst st.cur <> Lexer.EOF then st.cur <- Lexer.next_token st.lex
 
 let fail st msg = raise (Error (msg, cur_pos st))
 
@@ -293,16 +302,18 @@ let program_toks st =
   go []
 
 let with_state src f =
-  let toks =
-    try Lexer.tokenize src with Lexer.Error (msg, p) -> raise (Error (msg, p))
-  in
-  let st = { toks } in
-  let x = f st in
-  (match peek st with
-  | Lexer.EOF -> ()
-  | tok ->
-    fail st (Format.asprintf "trailing input starting at %a" Lexer.pp_token tok));
-  x
+  (* Lexer errors can now surface at any pull, not just up front. *)
+  try
+    let lex = Lexer.init src in
+    let st = { lex; cur = Lexer.next_token lex; ahead = None } in
+    let x = f st in
+    (match peek st with
+    | Lexer.EOF -> ()
+    | tok ->
+      fail st
+        (Format.asprintf "trailing input starting at %a" Lexer.pp_token tok));
+    x
+  with Lexer.Error (msg, p) -> raise (Error (msg, p))
 
 let parse_program src = with_state src program_toks
 

@@ -187,6 +187,8 @@ deterministic (histograms print observation counts, not durations):
   wdl_eval_stage_fastpath_total{peer="Emilien"} 0
   wdl_eval_stage_fastpath_total{peer="Jules"} 0
   wdl_net_acked_total{transport="inmem"} 0
+  wdl_net_batch_size{transport="inmem"} count=2
+  wdl_net_batches_total{transport="inmem"} 2
   wdl_net_bytes_total{transport="inmem"} 196
   wdl_net_delivered_total{transport="inmem"} 2
   wdl_net_dup_dropped_total{transport="inmem"} 0
@@ -254,4 +256,29 @@ the smoke also writes the perf-trajectory file, whose shape is checked
   $ grep -o '"bench": "eval"' BENCH_eval.json
   "bench": "eval"
   $ grep -o '"speedup"' BENCH_eval.json | sort -u
+  "speedup"
+
+Batched-transport equivalence smoke: a batching system and the
+per-message ablation must expose identical peer states after every
+round, on every transport — batching may change wire units only, never
+the delivery schedule. Also emits the net bench's JSON (reduced sizes).
+
+  $ wdl-bench net-smoke
+  NET-SMOKE batched-transport equivalence (deterministic)
+  inmem: every per-round state identical         ok
+  inmem: batched run coalesced, ablation did not ok
+  simnet: every per-round state identical        ok
+  simnet: batched run coalesced, ablation did not ok
+  tcp+wire: every per-round state identical      ok
+  tcp+wire: batched run coalesced, ablation did not ok
+  NET-SMOKE passed
+  
+  done.
+  $ grep -c '"name"' BENCH_net.json
+  6
+  $ grep -o '"bench": "net"' BENCH_net.json
+  "bench": "net"
+  $ grep -o '"per_message_ms"' BENCH_net.json | sort -u
+  "per_message_ms"
+  $ grep -o '"speedup"' BENCH_net.json | sort -u
   "speedup"

@@ -74,6 +74,39 @@ let suite =
         close_out oc;
         let replayed = ok' (Journal.replay file) in
         check_int "only the complete entry" 1 (List.length replayed));
+    tc "journal: torn line followed by trailing blank lines is tolerated"
+      (fun () ->
+        (* A crash can tear the line AND leave a stray newline behind;
+           this used to return a spurious fatal Error. *)
+        let dir = temp_dir () in
+        let file = Filename.concat dir "torn_blank.wal" in
+        let oc = open_out_bin file in
+        output_string oc "+ m@p(1);\n+ m@p(2\n\n";
+        close_out oc;
+        let replayed = ok' (Journal.replay file) in
+        check_int "only the complete entry" 1 (List.length replayed));
+    tc "journal: repair cuts the torn tail so later appends replay cleanly"
+      (fun () ->
+        let dir = temp_dir () in
+        let p = Peer.create "p" in
+        Persist.attach p ~dir;
+        ok' (Peer.load_string p "ext m@p(x); m@p(1);");
+        (* Crash mid-append: a partial line with no ';' and no newline.
+           Without repair, recovery reopened with Open_append and the
+           next entry was concatenated onto this line — losing both. *)
+        let file = Filename.concat dir "journal.wal" in
+        let oc = open_out_gen [ Open_append ] 0o644 file in
+        output_string oc "+ m@p(2";
+        close_out oc;
+        let p' = ok' (Persist.recover ~dir ~fallback_name:"p" ()) in
+        check_int "torn entry lost, complete one kept" 1
+          (List.length (Peer.query p' "m"));
+        ok' (Peer.insert p' (fact 3));
+        let p'' = ok' (Persist.recover ~dir ~fallback_name:"p" ()) in
+        check_int "clean replay sees old and new" 2
+          (List.length (Peer.query p'' "m"));
+        check_bool "post-recovery append survived"
+          (List.exists (Fact.equal (fact 3)) (Peer.query p'' "m")));
     tc "journal: corruption in the middle is an error" (fun () ->
         let dir = temp_dir () in
         let file = Filename.concat dir "bad.wal" in

@@ -132,6 +132,76 @@ let suite =
         check_int "parked for retry" 1 (Tcp.parked_sends c);
         check_bool "pending includes parked" (t.Transport.pending () >= 1);
         Tcp.close c);
+    tc "send_many: batches deliver in order and are counted (all transports)"
+      (fun () ->
+        let check_transport label (t : int Transport.t) advance =
+          t.Transport.send_many ~dst:"b" [ ("a", 1); ("c", 2); ("a", 3) ];
+          t.Transport.send_many ~dst:"b" [];
+          advance t;
+          Alcotest.check
+            (Alcotest.list Alcotest.int)
+            (label ^ ": in order") [ 1; 2; 3 ] (t.Transport.drain "b");
+          check_int (label ^ ": batches counted") 2
+            (t.Transport.stats ()).Netstats.batches;
+          check_int (label ^ ": messages counted") 3
+            (t.Transport.stats ()).Netstats.sent
+        in
+        check_transport "inmem" (Inmem.create ()) (fun _ -> ());
+        check_transport "simnet"
+          (Simnet.create ~jitter:0. ())
+          (fun t -> t.Transport.advance 1.0));
+    tc "unregistered destination: inmem/simnet keep it drainable, not lost"
+      (fun () ->
+        (* In-process transports have no registry: a name nobody drained
+           yet still accumulates and delivers on its first drain. *)
+        let ti : int Transport.t = Inmem.create () in
+        ti.Transport.send ~src:"a" ~dst:"nobody" 1;
+        check_int "inmem pending" 1 (ti.Transport.pending ());
+        check_int "inmem delivers" 1 (List.length (ti.Transport.drain "nobody"));
+        let ts : int Transport.t = Simnet.create ~jitter:0. () in
+        ts.Transport.send ~src:"a" ~dst:"nobody" 1;
+        ts.Transport.advance 1.0;
+        check_int "simnet delivers" 1 (List.length (ts.Transport.drain "nobody")));
+    tc "tcp: unregistered remote destination dead-letters, no silent queue"
+      (fun () ->
+        (* Misconfigured peer name: neither registered nor ever drained
+           here. It must not sit in a local queue forever inflating
+           [pending] — it parks, retries, and becomes a dead letter. *)
+        let t, c = Tcp.create ~retry_delay:0.005 ~max_retries:2 () in
+        t.Transport.send ~src:"a" ~dst:"no such peer" "hello?";
+        check_int "parked, not silently queued" 1 (Tcp.parked_sends c);
+        check_bool "pending visible" (t.Transport.pending () >= 1);
+        (* Let the backoff deadlines pass, pumping via [pending]. *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while Tcp.parked_sends c > 0 && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.01;
+          ignore (t.Transport.pending ())
+        done;
+        check_int "gave up" 0 (Tcp.parked_sends c);
+        check_int "dead letter counted" 1 (Tcp.dead_letters c);
+        check_bool "failure surfaced"
+          ((t.Transport.stats ()).Netstats.send_failures >= 1);
+        check_int "nothing left pending" 0 (t.Transport.pending ());
+        Tcp.close c);
+    tc "tcp: parking a few thousand sends stays fast (heap, not list)"
+      (fun () ->
+        let t, c = Tcp.create () in
+        let n = 3000 in
+        let t0 = Unix.gettimeofday () in
+        for i = 1 to n do
+          t.Transport.send ~src:"a" ~dst:"late" (string_of_int i)
+        done;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        check_int "all parked" n (Tcp.parked_sends c);
+        check_bool "no quadratic blowup" (elapsed < 2.0);
+        (* The destination turns out to live here: its first drain
+           flushes the whole backlog, in send order. *)
+        let got = t.Transport.drain "late" in
+        check_int "all flushed" n (List.length got);
+        check_bool "in order"
+          (got = List.init n (fun i -> string_of_int (i + 1)));
+        check_int "heap empty" 0 (Tcp.parked_sends c);
+        Tcp.close c);
     tc "tcp: read_all is bounded; a stalled writer only loses its frame"
       (fun () ->
         let t, c = Tcp.create ~read_timeout:0.15 () in

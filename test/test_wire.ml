@@ -57,6 +57,59 @@ let suite =
         let lines = String.split_on_char '\n' (Wire.encode m) in
         (* header + 1 rule + trailing empty *)
         check_int "lines" 3 (List.length lines));
+    tc "batch: empty and singleton shapes" (fun () ->
+        check_bool "empty round-trips" (Wire.unbatch (Wire.batch []) = Ok []);
+        let m =
+          Message.make ~src:"a" ~dst:"b" ~stage:1
+            ~facts:(Some [ sample_fact ]) ()
+        in
+        check_bool "singleton is the old single-message format"
+          (Wire.batch [ m ] = Wire.encode m);
+        match Wire.unbatch (Wire.batch [ m ]) with
+        | Ok [ m' ] -> check_bool "singleton round-trips" (msg_equal m m')
+        | _ -> Alcotest.fail "expected a singleton");
+    tc "batch: old-format frames still decode (interop)" (fun () ->
+        let m =
+          Message.make ~src:"Jules" ~dst:"Émilien" ~stage:3
+            ~facts:(Some [ sample_fact ]) ~installs:[ sample_rule ] ()
+        in
+        (* A pre-batching sender emits a bare message frame. *)
+        match Wire.unbatch (Wire.encode m) with
+        | Ok [ m' ] -> check_bool "decodes as a singleton batch" (msg_equal m m')
+        | Ok _ -> Alcotest.fail "wrong arity"
+        | Error e -> Alcotest.fail e);
+    tc "batch: multi-message frame keeps order and content" (fun () ->
+        let mk i =
+          Message.make ~src:"a" ~dst:"b" ~stage:i
+            ~facts:(Some [ sample_fact ]) ()
+        in
+        let msgs = [ mk 1; mk 2; mk 3 ] in
+        (match Wire.unbatch (Wire.batch msgs) with
+        | Ok got -> check_bool "equal" (List.equal msg_equal msgs got)
+        | Error e -> Alcotest.fail e);
+        check_bool "garbage rejected" (Result.is_error (Wire.unbatch "nope"));
+        check_bool "future version rejected"
+          (Result.is_error (Wire.unbatch "batch@wire(99, 0);")));
+    tc "tcp: send_many rides one connection, in order, and reuses it"
+      (fun () ->
+        let ta, ca = Wdl_net.Tcp.create () in
+        let tb, cb = Wdl_net.Tcp.create () in
+        Wdl_net.Tcp.register ca ~peer:"bob"
+          { Wdl_net.Tcp.host = "127.0.0.1"; port = Wdl_net.Tcp.port cb };
+        ta.Wdl_net.Transport.send_many ~dst:"bob"
+          [ ("a", "x"); ("c", "y"); ("a", "z") ];
+        Alcotest.check (Alcotest.list Alcotest.string) "in order"
+          [ "x"; "y"; "z" ]
+          (tb.Wdl_net.Transport.drain "bob");
+        check_int "one connection opened" 1 (Wdl_net.Tcp.conns_opened ca);
+        ta.Wdl_net.Transport.send ~src:"a" ~dst:"bob" "w";
+        Alcotest.check (Alcotest.list Alcotest.string) "later send arrives"
+          [ "w" ]
+          (tb.Wdl_net.Transport.drain "bob");
+        check_int "still one connection" 1 (Wdl_net.Tcp.conns_opened ca);
+        check_bool "reuse counted" (Wdl_net.Tcp.conns_reused ca >= 1);
+        Wdl_net.Tcp.close ca;
+        Wdl_net.Tcp.close cb);
     tc "tcp: frame crosses a loopback socket" (fun () ->
         let ta, ca = Wdl_net.Tcp.create () in
         let _tb, cb = Wdl_net.Tcp.create () in
@@ -118,3 +171,43 @@ let suite =
           (List.length (Peer.delegated_rules emilien));
         check_int "facts flowed back" 2 (List.length (Peer.query jules "view")));
   ]
+
+(* {1 Batch codec property} *)
+
+let msg_gen =
+  QCheck.Gen.(
+    let name = oneofl [ "a"; "b"; "Jules"; "Émilien"; "peer with spaces" ] in
+    let value =
+      oneof
+        [
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun s -> Value.String s) (oneofl [ "x"; {|é "quoted|}; "" ]);
+          map (fun b -> Value.Bool b) bool;
+        ]
+    in
+    let fact =
+      let* rel = oneofl [ "pictures"; "album"; "m" ] in
+      let* peer = name in
+      let* args = list_size (int_bound 3) value in
+      return (Fact.make ~rel ~peer args)
+    in
+    let* src = name in
+    let* dst = name in
+    let* stage = int_bound 100 in
+    let* facts = option (list_size (int_bound 4) fact) in
+    let* installs = list_size (int_bound 2) (return sample_rule) in
+    let* retracts = list_size (int_bound 1) (return sample_rule) in
+    return (Message.make ~src ~dst ~stage ~facts ~installs ~retracts ()))
+
+let batch_prop =
+  QCheck.Test.make ~count:200
+    ~name:"batch/unbatch round-trips every message list (incl. [] and [m])"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 6) msg_gen))
+    (fun msgs ->
+      match Wire.unbatch (Wire.batch msgs) with
+      | Error e -> QCheck.Test.fail_reportf "unbatch failed: %s" e
+      | Ok got ->
+        if List.equal msg_equal msgs got then true
+        else QCheck.Test.fail_report "decoded batch differs")
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest batch_prop ]
