@@ -13,6 +13,8 @@ module Rule = Wdl_syntax.Rule
 module Wparser = Wdl_syntax.Parser
 module Safety = Wdl_syntax.Safety
 module Program = Wdl_syntax.Program
+module Analysis = Wdl_analysis.Analysis
+module Diagnostic = Wdl_analysis.Diagnostic
 
 let read_file path =
   let ic = open_in_bin path in
@@ -45,16 +47,65 @@ let dump_peer peer =
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let run file =
-    let program = or_die (Wparser.program (read_file file)) in
-    (match Safety.check_program program with
-    | Ok () -> ()
-    | Error errs ->
-      Format.eprintf "unsafe program: %s@." (Safety.errors_to_string errs);
-      exit 1);
-    Format.printf "%a@." Program.pp program
+    match Wparser.program_located ~file (read_file file) with
+    | Error err ->
+      Format.eprintf "%s@."
+        (Diagnostic.render_text [ Analysis.of_parse_error ~file err ]);
+      exit 1
+    | Ok located ->
+      let program = Wdl_syntax.Located.strip located in
+      let errors =
+        Analysis.check_located located
+        |> List.filter (fun (d : Diagnostic.t) ->
+               d.severity = Diagnostic.Error)
+      in
+      if errors <> [] then begin
+        Format.eprintf "%s@." (Diagnostic.render_text errors);
+        exit 1
+      end;
+      Format.printf "%a@." Program.pp program
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse, safety-check and pretty-print a program")
     Term.(const run $ file)
+
+(* check *)
+
+let check_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let peer_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "peer" ] ~docv:"NAME"
+          ~doc:
+            "Analyze each file as a program of this peer (default: inferred \
+             from the file's declarations and facts).")
+  in
+  let run format peer_name files =
+    let check_file file =
+      match Wparser.program_located ~file (read_file file) with
+      | Error err -> [ Analysis.of_parse_error ~file err ]
+      | Ok located -> Analysis.check_located ?self:peer_name located
+    in
+    let diags = List.concat_map check_file files in
+    (match format with
+    | `Text -> if diags <> [] then print_endline (Diagnostic.render_text diags)
+    | `Json -> print_endline (Diagnostic.render_json diags));
+    exit (Diagnostic.exit_code diags)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static analysis with coded diagnostics (see docs/ANALYSIS.md); \
+          exits 0 when clean, 1 on warnings, 2 on errors")
+    Term.(const run $ format $ peer_name $ files)
 
 (* run *)
 
@@ -218,7 +269,9 @@ let analyze_cmd =
         (match Safety.check_rule rule with
         | Ok () -> ()
         | Error errs ->
-          Format.printf "  UNSAFE: %s@." (Safety.errors_to_string errs));
+          List.iter
+            (fun d -> Format.printf "  %a@." Diagnostic.pp_text d)
+            (Analysis.safety_diags errs));
         let c = Webdamlog.Classify.classify ~self:peer_name ~intensional rule in
         Format.printf "  %s@." (Webdamlog.Classify.describe c);
         (match c.Webdamlog.Classify.reads_remote with
@@ -509,9 +562,31 @@ let repl_cmd =
             answer.Webdamlog.Peer.requires_delegation
       end
       else
-        match Webdamlog.Peer.load_string !peer text with
-        | Ok () -> settle ()
-        | Error msg -> print_endline msg
+        match Wparser.program_located ~file:"<repl>" text with
+        | Error err ->
+          print_endline
+            (Diagnostic.render_text [ Analysis.of_parse_error ~file:"<repl>" err ])
+        | Ok located ->
+          let kind_of rel p =
+            if p = Webdamlog.Peer.name !peer then
+              Wdl_store.Database.kind (Webdamlog.Peer.database !peer) rel
+            else None
+          in
+          let warnings =
+            List.concat_map
+              (Analysis.check_statement ~self:(Webdamlog.Peer.name !peer)
+                 ~kind_of)
+              located
+            |> List.filter (fun (d : Diagnostic.t) ->
+                   d.severity = Diagnostic.Warning)
+          in
+          (match
+             Webdamlog.Peer.load_program !peer (Wdl_syntax.Located.strip located)
+           with
+          | Ok () -> settle ()
+          | Error msg -> print_endline msg);
+          if warnings <> [] then
+            print_endline (Diagnostic.render_text warnings)
     in
     Format.printf "WebdamLog repl: peer %s (.help for commands)@." peer_name;
     let buf = Buffer.create 256 in
@@ -627,7 +702,7 @@ let main =
   Cmd.group
     (Cmd.info "wdl" ~version:"1.0.0"
        ~doc:"WebdamLog: distributed datalog with delegation")
-    [ parse_cmd; fmt_cmd; analyze_cmd; run_cmd; simulate_cmd; query_cmd;
-      serve_cmd; repl_cmd; web_cmd; wepic_cmd ]
+    [ parse_cmd; check_cmd; fmt_cmd; analyze_cmd; run_cmd; simulate_cmd;
+      query_cmd; serve_cmd; repl_cmd; web_cmd; wepic_cmd ]
 
 let () = exit (Cmd.eval main)

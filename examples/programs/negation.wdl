@@ -1,4 +1,7 @@
 // Stratified negation: conference sessions nobody registered for.
+ext session@local(name);
+ext registered@local(session, person);
+int attended@local(session);
 int empty@local(session);
 session@local("datalog");
 session@local("provenance");

@@ -1,4 +1,5 @@
 // The classic same-generation program: relatives at equal depth.
+ext parent@local(parent, child);
 int sg@local(x, y);
 parent@local("ann", "bob");
 parent@local("ann", "carol");

@@ -1,4 +1,5 @@
 // Single-peer transitive closure (run with: wdl run --peer local examples/programs/tc.wdl)
+ext edge@local(src, dst);
 int tc@local(x, y);
 edge@local(1, 2);
 edge@local(2, 3);

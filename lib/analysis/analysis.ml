@@ -1,0 +1,855 @@
+open Wdl_syntax
+
+(* ------------------------------------------------------------------ *)
+(* Catalogue                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let codes : (string * Diagnostic.severity * string) list =
+  [
+    ("WDL000", Error, "parse error");
+    ("WDL001", Error, "head variable not bound by the body");
+    ("WDL002", Error, "relation/peer variable not bound by the prefix");
+    ("WDL003", Error, "variable in negated atom not bound by the prefix");
+    ("WDL004", Error, "variable in builtin not bound by the prefix");
+    ("WDL005", Error, "assignment rebinds an already-bound variable");
+    ("WDL006", Error, "constant in relation/peer position is not a name");
+    ("WDL007", Error, "statement targets a peer other than the loading peer");
+    ("WDL008", Error, "relation redeclared with a conflicting kind");
+    ("WDL009", Error, "fact asserts into an intensional relation");
+    ("WDL010", Error, "rule set has a cycle through negation/aggregation");
+    ("WDL011", Error, "conflicting arity between declarations and facts");
+    ("WDL012", Warning, "rule atom arity differs from the declared arity");
+    ("WDL013", Error, "aggregate rule is not entirely local");
+    ("WDL020", Warning, "relation used but never declared");
+    ("WDL021", Warning, "relation declared but never used");
+    ("WDL022", Warning, "rule can never fire (empty, underivable body atom)");
+    ("WDL030", Info, "delegation boundary report");
+    ("WDL031", Warning, "body reorder would keep more evaluation local");
+    ("WDL032", Warning, "delegation through an open-ended peer variable");
+    ("WDL040", Warning, "duplicate rule (identical up to renaming)");
+    ("WDL041", Warning, "rule subsumed by a more general rule");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Items: statements with optional spans                              *)
+(* ------------------------------------------------------------------ *)
+
+type item = {
+  stmt : Program.statement;
+  span : Span.t option;
+  head_span : Span.t option;
+  lit_spans : Span.t list;
+}
+
+let item_of_located : Located.statement -> item = function
+  | Located.Decl { node; span } ->
+    { stmt = Program.Decl node; span = Some span; head_span = None; lit_spans = [] }
+  | Located.Fact { node; span } ->
+    { stmt = Program.Fact node; span = Some span; head_span = None; lit_spans = [] }
+  | Located.Rule r ->
+    {
+      stmt = Program.Rule r.Located.rule;
+      span = Some r.Located.span;
+      head_span = Some r.Located.head_span;
+      lit_spans = r.Located.lit_spans;
+    }
+
+let item_of_plain stmt = { stmt; span = None; head_span = None; lit_spans = [] }
+
+let lit_span it i =
+  match List.nth_opt it.lit_spans i with
+  | Some s -> Some s
+  | None -> it.span
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let one_line pp v =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf max_int;
+  pp ppf v;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let var_set vars =
+  match vars with
+  | [] -> "nothing"
+  | vs -> String.concat ", " (List.map (fun v -> "$" ^ v) vs)
+
+let rel_at rel peer = Printf.sprintf "%s@%s" rel peer
+
+let atom_key (a : Atom.t) =
+  match Term.as_name a.Atom.rel, Term.as_name a.Atom.peer with
+  | Some r, Some p -> Some (r, p)
+  | _ -> None
+
+let infer_self (prog : Program.t) =
+  let decl =
+    List.find_map
+      (function Program.Decl d -> Some d.Decl.peer | _ -> None)
+      prog
+  in
+  let fact () =
+    List.find_map
+      (function Program.Fact f -> Some f.Fact.peer | _ -> None)
+      prog
+  in
+  let rule_head () =
+    List.find_map
+      (function
+        | Program.Rule r -> Term.as_name r.Rule.head.Atom.peer
+        | _ -> None)
+      prog
+  in
+  match decl with
+  | Some p -> Some p
+  | None -> ( match fact () with Some p -> Some p | None -> rule_head ())
+
+let safety_code = function
+  | Safety.Unbound_in_head _ -> "WDL001"
+  | Safety.Unbound_name_var _ -> "WDL002"
+  | Safety.Unbound_in_negation _ -> "WDL003"
+  | Safety.Unbound_in_builtin _ -> "WDL004"
+  | Safety.Rebound_assignment _ -> "WDL005"
+  | Safety.Invalid_name_constant _ -> "WDL006"
+
+let safety_diags ?span errs =
+  List.map
+    (fun e ->
+      Diagnostic.error ?span (safety_code e)
+        (one_line Safety.pp_error e))
+    errs
+
+let aggregate_locality_error ~self ?span (r : Rule.t) =
+  if Rule.is_aggregate r && not (Wdl_eval.Fixpoint.statically_local ~self r)
+  then
+    Some
+      (Diagnostic.error ?span "WDL013"
+         (Printf.sprintf
+            "aggregate rules must be entirely local: every body atom's peer \
+             must name %s"
+            self))
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Alpha-renaming (duplicate detection)                               *)
+(* ------------------------------------------------------------------ *)
+
+let map_term f = function Term.Var x -> Term.Var (f x) | t -> t
+
+let map_atom f (a : Atom.t) =
+  Atom.make ~rel:(map_term f a.Atom.rel) ~peer:(map_term f a.Atom.peer)
+    (List.map (map_term f) a.Atom.args)
+
+let rec map_expr f = function
+  | Expr.Const _ as e -> e
+  | Expr.Var x -> Expr.Var (f x)
+  | Expr.Add (a, b) -> Expr.Add (map_expr f a, map_expr f b)
+  | Expr.Sub (a, b) -> Expr.Sub (map_expr f a, map_expr f b)
+  | Expr.Mul (a, b) -> Expr.Mul (map_expr f a, map_expr f b)
+  | Expr.Div (a, b) -> Expr.Div (map_expr f a, map_expr f b)
+
+let map_lit f = function
+  | Literal.Pos a -> Literal.Pos (map_atom f a)
+  | Literal.Neg a -> Literal.Neg (map_atom f a)
+  | Literal.Cmp (op, e1, e2) -> Literal.Cmp (op, map_expr f e1, map_expr f e2)
+  | Literal.Assign (x, e) -> Literal.Assign (f x, map_expr f e)
+
+(* Canonical variable names in first-occurrence order: two rules equal
+   up to variable renaming canonicalise to equal rules. *)
+let canonical (r : Rule.t) : Rule.t =
+  let order = Rule.vars r in
+  let assoc = List.mapi (fun i x -> (x, Printf.sprintf "v%d" i)) order in
+  let f x = match List.assoc_opt x assoc with Some y -> y | None -> x in
+  {
+    Rule.head = map_atom f r.Rule.head;
+    body = List.map (map_lit f) r.Rule.body;
+    aggs =
+      List.map
+        (fun (i, (s : Aggregate.spec)) ->
+          (i, { s with Aggregate.var = f s.Aggregate.var }))
+        r.Rule.aggs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Subsumption: does [general] derive at least what [specific] does?  *)
+(* ------------------------------------------------------------------ *)
+
+let bind_term theta x t =
+  match List.assoc_opt x theta with
+  | Some t' -> if Term.equal t t' then Some theta else None
+  | None -> Some ((x, t) :: theta)
+
+let match_term theta tb ta =
+  match tb with
+  | Term.Const _ -> if Term.equal tb ta then Some theta else None
+  | Term.Var x -> bind_term theta x ta
+
+let match_atom theta (b : Atom.t) (a : Atom.t) =
+  if List.length b.Atom.args <> List.length a.Atom.args then None
+  else
+    List.fold_left2
+      (fun acc tb ta -> Option.bind acc (fun th -> match_term th tb ta))
+      (Some theta)
+      (b.Atom.rel :: b.Atom.peer :: b.Atom.args)
+      (a.Atom.rel :: a.Atom.peer :: a.Atom.args)
+
+let rec match_expr theta eb ea =
+  match eb, ea with
+  | Expr.Const _, Expr.Const _ ->
+    if Expr.equal eb ea then Some theta else None
+  | Expr.Var x, Expr.Var y -> bind_term theta x (Term.Var y)
+  | Expr.Var x, Expr.Const v -> bind_term theta x (Term.Const v)
+  | Expr.Add (a, b), Expr.Add (c, d)
+  | Expr.Sub (a, b), Expr.Sub (c, d)
+  | Expr.Mul (a, b), Expr.Mul (c, d)
+  | Expr.Div (a, b), Expr.Div (c, d) ->
+    Option.bind (match_expr theta a c) (fun th -> match_expr th b d)
+  | _ -> None
+
+let match_lit theta lb la =
+  match lb, la with
+  | Literal.Pos b, Literal.Pos a | Literal.Neg b, Literal.Neg a ->
+    match_atom theta b a
+  | Literal.Cmp (ob, b1, b2), Literal.Cmp (oa, a1, a2) when ob = oa ->
+    Option.bind (match_expr theta b1 a1) (fun th -> match_expr th b2 a2)
+  | _ -> None
+
+(* [subsumes ~self general specific]: a substitution of [general]'s
+   variables maps its head onto [specific]'s head and its body into a
+   subset of [specific]'s body. Restricted to fully-local,
+   aggregate-free rules (delegation and assignments make body order
+   semantically significant, so we stay out of their way). *)
+let subsumes ~self (general : Rule.t) (specific : Rule.t) =
+  let plain r =
+    r.Rule.aggs = []
+    && Boundary.analyze ~self r = None
+    && List.for_all
+         (function Literal.Assign _ -> false | _ -> true)
+         r.Rule.body
+  in
+  if not (plain general && plain specific) then false
+  else
+    match match_atom [] general.Rule.head specific.Rule.head with
+    | None -> false
+    | Some theta ->
+      let rec cover theta = function
+        | [] -> true
+        | lb :: rest ->
+          List.exists
+            (fun la ->
+              match match_lit theta lb la with
+              | Some th -> cover th rest
+              | None -> false)
+            specific.Rule.body
+      in
+      cover theta general.Rule.body
+
+(* ------------------------------------------------------------------ *)
+(* Boundary diagnostics (shared between file and live checks)         *)
+(* ------------------------------------------------------------------ *)
+
+let pp_body ppf body =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    Literal.pp ppf body
+
+let boundary_diags ~self ~kind_of ?(with_info = true) it (r : Rule.t) =
+  match Boundary.analyze ~self r with
+  | None -> []
+  | Some rep ->
+    let span = lit_span it rep.Boundary.index in
+    let target_desc =
+      match rep.Boundary.target with
+      | Boundary.Remote p -> Printf.sprintf "peer %s" p
+      | Boundary.Dynamic x -> Printf.sprintf "the peer bound to $%s" x
+    in
+    let info =
+      if not with_info then []
+      else
+        [
+          Diagnostic.info ?span "WDL030"
+            (Printf.sprintf
+               "delegation boundary at body literal %d: evaluation suspends \
+                here and ships the residual rule to %s, carrying bindings of \
+                %s"
+               (rep.Boundary.index + 1)
+               target_desc
+               (var_set rep.Boundary.shipped_vars));
+        ]
+    in
+    let reorder =
+      match Boundary.improve ~self r with
+      | None -> []
+      | Some imp ->
+        let notes =
+          Diagnostic.note
+            (Printf.sprintf "shipped bindings: %s now, %s after reordering"
+               (var_set rep.Boundary.shipped_vars)
+               (var_set imp.Boundary.new_shipped))
+          ::
+          (match imp.Boundary.single_peer_residual with
+          | Some p ->
+            [
+              Diagnostic.note
+                (Printf.sprintf
+                   "after reordering the residual mentions only %s, so it \
+                    evaluates there without further delegation"
+                   p);
+            ]
+          | None -> [])
+        in
+        [
+          Diagnostic.warning ?span ~notes "WDL031"
+            (Printf.sprintf
+               "body order ships %d literal(s) that %s could evaluate \
+                locally; reorder the body as `%s`"
+               imp.Boundary.moved self
+               (one_line pp_body imp.Boundary.reordered.Rule.body));
+        ]
+    in
+    let escape =
+      match rep.Boundary.target with
+      | Boundary.Remote _ -> []
+      | Boundary.Dynamic x -> (
+        let warn ?binder_idx reason =
+          let notes =
+            match binder_idx with
+            | Some i ->
+              [
+                Diagnostic.note ?span:(lit_span it i)
+                  "the peer variable is bound here";
+              ]
+            | None -> []
+          in
+          [
+            Diagnostic.warning ?span ~notes "WDL032"
+              (Printf.sprintf
+                 "delegation target $%s is open-ended: %s; any peer it names \
+                  receives the residual rule and the bindings it carries"
+                 x reason);
+          ]
+        in
+        match rep.Boundary.binder with
+        | Some (i, Literal.Pos a) -> (
+          match atom_key a with
+          | Some (rel, p) when p = self -> (
+            match kind_of rel p with
+            | Some Decl.Extensional -> []
+            | Some Decl.Intensional ->
+              warn ~binder_idx:i
+                (Printf.sprintf "it is bound by the derived view %s"
+                   (rel_at rel p))
+            | None ->
+              warn ~binder_idx:i
+                (Printf.sprintf "it is bound by the undeclared relation %s"
+                   (rel_at rel p)))
+          | Some (rel, p) ->
+            warn ~binder_idx:i
+              (Printf.sprintf "it is bound by the remote relation %s"
+                 (rel_at rel p))
+          | None ->
+            warn ~binder_idx:i
+              "it is bound by an atom with a variable relation or peer")
+        | Some (i, Literal.Assign _) ->
+          warn ~binder_idx:i "it is computed by an assignment"
+        | Some (_, (Literal.Neg _ | Literal.Cmp _)) | None ->
+          warn "it is not bound by a positive local atom")
+    in
+    info @ reorder @ escape
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate / subsumption over a rule list                           *)
+(* ------------------------------------------------------------------ *)
+
+let duplicate_diags ~self (rules : (item * Rule.t) list) =
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  let canon = Array.map (fun (_, r) -> canonical r) arr in
+  let flagged = Array.make n false in
+  let out = ref [] in
+  let describe (it, r) =
+    match it.span with
+    | Some s -> Diagnostic.note ~span:s "the earlier rule is here"
+    | None ->
+      Diagnostic.note
+        (Printf.sprintf "the earlier rule is `%s`" (one_line Rule.pp r))
+  in
+  for j = 1 to n - 1 do
+    let itj, rj = arr.(j) in
+    if not flagged.(j) then begin
+      (try
+         for i = 0 to j - 1 do
+           if Rule.equal canon.(i) canon.(j) then begin
+             flagged.(j) <- true;
+             out :=
+               Diagnostic.warning ?span:itj.span
+                 ~notes:[ describe arr.(i) ]
+                 "WDL040"
+                 "duplicate rule: identical to an earlier rule up to \
+                  variable renaming"
+               :: !out;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if not flagged.(j) then
+        try
+          for i = 0 to j - 1 do
+            let _, ri = arr.(i) in
+            if subsumes ~self ri rj then begin
+              flagged.(j) <- true;
+              out :=
+                Diagnostic.warning ?span:itj.span
+                  ~notes:[ describe arr.(i) ]
+                  "WDL041"
+                  "redundant rule: an earlier, more general rule already \
+                   derives everything this rule derives"
+                :: !out;
+              raise Exit
+            end
+          done
+        with Exit -> ()
+    end
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* The whole-program check                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_items ?(peer_mode = false) ~self (items : item list) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let decl_tbl : (string * string, Decl.kind * int * Span.t option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let fact_tbl : (string * string, int * Span.t option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let derived : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let star_derived = ref false in
+  let covered : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.replace covered self ();
+  (* Peers the file says something about: only their relations are
+     fair game for whole-program checks; references to peers the file
+     never defines are assumed to live elsewhere. *)
+  List.iter
+    (fun it ->
+      match it.stmt with
+      | Program.Decl d -> Hashtbl.replace covered d.Decl.peer ()
+      | Program.Fact f -> Hashtbl.replace covered f.Fact.peer ()
+      | Program.Rule r -> (
+        match Term.as_name r.Rule.head.Atom.peer with
+        | Some p ->
+          (match Term.as_name r.Rule.head.Atom.rel with
+          | Some rel -> Hashtbl.replace derived (rel, p) ()
+          | None -> star_derived := true)
+        | None -> star_derived := true))
+    items;
+
+  (* -- pass 1: statement-order consistency, building the tables ---- *)
+  List.iter
+    (fun it ->
+      match it.stmt with
+      | Program.Decl d ->
+        let key = (d.Decl.rel, d.Decl.peer) in
+        let name = rel_at d.Decl.rel d.Decl.peer in
+        if peer_mode && d.Decl.peer <> self then
+          emit
+            (Diagnostic.error ?span:it.span "WDL007"
+               (Printf.sprintf
+                  "declaration of %s targets peer %s; a program loaded at %s \
+                   may only declare relations at %s"
+                  name d.Decl.peer self self));
+        (match Hashtbl.find_opt decl_tbl key with
+        | Some (k0, a0, sp0) ->
+          let note =
+            match sp0 with
+            | Some s -> [ Diagnostic.note ~span:s "first declared here" ]
+            | None -> []
+          in
+          if k0 <> d.Decl.kind then
+            emit
+              (Diagnostic.error ?span:it.span ~notes:note "WDL008"
+                 (Printf.sprintf "relation %s redeclared as %s (it is %s)"
+                    name
+                    (one_line Decl.pp_kind d.Decl.kind)
+                    (one_line Decl.pp_kind k0)))
+          else if a0 <> Decl.arity d then
+            emit
+              (Diagnostic.error ?span:it.span ~notes:note "WDL011"
+                 (Printf.sprintf
+                    "relation %s redeclared with arity %d (it has arity %d)"
+                    name (Decl.arity d) a0))
+        | None ->
+          (match Hashtbl.find_opt fact_tbl key with
+          | Some (fa, fsp) ->
+            let note =
+              match fsp with
+              | Some s -> [ Diagnostic.note ~span:s "the fact is here" ]
+              | None -> []
+            in
+            if d.Decl.kind = Decl.Intensional then
+              emit
+                (Diagnostic.error ?span:it.span ~notes:note "WDL009"
+                   (Printf.sprintf
+                      "relation %s is declared intensional, but an earlier \
+                       fact asserts into it"
+                      name))
+            else if fa <> Decl.arity d then
+              emit
+                (Diagnostic.error ?span:it.span ~notes:note "WDL011"
+                   (Printf.sprintf
+                      "relation %s is declared with arity %d, but an earlier \
+                       fact has arity %d"
+                      name (Decl.arity d) fa))
+          | None -> ());
+          Hashtbl.add decl_tbl key (d.Decl.kind, Decl.arity d, it.span))
+      | Program.Fact f ->
+        let key = (f.Fact.rel, f.Fact.peer) in
+        let name = rel_at f.Fact.rel f.Fact.peer in
+        if peer_mode && f.Fact.peer <> self then
+          emit
+            (Diagnostic.error ?span:it.span "WDL007"
+               (Printf.sprintf
+                  "fact targets peer %s; a program loaded at %s may only \
+                   assert facts at %s"
+                  f.Fact.peer self self));
+        (match Safety.check_fact f with
+        | Ok () -> ()
+        | Error errs -> List.iter emit (safety_diags ?span:it.span errs));
+        (match Hashtbl.find_opt decl_tbl key with
+        | Some (Decl.Intensional, _, dsp) ->
+          let note =
+            match dsp with
+            | Some s ->
+              [ Diagnostic.note ~span:s "declared intensional here" ]
+            | None -> []
+          in
+          emit
+            (Diagnostic.error ?span:it.span ~notes:note "WDL009"
+               (Printf.sprintf
+                  "fact asserts into the intensional relation %s (a view \
+                   recomputed from its rules)"
+                  name))
+        | Some (Decl.Extensional, a0, dsp) when a0 <> Fact.arity f ->
+          let note =
+            match dsp with
+            | Some s -> [ Diagnostic.note ~span:s "declared here" ]
+            | None -> []
+          in
+          emit
+            (Diagnostic.error ?span:it.span ~notes:note "WDL011"
+               (Printf.sprintf
+                  "fact has arity %d, but %s is declared with arity %d"
+                  (Fact.arity f) name a0))
+        | Some _ -> ()
+        | None -> (
+          match Hashtbl.find_opt fact_tbl key with
+          | Some (fa, fsp) when fa <> Fact.arity f ->
+            let note =
+              match fsp with
+              | Some s -> [ Diagnostic.note ~span:s "the first fact is here" ]
+              | None -> []
+            in
+            emit
+              (Diagnostic.error ?span:it.span ~notes:note "WDL011"
+                 (Printf.sprintf
+                    "fact has arity %d, but an earlier fact for %s has arity \
+                     %d"
+                    (Fact.arity f) name fa))
+          | _ -> ()));
+        if not (Hashtbl.mem fact_tbl key) then
+          Hashtbl.add fact_tbl key (Fact.arity f, it.span)
+      | Program.Rule _ -> ())
+    items;
+
+  let kind_of rel peer =
+    match Hashtbl.find_opt decl_tbl (rel, peer) with
+    | Some (k, _, _) -> Some k
+    | None -> None
+  in
+  let declared_arity key =
+    match Hashtbl.find_opt decl_tbl key with
+    | Some (_, a, sp) -> Some (a, sp, "declared here")
+    | None -> (
+      match Hashtbl.find_opt fact_tbl key with
+      | Some (a, sp) -> Some (a, sp, "a fact asserts it here")
+      | None -> None)
+  in
+
+  (* -- pass 2: per-rule checks ------------------------------------- *)
+  let rule_items =
+    List.filter_map
+      (fun it ->
+        match it.stmt with Program.Rule r -> Some (it, r) | _ -> None)
+      items
+  in
+  List.iter
+    (fun (it, r) ->
+      (match Safety.check_rule r with
+      | Ok () -> ()
+      | Error errs -> List.iter emit (safety_diags ?span:it.span errs));
+      Option.iter emit (aggregate_locality_error ~self ?span:it.span r);
+      (* WDL012: atom arity vs. declarations/facts *)
+      let arity_check span (a : Atom.t) =
+        match atom_key a with
+        | None -> ()
+        | Some key -> (
+          match declared_arity key with
+          | Some (a0, sp0, what) when a0 <> List.length a.Atom.args ->
+            let note =
+              match sp0 with
+              | Some s -> [ Diagnostic.note ~span:s what ]
+              | None -> []
+            in
+            emit
+              (Diagnostic.warning ?span ~notes:note "WDL012"
+                 (Printf.sprintf
+                    "atom %s is used with arity %d, but the relation has \
+                     arity %d; this atom can never match"
+                    (rel_at (fst key) (snd key))
+                    (List.length a.Atom.args) a0))
+          | _ -> ())
+      in
+      arity_check it.head_span r.Rule.head;
+      List.iteri
+        (fun i l ->
+          match l with
+          | Literal.Pos a | Literal.Neg a -> arity_check (lit_span it i) a
+          | Literal.Cmp _ | Literal.Assign _ -> ())
+        r.Rule.body;
+      (* WDL022: a positive body atom that nothing can ever populate *)
+      (try
+         List.iteri
+           (fun i l ->
+             match l with
+             | Literal.Pos a -> (
+               match atom_key a with
+               | Some ((rel, p) as key)
+                 when Hashtbl.mem covered p
+                      && (not (Hashtbl.mem decl_tbl key))
+                      && (not (Hashtbl.mem fact_tbl key))
+                      && (not (Hashtbl.mem derived key))
+                      && not !star_derived ->
+                 emit
+                   (Diagnostic.warning ?span:(lit_span it i) "WDL022"
+                      (Printf.sprintf
+                         "rule can never fire: %s is never declared, \
+                          asserted or derived, so this atom matches nothing"
+                         (rel_at rel p)));
+                 raise Exit
+               | _ -> ())
+             | _ -> ())
+           r.Rule.body
+       with Exit -> ());
+      List.iter emit (boundary_diags ~self ~kind_of it r))
+    rule_items;
+
+  (* -- pass 3: relation-level checks ------------------------------- *)
+  let used : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let use_order = ref [] in
+  let record_use key span =
+    if not (Hashtbl.mem used key) then begin
+      Hashtbl.add used key ();
+      use_order := (key, span) :: !use_order
+    end
+  in
+  List.iter
+    (fun it ->
+      match it.stmt with
+      | Program.Fact f -> record_use (f.Fact.rel, f.Fact.peer) it.span
+      | Program.Rule r ->
+        Option.iter
+          (fun k -> record_use k it.head_span)
+          (atom_key r.Rule.head);
+        List.iteri
+          (fun i l ->
+            match l with
+            | Literal.Pos a | Literal.Neg a ->
+              Option.iter (fun k -> record_use k (lit_span it i)) (atom_key a)
+            | _ -> ())
+          r.Rule.body
+      | Program.Decl _ -> ())
+    items;
+  if not peer_mode then begin
+    List.iter
+      (fun (((rel, p) as key), span) ->
+        if Hashtbl.mem covered p && not (Hashtbl.mem decl_tbl key) then
+          emit
+            (Diagnostic.warning ?span "WDL020"
+               (Printf.sprintf
+                  "relation %s is never declared; it will be auto-created as \
+                   extensional on first insertion"
+                  (rel_at rel p))))
+      (List.rev !use_order);
+    List.iter
+      (fun it ->
+        match it.stmt with
+        | Program.Decl d ->
+          let key = (d.Decl.rel, d.Decl.peer) in
+          (* report only at the defining (first) declaration *)
+          let defining =
+            match Hashtbl.find_opt decl_tbl key with
+            | Some (_, _, sp) -> sp = it.span
+            | None -> false
+          in
+          if defining && not (Hashtbl.mem used key) then
+            emit
+              (Diagnostic.warning ?span:it.span "WDL021"
+                 (Printf.sprintf
+                    "relation %s is declared but never used by any fact or \
+                     rule"
+                    (rel_at d.Decl.rel d.Decl.peer)))
+        | _ -> ())
+      items
+  end;
+
+  (* -- pass 4: stratification --------------------------------------- *)
+  let intensional rel = kind_of rel self = Some Decl.Intensional in
+  let rules = List.map snd rule_items in
+  (match Wdl_eval.Stratify.compute ~self ~intensional rules with
+  | Ok _ -> ()
+  | Error (Wdl_eval.Stratify.Negative_cycle members as err) ->
+    let node_name = function
+      | Wdl_eval.Stratify.Rel r -> r
+      | Wdl_eval.Stratify.Star -> "<any>"
+    in
+    let in_cycle n = List.mem (node_name n) members in
+    let contributing =
+      List.filter_map
+        (fun (it, r) ->
+          match
+            Wdl_eval.Stratify.head_node ~self ~intensional r.Rule.head
+          with
+          | Some hn when in_cycle hn ->
+            let deps =
+              Wdl_eval.Stratify.body_deps ~self ~intensional r.Rule.body
+            in
+            let deps =
+              if Rule.is_aggregate r then
+                List.map (fun (n, _) -> (n, true)) deps
+              else deps
+            in
+            let deps = List.filter (fun (n, _) -> in_cycle n) deps in
+            if deps = [] then None else Some (it, hn, deps)
+          | _ -> None)
+        rule_items
+    in
+    let notes =
+      List.map
+        (fun (it, hn, deps) ->
+          let dep_desc =
+            String.concat ", "
+              (List.map
+                 (fun (n, neg) ->
+                   if neg then "not " ^ node_name n else node_name n)
+                 deps)
+          in
+          Diagnostic.note ?span:it.span
+            (Printf.sprintf "this rule derives %s and reads %s"
+               (node_name hn) dep_desc))
+        contributing
+    in
+    let span =
+      List.find_map (fun (it, _, _) -> it.span) contributing
+    in
+    emit
+      (Diagnostic.error ?span ~notes "WDL010"
+         (Printf.sprintf "rules do not stratify: %s"
+            (one_line Wdl_eval.Stratify.pp_error err))));
+
+  (* -- pass 5: duplicates / subsumption ----------------------------- *)
+  List.iter emit (duplicate_diags ~self rule_items);
+
+  List.stable_sort Diagnostic.compare (List.rev !diags)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_located ?peer_mode ?self (p : Located.program) =
+  let self =
+    match self with
+    | Some s -> s
+    | None -> (
+      match infer_self (Located.strip p) with
+      | Some s -> s
+      | None -> "local")
+  in
+  check_items ?peer_mode ~self (List.map item_of_located p)
+
+let check_plain ?peer_mode ~self (p : Program.t) =
+  check_items ?peer_mode ~self (List.map item_of_plain p)
+
+let check_statement ~self ?(kind_of = fun _ _ -> None)
+    (s : Located.statement) =
+  let it = item_of_located s in
+  match it.stmt with
+  | Program.Decl d ->
+    if d.Decl.peer <> self then
+      [
+        Diagnostic.error ?span:it.span "WDL007"
+          (Printf.sprintf
+             "declaration of %s targets peer %s; declarations may only \
+              target %s"
+             (rel_at d.Decl.rel d.Decl.peer)
+             d.Decl.peer self);
+      ]
+    else []
+  | Program.Fact f -> (
+    match Safety.check_fact f with
+    | Ok () -> []
+    | Error errs -> safety_diags ?span:it.span errs)
+  | Program.Rule r ->
+    let safety =
+      match Safety.check_rule r with
+      | Ok () -> []
+      | Error errs -> safety_diags ?span:it.span errs
+    in
+    let agg =
+      Option.to_list (aggregate_locality_error ~self ?span:it.span r)
+    in
+    safety @ agg @ boundary_diags ~self ~kind_of ~with_info:false it r
+
+let added_rule_warnings ~self ?(kind_of = fun _ _ -> None)
+    ~(existing : Rule.t list) (r : Rule.t) =
+  let it = item_of_plain (Program.Rule r) in
+  let boundary =
+    boundary_diags ~self ~kind_of ~with_info:false it r
+    |> List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Warning)
+  in
+  let cr = canonical r in
+  let describe other =
+    [
+      Diagnostic.note
+        (Printf.sprintf "the existing rule is `%s`" (one_line Rule.pp other));
+    ]
+  in
+  let dups =
+    match List.find_opt (fun r' -> Rule.equal cr (canonical r')) existing with
+    | Some other ->
+      [
+        Diagnostic.warning ~notes:(describe other) "WDL040"
+          "duplicate rule: identical to an installed rule up to variable \
+           renaming";
+      ]
+    | None -> (
+      match List.find_opt (fun r' -> subsumes ~self r' r) existing with
+      | Some other ->
+        [
+          Diagnostic.warning ~notes:(describe other) "WDL041"
+            "redundant rule: an installed, more general rule already derives \
+             everything this rule derives";
+        ]
+      | None -> [])
+  in
+  boundary @ dups
+
+let of_parse_error ~file (msg, (pos : Lexer.pos)) =
+  Diagnostic.error
+    ~span:(Span.point ~file ~line:pos.Lexer.line ~col:pos.Lexer.col)
+    "WDL000" msg

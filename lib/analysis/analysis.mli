@@ -1,0 +1,67 @@
+(** Whole-program static analysis: the engine behind [wdl check].
+
+    Checks a parsed program — ideally the located form, so diagnostics
+    carry [file:line:col] spans — for consistency (declarations, kinds,
+    arities), safety, stratifiability, delegation hygiene (boundary
+    reports, profitable reorders, open-ended peer variables) and
+    redundancy (dead, duplicate, subsumed rules). Every finding is a
+    {!Diagnostic.t} with a stable [WDLnnn] code; the catalogue lives in
+    docs/ANALYSIS.md and, in machine-readable form, in {!codes}.
+
+    Error-severity diagnostics coincide with what {!Webdamlog.Peer}'s
+    loader rejects: a program the loader accepts produces no errors
+    (property-tested in test/test_analysis.ml). Warnings are accepted
+    by the loader but indicate likely mistakes. *)
+
+open Wdl_syntax
+
+val codes : (string * Diagnostic.severity * string) list
+(** [(code, default severity, one-line summary)] for every code the
+    analyzer can emit, in catalogue order. *)
+
+val safety_diags : ?span:Span.t -> Safety.error list -> Diagnostic.t list
+(** Map {!Safety} errors to their WDL001–WDL006 diagnostics. *)
+
+val infer_self : Program.t -> string option
+(** The peer a file most plausibly belongs to: the first declaration's
+    peer, else the first fact's peer, else the first constant rule-head
+    peer. *)
+
+val check_located :
+  ?peer_mode:bool -> ?self:string -> Located.program -> Diagnostic.t list
+(** Analyze a located program. [self] defaults to {!infer_self} (or
+    ["local"]); [peer_mode] (default false) additionally enforces the
+    loader's restriction that declarations and facts target [self]
+    (WDL007) and drops the file-scoped WDL020/021 warnings, matching
+    what a live [Peer.load_program] would accept. Diagnostics come back
+    in source order. *)
+
+val check_plain :
+  ?peer_mode:bool -> self:string -> Program.t -> Diagnostic.t list
+(** Same checks over a span-free program (wire rules, snapshots);
+    diagnostics carry no spans. *)
+
+val check_statement :
+  self:string ->
+  ?kind_of:(string -> string -> Decl.kind option) ->
+  Located.statement ->
+  Diagnostic.t list
+(** Statement-local checks for interactive use (the REPL): safety,
+    aggregate locality, decl targeting, and delegation warnings for
+    rules. [kind_of rel peer] should answer from the live database so
+    WDL032 can recognise owner-curated extensional address books. *)
+
+val added_rule_warnings :
+  self:string ->
+  ?kind_of:(string -> string -> Decl.kind option) ->
+  existing:Rule.t list ->
+  Rule.t ->
+  Diagnostic.t list
+(** Warnings (never errors) about a rule being installed into a live
+    peer: delegation reorder hints (WDL031), open-ended peer variables
+    (WDL032), and duplication/subsumption against the already-installed
+    rules (WDL040/041). *)
+
+val of_parse_error : file:string -> string * Lexer.pos -> Diagnostic.t
+(** Wrap a parser/lexer error as a WDL000 diagnostic with a point
+    span. *)

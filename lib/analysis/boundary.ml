@@ -1,0 +1,164 @@
+open Wdl_syntax
+
+type target =
+  | Remote of string
+  | Dynamic of string
+
+type report = {
+  index : int;
+  target : target;
+  prefix_vars : string list;
+  shipped_vars : string list;
+  binder : (int * Literal.t) option;
+}
+
+let target_to_string = function
+  | Remote p -> Format.asprintf "%a" Fact.pp_bare_name p
+  | Dynamic x -> "$" ^ x
+
+(* Mirrors the evaluator's runtime rule (fixpoint.ml [match_pos]): the
+   first positive-or-negative atom whose peer does not resolve to
+   [self] suspends the valuation. Builtins never suspend. *)
+let analyze ~self (r : Rule.t) =
+  let bound = ref [] in
+  let bind x = if not (List.mem x !bound) then bound := x :: !bound in
+  let rec go i = function
+    | [] -> None
+    | Literal.Cmp _ :: rest -> go (i + 1) rest
+    | Literal.Assign (x, _) :: rest ->
+      bind x;
+      go (i + 1) rest
+    | ((Literal.Pos a | Literal.Neg a) as lit) :: rest -> (
+      match a.Atom.peer with
+      | Term.Var x -> Some (i, Dynamic x)
+      | Term.Const _ -> (
+        match Term.as_name a.Atom.peer with
+        | Some p when p = self ->
+          (match lit with
+          | Literal.Pos _ -> List.iter bind (Atom.vars a)
+          | _ -> ());
+          go (i + 1) rest
+        | Some p -> Some (i, Remote p)
+        | None -> Some (i, Remote (Format.asprintf "%a" Term.pp a.Atom.peer))))
+  in
+  match go 0 r.Rule.body with
+  | None -> None
+  | Some (index, target) ->
+    let prefix_vars = List.rev !bound in
+    let residual = List.filteri (fun i _ -> i >= index) r.Rule.body in
+    let residual_vars =
+      List.concat_map Literal.vars residual @ Rule.head_vars r
+    in
+    let shipped_vars =
+      List.filter (fun x -> List.mem x residual_vars) prefix_vars
+    in
+    let binder =
+      match target with
+      | Remote _ -> None
+      | Dynamic x ->
+        List.filteri (fun i _ -> i < index) r.Rule.body
+        |> List.mapi (fun i l -> (i, l))
+        |> List.find_opt (fun (_, l) ->
+               match l with
+               | Literal.Pos a -> List.mem x (Atom.vars a)
+               | Literal.Assign (y, _) -> y = x
+               | Literal.Neg _ | Literal.Cmp _ -> false)
+    in
+    Some { index; target; prefix_vars; shipped_vars; binder }
+
+type improvement = {
+  reordered : Rule.t;
+  moved : int;
+  new_index : int;
+  new_shipped : string list;
+  single_peer_residual : string option;
+}
+
+let improve ~self (r : Rule.t) =
+  if Rule.is_aggregate r then None
+  else
+    match analyze ~self r with
+    | None -> None
+    | Some rep ->
+      let lits = Array.of_list r.Rule.body in
+      let n = Array.length lits in
+      let used = Array.make n false in
+      let bound = ref [] in
+      let is_bound x = List.mem x !bound in
+      let bind x = if not (is_bound x) then bound := x :: !bound in
+      let eligible = function
+        | Literal.Cmp (_, e1, e2) ->
+          List.for_all is_bound (Expr.vars e1 @ Expr.vars e2)
+        | Literal.Assign (x, e) ->
+          (not (is_bound x)) && List.for_all is_bound (Expr.vars e)
+        | Literal.Pos a ->
+          Term.as_name a.Atom.peer = Some self
+          && List.for_all is_bound (Term.vars a.Atom.rel)
+        | Literal.Neg a ->
+          Term.as_name a.Atom.peer = Some self
+          && List.for_all is_bound (Atom.vars a)
+      in
+      (* Greedy maximal local prefix, preferring the original order:
+         repeatedly take the earliest unused literal that can evaluate
+         locally with the bindings made so far. *)
+      let picked = ref [] in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        (try
+           for i = 0 to n - 1 do
+             if (not used.(i)) && eligible lits.(i) then begin
+               used.(i) <- true;
+               (match lits.(i) with
+               | Literal.Pos a -> List.iter bind (Atom.vars a)
+               | Literal.Assign (x, _) -> bind x
+               | Literal.Neg _ | Literal.Cmp _ -> ());
+               picked := i :: !picked;
+               progress := true;
+               raise Exit
+             end
+           done
+         with Exit -> ())
+      done;
+      let picked = List.rev !picked in
+      let moved = List.length picked - rep.index in
+      if moved <= 0 then None
+      else
+        let remaining =
+          List.init n Fun.id |> List.filter (fun i -> not used.(i))
+        in
+        let body = List.map (fun i -> lits.(i)) (picked @ remaining) in
+        let reordered = Rule.make ~head:r.Rule.head ~body in
+        (* The construction preserves safety (prefix literals only run
+           once their inputs are bound; the residual keeps its relative
+           order), but verify rather than trust the argument. *)
+        match Safety.check_rule reordered, analyze ~self reordered with
+        | Ok (), Some rep' ->
+          let single_peer_residual =
+            let residual =
+              List.filteri (fun i _ -> i >= rep'.index) reordered.Rule.body
+            in
+            let peers =
+              List.filter_map
+                (fun l ->
+                  match l with
+                  | Literal.Pos a | Literal.Neg a ->
+                    Some (Term.as_name a.Atom.peer)
+                  | Literal.Cmp _ | Literal.Assign _ -> None)
+                residual
+            in
+            match peers with
+            | Some p :: rest
+              when List.for_all (fun q -> q = Some p) rest && p <> self ->
+              Some p
+            | _ -> None
+          in
+          Some
+            {
+              reordered;
+              moved;
+              new_index = rep'.index;
+              new_shipped = rep'.shipped_vars;
+              single_peer_residual;
+            }
+        | _, _ -> None

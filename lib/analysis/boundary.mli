@@ -1,0 +1,46 @@
+(** Delegation-boundary analysis.
+
+    WebdamLog bodies evaluate left to right; the first atom whose peer
+    is not the evaluating peer is where the valuation suspends and the
+    residual rule is shipped (paper §2, and [Wdl_eval.Fixpoint] at run
+    time). This module computes that boundary statically and looks for
+    body orders that provably keep more evaluation local. *)
+
+open Wdl_syntax
+
+type target =
+  | Remote of string   (** constant remote peer name *)
+  | Dynamic of string  (** peer variable (without the [$]) *)
+
+type report = {
+  index : int;                       (** body index of the boundary literal *)
+  target : target;
+  prefix_vars : string list;         (** bound by the local prefix, in order *)
+  shipped_vars : string list;
+      (** prefix vars the residual (or head) mentions — the valuation
+          actually serialized into each delegated rule *)
+  binder : (int * Literal.t) option;
+      (** for [Dynamic]: the first prefix literal binding the peer var *)
+}
+
+val target_to_string : target -> string
+
+val analyze : self:string -> Rule.t -> report option
+(** [None] when the rule evaluates entirely at [self]. *)
+
+type improvement = {
+  reordered : Rule.t;     (** same literals, local-first order *)
+  moved : int;            (** how many more literals evaluate locally *)
+  new_index : int;
+  new_shipped : string list;
+  single_peer_residual : string option;
+      (** set when the reordered residual mentions exactly one remote
+          peer — it then evaluates there without further delegation *)
+}
+
+val improve : self:string -> Rule.t -> improvement option
+(** Greedy reorder: repeatedly hoist the earliest literal that can
+    evaluate at [self] with the bindings made so far. Returns [Some]
+    only when this strictly grows the local prefix and the reordered
+    rule still passes {!Safety.check_rule}; aggregate rules are left
+    alone. *)

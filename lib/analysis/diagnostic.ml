@@ -1,0 +1,130 @@
+open Wdl_syntax
+
+type severity = Error | Warning | Info
+
+type note = {
+  note_span : Span.t option;
+  note_message : string;
+}
+
+type t = {
+  code : string;
+  severity : severity;
+  span : Span.t option;
+  message : string;
+  notes : note list;
+}
+
+let make ?span ?(notes = []) ~code ~severity message =
+  { code; severity; span; message; notes }
+
+let error ?span ?notes code message =
+  make ?span ?notes ~code ~severity:Error message
+
+let warning ?span ?notes code message =
+  make ?span ?notes ~code ~severity:Warning message
+
+let info ?span ?notes code message =
+  make ?span ?notes ~code ~severity:Info message
+
+let note ?span message = { note_span = span; note_message = message }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+(* Spanned diagnostics first, in source order; span-less ones keep
+   their emission order at the end. *)
+let compare a b =
+  match a.span, b.span with
+  | Some sa, Some sb -> (
+    match Span.compare sa sb with
+    | 0 -> String.compare a.code b.code
+    | c -> c)
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> 0
+
+let max_severity diags =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.severity
+      | Some s ->
+        Some (if severity_rank d.severity > severity_rank s then d.severity else s))
+    None diags
+
+let exit_code diags =
+  match max_severity diags with
+  | Some Error -> 2
+  | Some Warning -> 1
+  | Some Info | None -> 0
+
+let pp_note ppf n =
+  match n.note_span with
+  | Some s -> Format.fprintf ppf "  note: %a: %s" Span.pp s n.note_message
+  | None -> Format.fprintf ppf "  note: %s" n.note_message
+
+let pp_text ppf d =
+  (match d.span with
+  | Some s ->
+    Format.fprintf ppf "%a: %s[%s]: %s" Span.pp s
+      (severity_to_string d.severity) d.code d.message
+  | None ->
+    Format.fprintf ppf "%s[%s]: %s" (severity_to_string d.severity) d.code
+      d.message);
+  List.iter (fun n -> Format.fprintf ppf "@\n%a" pp_note n) d.notes
+
+let render_text diags =
+  Format.asprintf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+       pp_text)
+    diags
+
+(* Hand-rolled JSON: the repo carries no JSON dependency (same choice
+   as lib/obs's chrome-trace writer). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let span_to_json = function
+  | None -> "null"
+  | Some (s : Span.t) ->
+    Printf.sprintf
+      "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"end_line\":%d,\"end_col\":%d}"
+      (json_escape s.Span.file) s.Span.start_line s.Span.start_col
+      s.Span.end_line s.Span.end_col
+
+let note_to_json n =
+  Printf.sprintf "{\"span\":%s,\"message\":\"%s\"}" (span_to_json n.note_span)
+    (json_escape n.note_message)
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"span\":%s,\"message\":\"%s\",\"notes\":[%s]}"
+    (json_escape d.code)
+    (severity_to_string d.severity)
+    (span_to_json d.span) (json_escape d.message)
+    (String.concat "," (List.map note_to_json d.notes))
+
+let render_json diags =
+  match diags with
+  | [] -> "[]"
+  | _ ->
+    "[\n  " ^ String.concat ",\n  " (List.map to_json diags) ^ "\n]"

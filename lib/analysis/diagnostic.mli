@@ -1,0 +1,57 @@
+(** Spanned, coded diagnostics — the currency of [wdl check], the
+    loader's warning surface and the CLI's error rendering.
+
+    Every diagnostic carries a stable code ([WDL000]–[WDL041], see
+    docs/ANALYSIS.md for the catalogue), a severity, an optional source
+    {!Wdl_syntax.Span} ([None] for rules that arrived without source
+    text, e.g. over the wire), a message and related-position notes. *)
+
+open Wdl_syntax
+
+type severity = Error | Warning | Info
+
+type note = {
+  note_span : Span.t option;
+  note_message : string;
+}
+
+type t = {
+  code : string;         (** stable, e.g. ["WDL001"] *)
+  severity : severity;
+  span : Span.t option;
+  message : string;
+  notes : note list;     (** related positions, e.g. the other declaration *)
+}
+
+val make :
+  ?span:Span.t -> ?notes:note list -> code:string -> severity:severity ->
+  string -> t
+
+val error : ?span:Span.t -> ?notes:note list -> string -> string -> t
+(** [error code message]. *)
+
+val warning : ?span:Span.t -> ?notes:note list -> string -> string -> t
+val info : ?span:Span.t -> ?notes:note list -> string -> string -> t
+val note : ?span:Span.t -> string -> note
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Source order (spanned before span-less), then code. *)
+
+val max_severity : t list -> severity option
+
+val exit_code : t list -> int
+(** The [wdl check] contract: 2 if any error, 1 if any warning (but no
+    error), 0 otherwise — info never fails a run. *)
+
+val pp_text : Format.formatter -> t -> unit
+(** [file:line:col: severity[CODE]: message] with indented
+    [  note: …] lines. *)
+
+val render_text : t list -> string
+
+val to_json : t -> string
+val render_json : t list -> string
+(** A JSON array of [{code, severity, span, message, notes}] objects;
+    spans are [null] or [{file, line, col, end_line, end_col}]. *)

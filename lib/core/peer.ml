@@ -37,6 +37,7 @@ type t = {
   mutable n_retracted : int;
   mutable n_rejected : int;
   mutable n_errors : int;
+  mutable n_analysis_warnings : int;
   inbox : Message.t Queue.t;
   delegated : int Deleg_tbl.t;  (* (origin, rule) -> installation order *)
   mutable delegated_seq : int;
@@ -87,6 +88,9 @@ let register_metrics t =
     (fun () -> t.n_rejected);
   field "wdl_peer_runtime_errors_total" "Runtime errors reported by stages"
     (fun () -> t.n_errors);
+  field "wdl_analysis_warnings_total"
+    "Static-analysis warnings on rules accepted by this peer" (fun () ->
+      t.n_analysis_warnings);
   field "wdl_peer_trace_events_total"
     "Trace events recorded (including ones beyond the ring's capacity)"
     (fun () -> Trace.count t.trace);
@@ -121,6 +125,7 @@ let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     n_retracted = 0;
     n_rejected = 0;
     n_errors = 0;
+    n_analysis_warnings = 0;
     inbox = Queue.create ();
     delegated = Deleg_tbl.create 16;
     delegated_seq = 0;
@@ -166,6 +171,8 @@ let record_event t e =
     t.n_iterations <- t.n_iterations + iterations
   | Trace.Runtime_errors { errors; _ } ->
     t.n_errors <- t.n_errors + List.length errors
+  | Trace.Analysis_warning _ ->
+    t.n_analysis_warnings <- t.n_analysis_warnings + 1
   | Trace.Stage_start _ | Trace.Fact_inserted _ | Trace.Fact_deleted _
   | Trace.Delegation_pending _ | Trace.Rule_added _ | Trace.Rule_removed _ ->
     ());
@@ -209,6 +216,16 @@ let aggregate_local_error t rule =
        name this peer"
   else None
 
+(* Accepted rules still get a static look: delegation hygiene and
+   redundancy warnings land in the trace (and the
+   wdl_analysis_warnings_total counter), never block installation. *)
+let analysis_warnings t rule =
+  let kind_of rel peer =
+    if peer = t.name then Database.kind t.db rel else None
+  in
+  Wdl_analysis.Analysis.added_rule_warnings ~self:t.name ~kind_of
+    ~existing:(all_rules t) rule
+
 let add_rule t rule =
   match Safety.check_rule rule with
   | Error errs -> Error (Safety.errors_to_string errs)
@@ -219,10 +236,17 @@ let add_rule t rule =
     match stratifies t rule with
     | Error msg -> Error msg
     | Ok () ->
+      let warnings = analysis_warnings t rule in
       t.own_rules <- rule :: t.own_rules;
       t.dirty <- true;
       invalidate_program t;
       record_event t (Trace.Rule_added { peer = t.name; rule });
+      List.iter
+        (fun (d : Wdl_analysis.Diagnostic.t) ->
+          record_event t
+            (Trace.Analysis_warning
+               { peer = t.name; code = d.code; message = d.message }))
+        warnings;
       Ok ())
 
 let remove_rule t rule =
@@ -287,6 +311,26 @@ let load_program t (program : Program.t) =
     | Program.Decl d ->
       if d.Decl.peer <> t.name then
         where (Printf.sprintf "declaration targets peer %s" d.Decl.peer)
+      else if
+        (* A declaration arriving after rules can flip a relation to
+           intensional and silently close a cycle through negation the
+           rules were checked without. Re-check stratification against
+           the candidate kind map before committing the declaration. *)
+        d.Decl.kind = Decl.Intensional && not (intensional t d.Decl.rel)
+        &&
+        match
+          Wdl_eval.Stratify.compute ~self:t.name
+            ~intensional:(fun rel ->
+              rel = d.Decl.rel || intensional t rel)
+            (all_rules t)
+        with
+        | Ok _ -> false
+        | Error _ -> true
+      then
+        where
+          (Format.asprintf "declaring %s intensional would break \
+                            stratification of the installed rules"
+             d.Decl.rel)
       else (
         match Database.declare t.db d with
         | Ok _ ->

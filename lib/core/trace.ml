@@ -13,6 +13,7 @@ type event =
   | Delegation_rejected of { peer : string; src : string; rule : Rule.t; reason : string }
   | Rule_added of { peer : string; rule : Rule.t }
   | Rule_removed of { peer : string; rule : Rule.t }
+  | Analysis_warning of { peer : string; code : string; message : string }
   | Runtime_errors of { peer : string; errors : Wdl_eval.Runtime_error.t list }
 
 type t = {
@@ -67,6 +68,8 @@ let pp_event ppf = function
     Format.fprintf ppf "[%s] rule added: %a" peer Rule.pp rule
   | Rule_removed { peer; rule } ->
     Format.fprintf ppf "[%s] rule removed: %a" peer Rule.pp rule
+  | Analysis_warning { peer; code; message } ->
+    Format.fprintf ppf "[%s] warning[%s]: %s" peer code message
   | Runtime_errors { peer; errors } ->
     Format.fprintf ppf "[%s] %d runtime error(s): %a" peer (List.length errors)
       (Format.pp_print_list
@@ -105,6 +108,7 @@ let to_chrome ?(pid = 0) ~tid t =
           | Delegation_rejected _ -> "delegation_rejected"
           | Rule_added _ -> "rule_added"
           | Rule_removed _ -> "rule_removed"
+          | Analysis_warning _ -> "analysis_warning"
           | Runtime_errors _ -> "runtime_errors"
         in
         { name; cat = "engine"; ph = "i"; ts; pid; tid;

@@ -20,6 +20,7 @@ type event =
   | Delegation_rejected of { peer : string; src : string; rule : Rule.t; reason : string }
   | Rule_added of { peer : string; rule : Rule.t }
   | Rule_removed of { peer : string; rule : Rule.t }
+  | Analysis_warning of { peer : string; code : string; message : string }
   | Runtime_errors of { peer : string; errors : Wdl_eval.Runtime_error.t list }
 
 type t

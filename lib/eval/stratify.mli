@@ -36,3 +36,27 @@ val compute :
 (** [intensional rel] must say whether a local relation name is (or
     would be) intensional; unknown relations auto-create as extensional
     and should answer [false]. *)
+
+(** {1 Dependency introspection}
+
+    The nodes a rule contributes to the stratification graph, exposed
+    so diagnostics (the [WDL010] negative-cycle trace in
+    [Wdl_analysis]) can point at the specific rules closing a cycle
+    instead of only listing the relations involved. *)
+
+type node =
+  | Rel of string  (** one local intensional relation *)
+  | Star           (** a variable relation/peer: any of them *)
+
+val head_node : self:string -> intensional:(string -> bool) -> Atom.t -> node option
+(** The node a rule head derives into, or [None] when it cannot derive
+    locally (remote constant head, or a non-intensional relation). *)
+
+val body_deps :
+  self:string ->
+  intensional:(string -> bool) ->
+  Literal.t list ->
+  (node * bool) list
+(** Nodes read by the locally-evaluated body prefix (literals past a
+    definitely-remote atom never run locally), with [true] marking a
+    dependency under negation. *)

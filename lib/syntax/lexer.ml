@@ -171,7 +171,7 @@ let keyword = function
   | "false" -> BOOL false
   | s -> IDENT s
 
-let next_token st =
+let next_token_sp st =
   skip_ws st;
   let p = pos st in
   let tok =
@@ -222,6 +222,10 @@ let next_token st =
     | Some c when is_ident_start c -> keyword (lex_while st is_ident_char)
     | Some c -> error st (Printf.sprintf "unexpected character %C" c)
   in
+  (tok, p, pos st)
+
+let next_token st =
+  let tok, p, _ = next_token_sp st in
   (tok, p)
 
 let init src = { src; off = 0; line = 1; col = 1 }

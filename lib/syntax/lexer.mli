@@ -36,6 +36,10 @@ val next_token : state -> token * pos
     full token list outlives minor GC cycles and the whole of it gets
     promoted, which made parsing superlinear in input size. *)
 
+val next_token_sp : state -> token * pos * pos
+(** Like {!next_token} but additionally returns the position just past
+    the token — the raw material for source {!Span}s. *)
+
 val tokenize : string -> (token * pos) list
 (** Raises {!Error} on malformed input; the resulting list always ends
     with [EOF]. Convenience for tests — parsing goes through

@@ -1,0 +1,29 @@
+type 'a loc = { node : 'a; span : Span.t }
+
+type rule = {
+  rule : Rule.t;
+  span : Span.t;
+  head_span : Span.t;
+  lit_spans : Span.t list;
+}
+
+type statement =
+  | Decl of Decl.t loc
+  | Fact of Fact.t loc
+  | Rule of rule
+
+type program = statement list
+
+let statement_span = function
+  | Decl { span; _ } | Fact { span; _ } -> span
+  | Rule { span; _ } -> span
+
+let strip_statement = function
+  | Decl { node; _ } -> Program.Decl node
+  | Fact { node; _ } -> Program.Fact node
+  | Rule { rule; _ } -> Program.Rule rule
+
+let strip p = List.map strip_statement p
+
+let lit_span (r : rule) i =
+  List.nth_opt r.lit_spans i |> Option.value ~default:r.span

@@ -6,32 +6,45 @@ exception Error of string * Lexer.pos
    minor collections mid-lex and every cell gets promoted. *)
 type state = {
   lex : Lexer.state;
-  mutable cur : Lexer.token * Lexer.pos;
-  mutable ahead : (Lexer.token * Lexer.pos) option;
+  file : string;
+  mutable cur : Lexer.token * Lexer.pos * Lexer.pos;
+  mutable ahead : (Lexer.token * Lexer.pos * Lexer.pos) option;
+  mutable last_stop : Lexer.pos;
+      (* position just past the last consumed token: the end of the
+         span of whatever construct just finished parsing *)
 }
 
-let peek st = fst st.cur
+let tok3 (t, _, _) = t
+let peek st = tok3 st.cur
 
 let peek2 st =
   match st.ahead with
-  | Some (tok, _) -> tok
+  | Some (tok, _, _) -> tok
   | None ->
-    if fst st.cur = Lexer.EOF then Lexer.EOF
+    if tok3 st.cur = Lexer.EOF then Lexer.EOF
     else begin
-      let t = Lexer.next_token st.lex in
+      let t = Lexer.next_token_sp st.lex in
       st.ahead <- Some t;
-      fst t
+      tok3 t
     end
 
-let cur_pos st = snd st.cur
+let cur_pos st = match st.cur with _, p, _ -> p
 
 let advance st =
+  (match st.cur with _, _, stop -> st.last_stop <- stop);
   match st.ahead with
   | Some t ->
     st.cur <- t;
     st.ahead <- None
   | None ->
-    if fst st.cur <> Lexer.EOF then st.cur <- Lexer.next_token st.lex
+    if tok3 st.cur <> Lexer.EOF then st.cur <- Lexer.next_token_sp st.lex
+
+(* Span of a construct that started at token position [start] and whose
+   last token has just been consumed. *)
+let span_from st (start : Lexer.pos) =
+  Span.make ~file:st.file ~start_line:start.Lexer.line
+    ~start_col:start.Lexer.col ~end_line:st.last_stop.Lexer.line
+    ~end_col:st.last_stop.Lexer.col
 
 let fail st msg = raise (Error (msg, cur_pos st))
 
@@ -235,17 +248,6 @@ let literal st =
           (Format.asprintf "expected a comparison operator but found %a"
              Lexer.pp_token (peek st)))
 
-let body st =
-  let rec go acc =
-    let l = literal st in
-    if peek st = Lexer.COMMA then begin
-      advance st;
-      go (l :: acc)
-    end
-    else List.rev (l :: acc)
-  in
-  go []
-
 let ident st what =
   match peek st with
   | Lexer.IDENT s -> advance st; s
@@ -267,19 +269,50 @@ let fact_of_atom st a =
   | Some f -> f
   | None -> fail st "a fact must be ground (no variables)"
 
-let statement st =
+(* Body with one span per literal. *)
+let body_sp st =
+  let rec go acc =
+    let start = cur_pos st in
+    let l = literal st in
+    let sp = span_from st start in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      go ((l, sp) :: acc)
+    end
+    else List.rev ((l, sp) :: acc)
+  in
+  go []
+
+let rule_tail st ~start ~head_span head aggs =
+  let lits = body_sp st in
+  let body = List.map fst lits and lit_spans = List.map snd lits in
+  {
+    Located.rule = Rule.make_agg ~aggs ~head ~body;
+    span = span_from st start;
+    head_span;
+    lit_spans;
+  }
+
+let statement_sp st =
+  let start = cur_pos st in
   match peek st with
-  | Lexer.KW_EXT -> Program.Decl (decl st Decl.Extensional)
-  | Lexer.KW_INT -> Program.Decl (decl st Decl.Intensional)
+  | Lexer.KW_EXT ->
+    let d = decl st Decl.Extensional in
+    Located.Decl { Located.node = d; span = span_from st start }
+  | Lexer.KW_INT ->
+    let d = decl st Decl.Intensional in
+    Located.Decl { Located.node = d; span = span_from st start }
   | _ ->
     let head, aggs = head_atom st in
+    let head_span = span_from st start in
     if peek st = Lexer.COLONDASH then begin
       advance st;
-      let b = body st in
-      Program.Rule (Rule.make_agg ~aggs ~head ~body:b)
+      Located.Rule (rule_tail st ~start ~head_span head aggs)
     end
     else if aggs <> [] then fail st "a fact cannot contain aggregates"
-    else Program.Fact (fact_of_atom st head)
+    else
+      Located.Fact
+        { Located.node = fact_of_atom st head; span = span_from st start }
 
 let program_toks st =
   let rec go acc =
@@ -289,7 +322,7 @@ let program_toks st =
       advance st;
       go acc
     | _ ->
-      let s = statement st in
+      let s = statement_sp st in
       (match peek st with
       | Lexer.SEMI -> advance st
       | Lexer.EOF -> ()
@@ -301,11 +334,15 @@ let program_toks st =
   in
   go []
 
-let with_state src f =
+let with_state ?(file = "<string>") src f =
   (* Lexer errors can now surface at any pull, not just up front. *)
   try
     let lex = Lexer.init src in
-    let st = { lex; cur = Lexer.next_token lex; ahead = None } in
+    let start = { Lexer.line = 1; col = 1 } in
+    let st =
+      { lex; file; cur = Lexer.next_token_sp lex; ahead = None;
+        last_stop = start }
+    in
     let x = f st in
     (match peek st with
     | Lexer.EOF -> ()
@@ -315,15 +352,20 @@ let with_state src f =
     x
   with Lexer.Error (msg, p) -> raise (Error (msg, p))
 
-let parse_program src = with_state src program_toks
+let parse_program_located ?file src = with_state ?file src program_toks
+let parse_program src = Located.strip (parse_program_located src)
 
-let parse_rule src =
-  with_state src (fun st ->
+let parse_rule_located ?file src =
+  with_state ?file src (fun st ->
+      let start = cur_pos st in
       let head, aggs = head_atom st in
+      let head_span = span_from st start in
       expect st Lexer.COLONDASH "':-'";
-      let b = body st in
+      let r = rule_tail st ~start ~head_span head aggs in
       if peek st = Lexer.SEMI then advance st;
-      Rule.make_agg ~aggs ~head ~body:b)
+      r)
+
+let parse_rule src = (parse_rule_located src).Located.rule
 
 let parse_fact src =
   with_state src (fun st ->
@@ -343,3 +385,8 @@ let wrap f src =
 let program src = wrap parse_program src
 let rule src = wrap parse_rule src
 let fact src = wrap parse_fact src
+
+let program_located ?file src =
+  match parse_program_located ?file src with
+  | p -> Ok p
+  | exception Error (msg, p) -> Result.Error (msg, p)

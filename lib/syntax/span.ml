@@ -1,0 +1,46 @@
+type t = {
+  file : string;
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;
+}
+
+let make ~file ~start_line ~start_col ~end_line ~end_col =
+  { file; start_line; start_col; end_line; end_col }
+
+let point ~file ~line ~col =
+  { file; start_line = line; start_col = col; end_line = line; end_col = col }
+
+let join a b =
+  {
+    file = a.file;
+    start_line = a.start_line;
+    start_col = a.start_col;
+    end_line = b.end_line;
+    end_col = b.end_col;
+  }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.start_line b.start_line with
+    | 0 -> (
+      match Int.compare a.start_col b.start_col with
+      | 0 -> (
+        match Int.compare a.end_line b.end_line with
+        | 0 -> Int.compare a.end_col b.end_col
+        | c -> c)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf s = Format.fprintf ppf "%s:%d:%d" s.file s.start_line s.start_col
+
+let pp_range ppf s =
+  if s.start_line = s.end_line then
+    Format.fprintf ppf "%s:%d:%d-%d" s.file s.start_line s.start_col s.end_col
+  else
+    Format.fprintf ppf "%s:%d:%d-%d:%d" s.file s.start_line s.start_col
+      s.end_line s.end_col

@@ -1,0 +1,40 @@
+(** Source spans: a half-open region of one source file, 1-based lines
+    and columns. Threaded from the lexer through the parser onto
+    {!Located} statements so that every diagnostic can carry a
+    [file:line:col] position. *)
+
+type t = {
+  file : string;
+  start_line : int;
+  start_col : int;
+  end_line : int;
+  end_col : int;  (** exclusive: the column just past the last token *)
+}
+
+val make :
+  file:string ->
+  start_line:int ->
+  start_col:int ->
+  end_line:int ->
+  end_col:int ->
+  t
+
+val point : file:string -> line:int -> col:int -> t
+(** A zero-width span (used for lexer/parser error positions). *)
+
+val join : t -> t -> t
+(** [join a b] spans from the start of [a] to the end of [b]; the file
+    is taken from [a]. *)
+
+val compare : t -> t -> int
+(** Lexicographic: file, then start, then end — the order diagnostics
+    are reported in. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col] — the start position only, the form editors jump
+    to. *)
+
+val pp_range : Format.formatter -> t -> unit
+(** [file:l:c-c] or [file:l:c-l:c] for multi-line spans. *)

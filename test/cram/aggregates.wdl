@@ -1,4 +1,5 @@
 // Aggregation over a toy sales relation.
+ext sales@local(city, amount);
 int perCity@local(city, total, best);
 int overall@local(n, avgAmount);
 sales@local("paris", 10);

@@ -1,0 +1,115 @@
+`wdl check` runs the static analyzer (docs/ANALYSIS.md) over programs
+and exits 0 when clean, 1 on warnings, 2 on errors. A clean, fully
+local program prints nothing:
+
+  $ wdl check tc.wdl
+
+Info-level reports (the WDL030 delegation-boundary report) are printed
+but never affect the exit code:
+
+  $ wdl check jules.wdl
+  jules.wdl:6:3: info[WDL030]: delegation boundary at body literal 2: evaluation suspends here and ships the residual rule to the peer bound to $attendee, carrying bindings of $attendee
+
+Warnings exit 1. An undeclared relation and a declared-but-unused one:
+
+  $ cat > warn.wdl <<'EOF'
+  > int out@local(x);
+  > ext spare@local(a, b);
+  > helper@local(1);
+  > out@local($x) :- helper@local($x);
+  > EOF
+  $ wdl check warn.wdl
+  warn.wdl:2:1: warning[WDL021]: relation spare@local is declared but never used by any fact or rule
+  warn.wdl:3:1: warning[WDL020]: relation helper@local is never declared; it will be auto-created as extensional on first insertion
+  [1]
+
+Errors exit 2. A kind conflict, with a note pointing at the first
+declaration:
+
+  $ cat > err.wdl <<'EOF'
+  > ext r@local(a);
+  > int r@local(a);
+  > r@local(1);
+  > EOF
+  $ wdl check err.wdl
+  err.wdl:2:1: error[WDL008]: relation r@local redeclared as int (it is ext)
+    note: err.wdl:1:1: first declared here
+  [2]
+
+Parse errors are WDL000 with a position:
+
+  $ echo 'v@p($x :- a@p($x);' > bad.wdl
+  $ wdl check bad.wdl
+  bad.wdl:1:8: error[WDL000]: expected ')' but found :-
+  [2]
+
+Delegation lints: a body order that ships local literals to a remote
+peer and back earns a reorder hint (WDL031), and a peer variable bound
+by an undeclared relation is flagged as an open-ended delegation
+target (WDL032):
+
+  $ cat > deleg.wdl <<'EOF'
+  > ext addr@local(peer);
+  > int out@local(x, y);
+  > out@local($x, $y) :- data@remote($x), local_info@local($y), bound@local($x, $y);
+  > out@local($x, $x) :- book@local($p), data@$p($x);
+  > EOF
+  $ wdl check deleg.wdl
+  deleg.wdl:1:1: warning[WDL021]: relation addr@local is declared but never used by any fact or rule
+  deleg.wdl:3:22: info[WDL030]: delegation boundary at body literal 1: evaluation suspends here and ships the residual rule to peer remote, carrying bindings of nothing
+  deleg.wdl:3:22: warning[WDL031]: body order ships 2 literal(s) that local could evaluate locally; reorder the body as `local_info@local($y), bound@local($x, $y), data@remote($x)`
+    note: shipped bindings: nothing now, $y, $x after reordering
+    note: after reordering the residual mentions only remote, so it evaluates there without further delegation
+  deleg.wdl:3:39: warning[WDL020]: relation local_info@local is never declared; it will be auto-created as extensional on first insertion
+  deleg.wdl:3:39: warning[WDL022]: rule can never fire: local_info@local is never declared, asserted or derived, so this atom matches nothing
+  deleg.wdl:3:61: warning[WDL020]: relation bound@local is never declared; it will be auto-created as extensional on first insertion
+  deleg.wdl:4:22: warning[WDL020]: relation book@local is never declared; it will be auto-created as extensional on first insertion
+  deleg.wdl:4:22: warning[WDL022]: rule can never fire: book@local is never declared, asserted or derived, so this atom matches nothing
+  deleg.wdl:4:38: info[WDL030]: delegation boundary at body literal 2: evaluation suspends here and ships the residual rule to the peer bound to $p, carrying bindings of $p
+  deleg.wdl:4:38: warning[WDL032]: delegation target $p is open-ended: it is bound by the undeclared relation book@local; any peer it names receives the residual rule and the bindings it carries
+    note: deleg.wdl:4:22: the peer variable is bound here
+  [1]
+
+The same program analyzed as a different peer moves the boundary:
+
+  $ wdl check --peer remote deleg.wdl
+  deleg.wdl:1:1: warning[WDL021]: relation addr@local is declared but never used by any fact or rule
+  deleg.wdl:3:22: warning[WDL020]: relation data@remote is never declared; it will be auto-created as extensional on first insertion
+  deleg.wdl:3:22: warning[WDL022]: rule can never fire: data@remote is never declared, asserted or derived, so this atom matches nothing
+  deleg.wdl:3:39: warning[WDL020]: relation local_info@local is never declared; it will be auto-created as extensional on first insertion
+  deleg.wdl:3:39: info[WDL030]: delegation boundary at body literal 2: evaluation suspends here and ships the residual rule to peer local, carrying bindings of $x
+  deleg.wdl:3:61: warning[WDL020]: relation bound@local is never declared; it will be auto-created as extensional on first insertion
+  deleg.wdl:4:22: warning[WDL020]: relation book@local is never declared; it will be auto-created as extensional on first insertion
+  deleg.wdl:4:22: warning[WDL022]: rule can never fire: book@local is never declared, asserted or derived, so this atom matches nothing
+  deleg.wdl:4:22: info[WDL030]: delegation boundary at body literal 1: evaluation suspends here and ships the residual rule to peer local, carrying bindings of nothing
+  [1]
+
+Stratification failures carry the negative cycle and the rules closing
+it:
+
+  $ cat > cycle.wdl <<'EOF'
+  > int win@local(x);
+  > ext move@local(x, y);
+  > win@local($x) :- move@local($x, $y), not win@local($y);
+  > EOF
+  $ wdl check cycle.wdl
+  cycle.wdl:3:1: error[WDL010]: rules do not stratify: negation cycle through relation(s) win
+    note: cycle.wdl:3:1: this rule derives win and reads not win
+  [2]
+
+JSON output for tooling (the CI lint gate uploads this):
+
+  $ wdl check --format json err.wdl
+  [
+    {"code":"WDL008","severity":"error","span":{"file":"err.wdl","line":2,"col":1,"end_line":2,"end_col":15},"message":"relation r@local redeclared as int (it is ext)","notes":[{"span":{"file":"err.wdl","line":1,"col":1,"end_line":1,"end_col":15},"message":"first declared here"}]}
+  ]
+  [2]
+
+Multiple files aggregate to the worst exit code:
+
+  $ wdl check tc.wdl warn.wdl err.wdl
+  warn.wdl:2:1: warning[WDL021]: relation spare@local is declared but never used by any fact or rule
+  warn.wdl:3:1: warning[WDL020]: relation helper@local is never declared; it will be auto-created as extensional on first insertion
+  err.wdl:2:1: error[WDL008]: relation r@local redeclared as int (it is ext)
+    note: err.wdl:1:1: first declared here
+  [2]

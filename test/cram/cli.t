@@ -1,6 +1,7 @@
 The wdl CLI drives every demo surface. Parse + pretty-print:
 
   $ wdl parse tc.wdl
+  ext edge@local(src, dst);
   int tc@local(x, y);
   edge@local(1, 2);
   edge@local(2, 3);
@@ -12,7 +13,7 @@ Reject unsafe programs with a position:
 
   $ echo 'v@p($x) :- a@p($y);' > unsafe.wdl
   $ wdl parse unsafe.wdl
-  unsafe program: head variable $x is not bound by the body
+  unsafe.wdl:1:1: error[WDL001]: head variable $x is not bound by the body
   [1]
 
 Single-peer fixpoint:
@@ -115,6 +116,7 @@ Why-provenance in the repl:
 Canonical formatting:
 
   $ wdl fmt tc.wdl
+  ext edge@local(src, dst);
   int tc@local(x, y);
   edge@local(1, 2);
   edge@local(2, 3);
@@ -174,6 +176,8 @@ deterministic (histograms print observation counts, not durations):
 
   $ wdl simulate --metrics Jules=jules.wdl Emilien=emilien.wdl | sed -n '/=== metrics ===/,$p'
   === metrics ===
+  wdl_analysis_warnings_total{peer="Emilien"} 0
+  wdl_analysis_warnings_total{peer="Jules"} 0
   wdl_eval_delta_size{peer="Emilien"} count=0
   wdl_eval_delta_size{peer="Jules"} count=0
   wdl_eval_iterations{peer="Emilien"} count=2

@@ -1,3 +1,4 @@
+ext edge@local(src, dst);
 int tc@local(x, y);
 edge@local(1, 2);
 edge@local(2, 3);
