@@ -1395,12 +1395,339 @@ let net_smoke () =
     exit 1
   end
 
+(* {1 CHAOS: peer lifecycle under churn, loss, crashes and overload}
+
+   The album scenario run with the failure detector on and a reliable
+   session layer wired into the system lifecycle, while a scripted
+   deterministic schedule injects faults: two of five peers (40%
+   churn) crash mid-run and recover from their journals, a partition
+   opens and heals, messages are lost and duplicated, and inserts keep
+   landing throughout — including on peers that are down (deferred to
+   their rejoin, as a returning laptop's owner would).  The end state
+   must be byte-identical to a fault-free in-memory oracle given the
+   same inserts.  A second phase overloads a bounded-inbox consumer
+   (shed policies) and a congested bounded-window link (block-sender
+   backpressure).  Emits BENCH_chaos.json. *)
+
+let chaos_attendee_dirs base = List.map (fun a -> (a, Filename.concat base a))
+
+let chaos_load sys =
+  ft_load sys;
+  (* A queryable membership view, and a hub-owned rule feeding a dead
+     peer's extensional relation (exercises dead-lettering: the hub
+     keeps deriving inbox facts while bob is down). *)
+  ok
+    (Peer.load_string (System.peer sys "sigmod")
+       "ext sys_peers@sigmod(name, status);");
+  ok (Peer.load_string (System.peer sys "bob") "ext inbox@bob(id, name);");
+  ok
+    (Peer.load_string (System.peer sys "sigmod")
+       "inbox@bob($i, $n) :- album@sigmod($i, $n, $o);")
+
+let chaos_insert sys a id =
+  ok
+    (Peer.insert (System.peer sys a)
+       (Fact.make ~rel:"pictures" ~peer:a
+          [ Value.Int id; Value.String (Printf.sprintf "%s_%d.jpg" a id) ]))
+
+(* Every insert the schedule performs, in schedule order: the oracle
+   applies them all to a fault-free system. *)
+let chaos_inserts =
+  [ ("alice", 101); ("bob", 102); ("carol", 103); ("dave", 104);
+    ("alice", 105); ("bob", 106); ("carol", 107); ("dave", 108);
+    ("bob", 109) ]
+
+let chaos_expected () =
+  let sys =
+    System.create
+      ~transport:(Wdl_net.Inmem.create ~sizer:Webdamlog.Message.size ())
+      ~drop_unknown:true ()
+  in
+  chaos_load sys;
+  ignore (ok (System.run sys));
+  List.iter (fun (a, id) -> chaos_insert sys a id) chaos_inserts;
+  ignore (ok (System.run sys));
+  System.sync_members sys;
+  ignore (ok (System.run sys));
+  ft_dump sys
+
+type chaos_outcome = {
+  co_converged : bool;
+  co_matched : bool;
+  co_rounds : int;
+  co_evictions : int;
+  co_dead_lettered : int;
+  co_parked : int;  (* dead letters still parked at the end: must be 0 *)
+  co_retransmits : int;
+  co_dup_dropped : int;
+  co_errors : int;
+  co_wall_ms : float;
+}
+
+let chaos_churn ~seed ~loss ~duplicate () =
+  let t0 = Wdl_obs.Obs.now_us () in
+  let base = Filename.temp_file "wdl_chaos" "" in
+  Sys.remove base;
+  Sys.mkdir base 0o755;
+  let dirs = chaos_attendee_dirs base ft_attendees in
+  let dir_of a = List.assoc a dirs in
+  let inner, net =
+    Simnet.create_with_control ~sizer:envelope_sizer ~seed ~loss ~duplicate ()
+  in
+  let config =
+    { Reliable.default_config with
+      rto = 2.0; max_rto = 8.0; max_attempts = 5; max_window = 64;
+      max_held = 256 }
+  in
+  let transport, rctl = Reliable.wrap ~config inner in
+  let sys =
+    System.create ~transport ~drop_unknown:false
+      ~membership:
+        { Webdamlog.Membership.suspect_after = 5; dead_after = 10;
+          probe_every = 3 }
+      ()
+  in
+  System.wire_reliable sys rctl;
+  chaos_load sys;
+  let run_ok n = match System.run ~max_rounds:n sys with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  let converged = ref (run_ok 2000) in
+  (* Checkpoint every attendee once settled: crash recovery replays the
+     journal on top of this snapshot. *)
+  List.iter
+    (fun a ->
+      Webdamlog.Persist.attach (System.peer sys a) ~dir:(dir_of a);
+      Webdamlog.Persist.checkpoint (System.peer sys a) ~dir:(dir_of a))
+    ft_attendees;
+  let down = Hashtbl.create 4 in
+  let deferred : (string, int list) Hashtbl.t = Hashtbl.create 4 in
+  let insert a id =
+    if Hashtbl.mem down a then
+      Hashtbl.replace deferred a
+        (id :: Option.value ~default:[] (Hashtbl.find_opt deferred a))
+    else chaos_insert sys a id
+  in
+  let crash a =
+    Simnet.crash net a;
+    System.remove_peer sys a;
+    Hashtbl.replace down a ()
+  in
+  let recover a =
+    match Webdamlog.Persist.recover ~dir:(dir_of a) ~fallback_name:a () with
+    | Error e ->
+      pf "chaos: recovery of %s failed: %s@." a e;
+      converged := false
+    | Ok p ->
+      Simnet.restart net a;
+      System.adopt_peer sys p;
+      Hashtbl.remove down a;
+      List.iter (insert a)
+        (List.rev (Option.value ~default:[] (Hashtbl.find_opt deferred a)));
+      Hashtbl.remove deferred a
+  in
+  let events =
+    [ (2, fun () -> insert "alice" 101);
+      (4, fun () -> crash "bob");
+      (6, fun () -> insert "bob" 102);
+      (8, fun () -> Simnet.partition net ~between:"sigmod" ~and_:"carol");
+      (9, fun () -> insert "carol" 103);
+      (10, fun () -> crash "dave");
+      (12, fun () -> insert "dave" 104);
+      (16, fun () -> insert "alice" 105);
+      (18, fun () -> Simnet.heal net ~between:"sigmod" ~and_:"carol");
+      (20, fun () -> insert "bob" 106);
+      (24, fun () -> recover "bob");
+      (26, fun () -> insert "carol" 107);
+      (30, fun () -> recover "dave");
+      (32, fun () -> insert "dave" 108);
+      (34, fun () -> insert "bob" 109) ]
+  in
+  for s = 1 to 40 do
+    List.iter (fun (r, f) -> if r = s then f ()) events;
+    ignore (System.round sys)
+  done;
+  converged := !converged && run_ok 3000;
+  System.sync_members sys;
+  converged := !converged && run_ok 500;
+  let stats = (System.transport sys).Wdl_net.Transport.stats () in
+  {
+    co_converged = !converged;
+    co_matched = ft_dump sys = chaos_expected ();
+    co_rounds = System.rounds sys;
+    co_evictions = System.evictions sys;
+    co_dead_lettered = System.dead_lettered sys;
+    co_parked = System.dead_letters sys;
+    co_retransmits = stats.Wdl_net.Netstats.retransmits;
+    co_dup_dropped = stats.Wdl_net.Netstats.dup_dropped;
+    co_errors = System.transport_errors sys;
+    co_wall_ms = (Wdl_obs.Obs.now_us () -. t0) /. 1e3;
+  }
+
+type overload_outcome = {
+  ov_sheds : int;
+  ov_max_depth : int;
+  ov_capacity : int;
+  ov_producers : int;
+  ov_quiesced : bool;
+  ov_stalls : int;  (* block-sender: sends parked by the bounded window *)
+  ov_burst : int;
+  ov_burst_delivered : int;
+}
+
+(* Eight producers each push one message per round at a consumer whose
+   inbox holds four: the excess is shed (Drop_oldest keeps the freshest)
+   and the depth never exceeds the bound.  Then the third policy,
+   block-sender: a burst through a reliable link with a two-envelope
+   send window parks the excess instead of dropping it, and everything
+   is still delivered once acks open the window. *)
+let chaos_overload () =
+  let capacity = 4 and producers = 8 in
+  let sys = System.create () in
+  let cons =
+    System.add_peer sys ~inbox_capacity:capacity
+      ~shed:Webdamlog.Peer.Drop_oldest "hub"
+  in
+  ok (Peer.load_string cons "ext seen@hub(src, x);");
+  let prods =
+    List.init producers (fun i ->
+        let name = Printf.sprintf "p%d" i in
+        let p = System.add_peer sys name in
+        ok
+          (Peer.load_string p
+             (Printf.sprintf "ext src@%s(x);\nseen@hub(%S, $x) :- src@%s($x);"
+                name name name));
+        p)
+  in
+  let max_depth = ref 0 in
+  for round = 1 to 12 do
+    List.iteri
+      (fun i p ->
+        ok
+          (Peer.insert p
+             (Fact.make ~rel:"src" ~peer:(Peer.name p)
+                [ Value.Int ((round * 100) + i) ])))
+      prods;
+    ignore (System.round sys);
+    max_depth := max !max_depth (Peer.inbox_length cons)
+  done;
+  let quiesced = match System.run sys with Ok _ -> true | Error _ -> false in
+  let inner = Wdl_net.Inmem.create ~sizer:envelope_sizer () in
+  let config = { Reliable.default_config with rto = 2.0; max_window = 2 } in
+  let transport, rctl = Reliable.wrap ~config inner in
+  let burst = 10 in
+  for i = 1 to burst do
+    transport.Wdl_net.Transport.send ~src:"p" ~dst:"q"
+      (Webdamlog.Message.make ~src:"p" ~dst:"q" ~stage:i ~facts:None
+         ~installs:[] ~retracts:[] ())
+  done;
+  let delivered = ref 0 and steps = ref 0 in
+  while transport.Wdl_net.Transport.pending () > 0 && !steps < 200 do
+    incr steps;
+    transport.Wdl_net.Transport.advance 1.0;
+    delivered := !delivered + List.length (transport.Wdl_net.Transport.drain "q");
+    ignore (transport.Wdl_net.Transport.drain "p")
+  done;
+  {
+    ov_sheds = Peer.sheds cons;
+    ov_max_depth = !max_depth;
+    ov_capacity = capacity;
+    ov_producers = producers;
+    ov_quiesced = quiesced;
+    ov_stalls = (Reliable.stats rctl).Wdl_net.Netstats.stalled;
+    ov_burst = burst;
+    ov_burst_delivered = !delivered;
+  }
+
+let chaos_write_json ~loss ~duplicate co ov =
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"chaos\",\n  \"schema\": 1,\n\
+    \  \"churn\": { \"peers\": %d, \"crashed\": 2, \"churn_pct\": %.1f,\n\
+    \             \"loss\": %.2f, \"duplicate\": %.2f, \"rounds\": %d,\n\
+    \             \"converged\": %b, \"matched\": %b, \"evictions\": %d,\n\
+    \             \"dead_lettered\": %d, \"dead_letters_parked\": %d,\n\
+    \             \"retransmits\": %d, \"dup_dropped\": %d,\n\
+    \             \"wall_ms\": %.3f },\n\
+    \  \"overload\": { \"producers\": %d, \"inbox_capacity\": %d,\n\
+    \                \"sheds\": %d, \"max_inbox_depth\": %d,\n\
+    \                \"quiesced\": %b, \"window_stalls\": %d,\n\
+    \                \"burst\": %d, \"burst_delivered\": %d }\n}\n"
+    (1 + List.length ft_attendees)
+    (200.0 /. float_of_int (1 + List.length ft_attendees))
+    loss duplicate co.co_rounds co.co_converged co.co_matched co.co_evictions
+    co.co_dead_lettered co.co_parked co.co_retransmits co.co_dup_dropped
+    co.co_wall_ms ov.ov_producers ov.ov_capacity ov.ov_sheds ov.ov_max_depth
+    ov.ov_quiesced ov.ov_stalls ov.ov_burst ov.ov_burst_delivered;
+  close_out oc;
+  pf "wrote BENCH_chaos.json@."
+
+let chaos () =
+  header "CHAOS  lifecycle robustness under churn/loss/crash/overload";
+  pf "%-28s %8s %6s %8s %11s %9s %8s %12s@." "variant" "rounds" "evict"
+    "deadltr" "retransmit" "dup_drop" "matched" "time";
+  let outcomes =
+    List.map
+      (fun (label, seed, loss, duplicate) ->
+        let co = chaos_churn ~seed ~loss ~duplicate () in
+        pf "%-28s %8d %6d %8d %11d %9d %8b %10.1fms@." label co.co_rounds
+          co.co_evictions co.co_dead_lettered co.co_retransmits
+          co.co_dup_dropped co.co_matched co.co_wall_ms;
+        (label, loss, duplicate, co))
+      [ ("churn 25%loss+10%dup", 11, 0.25, 0.10);
+        ("churn 40%loss", 23, 0.40, 0.0); ("churn clean", 5, 0.0, 0.0) ]
+  in
+  let ov = chaos_overload () in
+  pf "overload: %d producers -> capacity %d inbox: shed %d, peak depth %d@."
+    ov.ov_producers ov.ov_capacity ov.ov_sheds ov.ov_max_depth;
+  pf "block-sender: burst %d through window 2: %d stalls, %d delivered@."
+    ov.ov_burst ov.ov_stalls ov.ov_burst_delivered;
+  match outcomes with
+  | (_, loss, duplicate, co) :: _ -> chaos_write_json ~loss ~duplicate co ov
+  | [] -> ()
+
+(* Deterministic reduced run for the cram suite and CI: fixed seed, no
+   timing in the output, exit 1 on any failed check. *)
+let chaos_smoke () =
+  let failures = ref 0 in
+  let check label ok_ =
+    if not ok_ then incr failures;
+    pf "%-46s %s@." label (if ok_ then "ok" else "FAIL")
+  in
+  pf "CHAOS-SMOKE churn/crash/overload robustness (deterministic)@.";
+  let loss = 0.25 and duplicate = 0.10 in
+  let co = chaos_churn ~seed:11 ~loss ~duplicate () in
+  check "40% churn + faults converged" co.co_converged;
+  check "state byte-identical to fault-free oracle" co.co_matched;
+  check "dead peers evicted" (co.co_evictions >= 2);
+  check "messages to dead peers dead-lettered"
+    (co.co_dead_lettered > 0);
+  check "dead letters flushed on rejoin" (co.co_parked = 0);
+  check "retransmits nonzero" (co.co_retransmits > 0);
+  check "dup_dropped nonzero" (co.co_dup_dropped > 0);
+  check "round loop saw no transport exceptions" (co.co_errors = 0);
+  let ov = chaos_overload () in
+  check "bounded inbox shed under overload" (ov.ov_sheds > 0);
+  check "inbox depth stayed within capacity"
+    (ov.ov_max_depth > 0 && ov.ov_max_depth <= ov.ov_capacity);
+  check "overloaded system still quiesced" ov.ov_quiesced;
+  check "bounded window stalled the sender"
+    (ov.ov_stalls > 0);
+  check "stalled burst fully delivered" (ov.ov_burst_delivered = ov.ov_burst);
+  chaos_write_json ~loss ~duplicate co ov;
+  if !failures = 0 then pf "CHAOS-SMOKE passed@."
+  else begin
+    pf "CHAOS-SMOKE: %d check(s) failed@." !failures;
+    exit 1
+  end
+
 let experiments =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("a1", a1); ("a2", a2); ("f2", f2); ("f3", f3); ("d1", d1);
     ("d3", d3); ("d4", d4); ("ft", ft); ("ft-smoke", ft_smoke); ("obs", obs);
     ("eval", eval); ("eval-smoke", eval_smoke); ("net", net);
-    ("net-smoke", net_smoke) ]
+    ("net-smoke", net_smoke); ("chaos", chaos); ("chaos-smoke", chaos_smoke) ]
 
 let () =
   let requested =

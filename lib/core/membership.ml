@@ -1,0 +1,135 @@
+(* Per-system membership view driven by piggy-backed liveness: any
+   message drained from a peer counts as a heartbeat, peers hosted by
+   this system are refreshed every round, and silence beyond the
+   configured thresholds moves a name through alive -> suspect -> dead.
+   The module is pure bookkeeping — the [System] round loop feeds it
+   and acts on the transitions it reports. *)
+
+type status = Alive | Suspect | Dead
+
+let status_string = function
+  | Alive -> "alive"
+  | Suspect -> "suspect"
+  | Dead -> "dead"
+
+type config = {
+  suspect_after : int;
+  dead_after : int;
+  probe_every : int;
+}
+
+(* Detection off: silence alone never demotes anyone.  Explicit death
+   signals (Reliable give-up, eviction) still work — this keeps the
+   long-lived [wdl serve] deployment safe by default, where a remote
+   peer that has not started yet must not be declared dead. *)
+let default_config =
+  { suspect_after = max_int; dead_after = max_int; probe_every = 0 }
+
+type entry = {
+  mutable last_heard : int;
+  mutable last_probed : int;
+  mutable e_status : status;
+  mutable registered : bool;
+}
+
+type t = {
+  config : config;
+  members : (string, entry) Hashtbl.t;
+  mutable transitions : int;  (* monotone, for the metrics registry *)
+}
+
+let create ?(config = default_config) () =
+  { config; members = Hashtbl.create 16; transitions = 0 }
+
+let config t = t.config
+let transitions t = t.transitions
+
+let entry t ~round name =
+  match Hashtbl.find_opt t.members name with
+  | Some e -> e
+  | None ->
+    let e =
+      { last_heard = round; last_probed = round; e_status = Alive;
+        registered = false }
+    in
+    Hashtbl.add t.members name e;
+    e
+
+let track t ~round ?(registered = false) name =
+  let e = entry t ~round name in
+  if registered then e.registered <- true
+
+let set_registered t name b =
+  match Hashtbl.find_opt t.members name with
+  | Some e -> e.registered <- b
+  | None -> ()
+
+let forget t name = Hashtbl.remove t.members name
+
+let status t name =
+  Option.map (fun e -> e.e_status) (Hashtbl.find_opt t.members name)
+
+let view t =
+  Hashtbl.fold (fun name e acc -> (name, e.e_status) :: acc) t.members []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let count t st =
+  Hashtbl.fold
+    (fun _ e acc -> if e.e_status = st then acc + 1 else acc)
+    t.members 0
+
+let transition t name e st =
+  e.e_status <- st;
+  t.transitions <- t.transitions + 1;
+  (name, st)
+
+(* A message (or registration) from [name] proves it alive; returns the
+   transition when that revives a suspect or dead entry. *)
+let heard t ~round name =
+  let e = entry t ~round name in
+  e.last_heard <- round;
+  if e.e_status <> Alive then Some (transition t name e Alive) else None
+
+(* An out-of-band death signal (reliable link give-up, explicit
+   eviction).  Registered peers are hosted in-process and demonstrably
+   alive, so a dead *link* to one only makes it suspect. *)
+let mark_dead t ~round name =
+  let e = entry t ~round name in
+  match e.e_status with
+  | Dead -> None
+  | Suspect when e.registered -> None
+  | Alive when e.registered -> Some (transition t name e Suspect)
+  | Alive | Suspect -> Some (transition t name e Dead)
+
+(* One round of the failure detector: refresh registered (in-process)
+   peers, demote silent remote names past their thresholds, and pick
+   the names due a heartbeat probe. *)
+let tick t ~round =
+  let changed = ref [] in
+  let probes = ref [] in
+  Hashtbl.iter
+    (fun name e ->
+      if e.registered then e.last_heard <- round
+      else begin
+        let silence = round - e.last_heard in
+        (match e.e_status with
+        | Dead -> ()
+        | Alive when silence >= t.config.dead_after ->
+          changed := transition t name e Dead :: !changed
+        | Suspect when silence >= t.config.dead_after ->
+          changed := transition t name e Dead :: !changed
+        | Alive when silence >= t.config.suspect_after ->
+          changed := transition t name e Suspect :: !changed
+        | Alive | Suspect -> ());
+        if
+          t.config.probe_every > 0
+          && e.e_status <> Dead
+          && silence >= t.config.probe_every
+          && round - e.last_probed >= t.config.probe_every
+        then begin
+          e.last_probed <- round;
+          probes := name :: !probes
+        end
+      end)
+    t.members;
+  (List.rev !changed, List.rev !probes)

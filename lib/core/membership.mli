@@ -1,0 +1,73 @@
+(** Failure detection and membership: the per-system view of which
+    peer names are believed [Alive], [Suspect] or [Dead].
+
+    Liveness is piggy-backed on existing traffic — any message drained
+    from a peer is a heartbeat, and peers hosted by the local system
+    are refreshed every round — so detection costs nothing on the wire
+    until [probe_every] asks for explicit empty-message probes.
+    Silence beyond [suspect_after]/[dead_after] rounds demotes a name;
+    out-of-band death signals ({!Wdl_net.Reliable.on_dead} via
+    {!System.wire_reliable}, or an explicit {!System.evict_peer})
+    force the transition immediately.
+
+    This module is pure bookkeeping; {!System} drives it from the
+    round loop, reacts to the transitions it reports (delegation
+    retraction, dead-lettering, [sys_peers] sync, trace events) and
+    exposes the view. *)
+
+type status = Alive | Suspect | Dead
+
+val status_string : status -> string
+(** ["alive"], ["suspect"], ["dead"] — the rendering used by the
+    [sys_peers] relation and [Peer_status] trace events. *)
+
+type config = {
+  suspect_after : int;
+      (** rounds of silence before a remote name turns [Suspect] *)
+  dead_after : int;
+      (** rounds of silence before a remote name turns [Dead] —
+          triggering eviction in {!System} *)
+  probe_every : int;
+      (** send a heartbeat probe to a remote name silent this many
+          rounds; [0] disables probing *)
+}
+
+val default_config : config
+(** Detection off ([max_int] thresholds, no probes): silence alone
+    never demotes anyone, so a slow or late-starting remote peer is
+    safe by default. Explicit death signals still transition. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val track : t -> round:int -> ?registered:bool -> string -> unit
+(** Ensure a name is in the view (first sight counts as heard, so a
+    fresh name gets a full grace period). [registered] marks it as
+    hosted by this system: refreshed every {!tick}, never probed. *)
+
+val set_registered : t -> string -> bool -> unit
+val forget : t -> string -> unit
+(** Drop a name from the view entirely. *)
+
+val heard : t -> round:int -> string -> (string * status) option
+(** Evidence of life; returns the transition if it revived a suspect
+    or dead entry. *)
+
+val mark_dead : t -> round:int -> string -> (string * status) option
+(** Out-of-band death signal. A registered (in-process, demonstrably
+    alive) peer is only demoted to [Suspect]; anything else goes
+    [Dead]. Returns the transition, if any. *)
+
+val tick : t -> round:int -> (string * status) list * string list
+(** One detector round: refreshes registered peers, applies the
+    silence thresholds, and returns [(transitions, names to probe)]. *)
+
+val status : t -> string -> status option
+val view : t -> (string * status) list
+(** Sorted by name. *)
+
+val count : t -> status -> int
+val transitions : t -> int
+(** Monotone transition counter (for the metrics registry). *)

@@ -15,6 +15,12 @@ module Fact_tbl = Hashtbl.Make (struct
   let hash = Fact.hash
 end)
 
+type shed_policy = Drop_newest | Drop_oldest
+
+let shed_policy_string = function
+  | Drop_newest -> "drop-newest"
+  | Drop_oldest -> "drop-oldest"
+
 type t = {
   name : string;
   db : Database.t;
@@ -39,6 +45,9 @@ type t = {
   mutable n_errors : int;
   mutable n_analysis_warnings : int;
   inbox : Message.t Queue.t;
+  inbox_capacity : int;
+  shed : shed_policy;
+  mutable n_shed : int;
   delegated : int Deleg_tbl.t;  (* (origin, rule) -> installation order *)
   mutable delegated_seq : int;
   mutable own_rules : Rule.t list;  (* reverse addition order *)
@@ -99,11 +108,20 @@ let register_metrics t =
     (fun () -> t.n_cache_hits);
   field "wdl_eval_stage_fastpath_total"
     "Quiescent stages that skipped the fixpoint entirely" (fun () ->
-      t.n_fastpath)
+      t.n_fastpath);
+  field "wdl_sys_inbox_shed_total"
+    "Messages dropped because this peer's bounded inbox was full"
+    (fun () -> t.n_shed);
+  Wdl_obs.Obs.on_collect ~help:"Messages waiting in this peer's inbox"
+    ~labels ~kind:`Gauge "wdl_sys_inbox_depth" (fun () ->
+      float_of_int (Queue.length t.inbox))
 
 let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
-    ?trace_capacity ?(diff_batches = true) ?(incremental = true) name =
+    ?trace_capacity ?(diff_batches = true) ?(incremental = true)
+    ?(inbox_capacity = max_int) ?(shed = Drop_newest) name =
   if name = "" then invalid_arg "Peer.create: empty name";
+  if inbox_capacity < 1 then
+    invalid_arg "Peer.create: inbox_capacity must be at least 1";
   let t = {
     name;
     db = Database.create ?indexing ();
@@ -127,6 +145,9 @@ let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     n_errors = 0;
     n_analysis_warnings = 0;
     inbox = Queue.create ();
+    inbox_capacity;
+    shed;
+    n_shed = 0;
     delegated = Deleg_tbl.create 16;
     delegated_seq = 0;
     own_rules = [];
@@ -174,7 +195,9 @@ let record_event t e =
   | Trace.Analysis_warning _ ->
     t.n_analysis_warnings <- t.n_analysis_warnings + 1
   | Trace.Stage_start _ | Trace.Fact_inserted _ | Trace.Fact_deleted _
-  | Trace.Delegation_pending _ | Trace.Rule_added _ | Trace.Rule_removed _ ->
+  | Trace.Delegation_pending _ | Trace.Rule_added _ | Trace.Rule_removed _
+  | Trace.Link_dead _ | Trace.Peer_status _ | Trace.Inbox_shed _
+  | Trace.Dead_lettered _ ->
     ());
   Trace.record t.trace e
 
@@ -474,6 +497,61 @@ let install_delegation t ~src rule =
       invalidate_program t;
       record_event t (Trace.Delegation_installed { peer = t.name; src; rule });
       true
+
+(* {1 Peer lifecycle}
+
+   [forget_origin] is the receiver-side half of a peer's death: drop
+   everything the dead peer pushed here — installed delegations,
+   pending-approval entries, and its cached per-stage batch (whose
+   facts were only live while the source maintained them).
+   Extensional facts it sent are genuine updates and persist.
+
+   [forget_destination] is the sender-side half: drop the diff
+   protocol's memory of what was sent to a name, so the next stage
+   re-sends current state from scratch — required both for name reuse
+   and for reconciling with a peer that rejoined empty-handed.
+
+   [reset_session] is [forget_destination] towards everyone: the
+   rejoining peer itself calls this so its own delegations and batches
+   are re-announced to a world that may have evicted it. *)
+
+let forget_origin t ~src =
+  let doomed =
+    Deleg_tbl.fold
+      (fun (s, r) _ acc -> if s = src then (s, r) :: acc else acc)
+      t.delegated []
+  in
+  List.iter
+    (fun (s, r) ->
+      Deleg_tbl.remove t.delegated (s, r);
+      record_event t
+        (Trace.Delegation_retracted { peer = t.name; src = s; rule = r }))
+    doomed;
+  List.iter
+    (fun (s, r) ->
+      if s = src then ignore (Acl.retract_pending t.acl ~src:s r))
+    (Acl.pending t.acl);
+  let had_cache = Hashtbl.mem t.remote_cache src in
+  Hashtbl.remove t.remote_cache src;
+  if doomed <> [] then invalidate_program t;
+  if doomed <> [] || had_cache then t.dirty <- true;
+  List.length doomed
+
+let forget_destination t ~dst =
+  let had_batch = Hashtbl.mem t.last_batches dst in
+  Hashtbl.remove t.last_batches dst;
+  let sent =
+    Deleg_tbl.fold
+      (fun (d, r) () acc -> if d = dst then (d, r) :: acc else acc)
+      t.last_delegations []
+  in
+  List.iter (Deleg_tbl.remove t.last_delegations) sent;
+  if had_batch || sent <> [] then t.dirty <- true
+
+let reset_session t =
+  Hashtbl.reset t.last_batches;
+  t.last_delegations <- Deleg_tbl.create 16;
+  t.dirty <- true
 
 (* {1 Why-provenance} *)
 
@@ -857,7 +935,27 @@ let restore text =
 
 (* {1 The stage loop} *)
 
-let receive t msg = Queue.push msg t.inbox
+(* Bounded inbox: when full, shed per policy instead of growing without
+   bound. Shedding loses that message's content permanently at this
+   peer (the transport already considers it delivered) — senders using
+   the diff protocol re-send their current batch on the next change, so
+   extensional state reconverges; use {!shed_policy} Drop_oldest when
+   freshest-wins matters. *)
+let receive t msg =
+  if Queue.length t.inbox >= t.inbox_capacity then begin
+    (match t.shed with
+    | Drop_newest -> ()  (* the arriving message is the casualty *)
+    | Drop_oldest ->
+      ignore (Queue.pop t.inbox);
+      Queue.push msg t.inbox);
+    t.n_shed <- t.n_shed + 1;
+    record_event t
+      (Trace.Inbox_shed { peer = t.name; policy = shed_policy_string t.shed })
+  end
+  else Queue.push msg t.inbox
+
+let inbox_length t = Queue.length t.inbox
+let sheds t = t.n_shed
 let last_errors t = t.last_errors
 
 type stats = {
@@ -926,11 +1024,16 @@ let process_message t (msg : Message.t) =
       batch);
   List.iter
     (fun rule ->
-      match Acl.submit t.acl ~src:msg.Message.src rule with
-      | `Installed -> ignore (install_delegation t ~src:msg.Message.src rule)
-      | `Pending ->
-        record_event t
-          (Trace.Delegation_pending { peer = t.name; src = msg.Message.src; rule }))
+      (* Re-announced installs (rejoin reconciliation, retransmission
+         across a crash) must not re-queue an already-installed rule
+         for approval. *)
+      if Deleg_tbl.mem t.delegated (msg.Message.src, rule) then ()
+      else
+        match Acl.submit t.acl ~src:msg.Message.src rule with
+        | `Installed -> ignore (install_delegation t ~src:msg.Message.src rule)
+        | `Pending ->
+          record_event t
+            (Trace.Delegation_pending { peer = t.name; src = msg.Message.src; rule }))
     msg.Message.installs;
   List.iter
     (fun rule ->

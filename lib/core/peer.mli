@@ -13,6 +13,15 @@ open Wdl_syntax
 
 type t
 
+type shed_policy = Drop_newest | Drop_oldest
+(** What a full bounded inbox sheds: the arriving message
+    ([Drop_newest]) or the oldest queued one ([Drop_oldest]). The
+    third classic policy, block-sender, lives at the transport layer:
+    {!Wdl_net.Reliable.config}[.max_window] parks a congested link's
+    sends instead of dropping anything. *)
+
+val shed_policy_string : shed_policy -> string
+
 val create :
   ?strategy:Wdl_eval.Fixpoint.strategy ->
   ?policy:Acl.policy ->
@@ -20,9 +29,15 @@ val create :
   ?trace_capacity:int ->
   ?diff_batches:bool ->
   ?incremental:bool ->
+  ?inbox_capacity:int ->
+  ?shed:shed_policy ->
   string ->
   t
-(** Raises [Invalid_argument] on an empty name. [diff_batches] (default
+(** [inbox_capacity] (default unbounded) bounds {!receive}'s queue:
+    beyond it, messages are shed per [shed] (default [Drop_newest]),
+    counted in [wdl_sys_inbox_shed_total{peer=...}] and traced as
+    [Inbox_shed] — one hot sender cannot OOM a slow peer.
+    Raises [Invalid_argument] on an empty name. [diff_batches] (default
     true) sends per-destination fact batches only when they changed;
     turning it off re-sends on every stage — the naive messaging
     discipline measured by the A1 ablation benchmark. [incremental]
@@ -145,6 +160,37 @@ val accept_all_delegations : t -> int
 (** {1 The stage loop} *)
 
 val receive : t -> Message.t -> unit
+(** Queues a message for the next stage; sheds it (or the oldest
+    queued one) when the bounded inbox is full. *)
+
+val inbox_length : t -> int
+val sheds : t -> int
+(** Messages shed by the bounded inbox since creation. *)
+
+(** {1 Peer lifecycle}
+
+    The two halves of "death is a transition, not a leak"
+    ({!System.evict_peer} calls them; they are exposed for custom
+    runtimes). *)
+
+val forget_origin : t -> src:string -> int
+(** Receiver-side cleanup when [src] dies: retracts every delegation
+    it installed here (traced, counted), drops its pending-approval
+    entries and its cached per-stage batch. Extensional facts it sent
+    are genuine updates and persist. Returns the number of delegations
+    retracted. *)
+
+val forget_destination : t -> dst:string -> unit
+(** Sender-side cleanup: drops the diff protocol's memory of what was
+    sent to [dst] (last fact batch, delegation set), so the next stage
+    re-sends current state from scratch — receivers apply it
+    idempotently. Needed both for name reuse and to reconcile with a
+    peer that rejoined without its session state. *)
+
+val reset_session : t -> unit
+(** {!forget_destination} towards every destination: a rejoining peer
+    calls this so its delegations and batches are re-announced to a
+    world that may have evicted it while it was down. *)
 
 (** {1 Persistence}
 

@@ -15,6 +15,10 @@ type event =
   | Rule_removed of { peer : string; rule : Rule.t }
   | Analysis_warning of { peer : string; code : string; message : string }
   | Runtime_errors of { peer : string; errors : Wdl_eval.Runtime_error.t list }
+  | Link_dead of { src : string; dst : string }
+  | Peer_status of { peer : string; status : string }
+  | Inbox_shed of { peer : string; policy : string }
+  | Dead_lettered of { src : string; dst : string }
 
 type t = {
   capacity : int;
@@ -76,6 +80,14 @@ let pp_event ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
          Wdl_eval.Runtime_error.pp)
       errors
+  | Link_dead { src; dst } ->
+    Format.fprintf ppf "link %s -> %s given up (dead)" src dst
+  | Peer_status { peer; status } ->
+    Format.fprintf ppf "[%s] now %s" peer status
+  | Inbox_shed { peer; policy } ->
+    Format.fprintf ppf "[%s] inbox full: shed one message (%s)" peer policy
+  | Dead_lettered { src; dst } ->
+    Format.fprintf ppf "dead-lettered %s -> %s (destination dead)" src dst
 
 (* Chrome trace-event export.  Stage_start/Stage_end become a "B"/"E"
    duration pair on the peer's thread lane; everything else is an
@@ -110,6 +122,10 @@ let to_chrome ?(pid = 0) ~tid t =
           | Rule_removed _ -> "rule_removed"
           | Analysis_warning _ -> "analysis_warning"
           | Runtime_errors _ -> "runtime_errors"
+          | Link_dead _ -> "link_dead"
+          | Peer_status _ -> "peer_status"
+          | Inbox_shed _ -> "inbox_shed"
+          | Dead_lettered _ -> "dead_lettered"
         in
         { name; cat = "engine"; ph = "i"; ts; pid; tid;
           args = [ ("detail", Format.asprintf "%a" pp_event ev) ] })

@@ -22,6 +22,14 @@ type event =
   | Rule_removed of { peer : string; rule : Rule.t }
   | Analysis_warning of { peer : string; code : string; message : string }
   | Runtime_errors of { peer : string; errors : Wdl_eval.Runtime_error.t list }
+  | Link_dead of { src : string; dst : string }
+      (** a reliable link crossed its give-up threshold *)
+  | Peer_status of { peer : string; status : string }
+      (** membership transition: ["alive"], ["suspect"] or ["dead"] *)
+  | Inbox_shed of { peer : string; policy : string }
+      (** a bounded inbox dropped one message under the named policy *)
+  | Dead_lettered of { src : string; dst : string }
+      (** a message to a dead destination was parked instead of sent *)
 
 type t
 

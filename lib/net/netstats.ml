@@ -7,6 +7,8 @@ type t = {
   mutable send_failures : int;
   mutable acked : int;
   mutable batches : int;
+  mutable stalled : int;
+  mutable reorder_dropped : int;
 }
 
 let create () =
@@ -19,6 +21,8 @@ let create () =
     send_failures = 0;
     acked = 0;
     batches = 0;
+    stalled = 0;
+    reorder_dropped = 0;
   }
 
 let reset t =
@@ -29,7 +33,9 @@ let reset t =
   t.dup_dropped <- 0;
   t.send_failures <- 0;
   t.acked <- 0;
-  t.batches <- 0
+  t.batches <- 0;
+  t.stalled <- 0;
+  t.reorder_dropped <- 0
 
 (* Re-export every field through the metrics registry as callback
    counters: sampled at scrape time, zero cost on the send/drain path.
@@ -59,7 +65,13 @@ let register ?registry ~transport t =
     "Messages confirmed delivered by a cumulative ack" (fun () -> t.acked);
   field "wdl_net_batches_total"
     "Coalesced per-destination batches handed to the transport" (fun () ->
-      t.batches)
+      t.batches);
+  field "wdl_net_window_stalls_total"
+    "Sends parked because the per-link send window was full" (fun () ->
+      t.stalled);
+  field "wdl_net_reorder_dropped_total"
+    "Received frames dropped because the reorder buffer was full" (fun () ->
+      t.reorder_dropped)
 
 (* Messages per coalesced per-destination flush; one observation per
    send_many call. *)

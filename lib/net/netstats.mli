@@ -16,6 +16,12 @@ type t = {
   mutable batches : int;
       (** coalesced per-destination batches handed to the transport
           (one [send_many] call = one batch) *)
+  mutable stalled : int;
+      (** sends parked in the overflow queue because the per-link send
+          window was full (block-sender backpressure) *)
+  mutable reorder_dropped : int;
+      (** received frames discarded because they landed beyond the
+          receiver's bounded reorder buffer — the sender retransmits *)
 }
 
 val create : unit -> t

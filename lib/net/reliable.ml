@@ -17,10 +17,20 @@ type config = {
   max_rto : float;
   rto_jitter : float;
   max_attempts : int;
+  max_window : int;
+  max_held : int;
 }
 
 let default_config =
-  { rto = 4.0; backoff = 2.0; max_rto = 64.0; rto_jitter = 0.25; max_attempts = 30 }
+  {
+    rto = 4.0;
+    backoff = 2.0;
+    max_rto = 64.0;
+    rto_jitter = 0.25;
+    max_attempts = 30;
+    max_window = max_int;
+    max_held = max_int;
+  }
 
 (* Sender side of one directed link. *)
 type 'a outstanding = {
@@ -35,6 +45,12 @@ type 'a outstanding = {
 type 'a link_send = {
   mutable next_seq : int;
   mutable window : 'a outstanding list;  (* unacked, oldest first *)
+  mutable window_len : int;
+  overflow : 'a Queue.t;
+      (* payloads accepted while the window was full: unstamped,
+         promoted in order as acks free window slots (block-sender
+         backpressure — nothing is lost, the link just stops
+         amplifying into a congested path) *)
   mutable given_up : bool;
 }
 
@@ -60,7 +76,10 @@ let on_dead ctl f = ctl.c_on_dead <- f
 let stats ctl = ctl.c_stats
 
 let unacked ctl =
-  Hashtbl.fold (fun _ ls acc -> acc + List.length ls.window) ctl.c_sends 0
+  Hashtbl.fold (fun _ ls acc -> acc + ls.window_len) ctl.c_sends 0
+
+let queued ctl =
+  Hashtbl.fold (fun _ ls acc -> acc + Queue.length ls.overflow) ctl.c_sends 0
 
 let delivered_from ctl ~src ~dst =
   match Hashtbl.find_opt ctl.c_recvs (src, dst) with
@@ -72,6 +91,19 @@ let revive ctl ~src ~dst =
   match Hashtbl.find_opt ctl.c_sends (src, dst) with
   | Some ls -> ls.given_up <- false
   | None -> ()
+
+(* Drop every directed link touching [peer], both sides: a reborn peer
+   restarts its sequence numbers at 1, so stale dedup counters or
+   half-open windows keyed under the old incarnation would silently
+   swallow (or retransmit into) the new one. *)
+let forget ctl peer =
+  let involves (src, dst) = src = peer || dst = peer in
+  let doomed tbl =
+    Hashtbl.fold (fun k _ acc -> if involves k then k :: acc else acc) tbl []
+  in
+  List.iter (Hashtbl.remove ctl.c_sends) (doomed ctl.c_sends);
+  List.iter (Hashtbl.remove ctl.c_recvs) (doomed ctl.c_recvs);
+  ctl.c_dead <- List.filter (fun l -> not (involves l)) ctl.c_dead
 
 let wrap ?(config = default_config) ?(seed = 11)
     (inner : 'a envelope Transport.t) : 'a Transport.t * 'a control =
@@ -85,6 +117,12 @@ let wrap ?(config = default_config) ?(seed = 11)
       ~help:"Transport-clock delay between first transmission and its ack"
       ~buckets:[| 0.5; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
       "wdl_net_ack_delay"
+  in
+  let dead_links =
+    Wdl_obs.Obs.counter
+      ~labels:[ ("transport", "reliable") ]
+      ~help:"Links given up on after max_attempts expiries"
+      "wdl_net_dead_links_total"
   in
   let ctl =
     {
@@ -102,7 +140,15 @@ let wrap ?(config = default_config) ?(seed = 11)
     match Hashtbl.find_opt ctl.c_sends (src, dst) with
     | Some ls -> ls
     | None ->
-      let ls = { next_seq = 0; window = []; given_up = false } in
+      let ls =
+        {
+          next_seq = 0;
+          window = [];
+          window_len = 0;
+          overflow = Queue.create ();
+          given_up = false;
+        }
+      in
       Hashtbl.add ctl.c_sends (src, dst) ls;
       ls
   in
@@ -141,13 +187,39 @@ let wrap ?(config = default_config) ?(seed = 11)
       }
     in
     ls.window <- ls.window @ [ o ];
+    ls.window_len <- ls.window_len + 1;
     stats.Netstats.sent <- stats.Netstats.sent + 1;
     o
   in
+  (* Block-sender backpressure: a full window parks the payload in the
+     link's overflow queue instead of amplifying into a path that is
+     not acking. Parked payloads are promoted, in order, as acks free
+     slots ([promote], called from [drain]). *)
+  let has_room ls = ls.window_len < config.max_window in
+  let promote ~src ~dst ls =
+    let moved = ref [] in
+    while has_room ls && not (Queue.is_empty ls.overflow) do
+      let payload = Queue.pop ls.overflow in
+      let o = stamp ~src ~dst payload in
+      moved :=
+        (src, data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst) payload)
+        :: !moved
+    done;
+    match List.rev !moved with
+    | [] -> ()
+    | [ (src, env) ] -> inner.Transport.send ~src ~dst env
+    | envs -> inner.Transport.send_many ~dst envs
+  in
   let send ~src ~dst payload =
-    let o = stamp ~src ~dst payload in
-    inner.Transport.send ~src ~dst
-      (data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst) payload)
+    let ls = link_send src dst in
+    if has_room ls then
+      let o = stamp ~src ~dst payload in
+      inner.Transport.send ~src ~dst
+        (data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst) payload)
+    else begin
+      Queue.push payload ls.overflow;
+      stats.Netstats.stalled <- stats.Netstats.stalled + 1
+    end
   in
   let batch_size = Netstats.batch_hist ~transport:"reliable" () in
   let send_many ~dst items =
@@ -157,14 +229,26 @@ let wrap ?(config = default_config) ?(seed = 11)
       (* Every payload keeps its own sequence number (per-link windows
          are untouched by batching), but the stamped envelopes travel
          as one coalesced inner batch — and the receiver's single
-         cumulative ack covers all of them. *)
-      inner.Transport.send_many ~dst
-        (List.map
-           (fun (src, payload) ->
-             let o = stamp ~src ~dst payload in
-             (src, data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst)
-                     payload))
-           items)
+         cumulative ack covers all of them. Payloads that hit a full
+         window are parked rather than stamped. *)
+      let stamped =
+        List.filter_map
+          (fun (src, payload) ->
+            let ls = link_send src dst in
+            if has_room ls then
+              let o = stamp ~src ~dst payload in
+              Some
+                ( src,
+                  data ~src ~seq:o.o_seq ~ack:(ack_for ~me:src ~peer:dst)
+                    payload )
+            else begin
+              Queue.push payload ls.overflow;
+              stats.Netstats.stalled <- stats.Netstats.stalled + 1;
+              None
+            end)
+          items
+      in
+      if stamped <> [] then inner.Transport.send_many ~dst stamped
     end
   in
   let drain me =
@@ -179,10 +263,12 @@ let wrap ?(config = default_config) ?(seed = 11)
         in
         if acked <> [] then begin
           ls.window <- live;
+          ls.window_len <- List.length live;
           List.iter
             (fun o -> Wdl_obs.Obs.observe ack_delay (!clock -. o.o_sent))
             acked;
-          stats.Netstats.acked <- stats.Netstats.acked + List.length acked
+          stats.Netstats.acked <- stats.Netstats.acked + List.length acked;
+          promote ~src:me ~dst:from ls
         end;
         match env.env_payload with
         | None -> ()
@@ -193,6 +279,14 @@ let wrap ?(config = default_config) ?(seed = 11)
             stats.Netstats.dup_dropped <- stats.Netstats.dup_dropped + 1;
             (* The sender retransmitted, so our previous ack was
                probably lost: re-ack even though nothing new landed. *)
+            r.need_ack <- true
+          end
+          else if env.env_seq - r.delivered > config.max_held then begin
+            (* Beyond the bounded reorder buffer: drop it and let the
+               sender retransmit once the gap has closed.  The re-ack
+               tells the sender where the contiguous frontier is. *)
+            stats.Netstats.reorder_dropped <-
+              stats.Netstats.reorder_dropped + 1;
             r.need_ack <- true
           end
           else begin
@@ -233,14 +327,20 @@ let wrap ?(config = default_config) ?(seed = 11)
                 o.o_next <= !clock && o.o_attempts >= config.max_attempts)
               ls.window
           then begin
-            (* Give up on the whole link: drop the window so the system
-               can quiesce, and surface the dead peer instead of
-               blocking forever. *)
+            (* Give up on the whole link: drop the window (and anything
+               parked behind it) so the system can quiesce, and surface
+               the dead peer instead of blocking forever.  The metric
+               fires whether or not a callback is installed — a dead
+               link is never silent. *)
             stats.Netstats.send_failures <-
-              stats.Netstats.send_failures + List.length ls.window;
+              stats.Netstats.send_failures + ls.window_len
+              + Queue.length ls.overflow;
             ls.window <- [];
+            ls.window_len <- 0;
+            Queue.clear ls.overflow;
             ls.given_up <- true;
             ctl.c_dead <- (src, dst) :: ctl.c_dead;
+            Wdl_obs.Obs.inc dead_links;
             ctl.c_on_dead ~src ~dst
           end
           else begin
@@ -276,7 +376,10 @@ let wrap ?(config = default_config) ?(seed = 11)
     clock := !clock +. dt;
     check_retransmits ()
   in
-  let pending () = inner.Transport.pending () + unacked ctl in
+  (* Parked overflow counts as pending: those payloads were accepted
+     for delivery, they just have not been stamped yet — quiescence
+     must wait for them. *)
+  let pending () = inner.Transport.pending () + unacked ctl + queued ctl in
   Netstats.register_pending ~transport:"reliable" pending;
   ( {
       Transport.send;

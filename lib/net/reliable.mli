@@ -44,12 +44,25 @@ type config = {
   max_attempts : int;
       (** give-up threshold: attempts per message before the link is
           declared dead *)
+  max_window : int;
+      (** per-link send-window bound (block-sender backpressure): once
+          this many messages are in flight unacked, further sends are
+          parked in an overflow queue and promoted in order as acks
+          free slots.  Parked messages count as [pending]; the
+          [wdl_net_window_stalls_total] counter tracks parks. *)
+  max_held : int;
+      (** receiver reorder-buffer bound: a frame arriving more than
+          this far beyond the contiguous frontier is dropped
+          ([wdl_net_reorder_dropped_total]) and recovered by the
+          sender's retransmission once the gap closes *)
 }
 
 val default_config : config
 (** [rto = 4.0] (four {!Webdamlog.System} rounds), [backoff = 2.0],
     [max_rto = 64.0], [rto_jitter = 0.25], [max_attempts = 30] — long
-    enough patience to ride out a multi-hundred-round partition. *)
+    enough patience to ride out a multi-hundred-round partition.
+    [max_window] and [max_held] default to [max_int]: unbounded, the
+    pre-backpressure behaviour. *)
 
 type 'a control
 
@@ -68,6 +81,9 @@ val wrap :
 val unacked : 'a control -> int
 (** Messages sent but not yet covered by a cumulative ack. *)
 
+val queued : 'a control -> int
+(** Messages parked in overflow queues behind full send windows. *)
+
 val delivered_from : 'a control -> src:string -> dst:string -> int
 (** Highest contiguous sequence delivered on a directed link. *)
 
@@ -75,8 +91,20 @@ val dead_links : 'a control -> (string * string) list
 (** Directed [(src, dst)] links given up on, oldest first. *)
 
 val on_dead : 'a control -> (src:string -> dst:string -> unit) -> unit
-(** Replaces the dead-peer callback (default: ignore). Fired once per
-    link, at the [advance] that crossed the give-up threshold. *)
+(** Replaces the dead-peer callback. Fired once per link, at the
+    [advance] that crossed the give-up threshold. Even without a
+    callback a dead link is never silent: the give-up always
+    increments [wdl_net_dead_links_total{transport="reliable"}] and
+    lands in {!dead_links}; {!Webdamlog.System.wire_reliable}
+    additionally routes it into the system's membership view and
+    trace. *)
+
+val forget : 'a control -> string -> unit
+(** Drops every directed link (send windows, overflow queues, receiver
+    dedup/reorder state, dead-link entries) whose source or destination
+    is the named peer. Call when a peer is removed so its name can be
+    reused: a reborn peer restarts its sequences at 1, which stale
+    receiver counters would otherwise swallow as duplicates. *)
 
 val revive : 'a control -> src:string -> dst:string -> unit
 (** Clears the given-up state of a link (e.g. after the operator

@@ -191,15 +191,17 @@ deterministic (histograms print observation counts, not durations):
   wdl_eval_stage_fastpath_total{peer="Emilien"} 0
   wdl_eval_stage_fastpath_total{peer="Jules"} 0
   wdl_net_acked_total{transport="inmem"} 0
-  wdl_net_batch_size{transport="inmem"} count=2
-  wdl_net_batches_total{transport="inmem"} 2
+  wdl_net_batch_size{transport="inmem"} count=0
+  wdl_net_batches_total{transport="inmem"} 0
   wdl_net_bytes_total{transport="inmem"} 196
   wdl_net_delivered_total{transport="inmem"} 2
   wdl_net_dup_dropped_total{transport="inmem"} 0
   wdl_net_pending{transport="inmem"} 0
+  wdl_net_reorder_dropped_total{transport="inmem"} 0
   wdl_net_retransmits_total{transport="inmem"} 0
   wdl_net_send_failures_total{transport="inmem"} 0
   wdl_net_sent_total{transport="inmem"} 2
+  wdl_net_window_stalls_total{transport="inmem"} 0
   wdl_peer_delegations_installed_total{peer="Emilien"} 1
   wdl_peer_delegations_installed_total{peer="Jules"} 0
   wdl_peer_delegations_rejected_total{peer="Emilien"} 0
@@ -220,6 +222,18 @@ deterministic (histograms print observation counts, not durations):
   wdl_peer_stages_total{peer="Jules"} 2
   wdl_peer_trace_events_total{peer="Emilien"} 8
   wdl_peer_trace_events_total{peer="Jules"} 8
+  wdl_sys_dead_letter_queue 0
+  wdl_sys_dead_letters_dropped_total 0
+  wdl_sys_dead_letters_total 0
+  wdl_sys_evictions_total 0
+  wdl_sys_inbox_depth{peer="Emilien"} 0
+  wdl_sys_inbox_depth{peer="Jules"} 0
+  wdl_sys_inbox_shed_total{peer="Emilien"} 0
+  wdl_sys_inbox_shed_total{peer="Jules"} 0
+  wdl_sys_member_transitions_total 0
+  wdl_sys_members{status="alive"} 2
+  wdl_sys_members{status="dead"} 0
+  wdl_sys_members{status="suspect"} 0
   wdl_system_messages_dropped_total 0
   wdl_system_peers 2
   wdl_system_round_duration_microseconds count=3

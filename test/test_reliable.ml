@@ -98,6 +98,87 @@ let unit_tests =
           ((t.Transport.stats ()).Netstats.send_failures >= 1);
         Reliable.revive ctl ~src:"a" ~dst:"ghost";
         check_bool "revived" (Reliable.dead_links ctl = []));
+    tc "bounded send window parks excess sends, promotes on ack" (fun () ->
+        (* Block-sender backpressure: only [max_window] envelopes may be
+           in flight per link; the rest wait in the overflow queue and
+           are promoted as acks open the window.  Nothing is dropped. *)
+        let t, ctl =
+          Reliable.wrap ~config:{ fast with max_window = 2 } (Inmem.create ())
+        in
+        for i = 1 to 5 do
+          t.Transport.send ~src:"a" ~dst:"b" i
+        done;
+        check_int "window holds two" 2 (Reliable.unacked ctl);
+        check_int "three parked" 3 (Reliable.queued ctl);
+        check_int "stalls counted" 3 ((t.Transport.stats ()).Netstats.stalled);
+        let got = ref [] in
+        let steps = ref 0 in
+        while t.Transport.pending () > 0 && !steps < 50 do
+          incr steps;
+          t.Transport.advance 1.0;
+          got := !got @ t.Transport.drain "b";
+          ignore (t.Transport.drain "a")
+        done;
+        Alcotest.check (Alcotest.list Alcotest.int) "all delivered, in order"
+          [ 1; 2; 3; 4; 5 ] !got;
+        check_int "nothing left parked" 0 (Reliable.queued ctl));
+    tc "bounded reorder buffer sheds far frames; retransmits recover"
+      (fun () ->
+        (* With at most one held frame, heavily jittered deliveries
+           overflow the reorder buffer and are shed — the retransmit
+           path must still produce complete in-order delivery. *)
+        let inner = Simnet.create ~seed:3 ~base_latency:1.0 ~jitter:0.9 () in
+        let t, _ = Reliable.wrap ~config:{ fast with max_held = 1 } inner in
+        for i = 1 to 8 do
+          t.Transport.send ~src:"a" ~dst:"b" i
+        done;
+        let got = ref [] in
+        for _ = 1 to 80 do
+          t.Transport.advance 0.3;
+          got := !got @ t.Transport.drain "b";
+          ignore (t.Transport.drain "a")
+        done;
+        Alcotest.check (Alcotest.list Alcotest.int) "in order, complete"
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ] !got;
+        check_bool "drops counted"
+          ((t.Transport.stats ()).Netstats.reorder_dropped > 0));
+    tc "forget clears both sides of a link so a reused name starts fresh"
+      (fun () ->
+        let t, ctl = Reliable.wrap ~config:fast (Inmem.create ()) in
+        t.Transport.send ~src:"a" ~dst:"b" "old-1";
+        t.Transport.send ~src:"a" ~dst:"b" "old-2";
+        Alcotest.check (Alcotest.list Alcotest.string) "old incarnation"
+          [ "old-1"; "old-2" ] (t.Transport.drain "b");
+        Reliable.forget ctl "b";
+        check_int "unacked state dropped" 0 (Reliable.unacked ctl);
+        (* The next incarnation restarts at seq 1 — with stale receiver
+           state (delivered = 2) this would be deduped as a duplicate. *)
+        t.Transport.send ~src:"a" ~dst:"b" "new-1";
+        Alcotest.check (Alcotest.list Alcotest.string) "fresh seq accepted"
+          [ "new-1" ] (t.Transport.drain "b"));
+    tc "give-up increments the dead-links metric" (fun () ->
+        let sum name =
+          List.fold_left
+            (fun acc s ->
+              if s.Wdl_obs.Obs.s_name = name then
+                match s.Wdl_obs.Obs.s_value with
+                | `Value v when not (Float.is_nan v) -> acc +. v
+                | `Value _ | `Histogram _ -> acc
+              else acc)
+            0. (Wdl_obs.Obs.collect ())
+        in
+        let before = sum "wdl_net_dead_links_total" in
+        let t, _ =
+          Reliable.wrap
+            ~config:{ fast with max_attempts = 2; max_rto = 1.0 }
+            (Inmem.create ())
+        in
+        t.Transport.send ~src:"a" ~dst:"ghost" "x";
+        for _ = 1 to 10 do
+          t.Transport.advance 1.0
+        done;
+        check_bool "metric grew"
+          (sum "wdl_net_dead_links_total" >= before +. 1.));
     tc "wire envelope codec round-trips" (fun () ->
         let m =
           Message.make ~src:"Jules" ~dst:"Émilien" ~stage:2
@@ -358,7 +439,86 @@ let crash_test () =
   Alcotest.check Alcotest.string "reconverged to the no-fault state" expected
     (dump sys)
 
+(* {1 Differential churn property}
+
+   A randomized crash/restart schedule with the full lifecycle wired in
+   (reliable layer purged on removal, dead letters, adopt-time
+   reconciliation) must reach exactly the state of a fault-free Inmem
+   run given the same inserts: the victim, the crash moment, the outage
+   length and the loss rate are all generated. *)
+
+let churn_insert sys name id =
+  ok'
+    (Peer.insert (System.peer sys name)
+       (Fact.make ~rel:"pictures" ~peer:name
+          [ Value.Int id; Value.String (Printf.sprintf "%s_%d.jpg" name id) ]))
+
+let churn_expected ~victim ~other () =
+  let sys = System.create () in
+  load_album sys attendees;
+  ignore (ok' (System.run sys));
+  churn_insert sys other 9;
+  churn_insert sys victim 10;
+  ignore (ok' (System.run sys));
+  dump sys
+
+let churn_run ~seed ~loss ~victim ~down_rounds =
+  let dir = temp_dir () in
+  let other = List.find (fun a -> a <> victim) attendees in
+  let inner, net =
+    Simnet.create_with_control ~sizer:envelope_sizer ~seed ~loss
+      ~duplicate:0.05 ()
+  in
+  let transport, rctl = Reliable.wrap ~seed:(seed + 1) inner in
+  let sys = System.create ~transport ~drop_unknown:false () in
+  System.wire_reliable sys rctl;
+  load_album sys attendees;
+  (match System.run ~max_rounds:5000 sys with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Persist.attach (System.peer sys victim) ~dir;
+  Persist.checkpoint (System.peer sys victim) ~dir;
+  Simnet.crash net victim;
+  System.remove_peer sys victim;
+  (* The world keeps moving while the victim is down. *)
+  churn_insert sys other 9;
+  for _ = 1 to down_rounds do
+    ignore (System.round sys)
+  done;
+  match Persist.recover ~dir ~fallback_name:victim () with
+  | Error e -> Error ("recovery: " ^ e)
+  | Ok p -> (
+    Simnet.restart net victim;
+    System.adopt_peer sys p;
+    churn_insert sys victim 10;
+    match System.run ~max_rounds:5000 sys with
+    | Error e -> Error e
+    | Ok _ -> Ok (dump sys))
+
+let churn_prop =
+  QCheck.Test.make ~count:8
+    ~name:"random crash/restart schedules match the fault-free oracle"
+    QCheck.(
+      make
+        Gen.(
+          let* seed = int_range 1 10_000 in
+          let* loss = float_range 0.0 0.3 in
+          let* victim = oneofl attendees in
+          let* down_rounds = int_range 1 25 in
+          return (seed, loss, victim, down_rounds)))
+    (fun (seed, loss, victim, down_rounds) ->
+      let other = List.find (fun a -> a <> victim) attendees in
+      let expected = churn_expected ~victim ~other () in
+      match churn_run ~seed ~loss ~victim ~down_rounds with
+      | Error e -> QCheck.Test.fail_reportf "did not converge: %s" e
+      | Ok got ->
+        if got <> expected then
+          QCheck.Test.fail_reportf "diverged after churn:@.%s@.vs@.%s" got
+            expected
+        else true)
+
 let suite =
   unit_tests
   @ [ acceptance; QCheck_alcotest.to_alcotest convergence_prop;
-      tc "crash, journal recovery, reconvergence" crash_test ]
+      tc "crash, journal recovery, reconvergence" crash_test;
+      QCheck_alcotest.to_alcotest churn_prop ]

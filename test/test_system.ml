@@ -348,6 +348,138 @@ let suite =
         check_int "conservation"
           (sent_by jules + sent_by emilien)
           (received_by jules + received_by emilien));
+    tc "failure detector: silence demotes, dead letters, revival flushes"
+      (fun () ->
+        (* Tight thresholds so the detector acts within a few rounds;
+           "watcher" materialises the view into sys_peers. *)
+        let sys =
+          System.create
+            ~transport:(Wdl_net.Inmem.create ~sizer:Message.size ())
+            ~drop_unknown:false
+            ~membership:
+              { Membership.suspect_after = 2; dead_after = 4; probe_every = 0 }
+            ()
+        in
+        let p = System.add_peer sys "p" in
+        let watcher = System.add_peer sys "watcher" in
+        ok (Peer.load_string watcher "ext sys_peers@watcher(name, status);");
+        ok (Peer.load_string p "ext a@p(x); a@p(1); out@ghost($x) :- a@p($x);");
+        (* Round 1 stages the message to ghost, tracking the name. *)
+        ignore (System.round sys);
+        check_bool "ghost tracked alive"
+          (System.membership_status sys "ghost" = Some Membership.Alive);
+        for _ = 1 to 5 do
+          ignore (System.round sys)
+        done;
+        check_bool "silence killed ghost"
+          (System.membership_status sys "ghost" = Some Membership.Dead);
+        check_bool "registered peers never demoted by silence"
+          (System.membership_status sys "p" = Some Membership.Alive);
+        check_bool "transition traced"
+          (List.exists
+             (function
+               | Trace.Peer_status { peer = "ghost"; status = "dead" } -> true
+               | _ -> false)
+             (Trace.events (System.trace sys)));
+        check_bool "view queryable through sys_peers"
+          (List.exists
+             (fun f ->
+               Format.asprintf "%a" Fact.pp f
+               = {|sys_peers@watcher("ghost", "dead")|})
+             (Peer.query watcher "sys_peers"));
+        (* New traffic to a dead name parks instead of hitting the wire.
+           (Manual rounds: the round-1 message to ghost sits undrained in
+           the transport until ghost exists, so [run] cannot quiesce.) *)
+        ok (Peer.insert p (Fact.make ~rel:"a" ~peer:"p" [ Value.Int 2 ]));
+        for _ = 1 to 4 do
+          ignore (System.round sys)
+        done;
+        check_bool "dead-lettered" (System.dead_lettered sys > 0);
+        check_bool "parked" (System.dead_letters sys > 0);
+        (* The name joins for real: parked letters flush and deliver. *)
+        let ghost = System.add_peer sys "ghost" in
+        check_bool "revived"
+          (System.membership_status sys "ghost" = Some Membership.Alive);
+        ignore (ok (System.run sys));
+        check_int "nothing parked" 0 (System.dead_letters sys);
+        check_int "flushed letters and re-announce both arrived" 2
+          (List.length (Peer.query ghost "out")));
+    tc "eviction retracts the dead peer's delegations everywhere" (fun () ->
+        let sys, _, emilien = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        check_int "installed" 1 (List.length (Peer.delegated_rules emilien));
+        System.evict_peer sys "Jules";
+        check_int "eviction applied" 1 (System.evictions sys);
+        check_bool "marked dead"
+          (System.membership_status sys "Jules" = Some Membership.Dead);
+        check_int "delegation retracted" 0
+          (List.length (Peer.delegated_rules emilien));
+        ignore (ok (System.run sys));
+        check_bool "survivors still quiesce" (System.quiescent sys));
+    tc "rejoin after eviction reconverges (delegations reinstall)" (fun () ->
+        let sys, jules, emilien = setup_jules_emilien () in
+        ignore (ok (System.run sys));
+        let snapshot = Peer.snapshot jules in
+        System.evict_peer sys "Jules";
+        ignore (ok (System.run sys));
+        check_int "retracted while dead" 0
+          (List.length (Peer.delegated_rules emilien));
+        let jules' = ok (Peer.restore snapshot) in
+        System.adopt_peer sys jules';
+        ignore (ok (System.run sys));
+        check_int "delegation reinstalled" 1
+          (List.length (Peer.delegated_rules emilien));
+        check_int "view rebuilt" 2
+          (List.length (Peer.query jules' "attendeePictures")));
+    tc "remove_peer leaves nothing behind: the name is reusable" (fun () ->
+        let transport, rctl =
+          Wdl_net.Reliable.wrap
+            (Wdl_net.Inmem.create
+               ~sizer:(fun e ->
+                 match e.Wdl_net.Reliable.env_payload with
+                 | Some m -> Message.size m
+                 | None -> 8)
+               ())
+        in
+        let sys = System.create ~transport ~drop_unknown:false () in
+        System.wire_reliable sys rctl;
+        let src = System.add_peer sys "src" in
+        ignore (System.add_peer sys "sink");
+        ok (Peer.load_string src "a@src(1); stored@sink($x) :- a@src($x);");
+        ignore (ok (System.run sys));
+        System.remove_peer sys "sink";
+        (* A second incarnation under the same name: the purged session
+           state must let its fresh sequence numbers through, and src's
+           forgotten diff state must re-announce the batch. *)
+        let sink' = System.add_peer sys "sink" in
+        ok (Peer.insert src (Fact.make ~rel:"a" ~peer:"src" [ Value.Int 2 ]));
+        ignore (ok (System.run sys));
+        check_int "new incarnation caught up" 2
+          (List.length (Peer.query sink' "stored")));
+    tc "bounded inbox sheds by policy; depth never exceeds capacity"
+      (fun () ->
+        let apply shed =
+          let p = Peer.create ~inbox_capacity:1 ~shed "q" in
+          ok (Peer.load_string p "ext r@q(x);");
+          List.iter
+            (fun i ->
+              Peer.receive p
+                (Message.make ~src:(Printf.sprintf "s%d" i) ~dst:"q" ~stage:1
+                   ~facts:
+                     (Some [ Fact.make ~rel:"r" ~peer:"q" [ Value.Int i ] ])
+                   ()))
+            [ 1; 2 ];
+          check_int "depth bounded" 1 (Peer.inbox_length p);
+          check_int "one shed" 1 (Peer.sheds p);
+          ignore (Peer.stage p);
+          List.map
+            (fun f -> Format.asprintf "%a" Fact.pp f)
+            (Peer.query p "r")
+        in
+        Alcotest.check (Alcotest.list Alcotest.string) "drop_newest keeps 1"
+          [ "r@q(1)" ] (apply Peer.Drop_newest);
+        Alcotest.check (Alcotest.list Alcotest.string) "drop_oldest keeps 2"
+          [ "r@q(2)" ] (apply Peer.Drop_oldest));
     tc "accept_all installs every pending delegation" (fun () ->
         let sys = System.create () in
         let jules = System.add_peer sys ~policy:Acl.Closed "Jules" in
