@@ -1722,12 +1722,263 @@ let chaos_smoke () =
     exit 1
   end
 
+(* {1 STREAM: builtin relation modules under a feed replay ->
+   BENCH_stream.json}
+
+   A feed of [stream] post deliveries (ids drawn from [distinct]
+   distinct posts, so roughly half the stream is re-deliveries)
+   replayed through the two dedup strategies the wrapper layer
+   offers — an exact seen-set and a Bloom filter sized for the
+   stream — then a second replay through a peer whose sliding-window
+   builtin feeds a top-k module and a count-aggregate view, checked
+   against an exact recompute of the final window. *)
+
+module Sketch = Wdl_builtin.Sketch
+
+let stream_fpr = 0.01
+
+let stream_topic rng =
+  (* Zipf-ish: half the deliveries concentrate on seven hot topics. *)
+  if Random.State.bool rng then Printf.sprintf "hot%d" (Random.State.int rng 7)
+  else Printf.sprintf "t%d" (Random.State.int rng 97)
+
+let stream_feed ~stream ~distinct =
+  let rng = Random.State.make [| 97 |] in
+  (* A post's topic is fixed at authoring time; re-deliveries repeat
+     the identical tuple. *)
+  let topics = Array.init distinct (fun _ -> stream_topic rng) in
+  Array.init stream (fun _ ->
+      let id = Random.State.int rng distinct in
+      [| Value.Int id; Value.String topics.(id) |])
+
+type dedup_outcome = {
+  dd_novel : int;
+  dd_wall_ms : float;
+  dd_memory_bytes : int;
+  dd_fp_rate : float; (* bloom only: measured on fresh probes *)
+}
+
+let stream_exact feed =
+  let t0 = Wdl_obs.Obs.now_us () in
+  let tbl : (Wdl_store.Tuple.t, unit) Hashtbl.t =
+    Hashtbl.create (Array.length feed)
+  in
+  let novel = ref 0 in
+  Array.iter
+    (fun tu ->
+      if not (Hashtbl.mem tbl tu) then begin
+        incr novel;
+        Hashtbl.replace tbl tu ()
+      end)
+    feed;
+  {
+    dd_novel = !novel;
+    dd_wall_ms = (Wdl_obs.Obs.now_us () -. t0) /. 1e3;
+    dd_memory_bytes = Obj.reachable_words (Obj.repr tbl) * (Sys.word_size / 8);
+    dd_fp_rate = 0.0;
+  }
+
+let stream_bloom ~distinct ~probes feed =
+  let t0 = Wdl_obs.Obs.now_us () in
+  let bloom = Sketch.Bloom.for_capacity ~fpr:stream_fpr distinct in
+  let novel = ref 0 in
+  Array.iter (fun tu -> if not (Sketch.Bloom.add_mem bloom tu) then incr novel)
+    feed;
+  let wall_ms = (Wdl_obs.Obs.now_us () -. t0) /. 1e3 in
+  (* False-positive rate, measured on ids the feed can never contain. *)
+  let rng = Random.State.make [| 23 |] in
+  let hits = ref 0 in
+  for i = 0 to probes - 1 do
+    let tu = [| Value.Int (distinct + i); Value.String (stream_topic rng) |] in
+    if Sketch.Bloom.mem bloom tu then incr hits
+  done;
+  {
+    dd_novel = !novel;
+    dd_wall_ms = wall_ms;
+    dd_memory_bytes = Sketch.Bloom.memory_bytes bloom;
+    dd_fp_rate = float_of_int !hits /. float_of_int probes;
+  }
+
+type topk_outcome = {
+  tk_wall_ms : float;
+  tk_stages : int;
+  tk_queue_entries : int;
+  tk_memory_bytes : int;
+  tk_matched : bool; (* top-k output = exact recompute of the window *)
+  tk_window_matched : bool; (* window holds exactly the trailing stages *)
+}
+
+let rec stream_take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: stream_take (n - 1) rest
+
+let stream_rank ~k totals =
+  Hashtbl.fold (fun topic total acc -> (topic, total) :: acc) totals []
+  |> List.sort (fun (t1, n1) (t2, n2) ->
+         match compare (n2 : int) n1 with 0 -> compare (t1 : string) t2 | c -> c)
+  |> stream_take k
+
+let stream_topk ~rounds ~batch ~window ~k () =
+  let sys = System.create () in
+  let hub = System.add_peer sys "hub" in
+  ok
+    (Peer.load_string hub
+       (Printf.sprintf
+          "builtin window recent@hub(id, topic) with size=%d;\n\
+           builtin topk hot@hub(topic, n) with k=%d, size=%d;\n\
+           int trending@hub(topic, n);\n\
+           trending@hub($k, count($id)) :- recent@hub($id, $k);"
+          window k window));
+  let rng = Random.State.make [| 7 |] in
+  let history = ref [] in
+  (* (visibility stamp, topic) per delivery *)
+  let next_id = ref 0 in
+  let t0 = Wdl_obs.Obs.now_us () in
+  for _r = 1 to rounds do
+    for _i = 1 to batch do
+      let id = !next_id in
+      incr next_id;
+      let topic = stream_topic rng in
+      ok
+        (Peer.insert hub
+           (Fact.make ~rel:"recent" ~peer:"hub"
+              [ Value.Int id; Value.String topic ]));
+      ok
+        (Peer.insert hub
+           (Fact.make ~rel:"hot" ~peer:"hub"
+              [ Value.String topic; Value.Int 1 ]));
+      history := (Peer.stage_number hub + 1, topic) :: !history
+    done;
+    ignore (System.round sys)
+  done;
+  (* One more round flushes the last batch; running to quiescence would
+     instead keep sliding the window over an ended feed. *)
+  ignore (System.round sys);
+  let wall_ms = (Wdl_obs.Obs.now_us () -. t0) /. 1e3 in
+  let cutoff = Peer.stage_number hub - window in
+  let live = List.filter (fun (st, _) -> st > cutoff) !history in
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 128 in
+  List.iter
+    (fun (_, topic) ->
+      Hashtbl.replace totals topic
+        (1 + Option.value ~default:0 (Hashtbl.find_opt totals topic)))
+    live;
+  let got =
+    Peer.query hub "hot"
+    |> List.filter_map (fun (f : Fact.t) ->
+           match f.Fact.args with
+           | [ Value.String t; Value.Int n ] -> Some (t, n)
+           | _ -> None)
+    |> List.sort compare
+  in
+  let expected = List.sort compare (stream_rank ~k totals) in
+  let queue_entries, memory_bytes =
+    match Wdl_builtin.Builtin.Registry.find (Peer.builtins hub) "hot" with
+    | Some inst ->
+      let s = inst.Wdl_builtin.Builtin.stats () in
+      (s.Wdl_builtin.Builtin.entries, s.Wdl_builtin.Builtin.memory_bytes)
+    | None -> (0, 0)
+  in
+  {
+    tk_wall_ms = wall_ms;
+    tk_stages = Peer.stage_number hub;
+    tk_queue_entries = queue_entries;
+    tk_memory_bytes = memory_bytes;
+    tk_matched = got = expected;
+    tk_window_matched = List.length (Peer.query hub "recent") = List.length live;
+  }
+
+let stream_write_json ~stream:n ~distinct ~probes exact bloom ~rounds ~batch
+    ~window ~k tk =
+  let oc = open_out "BENCH_stream.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"stream\",\n  \"schema\": 1,\n\
+    \  \"dedup\": { \"stream\": %d, \"distinct\": %d, \"probes\": %d,\n\
+    \            \"configured_fpr\": %.2f,\n\
+    \            \"exact\": { \"novel\": %d, \"wall_ms\": %.3f, \"memory_bytes\": %d },\n\
+    \            \"bloom\": { \"novel\": %d, \"wall_ms\": %.3f, \"memory_bytes\": %d,\n\
+    \                       \"fp_rate\": %.5f, \"fp_suppressed\": %d,\n\
+    \                       \"memory_ratio\": %.1f } },\n\
+    \  \"topk\": { \"facts\": %d, \"stages\": %d, \"batch\": %d, \"window\": %d,\n\
+    \           \"k\": %d, \"wall_ms\": %.3f, \"queue_entries\": %d,\n\
+    \           \"memory_bytes\": %d, \"matched\": %b, \"window_matched\": %b }\n}\n"
+    n distinct probes stream_fpr exact.dd_novel exact.dd_wall_ms
+    exact.dd_memory_bytes bloom.dd_novel bloom.dd_wall_ms bloom.dd_memory_bytes
+    bloom.dd_fp_rate
+    (exact.dd_novel - bloom.dd_novel)
+    (float_of_int exact.dd_memory_bytes /. float_of_int bloom.dd_memory_bytes)
+    (rounds * batch * 2) tk.tk_stages batch window k tk.tk_wall_ms
+    tk.tk_queue_entries tk.tk_memory_bytes tk.tk_matched tk.tk_window_matched;
+  close_out oc;
+  pf "wrote BENCH_stream.json@."
+
+let stream () =
+  header "STREAM  builtin modules under a 100k-fact feed replay";
+  let n = 100_000 and distinct = 50_000 and probes = 20_000 in
+  let feed = stream_feed ~stream:n ~distinct in
+  let exact = stream_exact feed in
+  let bloom = stream_bloom ~distinct ~probes feed in
+  pf "%-10s %10s %12s %10s %10s@." "dedup" "novel" "memory" "fp_rate" "time";
+  pf "%-10s %10d %11dB %10s %8.1fms@." "exact" exact.dd_novel
+    exact.dd_memory_bytes "-" exact.dd_wall_ms;
+  pf "%-10s %10d %11dB %9.4f%% %8.1fms@." "bloom" bloom.dd_novel
+    bloom.dd_memory_bytes (100. *. bloom.dd_fp_rate) bloom.dd_wall_ms;
+  let rounds = 500 and batch = 100 and window = 64 and k = 5 in
+  let tk = stream_topk ~rounds ~batch ~window ~k () in
+  pf "topk: %d facts over %d stages, window %d: queue %d (%dB), \
+      matched %b, %0.1fms@."
+    (rounds * batch * 2) tk.tk_stages window tk.tk_queue_entries
+    tk.tk_memory_bytes tk.tk_matched tk.tk_wall_ms;
+  stream_write_json ~stream:n ~distinct ~probes exact bloom ~rounds ~batch
+    ~window ~k tk
+
+(* Deterministic reduced-topk run for the cram suite and CI: the dedup
+   phase keeps the full 100k stream (it is cheap and the acceptance
+   numbers are measured there); no timing in the output; exit 1 on any
+   failed check. *)
+let stream_smoke () =
+  let failures = ref 0 in
+  let check label ok_ =
+    if not ok_ then incr failures;
+    pf "%-46s %s@." label (if ok_ then "ok" else "FAIL")
+  in
+  pf "STREAM-SMOKE feed replay through builtin modules (deterministic)@.";
+  let n = 100_000 and distinct = 50_000 and probes = 20_000 in
+  let feed = stream_feed ~stream:n ~distinct in
+  let truth : (Wdl_store.Tuple.t, unit) Hashtbl.t = Hashtbl.create n in
+  Array.iter (fun tu -> Hashtbl.replace truth tu ()) feed;
+  let exact = stream_exact feed in
+  let bloom = stream_bloom ~distinct ~probes feed in
+  check "exact dedup counts every distinct delivery once"
+    (exact.dd_novel = Hashtbl.length truth);
+  check "bloom never misses a duplicate" (bloom.dd_novel <= exact.dd_novel);
+  check "bloom false-positive rate under 3x the bound"
+    (bloom.dd_fp_rate < 3.0 *. stream_fpr);
+  check "bloom memory at least 8x under exact"
+    (exact.dd_memory_bytes > 8 * bloom.dd_memory_bytes);
+  let rounds = 60 and batch = 25 and window = 16 and k = 5 in
+  let tk = stream_topk ~rounds ~batch ~window ~k () in
+  check "windowed top-k matches exact recompute of the window"
+    tk.tk_matched;
+  check "window holds exactly the trailing stages" tk.tk_window_matched;
+  check "top-k queue bounded by the window"
+    (tk.tk_queue_entries <= window * batch);
+  stream_write_json ~stream:n ~distinct ~probes exact bloom ~rounds ~batch
+    ~window ~k tk;
+  if !failures = 0 then pf "STREAM-SMOKE passed@."
+  else begin
+    pf "STREAM-SMOKE: %d check(s) failed@." !failures;
+    exit 1
+  end
+
 let experiments =
   [ ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
     ("t7", t7); ("a1", a1); ("a2", a2); ("f2", f2); ("f3", f3); ("d1", d1);
     ("d3", d3); ("d4", d4); ("ft", ft); ("ft-smoke", ft_smoke); ("obs", obs);
     ("eval", eval); ("eval-smoke", eval_smoke); ("net", net);
-    ("net-smoke", net_smoke); ("chaos", chaos); ("chaos-smoke", chaos_smoke) ]
+    ("net-smoke", net_smoke); ("chaos", chaos); ("chaos-smoke", chaos_smoke);
+    ("stream", stream); ("stream-smoke", stream_smoke) ]
 
 let () =
   let requested =

@@ -28,6 +28,10 @@ let codes : (string * Diagnostic.severity * string) list =
     ("WDL032", Warning, "delegation through an open-ended peer variable");
     ("WDL040", Warning, "duplicate rule (identical up to renaming)");
     ("WDL041", Warning, "rule subsumed by a more general rule");
+    ("WDL050", Error, "write into a read-only builtin relation");
+    ("WDL051", Error, "rule reads and writes the same builtin relation");
+    ("WDL052", Warning, "builtin relation written but never read");
+    ("WDL053", Error, "invalid builtin declaration");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -429,6 +433,12 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
   let fact_tbl : (string * string, int * Span.t option) Hashtbl.t =
     Hashtbl.create 16
   in
+  (* Builtin declarations: (kind, full config, span of the defining
+     declaration), keyed like [decl_tbl]. *)
+  let builtin_tbl :
+      (string * string, string * Decl.builtin * Span.t option) Hashtbl.t =
+    Hashtbl.create 4
+  in
   let derived : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
   let star_derived = ref false in
   let covered : (string, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -507,7 +517,57 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
                        fact has arity %d"
                       name (Decl.arity d) fa))
           | None -> ());
-          Hashtbl.add decl_tbl key (d.Decl.kind, Decl.arity d, it.span))
+          Hashtbl.add decl_tbl key (d.Decl.kind, Decl.arity d, it.span));
+        (* WDL053: builtin declaration discipline *)
+        (match d.Decl.builtin with
+        | None -> (
+          match Hashtbl.find_opt builtin_tbl key with
+          | Some (bkind, _, sp0) ->
+            let note =
+              match sp0 with
+              | Some s -> [ Diagnostic.note ~span:s "declared as a builtin here" ]
+              | None -> []
+            in
+            emit
+              (Diagnostic.error ?span:it.span ~notes:note "WDL053"
+                 (Printf.sprintf
+                    "relation %s was declared as a builtin %s relation; it \
+                     cannot be redeclared as a plain relation"
+                    name bkind))
+          | None -> ())
+        | Some b ->
+          (match Wdl_builtin.Builtin.validate d with
+          | Ok () -> ()
+          | Error msg -> emit (Diagnostic.error ?span:it.span "WDL053" msg));
+          (match Hashtbl.find_opt builtin_tbl key with
+          | Some (_, b0, sp0) ->
+            if b0 <> b then
+              let note =
+                match sp0 with
+                | Some s -> [ Diagnostic.note ~span:s "first declared here" ]
+                | None -> []
+              in
+              emit
+                (Diagnostic.error ?span:it.span ~notes:note "WDL053"
+                   (Printf.sprintf
+                      "relation %s is redeclared with a different builtin \
+                       configuration"
+                      name))
+          | None ->
+            let defining =
+              match Hashtbl.find_opt decl_tbl key with
+              | Some (_, _, sp) -> sp = it.span
+              | None -> true
+            in
+            if (not defining) || Hashtbl.mem fact_tbl key then
+              emit
+                (Diagnostic.error ?span:it.span "WDL053"
+                   (Printf.sprintf
+                      "relation %s was already declared or asserted into as \
+                       a plain relation; builtin configuration must come \
+                       with its first declaration"
+                      name))
+            else Hashtbl.add builtin_tbl key (b.Decl.bkind, b, it.span)))
       | Program.Fact f ->
         let key = (f.Fact.rel, f.Fact.peer) in
         let name = rel_at f.Fact.rel f.Fact.peer in
@@ -567,6 +627,26 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
       | Program.Rule _ -> ())
     items;
 
+  (* -- pass 1b: facts into read-only builtin relations -------------- *)
+  List.iter
+    (fun it ->
+      match it.stmt with
+      | Program.Fact f -> (
+        let key = (f.Fact.rel, f.Fact.peer) in
+        match Hashtbl.find_opt builtin_tbl key with
+        | Some (bkind, _, _) when not (Wdl_builtin.Builtin.writable_kind bkind)
+          ->
+          emit
+            (Diagnostic.error ?span:it.span "WDL050"
+               (Printf.sprintf
+                  "fact asserts into %s, a read-only builtin %s relation \
+                   that only the runtime writes"
+                  (rel_at f.Fact.rel f.Fact.peer)
+                  bkind))
+        | _ -> ())
+      | _ -> ())
+    items;
+
   let kind_of rel peer =
     match Hashtbl.find_opt decl_tbl (rel, peer) with
     | Some (k, _, _) -> Some k
@@ -622,6 +702,44 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
           | Literal.Pos a | Literal.Neg a -> arity_check (lit_span it i) a
           | Literal.Cmp _ | Literal.Assign _ -> ())
         r.Rule.body;
+      (* WDL050/051: builtin write discipline *)
+      (match atom_key r.Rule.head with
+      | None -> ()
+      | Some key -> (
+        match Hashtbl.find_opt builtin_tbl key with
+        | None -> ()
+        | Some (bkind, _, sp0) ->
+          let hspan =
+            match it.head_span with Some s -> Some s | None -> it.span
+          in
+          let note =
+            match sp0 with
+            | Some s -> [ Diagnostic.note ~span:s "declared as a builtin here" ]
+            | None -> []
+          in
+          if not (Wdl_builtin.Builtin.writable_kind bkind) then
+            emit
+              (Diagnostic.error ?span:hspan ~notes:note "WDL050"
+                 (Printf.sprintf
+                    "rule head writes %s, a read-only builtin %s relation \
+                     that only the runtime writes"
+                    (rel_at (fst key) (snd key))
+                    bkind))
+          else if
+            List.exists
+              (fun l ->
+                match l with
+                | Literal.Pos a | Literal.Neg a -> atom_key a = Some key
+                | Literal.Cmp _ | Literal.Assign _ -> false)
+              r.Rule.body
+          then
+            emit
+              (Diagnostic.error ?span:hspan ~notes:note "WDL051"
+                 (Printf.sprintf
+                    "rule reads builtin relation %s in its body and writes \
+                     it in its head; a builtin relation is not a plain set, \
+                     so this feedback loop never stabilizes"
+                    (rel_at (fst key) (snd key))))));
       (* WDL022: a positive body atom that nothing can ever populate *)
       (try
          List.iteri
@@ -705,7 +823,47 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
                      rule"
                     (rel_at d.Decl.rel d.Decl.peer)))
         | _ -> ())
-      items
+      items;
+    (* WDL052: a builtin relation that is fed but feeds nothing — its
+       materialization is dead state. (A builtin never used at all is
+       WDL021 territory.) *)
+    let builtin_read : (string * string, unit) Hashtbl.t = Hashtbl.create 4 in
+    let builtin_written : (string * string, unit) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    List.iter
+      (fun it ->
+        match it.stmt with
+        | Program.Fact f ->
+          Hashtbl.replace builtin_written (f.Fact.rel, f.Fact.peer) ()
+        | Program.Rule r ->
+          Option.iter
+            (fun k -> Hashtbl.replace builtin_written k ())
+            (atom_key r.Rule.head);
+          List.iter
+            (fun l ->
+              match l with
+              | Literal.Pos a | Literal.Neg a ->
+                Option.iter
+                  (fun k -> Hashtbl.replace builtin_read k ())
+                  (atom_key a)
+              | Literal.Cmp _ | Literal.Assign _ -> ())
+            r.Rule.body
+        | Program.Decl _ -> ())
+      items;
+    Hashtbl.iter
+      (fun key (bkind, _, sp) ->
+        if Hashtbl.mem builtin_written key && not (Hashtbl.mem builtin_read key)
+        then
+          emit
+            (Diagnostic.warning ?span:sp "WDL052"
+               (Printf.sprintf
+                  "builtin %s relation %s is written but never read by any \
+                   rule; the runtime maintains its materialization for \
+                   nothing"
+                  bkind
+                  (rel_at (fst key) (snd key)))))
+      builtin_tbl
   end;
 
   (* -- pass 4: stratification --------------------------------------- *)

@@ -1,0 +1,571 @@
+open Wdl_syntax
+open Wdl_store
+
+type op = Insert | Delete
+
+type tick_result = {
+  changed : bool;
+  expired : Tuple.t list;
+}
+
+type stats = {
+  entries : int;
+  memory_bytes : int;
+  writes : int;
+  dropped : int;
+  evictions : int;
+}
+
+type instance = {
+  decl : Decl.t;
+  bkind : string;
+  writable : bool;
+  write : stage:int -> now:float -> op -> Tuple.t -> (bool, string) result;
+  tick : stage:int -> now:float -> tick_result;
+  flush : unit -> bool;
+  stats : unit -> stats;
+}
+
+let kinds = [ "bloom"; "cms"; "time"; "topk"; "ttl"; "window" ]
+let is_kind k = List.mem k kinds
+let writable_kind = function "time" -> false | _ -> true
+
+(* {1 Declaration-time configuration} *)
+
+let ( let* ) = Result.bind
+
+let err bkind fmt =
+  Printf.ksprintf (fun s -> Error (Printf.sprintf "builtin %s: %s" bkind s)) fmt
+
+let check_params bkind ~allowed params =
+  let rec go = function
+    | [] -> Ok ()
+    | (k, _) :: rest ->
+      if List.mem_assoc k rest then err bkind "duplicate parameter %s" k
+      else if not (List.mem k allowed) then
+        err bkind "unknown parameter %s (allowed: %s)" k
+          (String.concat ", " allowed)
+      else go rest
+  in
+  if allowed = [] && params <> [] then err bkind "takes no parameters"
+  else go params
+
+let int_param bkind params k =
+  match List.assoc_opt k params with
+  | None -> Ok None
+  | Some (Value.Int n) when n > 0 -> Ok (Some n)
+  | Some v ->
+    err bkind "parameter %s must be a positive integer, got %s" k
+      (Value.to_string v)
+
+let seconds_param bkind params k =
+  match List.assoc_opt k params with
+  | None -> Ok None
+  | Some (Value.Int n) when n > 0 -> Ok (Some (float_of_int n))
+  | Some (Value.Float f) when f > 0. -> Ok (Some f)
+  | Some v ->
+    err bkind "parameter %s must be a positive number, got %s" k
+      (Value.to_string v)
+
+let fpr_param bkind params =
+  match List.assoc_opt "fpr" params with
+  | None -> Ok None
+  | Some (Value.Float f) when f > 0. && f < 1. -> Ok (Some f)
+  | Some v ->
+    err bkind "parameter fpr must be a float in (0, 1), got %s"
+      (Value.to_string v)
+
+(* Trailing horizon of a windowed module: the last N evaluation stages
+   or the last T wall-clock seconds. Entries are stamped at write time
+   and expire when the stamp falls at or below the cutoff. *)
+type horizon = Stages of int | Seconds of float
+
+let horizon bkind ~stages_key params =
+  let* n = int_param bkind params stages_key in
+  let* s = seconds_param bkind params "seconds" in
+  match n, s with
+  | Some n, None -> Ok (Stages n)
+  | None, Some s -> Ok (Seconds s)
+  | Some _, Some _ ->
+    err bkind "parameters %s and seconds are mutually exclusive" stages_key
+  | None, None -> err bkind "one of %s=N or seconds=T is required" stages_key
+
+let stamp h ~stage ~now =
+  match h with Stages _ -> float_of_int stage | Seconds _ -> now
+
+let cutoff h ~stage ~now =
+  match h with
+  | Stages n -> float_of_int (stage - n)
+  | Seconds s -> now -. s
+
+type bloom_config =
+  | Bloom_bits of { bits : int; hashes : int }
+  | Bloom_capacity of { capacity : int; fpr : float }
+
+type config =
+  | Time
+  | Window of horizon
+  | Topk of { k : int; h : horizon }
+  | Ttl of horizon
+  | Bloom of bloom_config
+  | Cms of { width : int; depth : int; k : int }
+
+let parse (d : Decl.t) =
+  match d.Decl.builtin with
+  | None -> Ok None
+  | Some { Decl.bkind; params } ->
+    let arity = Decl.arity d in
+    let* cfg =
+      match bkind with
+      | "time" ->
+        let* () = check_params "time" ~allowed:[] params in
+        if arity <> 2 then
+          err "time" "arity must be 2 (stage, seconds), got %d" arity
+        else Ok Time
+      | "window" ->
+        let* () = check_params "window" ~allowed:[ "size"; "seconds" ] params in
+        if arity < 1 then err "window" "arity must be at least 1"
+        else
+          let* h = horizon "window" ~stages_key:"size" params in
+          Ok (Window h)
+      | "topk" ->
+        let* () =
+          check_params "topk" ~allowed:[ "k"; "size"; "seconds" ] params
+        in
+        if arity < 2 then
+          err "topk" "arity must be at least 2 (key…, weight), got %d" arity
+        else
+          let* k = int_param "topk" params "k" in
+          let* k =
+            match k with
+            | Some k -> Ok k
+            | None -> err "topk" "parameter k=K is required"
+          in
+          let* h = horizon "topk" ~stages_key:"size" params in
+          Ok (Topk { k; h })
+      | "ttl" ->
+        let* () = check_params "ttl" ~allowed:[ "ttl"; "seconds" ] params in
+        if arity < 1 then err "ttl" "arity must be at least 1"
+        else
+          let* h = horizon "ttl" ~stages_key:"ttl" params in
+          Ok (Ttl h)
+      | "bloom" ->
+        let* () =
+          check_params "bloom"
+            ~allowed:[ "bits"; "hashes"; "capacity"; "fpr" ] params
+        in
+        if arity < 1 then err "bloom" "arity must be at least 1"
+        else
+          let* bits = int_param "bloom" params "bits" in
+          let* hashes = int_param "bloom" params "hashes" in
+          let* capacity = int_param "bloom" params "capacity" in
+          let* fpr = fpr_param "bloom" params in
+          (match bits, capacity with
+          | Some _, Some _ ->
+            err "bloom" "parameters bits and capacity are mutually exclusive"
+          | Some bits, None -> (
+            match fpr with
+            | Some _ -> err "bloom" "parameter fpr only applies with capacity"
+            | None ->
+              Ok
+                (Bloom
+                   (Bloom_bits
+                      { bits; hashes = Option.value hashes ~default:4 })))
+          | None, Some capacity -> (
+            match hashes with
+            | Some _ -> err "bloom" "parameter hashes only applies with bits"
+            | None ->
+              Ok
+                (Bloom
+                   (Bloom_capacity
+                      { capacity; fpr = Option.value fpr ~default:0.01 })))
+          | None, None -> err "bloom" "one of bits=B or capacity=N is required")
+      | "cms" ->
+        let* () =
+          check_params "cms" ~allowed:[ "k"; "width"; "depth" ] params
+        in
+        if arity < 2 then
+          err "cms" "arity must be at least 2 (key…, weight), got %d" arity
+        else
+          let* k = int_param "cms" params "k" in
+          let* k =
+            match k with
+            | Some k -> Ok k
+            | None -> err "cms" "parameter k=K is required"
+          in
+          let* width = int_param "cms" params "width" in
+          let* depth = int_param "cms" params "depth" in
+          Ok
+            (Cms
+               {
+                 width = Option.value width ~default:1024;
+                 depth = Option.value depth ~default:4;
+                 k;
+               })
+      | other ->
+        Error
+          (Printf.sprintf "unknown builtin kind %s (known: %s)" other
+             (String.concat ", " kinds))
+    in
+    Ok (Some cfg)
+
+let validate d = Result.map ignore (parse d)
+
+(* {1 Instances} *)
+
+let check_arity (d : Decl.t) tuple k =
+  let expected = Decl.arity d in
+  if Array.length tuple <> expected then
+    Error
+      (Printf.sprintf "builtin %s: tuple has arity %d, but %s is declared \
+                       with arity %d"
+         (match d.Decl.builtin with Some b -> b.Decl.bkind | None -> "?")
+         (Array.length tuple) d.Decl.rel expected)
+  else k ()
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* window and ttl share mechanics: a set of stamped tuples, written
+   straight into the materialization and retracted when the stamp
+   leaves the horizon. A re-write refreshes the stamp. *)
+let make_stamped ~bkind ~(decl : Decl.t) ~data h =
+  let tbl : (Tuple.t, float) Hashtbl.t = Hashtbl.create 64 in
+  let writes = ref 0 and evictions = ref 0 in
+  let write ~stage ~now op tuple =
+    check_arity decl tuple @@ fun () ->
+    match op with
+    | Insert ->
+      incr writes;
+      Hashtbl.replace tbl tuple (stamp h ~stage ~now);
+      Ok (Relation.insert data tuple)
+    | Delete ->
+      Hashtbl.remove tbl tuple;
+      Ok (Relation.delete data tuple)
+  in
+  let tick ~stage ~now =
+    let c = cutoff h ~stage ~now in
+    let doomed =
+      Hashtbl.fold (fun tu st acc -> if st <= c then tu :: acc else acc) tbl []
+      |> List.sort Tuple.compare
+    in
+    List.iter
+      (fun tu ->
+        Hashtbl.remove tbl tu;
+        ignore (Relation.delete data tu))
+      doomed;
+    evictions := !evictions + List.length doomed;
+    { changed = doomed <> []; expired = doomed }
+  in
+  let stats () =
+    {
+      entries = Hashtbl.length tbl;
+      memory_bytes = Hashtbl.length tbl * (Decl.arity decl + 3) * 8;
+      writes = !writes;
+      dropped = 0;
+      evictions = !evictions;
+    }
+  in
+  { decl; bkind; writable = true; write; tick; flush = (fun () -> false);
+    stats }
+
+let make_time ~(decl : Decl.t) ~data =
+  let write ~stage:_ ~now:_ _op _tuple =
+    Error "builtin time: read-only relation (the runtime writes it at every \
+           stage)"
+  in
+  let tick ~stage ~now =
+    Relation.clear data;
+    ignore (Relation.insert data [| Value.Int stage; Value.Float now |]);
+    { changed = true; expired = [] }
+  in
+  let stats () =
+    { entries = 1; memory_bytes = 48; writes = 0; dropped = 0; evictions = 0 }
+  in
+  { decl; bkind = "time"; writable = false; write; tick;
+    flush = (fun () -> false); stats }
+
+(* Bloom dedup materializes a written tuple only when the filter calls
+   it novel, and only for the stage it arrived in — a size-1 stage
+   window over first sightings. Memory is the filter plus one stage's
+   novel tuples, never the stream. *)
+let make_bloom ~(decl : Decl.t) ~data cfg =
+  let bloom =
+    match cfg with
+    | Bloom_bits { bits; hashes } -> Sketch.Bloom.create ~hashes ~bits ()
+    | Bloom_capacity { capacity; fpr } -> Sketch.Bloom.for_capacity ~fpr capacity
+  in
+  let tbl : (Tuple.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let writes = ref 0 and dropped = ref 0 and evictions = ref 0 in
+  let write ~stage ~now:_ op tuple =
+    check_arity decl tuple @@ fun () ->
+    match op with
+    | Delete -> Error "builtin bloom: deletion is not supported"
+    | Insert ->
+      if Sketch.Bloom.add_mem bloom tuple then begin
+        incr dropped;
+        Ok false
+      end
+      else begin
+        incr writes;
+        Hashtbl.replace tbl tuple stage;
+        Ok (Relation.insert data tuple)
+      end
+  in
+  let tick ~stage ~now:_ =
+    let doomed =
+      Hashtbl.fold
+        (fun tu st acc -> if st < stage then tu :: acc else acc)
+        tbl []
+      |> List.sort Tuple.compare
+    in
+    List.iter
+      (fun tu ->
+        Hashtbl.remove tbl tu;
+        ignore (Relation.delete data tu))
+      doomed;
+    evictions := !evictions + List.length doomed;
+    { changed = doomed <> []; expired = doomed }
+  in
+  let stats () =
+    {
+      entries = Hashtbl.length tbl;
+      memory_bytes =
+        Sketch.Bloom.memory_bytes bloom
+        + (Hashtbl.length tbl * (Decl.arity decl + 3) * 8);
+      writes = !writes;
+      dropped = !dropped;
+      evictions = !evictions;
+    }
+  in
+  { decl; bkind = "bloom"; writable = true; write; tick;
+    flush = (fun () -> false); stats }
+
+(* Shared by topk and cms: materialize a ranked [(key…, total)] output
+   and only touch the relation when the ranking actually changed. *)
+let ranked_materializer ~data ~k totals_list =
+  let last_out = ref [] in
+  fun () ->
+    let out =
+      totals_list ()
+      |> List.sort (fun (k1, t1) (k2, t2) ->
+             match Int.compare t2 t1 with
+             | 0 -> Tuple.compare k1 k2
+             | c -> c)
+      |> take k
+      |> List.map (fun (key, total) ->
+             Array.append key [| Value.Int total |])
+      |> List.sort Tuple.compare
+    in
+    if List.equal Tuple.equal out !last_out then false
+    else begin
+      Relation.clear data;
+      List.iter (fun tu -> ignore (Relation.insert data tu)) out;
+      last_out := out;
+      true
+    end
+
+let make_topk ~(decl : Decl.t) ~data ~k h =
+  let arity = Decl.arity decl in
+  let q : (float * Tuple.t * int) Queue.t = Queue.create () in
+  let totals : (Tuple.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let writes = ref 0 and evictions = ref 0 in
+  let dirty = ref false in
+  let bump key w =
+    let next = Option.value ~default:0 (Hashtbl.find_opt totals key) + w in
+    if next = 0 then Hashtbl.remove totals key
+    else Hashtbl.replace totals key next
+  in
+  let rematerialize =
+    ranked_materializer ~data ~k (fun () ->
+        Hashtbl.fold (fun key total acc -> (key, total) :: acc) totals [])
+  in
+  let write ~stage ~now op tuple =
+    check_arity decl tuple @@ fun () ->
+    match op with
+    | Delete ->
+      Error "builtin topk: deletion is not supported (weights expire out of \
+             the window)"
+    | Insert -> (
+      match tuple.(arity - 1) with
+      | Value.Int w ->
+        incr writes;
+        let key = Array.sub tuple 0 (arity - 1) in
+        Queue.push (stamp h ~stage ~now, key, w) q;
+        bump key w;
+        dirty := true;
+        Ok false
+      | v ->
+        Error
+          (Printf.sprintf
+             "builtin topk: last column must be an integer weight, got %s"
+             (Value.to_string v)))
+  in
+  let flush () =
+    if !dirty then begin
+      dirty := false;
+      rematerialize ()
+    end
+    else false
+  in
+  let tick ~stage ~now =
+    let c = cutoff h ~stage ~now in
+    let rec drop () =
+      match Queue.peek_opt q with
+      | Some (st, key, w) when st <= c ->
+        ignore (Queue.pop q);
+        bump key (-w);
+        incr evictions;
+        dirty := true;
+        drop ()
+      | _ -> ()
+    in
+    drop ();
+    { changed = flush (); expired = [] }
+  in
+  let stats () =
+    {
+      entries = Queue.length q;
+      memory_bytes = Queue.length q * (arity + 4) * 8;
+      writes = !writes;
+      dropped = 0;
+      evictions = !evictions;
+    }
+  in
+  { decl; bkind = "topk"; writable = true; write; tick; flush; stats }
+
+let make_cms ~(decl : Decl.t) ~data ~width ~depth ~k =
+  let arity = Decl.arity decl in
+  let cms = Sketch.Cms.create ~width ~depth () in
+  (* Bounded candidate set: the sketch alone cannot enumerate keys, so
+     heavy-hitter candidates are remembered exactly, pruned to the
+     heaviest when over capacity. A pruned key that keeps arriving
+     re-enters with its current (cumulative) estimate. *)
+  let cap = max (4 * k) 64 in
+  let candidates : (Tuple.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let writes = ref 0 in
+  let dirty = ref false in
+  let prune () =
+    if Hashtbl.length candidates > cap then begin
+      let keep =
+        Hashtbl.fold (fun key est acc -> (key, est) :: acc) candidates []
+        |> List.sort (fun (k1, e1) (k2, e2) ->
+               match Int.compare e2 e1 with
+               | 0 -> Tuple.compare k1 k2
+               | c -> c)
+        |> take (max (2 * k) 32)
+      in
+      Hashtbl.reset candidates;
+      List.iter (fun (key, est) -> Hashtbl.replace candidates key est) keep
+    end
+  in
+  let rematerialize =
+    ranked_materializer ~data ~k (fun () ->
+        (* Re-read the sketch at materialization time: estimates only
+           grow, and stale candidate entries would under-rank keys. *)
+        Hashtbl.fold
+          (fun key _ acc -> (key, Sketch.Cms.estimate cms key) :: acc)
+          candidates [])
+  in
+  let write ~stage:_ ~now:_ op tuple =
+    check_arity decl tuple @@ fun () ->
+    match op with
+    | Delete -> Error "builtin cms: deletion is not supported"
+    | Insert -> (
+      match tuple.(arity - 1) with
+      | Value.Int w ->
+        incr writes;
+        let key = Array.sub tuple 0 (arity - 1) in
+        let est = Sketch.Cms.add cms ~count:w key in
+        Hashtbl.replace candidates key est;
+        prune ();
+        dirty := true;
+        Ok false
+      | v ->
+        Error
+          (Printf.sprintf
+             "builtin cms: last column must be an integer weight, got %s"
+             (Value.to_string v)))
+  in
+  let flush () =
+    if !dirty then begin
+      dirty := false;
+      rematerialize ()
+    end
+    else false
+  in
+  let tick ~stage:_ ~now:_ = { changed = flush (); expired = [] } in
+  let stats () =
+    {
+      entries = Hashtbl.length candidates;
+      memory_bytes =
+        Sketch.Cms.memory_bytes cms
+        + (Hashtbl.length candidates * (arity + 3) * 8);
+      writes = !writes;
+      dropped = 0;
+      evictions = 0;
+    }
+  in
+  { decl; bkind = "cms"; writable = true; write; tick; flush; stats }
+
+let instantiate ~decl ~data =
+  let* cfg = parse decl in
+  match cfg with
+  | None ->
+    Error
+      (Printf.sprintf "relation %s has no builtin configuration" decl.Decl.rel)
+  | Some Time -> Ok (make_time ~decl ~data)
+  | Some (Window h) -> Ok (make_stamped ~bkind:"window" ~decl ~data h)
+  | Some (Ttl h) -> Ok (make_stamped ~bkind:"ttl" ~decl ~data h)
+  | Some (Topk { k; h }) -> Ok (make_topk ~decl ~data ~k h)
+  | Some (Bloom cfg) -> Ok (make_bloom ~decl ~data cfg)
+  | Some (Cms { width; depth; k }) -> Ok (make_cms ~decl ~data ~width ~depth ~k)
+
+(* {1 Per-peer registry} *)
+
+module Registry = struct
+  type nonrec t = (string, instance) Hashtbl.t
+
+  let create () = Hashtbl.create 8
+
+  let register t ~decl ~data =
+    let* inst = instantiate ~decl ~data in
+    Hashtbl.replace t decl.Decl.rel inst;
+    Ok inst
+
+  let find t rel = Hashtbl.find_opt t rel
+  let mem t rel = Hashtbl.mem t rel
+  let is_empty t = Hashtbl.length t = 0
+
+  let to_list t =
+    Hashtbl.fold (fun _ inst acc -> inst :: acc) t []
+    |> List.sort (fun a b -> String.compare a.decl.Decl.rel b.decl.Decl.rel)
+
+  let tick_all t ~stage ~now =
+    List.fold_left
+      (fun (changed, expired) inst ->
+        let r = inst.tick ~stage ~now in
+        ( changed || r.changed,
+          expired
+          @ List.map (fun tu -> (inst.decl.Decl.rel, tu)) r.expired ))
+      (false, []) (to_list t)
+
+  let flush_all t =
+    List.fold_left (fun acc inst -> inst.flush () || acc) false (to_list t)
+
+  let totals t =
+    List.fold_left
+      (fun acc inst ->
+        let s = inst.stats () in
+        {
+          entries = acc.entries + s.entries;
+          memory_bytes = acc.memory_bytes + s.memory_bytes;
+          writes = acc.writes + s.writes;
+          dropped = acc.dropped + s.dropped;
+          evictions = acc.evictions + s.evictions;
+        })
+      { entries = 0; memory_bytes = 0; writes = 0; dropped = 0; evictions = 0 }
+      (to_list t)
+end

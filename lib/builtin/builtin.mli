@@ -1,0 +1,120 @@
+(** Builtin relation modules: relations whose storage and update
+    semantics come from the runtime instead of plain set semantics.
+
+    A builtin relation is declared with
+    [builtin <kind> rel@peer(cols) with k=v, …] and behaves like an
+    extensional relation to the evaluator: rules read it like any
+    relation, rule heads write it inductively, remote facts for it are
+    updates. The module owns the private state (ring of stamped
+    entries, expiry map, sketch bits) and keeps the relation's
+    ordinary {!Wdl_store.Relation.t} — the {e materialization} — in
+    sync, so the fixpoint needs no changes to consume it.
+
+    Kinds:
+    - [time] (arity 2, no parameters, read-only): one tuple
+      [(stage, seconds)], rewritten at every tick.
+    - [window] ([size=N] stages xor [seconds=T]): the distinct tuples
+      written within the trailing window; expired tuples auto-retract.
+    - [topk] ([k=K] plus [size=N] xor [seconds=T], arity ≥ 2): written
+      tuples carry an integer weight in the last column; materializes
+      the K heaviest keys of the window as [(key…, total)].
+    - [ttl] ([ttl=N] stages xor [seconds=T]): like [window], but a
+      re-write refreshes the expiry — facts auto-retract through the
+      revocation-style deletion path.
+    - [bloom] ([bits=B] with optional [hashes=H], xor [capacity=N]
+      with optional [fpr=P]): approximate dedup. A written tuple is
+      materialized only if the Bloom filter considers it novel, and
+      only for the stage it arrived in; memory stays bounded by the
+      filter, not the stream.
+    - [cms] ([k=K] plus optional [width=W], [depth=D], arity ≥ 2):
+      count-min heavy hitters. Writes carry an integer weight in the
+      last column; materializes the K largest estimates as
+      [(key…, estimate)].
+
+    Ticks run at stage boundaries (the peer calls {!Registry.tick_all}
+    as the stage opens, then {!Registry.flush_all} once the stage's
+    inputs are applied), so stages stay deterministic: stage-indexed
+    horizons advance only when the peer actually runs a stage, and
+    wall-clock horizons read the peer's injectable clock. *)
+
+open Wdl_syntax
+open Wdl_store
+
+type op = Insert | Delete
+
+type tick_result = {
+  changed : bool;  (** the materialized relation changed *)
+  expired : Tuple.t list;  (** tuples retracted by this tick, sorted *)
+}
+
+type stats = {
+  entries : int;  (** live private-state entries *)
+  memory_bytes : int;  (** approximate private-state footprint *)
+  writes : int;  (** accepted writes since creation *)
+  dropped : int;  (** writes dropped as duplicates (bloom) *)
+  evictions : int;  (** tuples expired since creation *)
+}
+
+type instance = {
+  decl : Decl.t;
+  bkind : string;
+  writable : bool;
+  write : stage:int -> now:float -> op -> Tuple.t -> (bool, string) result;
+      (** Guarded write path. [Ok true] iff the materialized relation
+          changed. [Error _] on read-only modules, arity mismatches and
+          malformed weights; deletion is only supported by [window] and
+          [ttl]. *)
+  tick : stage:int -> now:float -> tick_result;
+      (** Stage-boundary advance: expiry, time refresh. *)
+  flush : unit -> bool;
+      (** Rematerializes pending aggregate output ([topk], [cms]);
+          [true] iff the relation changed. No-op for other kinds. *)
+  stats : unit -> stats;
+}
+
+val kinds : string list
+(** Sorted list of known kind names. *)
+
+val is_kind : string -> bool
+
+val writable_kind : string -> bool
+(** [false] for kinds whose relation only the runtime may write
+    ([time]). Unknown kinds are reported writable (the error surfaces
+    at validation instead). *)
+
+val validate : Decl.t -> (unit, string) result
+(** Checks a declaration's kind, parameters and arity without
+    allocating any storage — the static analyzer's entry point.
+    [Ok ()] for declarations with no builtin config. *)
+
+val instantiate : decl:Decl.t -> data:Relation.t -> (instance, string) result
+(** Validates and builds an instance materializing into [data] (the
+    relation registered for [decl] in the peer's database). *)
+
+(** Per-peer registry, keyed by relation name. *)
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val register : t -> decl:Decl.t -> data:Relation.t -> (instance, string) result
+  (** Re-registering a relation name replaces the old instance (used
+      by snapshot restore); the caller is responsible for clearing the
+      materialization if needed. *)
+
+  val find : t -> string -> instance option
+  val mem : t -> string -> bool
+  val is_empty : t -> bool
+
+  val to_list : t -> instance list
+  (** Sorted by relation name — tick order, hence deterministic. *)
+
+  val tick_all : t -> stage:int -> now:float -> bool * (string * Tuple.t) list
+  (** Ticks every instance in relation-name order; returns whether any
+      materialization changed and the expired [(rel, tuple)]s. *)
+
+  val flush_all : t -> bool
+
+  val totals : t -> stats
+  (** Sums over instances (for metrics). *)
+end

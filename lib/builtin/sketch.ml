@@ -1,0 +1,121 @@
+(* Double hashing over OCaml's structural seeded hash: two independent
+   30-bit hashes h1, h2 generate the k probe positions h1 + i·h2. The
+   classic Kirsch–Mitzenmacher construction keeps the asymptotic
+   false-positive rate of k independent hashes. *)
+
+let h1 x = Hashtbl.seeded_hash 0x2545 x
+let h2 x = Hashtbl.seeded_hash 0x9e37 x lor 1 (* odd: hits every residue *)
+
+module Bloom = struct
+  type t = {
+    bits : Bytes.t;
+    m : int;  (* number of bits *)
+    k : int;  (* hashes per element *)
+    mutable set_bits : int;
+    mutable inserts : int;
+  }
+
+  let create ?(hashes = 4) ~bits () =
+    if bits <= 0 then invalid_arg "Bloom.create: bits must be positive";
+    if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
+    let m = max 64 bits in
+    { bits = Bytes.make ((m + 7) / 8) '\000'; m; k = hashes; set_bits = 0;
+      inserts = 0 }
+
+  let for_capacity ?(fpr = 0.01) n =
+    if n <= 0 then invalid_arg "Bloom.for_capacity: capacity must be positive";
+    if not (fpr > 0. && fpr < 1.) then
+      invalid_arg "Bloom.for_capacity: fpr must be in (0, 1)";
+    let ln2 = log 2. in
+    let m =
+      int_of_float (ceil (-.float_of_int n *. log fpr /. (ln2 *. ln2)))
+    in
+    let k = max 1 (int_of_float (Float.round (float_of_int m /. float_of_int n *. ln2))) in
+    create ~hashes:k ~bits:m ()
+
+  let get t i =
+    Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let set t i =
+    let byte = i lsr 3 in
+    let mask = 1 lsl (i land 7) in
+    let c = Char.code (Bytes.unsafe_get t.bits byte) in
+    if c land mask = 0 then begin
+      Bytes.unsafe_set t.bits byte (Char.unsafe_chr (c lor mask));
+      t.set_bits <- t.set_bits + 1
+    end
+
+  let probe t x f =
+    let a = h1 x and b = h2 x in
+    let rec go i acc =
+      if i >= t.k then acc
+      else
+        let pos = abs (a + (i * b)) mod t.m in
+        go (i + 1) (f pos acc)
+    in
+    go 0 true
+
+  let mem t x = probe t x (fun pos acc -> acc && get t pos)
+
+  let add_mem t x =
+    t.inserts <- t.inserts + 1;
+    probe t x (fun pos acc ->
+        let was = get t pos in
+        if not was then set t pos;
+        acc && was)
+
+  let add t x = ignore (add_mem t x)
+  let inserts t = t.inserts
+  let bits t = t.m
+  let hashes t = t.k
+  let memory_bytes t = Bytes.length t.bits
+  let fill_ratio t = float_of_int t.set_bits /. float_of_int t.m
+  let fpr_estimate t = fill_ratio t ** float_of_int t.k
+
+  (* n ≈ -(m/k) ln(1 - fill): inverts the expected fill ratio. *)
+  let cardinal_estimate t =
+    let fill = fill_ratio t in
+    if fill >= 1. then max_int
+    else
+      int_of_float
+        (Float.round
+           (-.(float_of_int t.m /. float_of_int t.k) *. log (1. -. fill)))
+end
+
+module Cms = struct
+  type t = {
+    width : int;
+    depth : int;
+    rows : int array array;
+    mutable total : int;
+  }
+
+  let create ?(width = 1024) ?(depth = 4) () =
+    if width <= 0 then invalid_arg "Cms.create: width must be positive";
+    if depth <= 0 then invalid_arg "Cms.create: depth must be positive";
+    { width; depth; rows = Array.init depth (fun _ -> Array.make width 0);
+      total = 0 }
+
+  let fold_cells t x f init =
+    let a = h1 x and b = h2 x in
+    let acc = ref init in
+    for row = 0 to t.depth - 1 do
+      let col = abs (a + (row * b)) mod t.width in
+      acc := f !acc t.rows.(row) col
+    done;
+    !acc
+
+  let add t ?(count = 1) x =
+    t.total <- t.total + count;
+    fold_cells t x
+      (fun est row col ->
+        row.(col) <- row.(col) + count;
+        min est row.(col))
+      max_int
+
+  let estimate t x = fold_cells t x (fun est row col -> min est row.(col)) max_int
+  let total t = t.total
+  let width t = t.width
+  let depth t = t.depth
+  let memory_bytes t = t.width * t.depth * 8
+end

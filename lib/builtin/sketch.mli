@@ -1,0 +1,66 @@
+(** Probabilistic sketches with bounded memory: a Bloom filter
+    (approximate set membership, no false negatives) and a count-min
+    sketch (frequency over-estimates). Both hash arbitrary OCaml
+    values structurally, so they work directly on {!Wdl_store.Tuple}s.
+
+    These back the [bloom] and [cms] builtin relation modules and are
+    exposed separately so tests and benchmarks can exercise them
+    against exact references. *)
+
+module Bloom : sig
+  type t
+
+  val create : ?hashes:int -> bits:int -> unit -> t
+  (** [bits] is rounded up to at least 64; [hashes] defaults to 4.
+      Raises [Invalid_argument] on non-positive arguments. *)
+
+  val for_capacity : ?fpr:float -> int -> t
+  (** Sizes the filter for [n] insertions at false-positive rate
+      [fpr] (default 0.01): [m = -n ln fpr / (ln 2)²] bits and the
+      matching optimal hash count. *)
+
+  val add : t -> 'a -> unit
+  val mem : t -> 'a -> bool
+
+  val add_mem : t -> 'a -> bool
+  (** Adds and returns whether the element was (possibly) already
+      present — one hash pass instead of [mem] + [add]. *)
+
+  val cardinal_estimate : t -> int
+  (** Estimated number of distinct insertions, from the fill ratio. *)
+
+  val inserts : t -> int
+  (** Exact number of [add]/[add_mem] calls. *)
+
+  val bits : t -> int
+  val hashes : t -> int
+  val memory_bytes : t -> int
+  val fill_ratio : t -> float
+  (** Fraction of bits set, in [0, 1]. *)
+
+  val fpr_estimate : t -> float
+  (** Current expected false-positive probability, [fill_ratio ^ hashes]. *)
+end
+
+module Cms : sig
+  type t
+
+  val create : ?width:int -> ?depth:int -> unit -> t
+  (** Width defaults to 1024 counters per row, depth to 4 rows.
+      Raises [Invalid_argument] on non-positive arguments. *)
+
+  val add : t -> ?count:int -> 'a -> int
+  (** Increments the element's counters by [count] (default 1) and
+      returns the new estimate. *)
+
+  val estimate : t -> 'a -> int
+  (** Over-approximates the true count: never under the truth, over it
+      by at most [e·total/width] with probability [1 - e^(-depth)]. *)
+
+  val total : t -> int
+  (** Sum of all increments. *)
+
+  val width : t -> int
+  val depth : t -> int
+  val memory_bytes : t -> int
+end

@@ -1,5 +1,6 @@
 open Wdl_syntax
 open Wdl_store
+module Builtin = Wdl_builtin.Builtin
 
 module Deleg_tbl = Hashtbl.Make (struct
   type t = string * Rule.t
@@ -68,6 +69,14 @@ type t = {
   mutable program : Wdl_eval.Program.t option;
   mutable n_cache_hits : int;
   mutable n_fastpath : int;
+  (* Builtin relation modules (time, windows, TTL, sketches): private
+     state keyed by relation name, ticked at every stage boundary.
+     [clock] feeds wall-clock horizons and the time module; tests and
+     benchmarks inject a deterministic one. *)
+  builtins : Builtin.Registry.t;
+  mutable clock : unit -> float;
+  mutable n_builtin_ticks : int;
+  mutable n_builtin_expired : int;
 }
 
 (* Re-export the monotone counters through the metrics registry as
@@ -114,7 +123,29 @@ let register_metrics t =
     (fun () -> t.n_shed);
   Wdl_obs.Obs.on_collect ~help:"Messages waiting in this peer's inbox"
     ~labels ~kind:`Gauge "wdl_sys_inbox_depth" (fun () ->
-      float_of_int (Queue.length t.inbox))
+      float_of_int (Queue.length t.inbox));
+  let builtin_field ~kind name help read =
+    Wdl_obs.Obs.on_collect ~help ~labels ~kind name (fun () ->
+        float_of_int (read (Builtin.Registry.totals t.builtins)))
+  in
+  field "wdl_builtin_ticks_total"
+    "Stage-boundary builtin-module ticks that changed a materialization"
+    (fun () -> t.n_builtin_ticks);
+  field "wdl_builtin_expired_total"
+    "Tuples auto-retracted by builtin-module expiry (windows, TTL)"
+    (fun () -> t.n_builtin_expired);
+  builtin_field ~kind:`Counter "wdl_builtin_writes_total"
+    "Writes accepted by this peer's builtin relation modules"
+    (fun (s : Builtin.stats) -> s.Builtin.writes);
+  builtin_field ~kind:`Counter "wdl_builtin_dropped_total"
+    "Writes dropped as duplicates by sketch modules (bloom)"
+    (fun s -> s.Builtin.dropped);
+  builtin_field ~kind:`Gauge "wdl_builtin_entries"
+    "Live private-state entries across this peer's builtin modules"
+    (fun s -> s.Builtin.entries);
+  builtin_field ~kind:`Gauge "wdl_builtin_memory_bytes"
+    "Approximate private-state footprint of this peer's builtin modules"
+    (fun s -> s.Builtin.memory_bytes)
 
 let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     ?trace_capacity ?(diff_batches = true) ?(incremental = true)
@@ -163,6 +194,10 @@ let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     program = None;
     n_cache_hits = 0;
     n_fastpath = 0;
+    builtins = Builtin.Registry.create ();
+    clock = (fun () -> Wdl_obs.Obs.now_us () /. 1e6);
+    n_builtin_ticks = 0;
+    n_builtin_expired = 0;
   }
   in
   register_metrics t;
@@ -194,6 +229,9 @@ let record_event t e =
     t.n_errors <- t.n_errors + List.length errors
   | Trace.Analysis_warning _ ->
     t.n_analysis_warnings <- t.n_analysis_warnings + 1
+  | Trace.Builtin_tick { expired; _ } ->
+    t.n_builtin_ticks <- t.n_builtin_ticks + 1;
+    t.n_builtin_expired <- t.n_builtin_expired + expired
   | Trace.Stage_start _ | Trace.Fact_inserted _ | Trace.Fact_deleted _
   | Trace.Delegation_pending _ | Trace.Rule_added _ | Trace.Rule_removed _
   | Trace.Link_dead _ | Trace.Peer_status _ | Trace.Inbox_shed _
@@ -203,6 +241,8 @@ let record_event t e =
 
 let acl t = t.acl
 let authz t = t.authz
+let builtins t = t.builtins
+let set_clock t f = t.clock <- f
 let set_enforce_authz t b = t.enforce_authz <- b
 let enforcing_authz t = t.enforce_authz
 let trace t = t.trace
@@ -231,6 +271,22 @@ let stratifies t candidate =
   | Ok _ -> Ok ()
   | Error e -> Error (Format.asprintf "%a" Wdl_eval.Stratify.pp_error e)
 
+(* A rule head naming a read-only builtin relation (time) would fail
+   on every derivation; reject it at install time instead. *)
+let builtin_head_error t (rule : Rule.t) =
+  let head = rule.Rule.head in
+  match head.Atom.rel, head.Atom.peer with
+  | Term.Const (Value.String rel), Term.Const (Value.String peer)
+    when peer = t.name -> (
+    match Builtin.Registry.find t.builtins rel with
+    | Some inst when not inst.Builtin.writable ->
+      Some
+        (Printf.sprintf
+           "rule head writes the read-only builtin relation %s (builtin %s)"
+           rel inst.Builtin.bkind)
+    | Some _ | None -> None)
+  | _ -> None
+
 let aggregate_local_error t rule =
   if Rule.is_aggregate rule && not (Wdl_eval.Fixpoint.statically_local ~self:t.name rule)
   then
@@ -254,6 +310,9 @@ let add_rule t rule =
   | Error errs -> Error (Safety.errors_to_string errs)
   | Ok () -> (
     match aggregate_local_error t rule with
+    | Some msg -> Error msg
+    | None ->
+    match builtin_head_error t rule with
     | Some msg -> Error msg
     | None ->
     match stratifies t rule with
@@ -282,13 +341,42 @@ let remove_rule t rule =
   end;
   had
 
+(* Guarded write path for builtin relations. Deliberately not
+   journaled: module state is time-dependent and restarts rebuild it
+   empty (expiry stamps and sketch bits cannot be replayed). The stage
+   stamp is the stage the write becomes visible at — the next one. *)
+let builtin_write t (inst : Builtin.instance) op (fact : Fact.t) =
+  let tuple = Tuple.of_list fact.Fact.args in
+  match
+    inst.Builtin.write ~stage:(t.stage_no + 1) ~now:(t.clock ()) op tuple
+  with
+  | Error e -> Error e
+  | Ok changed ->
+    (* topk and cms defer materialization to the stage's flush, so any
+       accepted write is work for them; other kinds report the change
+       directly (a ttl stamp refresh is not work — expiry is handled
+       by the tick, which runs before the quiescence check). *)
+    (match inst.Builtin.bkind with
+    | "topk" | "cms" -> t.dirty <- true
+    | _ -> if changed then t.dirty <- true);
+    if changed then
+      record_event t
+        (match op with
+        | Builtin.Insert -> Trace.Fact_inserted { peer = t.name; fact }
+        | Builtin.Delete -> Trace.Fact_deleted { peer = t.name; fact });
+    Ok ()
+
 let insert t (fact : Fact.t) =
   if fact.Fact.peer <> t.name then
     Error
       (Printf.sprintf "fact %s targets peer %s, not this peer (%s)"
          (Format.asprintf "%a" Fact.pp fact)
          fact.Fact.peer t.name)
-  else if intensional t fact.Fact.rel then
+  else
+    match Builtin.Registry.find t.builtins fact.Fact.rel with
+    | Some inst -> builtin_write t inst Builtin.Insert fact
+    | None ->
+  if intensional t fact.Fact.rel then
     Error
       (Printf.sprintf "relation %s is intensional (a view); it cannot be updated"
          fact.Fact.rel)
@@ -309,7 +397,11 @@ let delete t (fact : Fact.t) =
     Error
       (Printf.sprintf "fact targets peer %s, not this peer (%s)" fact.Fact.peer
          t.name)
-  else if intensional t fact.Fact.rel then
+  else
+    match Builtin.Registry.find t.builtins fact.Fact.rel with
+    | Some inst -> builtin_write t inst Builtin.Delete fact
+    | None ->
+  if intensional t fact.Fact.rel then
     Error
       (Printf.sprintf "relation %s is intensional (a view); it cannot be updated"
          fact.Fact.rel)
@@ -355,14 +447,55 @@ let load_program t (program : Program.t) =
                             stratification of the installed rules"
              d.Decl.rel)
       else (
-        match Database.declare t.db d with
-        | Ok _ ->
-          (* A declaration can turn a name intensional, which changes
-             stratification for rules mentioning it. *)
-          invalidate_program t;
-          journal_entry t (Journal.Declare d);
-          Ok ()
-        | Error e -> where (Format.asprintf "%a" Database.pp_error e))
+        match Builtin.validate d with
+        | Error msg -> where msg
+        | Ok () ->
+          let existed = Database.find t.db d.Decl.rel <> None in
+          (match Database.declare t.db d with
+          | Ok info -> (
+            (* A declaration can turn a name intensional, which changes
+               stratification for rules mentioning it. *)
+            invalidate_program t;
+            match d.Decl.builtin with
+            | None ->
+              if Builtin.Registry.mem t.builtins d.Decl.rel then
+                where
+                  (Printf.sprintf
+                     "%s is a builtin relation; redeclare it with its \
+                      builtin form"
+                     d.Decl.rel)
+              else begin
+                journal_entry t (Journal.Declare d);
+                Ok ()
+              end
+            | Some _ -> (
+              match Builtin.Registry.find t.builtins d.Decl.rel with
+              | Some inst when Decl.equal inst.Builtin.decl d ->
+                (* Idempotent re-declaration keeps the module state. *)
+                Ok ()
+              | Some inst ->
+                where
+                  (Format.asprintf
+                     "conflicts with the installed builtin declaration \
+                      %a" Decl.pp inst.Builtin.decl)
+              | None ->
+                if existed then
+                  where
+                    (Printf.sprintf
+                       "%s already exists as a plain relation; builtin \
+                        configuration must come with its first \
+                        declaration"
+                       d.Decl.rel)
+                else (
+                  match
+                    Builtin.Registry.register t.builtins ~decl:d
+                      ~data:info.Database.data
+                  with
+                  | Error msg -> where msg
+                  | Ok _ ->
+                    journal_entry t (Journal.Declare d);
+                    Ok ())))
+          | Error e -> where (Format.asprintf "%a" Database.pp_error e)))
     | Program.Fact f -> (
       match insert t f with Ok () -> Ok () | Error msg -> where msg)
     | Program.Rule r -> (
@@ -480,6 +613,12 @@ let install_delegation t ~src rule =
   else if not (authz_allows t ~src rule) then false
   else
     match aggregate_local_error t rule with
+    | Some reason ->
+      record_event t
+        (Trace.Delegation_rejected { peer = t.name; src; rule; reason });
+      false
+    | None ->
+    match builtin_head_error t rule with
     | Some reason ->
       record_event t
         (Trace.Delegation_rejected { peer = t.name; src; rule; reason });
@@ -666,7 +805,15 @@ let snapshot t =
             List.init info.Database.arity (Printf.sprintf "c%d")
           else info.Database.cols
         in
-        Decl.make ~kind:info.Database.kind ~rel:info.Database.name ~peer:t.name cols)
+        (* Re-attach the builtin configuration so the declaration
+           round-trips through the parser on restore. *)
+        match Builtin.Registry.find t.builtins info.Database.name with
+        | Some inst ->
+          Decl.make ?builtin:inst.Builtin.decl.Decl.builtin
+            ~kind:info.Database.kind ~rel:info.Database.name ~peer:t.name cols
+        | None ->
+          Decl.make ~kind:info.Database.kind ~rel:info.Database.name
+            ~peer:t.name cols)
       (Database.relations t.db)
   in
   let ext_facts =
@@ -675,10 +822,16 @@ let snapshot t =
         match info.Database.kind with
         | Decl.Intensional -> []
         | Decl.Extensional ->
-          List.map
-            (fun tuple ->
-              Fact.make ~rel:info.Database.name ~peer:t.name (Tuple.to_list tuple))
-            (Relation.to_sorted_list info.Database.data))
+          (* Builtin materializations are not dumped: their private
+             state (stamps, sketch bits) cannot be replayed, so a
+             restored module starts empty, like after a crash. *)
+          if Builtin.Registry.mem t.builtins info.Database.name then []
+          else
+            List.map
+              (fun tuple ->
+                Fact.make ~rel:info.Database.name ~peer:t.name
+                  (Tuple.to_list tuple))
+              (Relation.to_sorted_list info.Database.data))
       (Database.relations t.db)
   in
   let own = rules t in
@@ -891,10 +1044,21 @@ let restore text =
     let* decls = times n_decl (fun st -> decl st "a declaration") [] st in
     let* () =
       List.fold_left
-        (fun acc d ->
+        (fun acc (d : Decl.t) ->
           let* () = acc in
           match Database.declare t.db d with
-          | Ok _ -> Ok ()
+          | Ok info -> (
+            match d.Decl.builtin with
+            | None -> Ok ()
+            | Some _ -> (
+              (* Modules restart empty: stamps and sketch bits cannot
+                 be reconstructed from a materialization dump. *)
+              match
+                Builtin.Registry.register t.builtins ~decl:d
+                  ~data:info.Database.data
+              with
+              | Ok _ -> Ok ()
+              | Error msg -> Error msg))
           | Error e -> Error (Format.asprintf "%a" Database.pp_error e))
         (Ok ()) decls
     in
@@ -995,18 +1159,29 @@ let has_work t =
   t.dirty || t.induced_pending <> [] || not (Queue.is_empty t.inbox)
 
 let apply_extensional t fact =
-  let tuple = Tuple.of_list fact.Fact.args in
-  match Database.insert t.db ~rel:fact.Fact.rel tuple with
-  | Ok fresh ->
-    if fresh then begin
-      journal_entry t (Journal.Insert fact);
-      record_event t (Trace.Fact_inserted { peer = t.name; fact })
-    end
-  | Error e ->
-    t.last_errors <-
-      Wdl_eval.Runtime_error.Store_error
-        { rel = fact.Fact.rel; message = Format.asprintf "%a" Database.pp_error e }
-      :: t.last_errors
+  match Builtin.Registry.find t.builtins fact.Fact.rel with
+  | Some inst -> (
+    (* Induced heads and remote updates for a builtin relation go
+       through its guarded write path, like local inserts. *)
+    match builtin_write t inst Builtin.Insert fact with
+    | Ok () -> ()
+    | Error msg ->
+      t.last_errors <-
+        Wdl_eval.Runtime_error.Store_error { rel = fact.Fact.rel; message = msg }
+        :: t.last_errors)
+  | None -> (
+    let tuple = Tuple.of_list fact.Fact.args in
+    match Database.insert t.db ~rel:fact.Fact.rel tuple with
+    | Ok fresh ->
+      if fresh then begin
+        journal_entry t (Journal.Insert fact);
+        record_event t (Trace.Fact_inserted { peer = t.name; fact })
+      end
+    | Error e ->
+      t.last_errors <-
+        Wdl_eval.Runtime_error.Store_error
+          { rel = fact.Fact.rel; message = Format.asprintf "%a" Database.pp_error e }
+        :: t.last_errors)
 
 let process_message t (msg : Message.t) =
   record_event t (Trace.Message_received { msg });
@@ -1102,6 +1277,30 @@ let compiled_program t =
 
 let stage t =
   let stage_no = t.stage_no + 1 in
+  (* Builtin modules tick as the stage opens: time refresh, window and
+     TTL expiry. Deliberately before the quiescence check below — an
+     expiry or a clock refresh is work, and stage-indexed horizons must
+     only advance when the peer actually runs a stage. *)
+  if not (Builtin.Registry.is_empty t.builtins) then begin
+    let changed, expired =
+      Builtin.Registry.tick_all t.builtins ~stage:stage_no ~now:(t.clock ())
+    in
+    List.iter
+      (fun (rel, tuple) ->
+        record_event t
+          (Trace.Fact_deleted
+             {
+               peer = t.name;
+               fact = Fact.make ~rel ~peer:t.name (Tuple.to_list tuple);
+             }))
+      expired;
+    if changed then begin
+      record_event t
+        (Trace.Builtin_tick
+           { peer = t.name; stage = stage_no; expired = List.length expired });
+      t.dirty <- true
+    end
+  end;
   (* Quiescence fast path: the fixpoint is a deterministic function of
      (extensional db, remote cache, rules).  When none of those changed
      since the previous stage, its outputs are identical, so every
@@ -1132,6 +1331,10 @@ let stage t =
   Queue.iter (process_message t) t.inbox;
   Queue.clear t.inbox;
   refill_intensional t;
+  (* Aggregate builtins (topk, cms) rematerialize once the stage's
+     inputs are all applied, so the fixpoint reads one consistent
+     snapshot. *)
+  ignore (Builtin.Registry.flush_all t.builtins : bool);
   (* Step 2: fixpoint, against the cached compiled program when the
      rule set is unchanged. *)
   let program = if t.incremental then compiled_program t else None in

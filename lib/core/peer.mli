@@ -56,6 +56,25 @@ val acl : t -> Acl.t
 val trace : t -> Trace.t
 val stage_number : t -> int
 
+(** {1 Builtin relation modules} *)
+
+val builtins : t -> Wdl_builtin.Builtin.Registry.t
+(** Modules behind [builtin <kind> rel\@peer(...)] declarations. They
+    tick as each stage opens (time refresh, window/TTL expiry — traced
+    as {!Trace.Builtin_tick} plus one {!Trace.Fact_deleted} per expired
+    tuple) and aggregate kinds rematerialize after the stage's inputs
+    are applied. {!insert}/{!delete} and received facts for a builtin
+    relation are routed through the module's guarded write path;
+    builtin writes are never journaled, so a restored peer's modules
+    start empty. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Clock (seconds, may be virtual) read at stage boundaries and on
+    builtin writes; wall-clock horizons ([seconds=T]) compare these
+    stamps. Defaults to {!Wdl_obs.Obs.now_us} scaled to seconds.
+    Injecting a deterministic clock makes time-based expiry
+    reproducible in tests and simulations. *)
+
 (** {1 Access control (§2 model)} *)
 
 val authz : t -> Authz.t

@@ -19,6 +19,7 @@ type event =
   | Peer_status of { peer : string; status : string }
   | Inbox_shed of { peer : string; policy : string }
   | Dead_lettered of { src : string; dst : string }
+  | Builtin_tick of { peer : string; stage : int; expired : int }
 
 type t = {
   capacity : int;
@@ -88,6 +89,9 @@ let pp_event ppf = function
     Format.fprintf ppf "[%s] inbox full: shed one message (%s)" peer policy
   | Dead_lettered { src; dst } ->
     Format.fprintf ppf "dead-lettered %s -> %s (destination dead)" src dst
+  | Builtin_tick { peer; stage; expired } ->
+    Format.fprintf ppf "[%s] builtin tick at stage %d (%d expired)" peer stage
+      expired
 
 (* Chrome trace-event export.  Stage_start/Stage_end become a "B"/"E"
    duration pair on the peer's thread lane; everything else is an
@@ -126,6 +130,7 @@ let to_chrome ?(pid = 0) ~tid t =
           | Peer_status _ -> "peer_status"
           | Inbox_shed _ -> "inbox_shed"
           | Dead_lettered _ -> "dead_lettered"
+          | Builtin_tick _ -> "builtin_tick"
         in
         { name; cat = "engine"; ph = "i"; ts; pid; tid;
           args = [ ("detail", Format.asprintf "%a" pp_event ev) ] })

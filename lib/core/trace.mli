@@ -30,6 +30,10 @@ type event =
       (** a bounded inbox dropped one message under the named policy *)
   | Dead_lettered of { src : string; dst : string }
       (** a message to a dead destination was parked instead of sent *)
+  | Builtin_tick of { peer : string; stage : int; expired : int }
+      (** a stage-boundary builtin-module tick changed some
+          materialization; [expired] tuples were auto-retracted (each
+          also traced as [Fact_deleted]) *)
 
 type t
 

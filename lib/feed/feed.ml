@@ -24,6 +24,9 @@ let user_program name =
     int digest@%s(author, n);
     int fof@%s(who);
     int suggestion@%s(who);
+    builtin window recent@%s(id, author, text, topic) with size=8;
+    builtin topk hot@%s(topic, n) with k=3, size=8;
+    int trending@%s(topic, n);
 
     incoming@%s($id, $a, $t, $k) :-
       follows@%s($w), posts@$w($id, $a, $t, $k);
@@ -43,8 +46,13 @@ let user_program name =
 
     posts@%s($id, $a, $t, $k) :-
       reshared@%s($id), incoming@%s($id, $a, $t, $k);
+
+    recent@%s($id, $a, $t, $k) :- timeline@%s($id, $a, $t, $k);
+
+    trending@%s($k, count($id)) :- recent@%s($id, $a, $t, $k);
     |}
     (q name) (q name) (q name) (q name) (q name) (q name) (q name) (q name)
+    (q name) (q name) (q name)
     (q name) (q name) (q name)
     (q name) (q name)
     (q name) (q name) (q name)
@@ -53,6 +61,8 @@ let user_program name =
     (q name) (q name)
     (q name) (q name) (q name) (q name)
     (q name) (q name) (q name)
+    (q name) (q name)
+    (q name) (q name)
 
 let create ?transport () =
   {
@@ -88,7 +98,13 @@ let post t ~author ~id ~text ~topic =
     (Peer.insert (user t author)
        (Fact.make ~rel:"posts" ~peer:author
           [ Value.Int id; Value.String author; Value.String text;
-            Value.String topic ]))
+            Value.String topic ]));
+  (* The author's hot-topics sketch counts every post action, even
+     re-posts of an existing id: it tracks activity, not content. *)
+  must
+    (Peer.insert (user t author)
+       (Fact.make ~rel:"hot" ~peer:author
+          [ Value.String topic; Value.Int 1 ]))
 
 let one_string_fact rel ~user:name v =
   Fact.make ~rel ~peer:name [ Value.String v ]
@@ -128,6 +144,23 @@ let entries_of rel t ~user:name =
 
 let timeline = entries_of "timeline"
 let topicline = entries_of "topicline"
+let recent = entries_of "recent"
+
+let weighted rel t ~user:name =
+  Peer.query (user t name) rel
+  |> List.filter_map (fun (f : Fact.t) ->
+         match f.Fact.args with
+         | [ Value.String topic; Value.Int n ] -> Some (topic, n)
+         | _ -> None)
+
+let trending t ~user:name = List.sort compare (weighted "trending" t ~user:name)
+
+let hot_topics t ~user:name =
+  weighted "hot" t ~user:name
+  |> List.sort (fun (k1, n1) (k2, n2) ->
+         match Int.compare n2 n1 with
+         | 0 -> String.compare k1 k2
+         | c -> c)
 
 let digest t ~user:name =
   Peer.query (user t name) "digest"

@@ -26,6 +26,16 @@
 
     // resharing republishes into your own posts (inductive update)
     posts@U($id,$a,$t,$k) :- reshared@U($id), incoming@U($id,$a,$t,$k);
+
+    // recent-items: timeline entries flow into a sliding window
+    // (builtin module, last 8 stages), and an aggregate view counts
+    // posts per topic over just that window
+    builtin window recent@U(id, author, text, topic) with size=8;
+    recent@U($id,$a,$t,$k)    :- timeline@U($id,$a,$t,$k);
+    trending@U($k, count($id)) :- recent@U($id,$a,$t,$k);
+
+    // hot: a top-k module fed by the post action itself
+    builtin topk hot@U(topic, n) with k=3, size=8;
     v} *)
 
 type t
@@ -59,3 +69,19 @@ val digest : t -> user:string -> (string * int) list
 
 val suggestions : t -> user:string -> string list
 (** Friends-of-friends not yet followed, sorted. *)
+
+val recent : t -> user:string -> entry list
+(** The sliding-window view: timeline entries that flowed in within
+    the trailing 8 evaluation stages. An entry whose window slot
+    expires re-enters one stage later while it is still derived by
+    [timeline], so with a live system this tracks recent activity
+    rather than a strict suffix. *)
+
+val trending : t -> user:string -> (string * int) list
+(** [(topic, posts in the recent window)], an aggregate view computed
+    over the [recent] builtin, sorted by topic. *)
+
+val hot_topics : t -> user:string -> (string * int) list
+(** The top-3 topics the user posted into over the trailing window,
+    heaviest first — maintained by a builtin top-k module written by
+    {!post} itself. *)

@@ -1,16 +1,22 @@
 type kind = Extensional | Intensional
 
+type builtin = {
+  bkind : string;
+  params : (string * Value.t) list;
+}
+
 type t = {
   kind : kind;
   rel : string;
   peer : string;
   cols : string list;
+  builtin : builtin option;
 }
 
-let make ~kind ~rel ~peer cols =
+let make ?builtin ~kind ~rel ~peer cols =
   if rel = "" then invalid_arg "Decl.make: empty relation name";
   if peer = "" then invalid_arg "Decl.make: empty peer name";
-  { kind; rel; peer; cols }
+  { kind; rel; peer; cols; builtin }
 
 let arity d = List.length d.cols
 let compare = Stdlib.compare
@@ -20,10 +26,25 @@ let pp_kind ppf = function
   | Extensional -> Format.pp_print_string ppf "ext"
   | Intensional -> Format.pp_print_string ppf "int"
 
+let pp_cols =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+    Format.pp_print_string
+
 let pp ppf d =
-  Format.fprintf ppf "@[<hov 2>%a %a@%a(%a)@]" pp_kind d.kind Fact.pp_bare_name
-    d.rel Fact.pp_bare_name d.peer
-    (Format.pp_print_list
-       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
-       Format.pp_print_string)
-    d.cols
+  match d.builtin with
+  | None ->
+    Format.fprintf ppf "@[<hov 2>%a %a@%a(%a)@]" pp_kind d.kind
+      Fact.pp_bare_name d.rel Fact.pp_bare_name d.peer pp_cols d.cols
+  | Some b ->
+    Format.fprintf ppf "@[<hov 2>builtin %s %a@%a(%a)" b.bkind
+      Fact.pp_bare_name d.rel Fact.pp_bare_name d.peer pp_cols d.cols;
+    (match b.params with
+    | [] -> ()
+    | params ->
+      Format.fprintf ppf " with %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (fun ppf (k, v) -> Format.fprintf ppf "%s=%a" k Value.pp v))
+        params);
+    Format.fprintf ppf "@]"

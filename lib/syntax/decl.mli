@@ -5,20 +5,43 @@
     intensional relations (views, recomputed at every stage).
     Concrete syntax:
     {v ext pictures@Jules(id, name, owner, data)
-       int attendeePictures@Jules(id, name, owner, data) v} *)
+       int attendeePictures@Jules(id, name, owner, data) v}
+
+    A third declaration form attaches a builtin relation module — a
+    relation whose storage and update semantics are provided by the
+    runtime (wall-clock time, sliding windows, TTL'd facts, sketches)
+    rather than by plain set semantics:
+    {v builtin window recent@p(item) with size=8
+       builtin time now@p(stage, seconds) v}
+    Builtin relations behave as extensional relations to the evaluator
+    (rules read them like any relation; rule heads write them
+    inductively), so [kind] is always [Extensional] when [builtin] is
+    [Some _]. The [bkind] string and parameter list are interpreted by
+    the [Wdl_builtin] library at registration time. *)
 
 type kind = Extensional | Intensional
+
+type builtin = {
+  bkind : string;  (** module kind: ["time"], ["window"], ["topk"], … *)
+  params : (string * Value.t) list;  (** declaration-order [key=value] config *)
+}
 
 type t = {
   kind : kind;
   rel : string;
   peer : string;
   cols : string list;  (** column names; the arity is their number *)
+  builtin : builtin option;
 }
 
-val make : kind:kind -> rel:string -> peer:string -> string list -> t
+val make :
+  ?builtin:builtin -> kind:kind -> rel:string -> peer:string -> string list -> t
+
 val arity : t -> int
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+(** Prints the [builtin …] form when a module config is attached; the
+    output re-parses to an equal declaration. *)
+
 val pp_kind : Format.formatter -> kind -> unit

@@ -264,6 +264,63 @@ let decl st kind =
   expect st Lexer.RPAREN "')'";
   Decl.make ~kind ~rel ~peer cols
 
+(* Builtin-module parameter values: ground constants only. *)
+let param_value st =
+  match peek st with
+  | Lexer.INT n -> advance st; Value.Int n
+  | Lexer.FLOAT f -> advance st; Value.Float f
+  | Lexer.STRING s -> advance st; Value.String s
+  | Lexer.BOOL b -> advance st; Value.Bool b
+  | Lexer.IDENT s -> advance st; Value.String s
+  | Lexer.MINUS -> (
+    advance st;
+    match peek st with
+    | Lexer.INT n -> advance st; Value.Int (-n)
+    | Lexer.FLOAT f -> advance st; Value.Float (-.f)
+    | tok ->
+      fail st
+        (Format.asprintf "expected a number after '-' but found %a"
+           Lexer.pp_token tok))
+  | tok ->
+    fail st
+      (Format.asprintf "expected a parameter value but found %a" Lexer.pp_token
+         tok)
+
+(* [builtin <kind> rel@peer(cols) with k=v, …] — "builtin" and "with"
+   are contextual (not reserved words): a statement starting with the
+   identifier [builtin] is only a declaration when the next token is
+   not '@', so facts and rules over a relation named builtin parse as
+   before. *)
+let builtin_decl st =
+  advance st (* builtin *);
+  let bkind = ident st "a builtin module kind" in
+  let rel = ident st "a relation name" in
+  expect st Lexer.AT "'@'";
+  let peer = ident st "a peer name" in
+  expect st Lexer.LPAREN "'('";
+  let cols = comma_list st (fun st -> ident st "a column name") in
+  expect st Lexer.RPAREN "')'";
+  let params =
+    match peek st with
+    | Lexer.IDENT "with" ->
+      advance st;
+      let rec go acc =
+        let k = ident st "a parameter name" in
+        expect st Lexer.EQ2 "'='";
+        let v = param_value st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          go ((k, v) :: acc)
+        end
+        else List.rev ((k, v) :: acc)
+      in
+      go []
+    | _ -> []
+  in
+  Decl.make
+    ~builtin:{ Decl.bkind; params }
+    ~kind:Decl.Extensional ~rel ~peer cols
+
 let fact_of_atom st a =
   match Atom.to_fact a with
   | Some f -> f
@@ -301,6 +358,9 @@ let statement_sp st =
     Located.Decl { Located.node = d; span = span_from st start }
   | Lexer.KW_INT ->
     let d = decl st Decl.Intensional in
+    Located.Decl { Located.node = d; span = span_from st start }
+  | Lexer.IDENT "builtin" when peek2 st <> Lexer.AT ->
+    let d = builtin_decl st in
     Located.Decl { Located.node = d; span = span_from st start }
   | _ ->
     let head, aggs = head_atom st in

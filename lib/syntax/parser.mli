@@ -16,7 +16,12 @@
 
     Statements are separated by [;] (optional before end of input).
     Builtin literals: [not a@p(…)], [$x := expr], [e1 < e2] (also
-    [<=], [>], [>=], [==]/[=], [!=]). *)
+    [<=], [>], [>=], [==]/[=], [!=]).
+
+    Builtin relation modules are declared with a contextual keyword —
+    [builtin window recent@p(item) with size=8] — parsed only when the
+    token after [builtin] is not [@], so relations named [builtin]
+    keep working. *)
 
 exception Error of string * Lexer.pos
 

@@ -15,14 +15,27 @@ module Fact_tbl = Hashtbl.Make (struct
   let hash = Wdl_syntax.Fact.hash
 end)
 
-let watcher ~peer ~rel action =
-  let seen = Fact_tbl.create 64 in
+let watcher ?(dedup = `Exact) ~peer ~rel action =
+  (* [seen fact] reports prior membership and records the fact. *)
+  let seen =
+    match dedup with
+    | `Exact ->
+      let tbl = Fact_tbl.create 64 in
+      fun fact ->
+        if Fact_tbl.mem tbl fact then true
+        else begin
+          Fact_tbl.replace tbl fact ();
+          false
+        end
+    | `Bloom capacity ->
+      let bloom = Wdl_builtin.Sketch.Bloom.for_capacity capacity in
+      fun fact -> Wdl_builtin.Sketch.Bloom.add_mem bloom fact
+  in
   fun () ->
     let crossed = ref 0 in
     List.iter
       (fun fact ->
-        if not (Fact_tbl.mem seen fact) then begin
-          Fact_tbl.replace seen fact ();
+        if not (seen fact) then begin
           action fact;
           incr crossed
         end)

@@ -25,10 +25,16 @@ val sync : t -> unit -> unit
 (** [push] then [refresh], ignoring counts. *)
 
 val watcher :
+  ?dedup:[ `Exact | `Bloom of int ] ->
   peer:Webdamlog.Peer.t ->
   rel:string ->
   (Wdl_syntax.Fact.t -> unit) ->
   unit ->
   int
 (** Builds a push function: calls the action exactly once per fact ever
-    seen in [rel] at [peer] (keeps a seen-set). *)
+    seen in [rel] at [peer]. [`Exact] (the default) keeps an exact
+    seen-set that grows with the stream; [`Bloom n] keeps a Bloom
+    filter sized for [n] facts at a 1% false-positive rate instead —
+    memory stays bounded for long-lived wrappers, at the cost of
+    occasionally (false positive) never firing the action for a
+    fact. *)

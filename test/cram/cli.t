@@ -178,6 +178,18 @@ deterministic (histograms print observation counts, not durations):
   === metrics ===
   wdl_analysis_warnings_total{peer="Emilien"} 0
   wdl_analysis_warnings_total{peer="Jules"} 0
+  wdl_builtin_dropped_total{peer="Emilien"} 0
+  wdl_builtin_dropped_total{peer="Jules"} 0
+  wdl_builtin_entries{peer="Emilien"} 0
+  wdl_builtin_entries{peer="Jules"} 0
+  wdl_builtin_expired_total{peer="Emilien"} 0
+  wdl_builtin_expired_total{peer="Jules"} 0
+  wdl_builtin_memory_bytes{peer="Emilien"} 0
+  wdl_builtin_memory_bytes{peer="Jules"} 0
+  wdl_builtin_ticks_total{peer="Emilien"} 0
+  wdl_builtin_ticks_total{peer="Jules"} 0
+  wdl_builtin_writes_total{peer="Emilien"} 0
+  wdl_builtin_writes_total{peer="Jules"} 0
   wdl_eval_delta_size{peer="Emilien"} count=0
   wdl_eval_delta_size{peer="Jules"} count=0
   wdl_eval_iterations{peer="Emilien"} count=2

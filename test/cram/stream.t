@@ -1,0 +1,35 @@
+Streaming smoke: a 100k-delivery feed replay (half re-deliveries)
+through the two wrapper dedup strategies — exact seen-set vs. a Bloom
+filter sized for the stream — then a reduced replay through a peer
+whose sliding-window builtin feeds a top-k module. The top-k output
+must equal an exact recompute over the final window, and the measured
+false-positive rate must stay under the configured bound.
+
+  $ wdl-bench stream-smoke
+  STREAM-SMOKE feed replay through builtin modules (deterministic)
+  exact dedup counts every distinct delivery once ok
+  bloom never misses a duplicate                 ok
+  bloom false-positive rate under 3x the bound   ok
+  bloom memory at least 8x under exact           ok
+  windowed top-k matches exact recompute of the window ok
+  window holds exactly the trailing stages       ok
+  top-k queue bounded by the window              ok
+  wrote BENCH_stream.json
+  STREAM-SMOKE passed
+  
+  done.
+
+
+
+The machine-readable record ships alongside the check lines.
+
+  $ grep -o '"bench": "stream"' BENCH_stream.json
+  "bench": "stream"
+  $ grep -o '"stream": 100000' BENCH_stream.json
+  "stream": 100000
+  $ grep -o '"configured_fpr": 0.01' BENCH_stream.json
+  "configured_fpr": 0.01
+  $ grep -o '"matched": true' BENCH_stream.json
+  "matched": true
+  $ grep -o '"window_matched": true' BENCH_stream.json
+  "window_matched": true

@@ -1,0 +1,85 @@
+The trending example exercises the builtin relation modules end to
+end: a window builtin mirrors the posts the hub pulls from its source
+peers, an aggregate view counts topics over just that window, and a
+top-k builtin ranks the hub's own lookup activity.
+
+The program lints clean — the only report is the info-level
+delegation boundary on the pull rule:
+
+  $ wdl check trending.wdl trending_alice.wdl trending_bob.wdl
+  trending.wdl:23:45: info[WDL030]: delegation boundary at body literal 2: evaluation suspends here and ships the residual rule to the peer bound to $w, carrying bindings of $w
+
+Writing a rule head into the read-only time builtin is an error, and
+a builtin that is written but never read is flagged as waste:
+
+  $ cat > bad_builtin.wdl <<'EOF'
+  > builtin time clock@local(stage, at);
+  > builtin window w@local(x) with size=4;
+  > int out@local(s);
+  > ext src@local(x);
+  > clock@local($s, $s) :- src@local($s);
+  > out@local($s) :- clock@local($s, $t);
+  > w@local($x) :- src@local($x);
+  > EOF
+  $ wdl check bad_builtin.wdl
+  bad_builtin.wdl:2:1: warning[WDL052]: builtin window relation w@local is written but never read by any rule; the runtime maintains its materialization for nothing
+  bad_builtin.wdl:5:1: error[WDL050]: rule head writes clock@local, a read-only builtin time relation that only the runtime writes
+    note: bad_builtin.wdl:1:1: declared as a builtin here
+  [2]
+
+Three peers to quiescence: the hub's trending view counts per topic
+over the sliding window, and the top-k module materializes the two
+heaviest lookup topics:
+
+  $ wdl simulate trends=trending.wdl alice=trending_alice.wdl bob=trending_bob.wdl
+  quiescent after 4 round(s), 4 message(s)
+  
+  === peer trends ===
+  hot@trends (2):
+    hot@trends("cats", 2)
+    hot@trends("databases", 1)
+  posts@trends (5):
+    posts@trends(1, "cats")
+    posts@trends(2, "cats")
+    posts@trends(3, "databases")
+    posts@trends(4, "cats")
+    posts@trends(5, "ocaml")
+  recent@trends (5):
+    recent@trends(1, "cats")
+    recent@trends(2, "cats")
+    recent@trends(3, "databases")
+    recent@trends(4, "cats")
+    recent@trends(5, "ocaml")
+  source@trends (2):
+    source@trends("alice")
+    source@trends("bob")
+  top@trends (2):
+    top@trends("cats", 2)
+    top@trends("databases", 1)
+  trending@trends (3):
+    trending@trends("cats", 3)
+    trending@trends("databases", 1)
+    trending@trends("ocaml", 1)
+  stats: stages=3 iterations=6 derivations=19 sent=2 received=2 installed=0 retracted=0 rejected=0 errors=0
+  
+  === peer alice ===
+  posts@alice (3):
+    posts@alice(1, "cats")
+    posts@alice(2, "cats")
+    posts@alice(3, "databases")
+  delegated rules:
+    from trends: posts@trends($id, $k) :- posts@alice($id, $k)
+  stats: stages=2 iterations=2 derivations=3 sent=1 received=1 installed=1 retracted=0 rejected=0 errors=0
+  
+  === peer bob ===
+  posts@bob (2):
+    posts@bob(4, "cats")
+    posts@bob(5, "ocaml")
+  delegated rules:
+    from trends: posts@trends($id, $k) :- posts@bob($id, $k)
+  stats: stages=2 iterations=2 derivations=2 sent=1 received=1 installed=1 retracted=0 rejected=0 errors=0
+  
+
+
+
+

@@ -1,0 +1,29 @@
+// Trending topics across three peers: the trends hub pulls every
+// source's posts (delegation per source), mirrors them into a
+// sliding-window builtin, and counts per topic over just that window.
+// A top-k builtin ranks the hub's own lookup activity alongside.
+// Run with the feeder peers:
+//   wdl simulate trends=trending.wdl alice=trending_alice.wdl bob=trending_bob.wdl
+ext source@trends(peer);
+int posts@trends(id, topic);
+builtin window recent@trends(id, topic) with size=16;
+int trending@trends(topic, n);
+builtin topk hot@trends(topic, n) with k=2, size=16;
+int top@trends(topic, n);
+
+source@trends("alice");
+source@trends("bob");
+
+// The hub's own lookups weight the hot ranking (facts write straight
+// into the top-k module; it accumulates weights, not set membership).
+hot@trends("cats", 2);
+hot@trends("databases", 1);
+hot@trends("ocaml", 1);
+
+posts@trends($id, $k) :- source@trends($w), posts@$w($id, $k);
+
+recent@trends($id, $k) :- posts@trends($id, $k);
+
+trending@trends($k, count($id)) :- recent@trends($id, $k);
+
+top@trends($k, $n) :- hot@trends($k, $n);

@@ -1,0 +1,5 @@
+// Alice's peer: her posts, pulled by the trends hub (trending.wdl).
+ext posts@alice(id, topic);
+posts@alice(1, "cats");
+posts@alice(2, "cats");
+posts@alice(3, "databases");

@@ -1,0 +1,4 @@
+// Bob's peer: his posts, pulled by the trends hub (trending.wdl).
+ext posts@bob(id, topic);
+posts@bob(4, "cats");
+posts@bob(5, "ocaml");

@@ -170,10 +170,73 @@ let golden_suite =
       "t.wdl:7:1: warning[WDL041]: redundant rule: an earlier, more general \
        rule already derives everything this rule derives\n\
       \  note: t.wdl:6:1: the earlier rule is here";
+    golden "WDL050 rule head writes read-only builtin"
+      "builtin time clock@p(stage, now);\n\
+       ext log@p(s, n);\n\
+       int snap@p(s, n);\n\
+       log@p(1, 2);\n\
+       snap@p($s, $n) :- clock@p($s, $n);\n\
+       clock@p($s, $n) :- log@p($s, $n);"
+      "t.wdl:6:1: error[WDL050]: rule head writes clock@p, a read-only \
+       builtin time relation that only the runtime writes\n\
+      \  note: t.wdl:1:1: declared as a builtin here";
+    golden "WDL050 fact into read-only builtin"
+      "builtin time clock@p(stage, now);\n\
+       int snap@p(s, n);\n\
+       snap@p($s, $n) :- clock@p($s, $n);\n\
+       clock@p(1, 2.0);"
+      "t.wdl:4:1: error[WDL050]: fact asserts into clock@p, a read-only \
+       builtin time relation that only the runtime writes";
+    golden "WDL051 self-feeding builtin"
+      "builtin window recent@p(item) with size=2;\n\
+       ext feed@p(item);\n\
+       feed@p(\"a\");\n\
+       recent@p($x) :- feed@p($x);\n\
+       recent@p($x) :- recent@p($x);"
+      "t.wdl:5:1: error[WDL051]: rule reads builtin relation recent@p in its \
+       body and writes it in its head; a builtin relation is not a plain \
+       set, so this feedback loop never stabilizes\n\
+      \  note: t.wdl:1:1: declared as a builtin here";
+    golden "WDL052 builtin written but never read"
+      "builtin window recent@p(item) with size=2;\n\
+       ext feed@p(item);\n\
+       feed@p(\"a\");\n\
+       recent@p($x) :- feed@p($x);"
+      "t.wdl:1:1: warning[WDL052]: builtin window relation recent@p is \
+       written but never read by any rule; the runtime maintains its \
+       materialization for nothing";
+    golden "WDL053 invalid builtin configuration"
+      "builtin window recent@p(item);\n\
+       int v@p(item);\n\
+       v@p($x) :- recent@p($x);"
+      "t.wdl:1:1: error[WDL053]: builtin window: one of size=N or seconds=T \
+       is required";
+    fires "WDL053 unknown builtin kind"
+      "builtin ring r@p(a);\nint v@p(a);\nv@p($x) :- r@p($x);" "WDL053";
+    fires "WDL053 conflicting builtin redeclaration"
+      "builtin window r@p(a) with size=2;\n\
+       builtin window r@p(a) with size=3;\n\
+       int v@p(a);\nv@p($x) :- r@p($x);"
+      "WDL053";
+    fires "WDL053 builtin form dropped on redeclaration"
+      "builtin window r@p(a) with size=2;\n\
+       ext r@p(a);\nint v@p(a);\nv@p($x) :- r@p($x);"
+      "WDL053";
     golden "clean program is silent"
       "ext e@p(x, y);\nint t@p(x, y);\ne@p(1, 2);\n\
        t@p($x, $y) :- e@p($x, $y);\n\
        t@p($x, $z) :- t@p($x, $y), e@p($y, $z);"
+      "";
+    golden "clean builtin program is silent"
+      "builtin window recent@p(item) with size=3;\n\
+       builtin topk trending@p(item, n) with k=2, size=3;\n\
+       ext feed@p(item);\n\
+       int v@p(item);\n\
+       feed@p(\"a\");\n\
+       recent@p($x) :- feed@p($x);\n\
+       trending@p($x, 1) :- feed@p($x);\n\
+       v@p($x) :- recent@p($x);\n\
+       v@p($x) :- trending@p($x, $n);"
       "";
   ]
 

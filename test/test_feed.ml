@@ -13,6 +13,27 @@ let trio () =
 
 let suite =
   [
+    tc "recent window and trending aggregate follow the timeline" (fun () ->
+        let t = trio () in
+        Feed.follow t ~user:"joe" ~whom:"alice";
+        Feed.post t ~author:"alice" ~id:1 ~text:"db post" ~topic:"databases";
+        Feed.post t ~author:"alice" ~id:2 ~text:"cat pic" ~topic:"cats";
+        Feed.post t ~author:"alice" ~id:3 ~text:"more cats" ~topic:"cats";
+        ignore (ok' (Feed.run t));
+        check_int "recent mirrors the fresh timeline" 3
+          (List.length (Feed.recent t ~user:"joe"));
+        check_bool "trending counts per topic"
+          (Feed.trending t ~user:"joe"
+          = [ ("cats", 2); ("databases", 1) ]));
+    tc "hot topics rank the author's own posting activity" (fun () ->
+        let t = trio () in
+        Feed.post t ~author:"alice" ~id:1 ~text:"a" ~topic:"cats";
+        Feed.post t ~author:"alice" ~id:2 ~text:"b" ~topic:"cats";
+        Feed.post t ~author:"alice" ~id:3 ~text:"c" ~topic:"databases";
+        ignore (ok' (Feed.run t));
+        check_bool "ranked heaviest first"
+          (Feed.hot_topics t ~user:"alice"
+          = [ ("cats", 2); ("databases", 1) ]));
     tc "posts of followed users reach the timeline" (fun () ->
         let t = trio () in
         Feed.follow t ~user:"joe" ~whom:"alice";

@@ -182,4 +182,19 @@ let suite =
         ok (Webdamlog.Peer.insert peer (Fact.make ~rel:"r" ~peer:"p" [ Value.Int 2 ]));
         check_int "another" 1 (watch ());
         check_int "total" 2 (List.length !seen));
+    tc "watcher with bloom dedup fires once per fact, bounded memory" (fun () ->
+        let peer = Webdamlog.Peer.create "p" in
+        ok (Webdamlog.Peer.load_string peer "ext r@p(x);");
+        let fired = ref 0 in
+        let watch =
+          Wrapper.watcher ~dedup:(`Bloom 1024) ~peer ~rel:"r" (fun _ -> incr fired)
+        in
+        for i = 1 to 50 do
+          ok
+            (Webdamlog.Peer.insert peer
+               (Fact.make ~rel:"r" ~peer:"p" [ Value.Int i ]))
+        done;
+        check_int "first sweep" 50 (watch ());
+        check_int "second sweep is silent" 0 (watch ());
+        check_int "action count" 50 !fired);
   ]
