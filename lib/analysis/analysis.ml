@@ -32,6 +32,7 @@ let codes : (string * Diagnostic.severity * string) list =
     ("WDL051", Error, "rule reads and writes the same builtin relation");
     ("WDL052", Warning, "builtin relation written but never read");
     ("WDL053", Error, "invalid builtin declaration");
+    ("WDL054", Warning, "rule derives into a weight-accumulating builtin");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -739,7 +740,24 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
                     "rule reads builtin relation %s in its body and writes \
                      it in its head; a builtin relation is not a plain set, \
                      so this feedback loop never stabilizes"
-                    (rel_at (fst key) (snd key))))));
+                    (rel_at (fst key) (snd key))))
+          else if bkind = "topk" || bkind = "cms" then
+            (* Derived facts are deduplicated as a set before they reach
+               the builtin: N valuations producing the same tuple write
+               it once, and a tuple already present is never re-written.
+               A weight-accumulating builtin therefore sees each
+               distinct tuple's weight exactly once, not once per
+               derivation. *)
+            emit
+              (Diagnostic.warning ?span:hspan ~notes:note "WDL054"
+                 (Printf.sprintf
+                    "rule head derives into %s, a weight-accumulating \
+                     builtin %s relation; derivations pass through set \
+                     deduplication, so the same tuple derived many times \
+                     contributes its weight only once — assert weighted \
+                     observations as facts or messages instead"
+                    (rel_at (fst key) (snd key))
+                    bkind))));
       (* WDL022: a positive body atom that nothing can ever populate *)
       (try
          List.iteri

@@ -69,6 +69,28 @@ type t = {
   mutable program : Wdl_eval.Program.t option;
   mutable n_cache_hits : int;
   mutable n_fastpath : int;
+  (* Cost-based join planning.  [replan] (default true) lets the
+     compiler reorder rule bodies by live relation cardinalities; the
+     cached program stays valid while every relation's cardinality
+     stays within the power-of-two band it was compiled against
+     ([program_bands]).  Crossing a band re-runs the planner even
+     though the rule set is unchanged — counted by [n_replans]. *)
+  replan : bool;
+  mutable program_bands : (string * int) array;
+  mutable n_replans : int;
+  (* Delta staging.  [stage_adds = Some facts] means every base-data
+     change since the last completed stage is exactly those fresh
+     insertions — then, for a monotone rule set with purely additive
+     inbox batches, the stage keeps the previous intensional state and
+     seeds semi-naive with just the delta.  Any deletion, rule change,
+     cache eviction or restore sets [None], forcing the next stage to
+     recompute from scratch.  [mono]/[mono_version] cache "is the rule
+     set negation- and aggregate-free" per rule-set version. *)
+  mutable stage_adds : Fact.t list option;
+  mutable n_delta_stages : int;
+  mutable mono : bool;
+  mutable mono_version : int;
+  eval_handles : Wdl_eval.Fixpoint.handles;
   (* Builtin relation modules (time, windows, TTL, sketches): private
      state keyed by relation name, ticked at every stage boundary.
      [clock] feeds wall-clock horizons and the time module; tests and
@@ -118,6 +140,21 @@ let register_metrics t =
   field "wdl_eval_stage_fastpath_total"
     "Quiescent stages that skipped the fixpoint entirely" (fun () ->
       t.n_fastpath);
+  field "wdl_eval_replans_total"
+    "Program recompilations forced by a relation crossing a \
+     cardinality band (rule set unchanged)" (fun () -> t.n_replans);
+  field "wdl_eval_delta_stages_total"
+    "Stages evaluated by delta staging (retained fixpoint + seeded \
+     semi-naive pass) instead of full recomputation" (fun () ->
+      t.n_delta_stages);
+  Wdl_obs.Obs.on_collect
+    ~help:"Distinct values interned by this peer's store pool" ~labels
+    ~kind:`Gauge "wdl_store_interned_values" (fun () ->
+      float_of_int (Database.interned_count t.db));
+  Wdl_obs.Obs.on_collect
+    ~help:"Approximate heap footprint of this peer's tuple store" ~labels
+    ~kind:`Gauge "wdl_store_memory_bytes" (fun () ->
+      float_of_int (Database.memory_bytes t.db));
   field "wdl_sys_inbox_shed_total"
     "Messages dropped because this peer's bounded inbox was full"
     (fun () -> t.n_shed);
@@ -149,7 +186,7 @@ let register_metrics t =
 
 let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     ?trace_capacity ?(diff_batches = true) ?(incremental = true)
-    ?(inbox_capacity = max_int) ?(shed = Drop_newest) name =
+    ?(replan = true) ?(inbox_capacity = max_int) ?(shed = Drop_newest) name =
   if name = "" then invalid_arg "Peer.create: empty name";
   if inbox_capacity < 1 then
     invalid_arg "Peer.create: inbox_capacity must be at least 1";
@@ -194,6 +231,15 @@ let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     program = None;
     n_cache_hits = 0;
     n_fastpath = 0;
+    replan;
+    program_bands = [||];
+    n_replans = 0;
+    (* The first stage of any peer (fresh or restored) is a full one. *)
+    stage_adds = None;
+    n_delta_stages = 0;
+    mono = false;
+    mono_version = -1;
+    eval_handles = Wdl_eval.Fixpoint.handles ~self:name;
     builtins = Builtin.Registry.create ();
     clock = (fun () -> Wdl_obs.Obs.now_us () /. 1e6);
     n_builtin_ticks = 0;
@@ -207,8 +253,12 @@ let name t = t.name
 let database t = t.db
 
 (* Any change that can alter stratification or the compiled plans must
-   go through here so the cached program is recompiled at next stage. *)
-let invalidate_program t = t.rules_version <- t.rules_version + 1
+   go through here so the cached program is recompiled at next stage.
+   Rule-set changes also end the current additive run: a new (or
+   retracted) rule can derive facts no seeded pass would find. *)
+let invalidate_program t =
+  t.rules_version <- t.rules_version + 1;
+  t.stage_adds <- None
 let set_journal t j = t.journal <- j
 let journal t = t.journal
 let journal_entry t e = Option.iter (fun j -> Journal.append j e) t.journal
@@ -387,6 +437,9 @@ let insert t (fact : Fact.t) =
     | Ok fresh ->
       if fresh then begin
         t.dirty <- true;
+        (match t.stage_adds with
+        | Some adds -> t.stage_adds <- Some (fact :: adds)
+        | None -> ());
         journal_entry t (Journal.Insert fact);
         record_event t (Trace.Fact_inserted { peer = t.name; fact })
       end;
@@ -412,6 +465,7 @@ let delete t (fact : Fact.t) =
     | Ok removed ->
       if removed then begin
         t.dirty <- true;
+        t.stage_adds <- None;  (* deletions are not additive *)
         journal_entry t (Journal.Delete fact);
         record_event t (Trace.Fact_deleted { peer = t.name; fact })
       end;
@@ -673,7 +727,11 @@ let forget_origin t ~src =
   let had_cache = Hashtbl.mem t.remote_cache src in
   Hashtbl.remove t.remote_cache src;
   if doomed <> [] then invalidate_program t;
-  if doomed <> [] || had_cache then t.dirty <- true;
+  if doomed <> [] || had_cache then begin
+    t.dirty <- true;
+    (* Evicting a cache removes the intensional facts it carried. *)
+    t.stage_adds <- None
+  end;
   List.length doomed
 
 let forget_destination t ~dst =
@@ -685,12 +743,18 @@ let forget_destination t ~dst =
       t.last_delegations []
   in
   List.iter (Deleg_tbl.remove t.last_delegations) sent;
-  if had_batch || sent <> [] then t.dirty <- true
+  if had_batch || sent <> [] then begin
+    t.dirty <- true;
+    (* A delta stage can only extend the last sent batch; with that
+       memory dropped, the next stage must rebuild it from scratch. *)
+    t.stage_adds <- None
+  end
 
 let reset_session t =
   Hashtbl.reset t.last_batches;
   t.last_delegations <- Deleg_tbl.create 16;
-  t.dirty <- true
+  t.dirty <- true;
+  t.stage_adds <- None
 
 (* {1 Why-provenance} *)
 
@@ -1174,6 +1238,9 @@ let apply_extensional t fact =
     match Database.insert t.db ~rel:fact.Fact.rel tuple with
     | Ok fresh ->
       if fresh then begin
+        (match t.stage_adds with
+        | Some adds -> t.stage_adds <- Some (fact :: adds)
+        | None -> ());
         journal_entry t (Journal.Insert fact);
         record_event t (Trace.Fact_inserted { peer = t.name; fact })
       end
@@ -1254,26 +1321,128 @@ let group_facts_by_dst facts =
     facts;
   by_dst
 
+(* Power-of-two cardinality band: bit length of the cardinal (0 for an
+   empty relation). The planner's join order only depends on coarse
+   relative sizes, so a compiled program stays valid while every
+   relation sits inside the band it was planned against; a relation
+   doubling (or emptying) past a band edge forces a replan. *)
+let card_band n =
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  bits n 0
+
+let band_signature db =
+  let a =
+    Array.of_list
+      (List.map
+         (fun (i : Database.info) ->
+           (i.Database.name, card_band (Relation.cardinal i.Database.data)))
+         (Database.relations db))
+  in
+  Array.sort compare a;
+  a
+
+let live_cardinal t rel =
+  match Database.find t.db rel with
+  | Some i -> Relation.cardinal i.Database.data
+  | None -> 0
+
+let order_fn t =
+  if t.replan then
+    Some (Wdl_eval.Plan.order_body ~self:t.name ~stats:(live_cardinal t))
+  else None
+
 (* Return the cached compiled program if it is still valid for the
-   current rule set, recompiling otherwise.  [None] on stratification
+   current rule set, recompiling otherwise.  Valid means: same rule-set
+   version AND (with replanning on) no relation has crossed a
+   cardinality band since compilation — crossing one recompiles with
+   fresh statistics and counts as a replan.  [None] on stratification
    errors — [Fixpoint.run] then recomputes and reports the error
    itself. *)
 let compiled_program t =
+  let bands = if t.replan then band_signature t.db else [||] in
   match t.program with
-  | Some p when Wdl_eval.Program.version p = t.rules_version ->
+  | Some p
+    when Wdl_eval.Program.version p = t.rules_version
+         && bands = t.program_bands ->
     t.n_cache_hits <- t.n_cache_hits + 1;
     Some p
-  | _ -> (
+  | prev -> (
+    (match prev with
+    | Some p when Wdl_eval.Program.version p = t.rules_version ->
+      t.n_replans <- t.n_replans + 1
+    | _ -> ());
     match
-      Wdl_eval.Program.compile ~version:t.rules_version ~self:t.name
-        ~intensional:(intensional t) (all_rules t)
+      Wdl_eval.Program.compile ~version:t.rules_version ?order:(order_fn t)
+        ~self:t.name ~intensional:(intensional t) (all_rules t)
     with
     | Ok p ->
       t.program <- Some p;
+      t.program_bands <- bands;
       Some p
     | Error _ ->
       t.program <- None;
       None)
+
+(* A rule set is monotone when no rule negates a body atom or
+   aggregates: derived facts then only accumulate as base facts do, so
+   a previous stage's fixpoint stays valid under purely additive
+   inputs. (Stratification only splits strata at negative and
+   aggregate edges, so a monotone program is also single-stratum —
+   what {!Wdl_eval.Fixpoint.run}'s [seed] requires.) *)
+let monotone_rules t =
+  if t.mono_version <> t.rules_version then begin
+    t.mono_version <- t.rules_version;
+    t.mono <-
+      List.for_all
+        (fun (r : Rule.t) ->
+          (not (Rule.is_aggregate r))
+          && List.for_all
+               (function
+                 | Literal.Neg _ -> false
+                 | Literal.Pos _ | Literal.Cmp _ | Literal.Assign _ -> true)
+               r.Rule.body)
+        (all_rules t)
+  end;
+  t.mono
+
+(* The facts a message's batch adds over the cached batch from the
+   same source, accumulated onto [acc] — or [None] when the message is
+   not purely additive: it carries installs or retracts, or drops a
+   cached fact. Both batches are sorted by [Fact.compare] (the sender
+   sorts before caching and sending), so one linear merge walk
+   decides; unsorted input merely falls back to [None], which costs a
+   full stage but never an unsound delta one. *)
+let batch_additions t (msg : Message.t) acc =
+  if msg.Message.installs <> [] || msg.Message.retracts <> [] then None
+  else
+    match msg.Message.facts with
+    | None -> Some acc
+    | Some batch ->
+      let cached =
+        Option.value ~default:[]
+          (Hashtbl.find_opt t.remote_cache msg.Message.src)
+      in
+      let rec walk old batch acc =
+        match (old, batch) with
+        | [], rest -> Some (List.rev_append rest acc)
+        | _ :: _, [] -> None
+        | (o :: os as old), b :: bs ->
+          let c = Fact.compare b o in
+          if c = 0 then walk os bs acc
+          else if c < 0 then walk old bs (b :: acc)
+          else None
+      in
+      walk cached batch acc
+
+(* The static half of the delta-staging gate: engine configuration and
+   rule-set shape. The dynamic half — were this stage's inputs purely
+   additive? — is [stage_adds] plus the inbox walk in [stage]. *)
+let delta_capable t =
+  t.incremental && t.diff_batches
+  && (not t.track_provenance)
+  && t.strategy = Wdl_eval.Fixpoint.Seminaive
+  && Builtin.Registry.is_empty t.builtins
+  && monotone_rules t
 
 let stage t =
   let stage_no = t.stage_no + 1 in
@@ -1325,26 +1494,94 @@ let stage t =
   else begin
   t.last_errors <- [];
   record_event t (Trace.Stage_start { peer = t.name; stage = stage_no });
-  (* Step 1: load inputs. *)
+  (* Step 1: load inputs. The monotone-inbox walk reads each source's
+     cached batch just before [process_message] replaces it, so batch
+     additions are extracted in the same pass. *)
   List.iter (apply_extensional t) t.induced_pending;
   t.induced_pending <- [];
-  Queue.iter (process_message t) t.inbox;
+  let inbox_adds = ref (Some []) in
+  Queue.iter
+    (fun msg ->
+      (match !inbox_adds with
+      | Some acc -> inbox_adds := batch_additions t msg acc
+      | None -> ());
+      process_message t msg)
+    t.inbox;
   Queue.clear t.inbox;
-  refill_intensional t;
+  (* Delta staging: when every change since the last completed stage
+     is purely additive — only fresh local/induced insertions
+     ([stage_adds]) and inbox batches that are supersets of the cached
+     ones — and the rule set is monotone, the previous fixpoint is a
+     sub-fixpoint of the next one. Keep the intensional store as-is,
+     insert just the new facts, and seed semi-naive with exactly that
+     delta. Everything else takes the full path: clear intensional
+     state, reload the caches, evaluate from scratch. *)
+  let seed =
+    if delta_capable t then
+      match (t.stage_adds, !inbox_adds) with
+      | Some local, Some inbox ->
+        (* New intensional facts held in remote caches enter the store
+           here; the full path instead reloads every cached fact in
+           [refill_intensional]. *)
+        let pairs = ref [] in
+        List.iter
+          (fun (f : Fact.t) ->
+            pairs := (f.Fact.rel, Tuple.of_list f.Fact.args) :: !pairs)
+          local;
+        List.iter
+          (fun (f : Fact.t) ->
+            if intensional t f.Fact.rel then
+              let tuple = Tuple.of_list f.Fact.args in
+              match Database.insert t.db ~rel:f.Fact.rel tuple with
+              | Ok true -> pairs := (f.Fact.rel, tuple) :: !pairs
+              | Ok false -> ()
+              | Error e ->
+                t.last_errors <-
+                  Wdl_eval.Runtime_error.Store_error
+                    {
+                      rel = f.Fact.rel;
+                      message = Format.asprintf "%a" Database.pp_error e;
+                    }
+                  :: t.last_errors)
+          inbox;
+        Some !pairs
+      | _, _ -> None
+    else None
+  in
+  (match seed with
+  | Some _ -> t.n_delta_stages <- t.n_delta_stages + 1
+  | None -> refill_intensional t);
   (* Aggregate builtins (topk, cms) rematerialize once the stage's
      inputs are all applied, so the fixpoint reads one consistent
      snapshot. *)
   ignore (Builtin.Registry.flush_all t.builtins : bool);
   (* Step 2: fixpoint, against the cached compiled program when the
      rule set is unchanged. *)
-  let program = if t.incremental then compiled_program t else None in
+  let program =
+    if t.incremental then compiled_program t
+    else
+      (* The baseline engine caches nothing, but it must apply the same
+         join ordering as the incremental one — the two engines are
+         checked for step-equivalence, and ordering changes which
+         delegation a mixed body produces. *)
+      match
+        Wdl_eval.Program.compile ~version:t.rules_version
+          ?order:(order_fn t) ~self:t.name ~intensional:(intensional t)
+          (all_rules t)
+      with
+      | Ok p -> Some p
+      | Error _ -> None
+  in
   let outbound =
     match
       Wdl_eval.Fixpoint.run ~strategy:t.strategy
-        ~record_provenance:t.track_provenance ~schedule:t.incremental ?program
-        ~self:t.name t.db (all_rules t)
+        ~record_provenance:t.track_provenance ~schedule:t.incremental ?seed
+        ?program ~handles:t.eval_handles ~self:t.name t.db (all_rules t)
     with
     | Error e ->
+      (* The fixpoint did not run: retained intensional state is not a
+         fixpoint of anything, so the next stage must be a full one. *)
+      t.stage_adds <- None;
       t.last_errors <-
         Wdl_eval.Runtime_error.Store_error
           { rel = "<program>"; message = Format.asprintf "%a" Wdl_eval.Stratify.pp_error e }
@@ -1372,41 +1609,90 @@ let stage t =
           (fun (f : Fact.t) ->
             not (Database.mem t.db ~rel:f.Fact.rel (Tuple.of_list f.Fact.args)))
           result.Wdl_eval.Fixpoint.induced;
+      (* A completed stage starts a fresh additive run. *)
+      t.stage_adds <- Some [];
+      (* Re-anchor the band reference to the post-fixpoint store. A
+         delta-capable peer's next compile measures retained state
+         (delta staging keeps intensional contents), so leaving the
+         reference where [compiled_program] took it — before this
+         stage's derivations — would read every in-fixpoint growth
+         spurt as a band crossing and replan on the spot. Inter-stage
+         changes still cross bands against this reference. Other peers
+         keep the compile-time reference: their next compile measures
+         the post-[refill_intensional] store it was taken against. *)
+      if t.replan && delta_capable t then begin
+        match t.program with
+        | Some p when Wdl_eval.Program.version p = t.rules_version ->
+          t.program_bands <- band_signature t.db
+        | _ -> ()
+      end;
+      let delta_mode = seed <> None in
       (* Step 3: emit. Fact batches are diffed against the last batch
-         sent to each destination; delegations are diffed as a set. *)
+         sent to each destination; delegations are diffed as a set. A
+         delta stage derived only *new* facts and suspensions, so its
+         batches merge into the last sent ones (the wire protocol
+         sends full replacement batches) and its delegations are pure
+         additions — nothing previously sent can have lapsed. *)
       let by_dst = group_facts_by_dst result.Wdl_eval.Fixpoint.messages in
       let current_dsts =
         Hashtbl.fold (fun dst _ acc -> Sset.add dst acc) by_dst Sset.empty
       in
       let previous_dsts =
-        Hashtbl.fold
-          (fun dst batch acc -> if batch <> [] then Sset.add dst acc else acc)
-          t.last_batches Sset.empty
+        (* Under monotone growth a destination with no new derivations
+           keeps its batch unchanged; only the full recompute must
+           revisit every previously non-empty destination in case its
+           batch shrank or emptied. *)
+        if delta_mode then Sset.empty
+        else
+          Hashtbl.fold
+            (fun dst batch acc -> if batch <> [] then Sset.add dst acc else acc)
+            t.last_batches Sset.empty
       in
       let fact_part dst =
-        let batch =
-          List.sort Fact.compare
-            (Option.value ~default:[] (Hashtbl.find_opt by_dst dst))
-        in
         let last = Option.value ~default:[] (Hashtbl.find_opt t.last_batches dst) in
-        if t.diff_batches && List.equal Fact.equal batch last then None
-        else begin
-          Hashtbl.replace t.last_batches dst batch;
-          if batch = [] && last = [] then None else Some batch
-        end
+        if delta_mode then
+          match Hashtbl.find_opt by_dst dst with
+          | None -> None
+          | Some fresh ->
+            let merged =
+              List.sort_uniq Fact.compare (List.rev_append fresh last)
+            in
+            (* [merged] is a superset of [last]: same length = no change. *)
+            if List.compare_lengths merged last = 0 then None
+            else begin
+              Hashtbl.replace t.last_batches dst merged;
+              Some merged
+            end
+        else
+          let batch =
+            List.sort Fact.compare
+              (Option.value ~default:[] (Hashtbl.find_opt by_dst dst))
+          in
+          if t.diff_batches && List.equal Fact.equal batch last then None
+          else begin
+            Hashtbl.replace t.last_batches dst batch;
+            if batch = [] && last = [] then None else Some batch
+          end
       in
       let susp = result.Wdl_eval.Fixpoint.suspensions in
-      let susp_set = Deleg_tbl.create (List.length susp * 2) in
-      List.iter (fun s -> Deleg_tbl.replace susp_set s ()) susp;
       let installs =
         List.filter (fun s -> not (Deleg_tbl.mem t.last_delegations s)) susp
       in
       let retracts =
-        Deleg_tbl.fold
-          (fun s () acc -> if Deleg_tbl.mem susp_set s then acc else s :: acc)
-          t.last_delegations []
+        if delta_mode then []
+        else
+          let susp_set = Deleg_tbl.create (List.length susp * 2) in
+          List.iter (fun s -> Deleg_tbl.replace susp_set s ()) susp;
+          let retracts =
+            Deleg_tbl.fold
+              (fun s () acc -> if Deleg_tbl.mem susp_set s then acc else s :: acc)
+              t.last_delegations []
+          in
+          t.last_delegations <- susp_set;
+          retracts
       in
-      t.last_delegations <- susp_set;
+      if delta_mode then
+        List.iter (fun s -> Deleg_tbl.replace t.last_delegations s ()) installs;
       let deleg_dsts =
         List.fold_left (fun acc (d, _) -> Sset.add d acc) Sset.empty
           (installs @ retracts)

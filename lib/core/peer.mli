@@ -29,6 +29,7 @@ val create :
   ?trace_capacity:int ->
   ?diff_batches:bool ->
   ?incremental:bool ->
+  ?replan:bool ->
   ?inbox_capacity:int ->
   ?shed:shed_policy ->
   string ->
@@ -48,7 +49,14 @@ val create :
     and quiescent stages (no new facts, messages, or rule changes)
     skip the fixpoint entirely. Turning it off restores full
     per-stage recompilation and exhaustive plan execution — the
-    baseline measured by the eval benchmark. *)
+    baseline measured by the eval benchmark. [replan] (default true)
+    enables cost-based join ordering: rule bodies are reordered at
+    compile time by live relation cardinalities (the WDL031 greedy
+    reorder promoted into the planner), and the cached program is
+    recompiled when any relation's cardinality crosses a power-of-two
+    band, counted in [wdl_eval_replans_total{peer=...}]. Turning it
+    off evaluates bodies exactly as written — the mode the WDL031
+    lint hint still targets. *)
 
 val name : t -> string
 val database : t -> Wdl_store.Database.t

@@ -217,12 +217,12 @@ let adopt_peer t p =
     (peers t);
   flush_dead_letters t name
 
-let add_peer t ?strategy ?policy ?indexing ?diff_batches ?incremental
+let add_peer t ?strategy ?policy ?indexing ?diff_batches ?incremental ?replan
     ?inbox_capacity ?shed name =
   if Hashtbl.mem t.peers name then
     invalid_arg (Printf.sprintf "System.add_peer: peer %s already exists" name);
   let p =
-    Peer.create ?strategy ?policy ?indexing ?diff_batches ?incremental
+    Peer.create ?strategy ?policy ?indexing ?diff_batches ?incremental ?replan
       ?inbox_capacity ?shed name
   in
   Hashtbl.replace t.peers name p;

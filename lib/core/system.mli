@@ -42,6 +42,7 @@ val add_peer :
   ?indexing:bool ->
   ?diff_batches:bool ->
   ?incremental:bool ->
+  ?replan:bool ->
   ?inbox_capacity:int ->
   ?shed:Peer.shed_policy ->
   string ->

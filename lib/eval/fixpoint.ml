@@ -88,8 +88,13 @@ let delta_add st rel tuple =
     | Some r -> r
     | None ->
       (* Deltas are discarded after one iteration: auto-building
-         binding-pattern indexes on them is pure waste. *)
-      let r = Relation.create ~indexing:false ~arity:(Tuple.arity tuple) () in
+         binding-pattern indexes on them is pure waste. They share the
+         database's intern pool so delta probes stay id comparisons
+         and never re-intern values the store already holds. *)
+      let r =
+        Relation.create ~pool:(Database.pool st.db) ~indexing:false
+          ~arity:(Tuple.arity tuple) ()
+      in
       Hashtbl.add st.delta_next rel r;
       r
   in
@@ -278,73 +283,71 @@ let exec_plan st (plan : Plan.t) ~delta_pos ~emit =
       (* Delegation boundary: ship the residual rule to [p]. *)
       suspend st p (residual_rule plan env m.Plan.pos)
     | RName _ ->
-      let args = m.Plan.args in
       let use_delta = delta_pos = Some m.Plan.pos in
-      let arity = Array.length args in
-      (* Evaluate against one source relation. [enum_slot] is the
-         relation-name slot to bind when enumerating. *)
-      let run_source enum_slot (name, relation) =
-        let proceed =
-          match enum_slot with
-          | None -> true
-          | Some s ->
-            env.(s) <- Some (Value.String name);
-            true
-        in
-        if proceed then begin
-          (* Constrained positions: constants and already-bound slots;
-             the lookup guarantees they match. *)
-          let bound = ref [] in
-          Array.iteri
-            (fun i a ->
-              match a with
-              | Plan.Const v -> bound := (i, v) :: !bound
-              | Plan.Slot s -> (
-                match env.(s) with
-                | Some v -> bound := (i, v) :: !bound
-                | None -> ()))
-            args;
-          Relation.lookup relation !bound (fun tuple ->
-              (* Bind free slots. A slot bound earlier in THIS tuple
-                 (repeated variable in one atom) needs an equality
-                 check; the trail distinguishes it from slots bound
-                 before the lookup, which the lookup already filtered. *)
-              let trail = ref [] in
-              let ok = ref true in
-              (try
-                 Array.iteri
-                   (fun i a ->
-                     match a with
-                     | Plan.Const _ -> ()
-                     | Plan.Slot s -> (
-                       match env.(s) with
-                       | None ->
-                         env.(s) <- Some tuple.(i);
-                         trail := s :: !trail
-                       | Some v ->
-                         if
-                           List.mem s !trail
-                           && not (Value.equal v tuple.(i))
-                         then raise Exit))
-                   args
-               with Exit -> ok := false);
-              if !ok then step rest;
-              List.iter (fun s -> env.(s) <- None) !trail)
-        end
+      let arity = Array.length m.Plan.args in
+      (* The binding pattern is static (plan.bpos/bsrc): fill the flat
+         probe key from constants and bound slots, then let the store
+         walk the matching tuples — no per-call association list, no
+         per-tuple trail. *)
+      let np = Array.length m.Plan.bpos in
+      let key = Array.make np (Value.Int 0) in
+      let run_source relation =
+        for k = 0 to np - 1 do
+          match m.Plan.bsrc.(k) with
+          | Plan.Const v -> key.(k) <- v
+          | Plan.Slot s -> (
+            match env.(s) with
+            | Some v -> key.(k) <- v
+            | None ->
+              (* Statically bound: a linear plan binds deterministically. *)
+              assert false)
+        done;
+        Relation.lookup_key relation m.Plan.bpos key (fun tuple ->
+            let binds = m.Plan.out_binds in
+            let nb = Array.length binds in
+            for j = 0 to nb - 1 do
+              let i, s = binds.(j) in
+              env.(s) <- Some tuple.(i)
+            done;
+            let checks = m.Plan.out_checks in
+            let nc = Array.length checks in
+            let ok = ref true in
+            for j = 0 to nc - 1 do
+              let i, s = checks.(j) in
+              match env.(s) with
+              | Some v -> if not (Value.equal v tuple.(i)) then ok := false
+              | None -> assert false
+            done;
+            if !ok then step rest;
+            for j = 0 to nb - 1 do
+              env.(snd binds.(j)) <- None
+            done)
       in
       (match resolve plan env m.Plan.rel with
       | RBad v ->
         report st (Runtime_error.Not_a_name { value = v; atom = m.Plan.atom })
       | RName c ->
-        List.iter (run_source None)
-          (readable_relations st ~use_delta ~rel_name:(Some c) ~arity)
+        (* Fixed (or bound) relation name: exactly one source, looked
+           up directly — no intermediate list. *)
+        if use_delta then (
+          match Hashtbl.find_opt st.delta c with
+          | Some r when Relation.arity r = arity -> run_source r
+          | Some _ | None -> ())
+        else (
+          match Database.find st.db c with
+          | Some info when info.Database.arity = arity ->
+            run_source info.Database.data
+          | Some _ | None -> ())
       | RUnbound _ ->
         let enum_slot =
           match m.Plan.rel with Plan.Name_slot s -> Some s | Plan.Fixed _ -> None
         in
         List.iter
-          (fun source ->
-            run_source enum_slot source;
+          (fun (name, relation) ->
+            (match enum_slot with
+            | Some s -> env.(s) <- Some (Value.String name)
+            | None -> ());
+            run_source relation;
             match enum_slot with Some s -> env.(s) <- None | None -> ())
           (readable_relations st ~use_delta ~rel_name:None ~arity))
   in
@@ -354,8 +357,10 @@ let emit_rule st (plan : Plan.t) env =
   match head_key st plan env with
   | None -> ()
   | Some (rel, peer, tuple) ->
+    (* Provenance names the rule as the user wrote it, not the
+       planner's reordered body. *)
     let prov fact =
-      { fact; rule = plan.Plan.rule; premises = premises_of_env plan env }
+      { fact; rule = plan.Plan.source; premises = premises_of_env plan env }
     in
     dispatch_head st ~prov ~rel ~peer tuple
 
@@ -522,14 +527,24 @@ let seminaive_iteration st (stratum : Prog.stratum) =
     if skipped > 0 then Wdl_obs.Obs.inc ~by:skipped st.skipped_ctr
   end
 
-let run_stratum st strategy (stratum : Prog.stratum) =
+let run_stratum ?seed st strategy (stratum : Prog.stratum) =
   st.delta <- Hashtbl.create 8;
   st.delta_next <- Hashtbl.create 8;
   (* Aggregate rules read complete lower strata, so they run once, up
      front; their outputs then feed the stratum's fixpoint normally. *)
   List.iter (fun p -> eval_agg_plan st p) stratum.Prog.agg_plans;
-  (* Iteration 1: full evaluation of every rule. *)
-  List.iter (fun p -> eval_plan st ~delta_pos:None p) stratum.Prog.plans;
+  (match seed with
+  | None ->
+    (* Iteration 1: full evaluation of every rule. *)
+    List.iter (fun p -> eval_plan st ~delta_pos:None p) stratum.Prog.plans
+  | Some pairs ->
+    (* Delta staging: the database already holds the previous fixpoint
+       and the seed tuples; the first iteration is one semi-naive pass
+       driven by exactly the new tuples. *)
+    List.iter (fun (rel, tuple) -> delta_add st rel tuple) pairs;
+    st.delta <- st.delta_next;
+    st.delta_next <- Hashtbl.create 8;
+    seminaive_iteration st stratum);
   st.iterations <- st.iterations + 1;
   let rec loop () =
     if Hashtbl.length st.delta_next = 0 then ()
@@ -553,8 +568,44 @@ let run_stratum st strategy (stratum : Prog.stratum) =
   in
   loop ()
 
+(* Per-peer instrument handles. Resolving an instrument is a labelled
+   hashtable lookup — cheap, but measurable on small stages when done
+   four times per run. Callers that run many stages ([Peer]) resolve
+   once and pass the bundle in; [run] without one resolves per call so
+   a registry [clear] between runs just re-creates the families. *)
+type handles = {
+  stage_hist : Wdl_obs.Obs.histogram;
+  iter_hist : Wdl_obs.Obs.histogram;
+  h_delta_hist : Wdl_obs.Obs.histogram;
+  h_skipped_ctr : Wdl_obs.Obs.counter;
+}
+
+let handles ~self =
+  let peer_labels = [ ("peer", self) ] in
+  {
+    stage_hist =
+      Wdl_obs.Obs.histogram ~labels:peer_labels
+        ~help:"Wall time of one fixpoint evaluation (all strata)"
+        ~buckets:Wdl_obs.Obs.latency_buckets
+        "wdl_eval_stage_duration_microseconds";
+    iter_hist =
+      Wdl_obs.Obs.histogram ~labels:peer_labels
+        ~help:"Semi-naive iterations per fixpoint run"
+        ~buckets:Wdl_obs.Obs.iteration_buckets "wdl_eval_iterations";
+    h_delta_hist =
+      Wdl_obs.Obs.histogram ~labels:peer_labels
+        ~help:"Tuples in the delta at each semi-naive iteration"
+        ~buckets:Wdl_obs.Obs.size_buckets "wdl_eval_delta_size";
+    h_skipped_ctr =
+      Wdl_obs.Obs.counter ~labels:peer_labels
+        ~help:
+          "(plan, delta position) pairs skipped by activation \
+           scheduling because their delta relation was empty"
+        "wdl_eval_plans_skipped_total";
+  }
+
 let run ?(strategy = Seminaive) ?(record_provenance = false) ?(schedule = true)
-    ?program ~self db rules =
+    ?seed ?program ?handles:h ~self db rules =
   let compiled =
     match program with
     | Some p -> Ok p
@@ -569,22 +620,7 @@ let run ?(strategy = Seminaive) ?(record_provenance = false) ?(schedule = true)
   match compiled with
   | Error e -> Error e
   | Ok prog ->
-    (* Observability: get-or-create per call so a registry [clear]
-       between runs just re-creates the families.  Labels are per peer;
-       instruments are mutable cells, so nothing allocates per
-       derivation or iteration. *)
-    let peer_labels = [ ("peer", self) ] in
-    let stage_hist =
-      Wdl_obs.Obs.histogram ~labels:peer_labels
-        ~help:"Wall time of one fixpoint evaluation (all strata)"
-        ~buckets:Wdl_obs.Obs.latency_buckets
-        "wdl_eval_stage_duration_microseconds"
-    in
-    let iter_hist =
-      Wdl_obs.Obs.histogram ~labels:peer_labels
-        ~help:"Semi-naive iterations per fixpoint run"
-        ~buckets:Wdl_obs.Obs.iteration_buckets "wdl_eval_iterations"
-    in
+    let h = match h with Some h -> h | None -> handles ~self in
     let st =
       {
         self;
@@ -602,21 +638,19 @@ let run ?(strategy = Seminaive) ?(record_provenance = false) ?(schedule = true)
         derivations = 0;
         iterations = 0;
         schedule;
-        delta_hist =
-          Wdl_obs.Obs.histogram ~labels:peer_labels
-            ~help:"Tuples in the delta at each semi-naive iteration"
-            ~buckets:Wdl_obs.Obs.size_buckets "wdl_eval_delta_size";
-        skipped_ctr =
-          Wdl_obs.Obs.counter ~labels:peer_labels
-            ~help:
-              "(plan, delta position) pairs skipped by activation \
-               scheduling because their delta relation was empty"
-            "wdl_eval_plans_skipped_total";
+        delta_hist = h.h_delta_hist;
+        skipped_ctr = h.h_skipped_ctr;
       }
     in
-    Wdl_obs.Obs.time stage_hist (fun () ->
-        Array.iter (run_stratum st strategy) prog.Prog.strata);
-    Wdl_obs.Obs.observe iter_hist (float_of_int st.iterations);
+    (* Seeding is only meaningful for a single-stratum (monotone)
+       program — a higher stratum reads complete lower strata, which a
+       seeded pass does not rebuild. *)
+    let seed =
+      if Array.length prog.Prog.strata > 1 then None else seed
+    in
+    Wdl_obs.Obs.time h.stage_hist (fun () ->
+        Array.iter (run_stratum ?seed st strategy) prog.Prog.strata);
+    Wdl_obs.Obs.observe h.iter_hist (float_of_int st.iterations);
     let to_list tbl =
       Head_tbl.fold (fun k () acc -> Head_key.to_fact k :: acc) tbl []
     in

@@ -52,11 +52,21 @@ val statically_local : self:string -> Wdl_syntax.Rule.t -> bool
     precondition for aggregate rules, which may never suspend into a
     delegation. *)
 
+type handles
+(** Pre-resolved per-peer metric instruments. *)
+
+val handles : self:string -> handles
+(** Resolve the evaluator's instruments for one peer once; pass the
+    bundle to {!run} to keep registry lookups off the per-stage path.
+    After a registry clear, resolve a fresh bundle. *)
+
 val run :
   ?strategy:strategy ->
   ?record_provenance:bool ->
   ?schedule:bool ->
+  ?seed:(string * Wdl_store.Tuple.t) list ->
   ?program:Program.t ->
+  ?handles:handles ->
   self:string ->
   Wdl_store.Database.t ->
   Wdl_syntax.Rule.t list ->
@@ -64,6 +74,19 @@ val run :
 (** Mutates the database's intensional relations. The caller is
     responsible for {!Wdl_store.Database.clear_intensional} at stage
     start and for applying [induced] at the next stage.
+
+    [seed] switches the run to {e delta staging}: instead of clearing
+    intensional state and evaluating every rule from scratch, the
+    database is taken to already hold a fixpoint of the program minus
+    the seed tuples (which the caller has just inserted), and
+    evaluation starts with one semi-naive pass over exactly that
+    delta. The [result] then contains only facts, messages and
+    suspensions derivable from the new tuples — everything previously
+    derived is retained in the database untouched. Sound only for a
+    monotone (negation- and aggregate-free, hence single-stratum)
+    program under purely additive input changes; the caller is
+    responsible for that gate (see [Peer.stage]). A multi-stratum
+    program ignores [seed] and falls back to full evaluation.
 
     [program], when given, must have been compiled (see
     {!Program.compile}) from exactly [rules] against a database whose

@@ -25,6 +25,17 @@ type match_step = {
   peer : name_ref;
   args : arg array;
   atom : Atom.t;
+  (* Static probe spec: which argument positions are constrained when
+     this step runs (constants + slots bound by earlier steps), and
+     what each remaining position does to the environment. Boundness
+     at a step is static — a plan is a linear sequence — so the
+     evaluator fills a flat key instead of re-deriving the binding
+     pattern per candidate tuple. Empty for negated steps (they use
+     full instantiation). *)
+  bpos : int array;  (* constrained positions, ascending *)
+  bsrc : arg array;  (* aligned key sources *)
+  out_binds : (int * slot) array;  (* free positions: first occurrence *)
+  out_checks : (int * slot) array;  (* repeated free slots: equality *)
 }
 
 type step =
@@ -33,7 +44,8 @@ type step =
   | Assign of slot * cexpr * Literal.t
 
 type t = {
-  rule : Rule.t;
+  rule : Rule.t;  (** the body the plan executes (possibly reordered) *)
+  source : Rule.t;  (** the rule as the user wrote it *)
   steps : step list;
   head_rel : name_ref;
   head_peer : name_ref;
@@ -84,18 +96,63 @@ let compile_atom c (a : Atom.t) =
     compile_name c a.Atom.peer,
     Array.of_list (List.map (compile_term c) a.Atom.args) )
 
-let compile (rule : Rule.t) =
+let no_probe = ([||], [||], [||], [||])
+
+(* Classify a positive atom's argument positions against the set of
+   slots bound before this step. The relation/peer name slots count as
+   bound during the match: a name slot is either bound already or gets
+   its value before any tuple is probed (peer resolution, relation
+   enumeration). *)
+let probe_spec bound (rel : name_ref) (peer : name_ref) (args : arg array) =
+  (match rel with Name_slot s -> Hashtbl.replace bound s () | Fixed _ -> ());
+  (match peer with Name_slot s -> Hashtbl.replace bound s () | Fixed _ -> ());
+  let bpos = ref [] and bsrc = ref [] in
+  let binds = ref [] and checks = ref [] in
+  let fresh = Hashtbl.create 4 in
+  Array.iteri
+    (fun i a ->
+      match a with
+      | Const _ ->
+        bpos := i :: !bpos;
+        bsrc := a :: !bsrc
+      | Slot s ->
+        if Hashtbl.mem bound s then begin
+          bpos := i :: !bpos;
+          bsrc := a :: !bsrc
+        end
+        else if Hashtbl.mem fresh s then checks := (i, s) :: !checks
+        else begin
+          Hashtbl.replace fresh s ();
+          binds := (i, s) :: !binds
+        end)
+    args;
+  Hashtbl.iter (fun s () -> Hashtbl.replace bound s ()) fresh;
+  ( Array.of_list (List.rev !bpos),
+    Array.of_list (List.rev !bsrc),
+    Array.of_list (List.rev !binds),
+    Array.of_list (List.rev !checks) )
+
+let compile ?source (rule : Rule.t) =
   let c = { names = []; count = 0; tbl = Hashtbl.create 16 } in
+  let bound = Hashtbl.create 16 in
   let steps =
     List.mapi
       (fun pos lit ->
         match lit with
         | Literal.Pos a ->
           let rel, peer, args = compile_atom c a in
-          Match { pos; neg = false; rel; peer; args; atom = a }
+          let bpos, bsrc, out_binds, out_checks =
+            probe_spec bound rel peer args
+          in
+          Match
+            { pos; neg = false; rel; peer; args; atom = a; bpos; bsrc;
+              out_binds; out_checks }
         | Literal.Neg a ->
           let rel, peer, args = compile_atom c a in
-          Match { pos; neg = true; rel; peer; args; atom = a }
+          let bpos, bsrc, out_binds, out_checks = no_probe in
+          Match
+            { pos; neg = true; rel; peer; args; atom = a; bpos; bsrc;
+              out_binds; out_checks }
         | Literal.Cmp (op, e1, e2) ->
           Cmp (op, compile_expr c e1, compile_expr c e2, lit)
         | Literal.Assign (x, e) ->
@@ -103,7 +160,9 @@ let compile (rule : Rule.t) =
              variables were bound earlier, so slot allocation order is
              irrelevant, but doing it first mirrors evaluation order. *)
           let ce = compile_expr c e in
-          Assign (slot_of c x, ce, lit))
+          let s = slot_of c x in
+          Hashtbl.replace bound s ();
+          Assign (s, ce, lit))
       rule.Rule.body
   in
   let head_rel, head_peer, head_args = compile_atom c rule.Rule.head in
@@ -116,6 +175,7 @@ let compile (rule : Rule.t) =
   in
   {
     rule;
+    source = (match source with Some s -> s | None -> rule);
     steps;
     head_rel;
     head_peer;
@@ -124,6 +184,112 @@ let compile (rule : Rule.t) =
     slot_names = Array.of_list (List.rev c.names);
     premise_patterns;
   }
+
+(* {1 Cost-based body ordering}
+
+   The WDL031 lint (Boundary.improve in the analysis library) computes
+   a greedy maximal-local-prefix reorder and reports it as a hint.
+   This is the same construction promoted into the compiler, with one
+   change: among the literals eligible at each step, pick the {e
+   cheapest} (estimated enumeration cost under current boundness)
+   instead of the earliest. With no cardinality signal every literal
+   costs the same and ties break toward source order, which makes the
+   result exactly the WDL031 hint.
+
+   Eligibility mirrors the evaluator's runtime rules: a positive atom
+   needs a self peer and a bound (or constant) relation name; negation
+   and comparisons need every variable bound; an assignment needs its
+   expression bound and its target fresh. Anything never eligible —
+   the delegation suffix — keeps its source order, preserving the
+   paper's left-to-right delegation semantics on the residual. *)
+
+let order_body ~self ~stats (r : Rule.t) =
+  if Rule.is_aggregate r then r
+  else
+    let lits = Array.of_list r.Rule.body in
+    let n = Array.length lits in
+    if n <= 1 then r
+    else begin
+      let used = Array.make n false in
+      let bound = ref [] in
+      let is_bound x = List.mem x !bound in
+      let bind x = if not (is_bound x) then bound := x :: !bound in
+      let eligible = function
+        | Literal.Cmp (_, e1, e2) ->
+          List.for_all is_bound (Expr.vars e1 @ Expr.vars e2)
+        | Literal.Assign (x, e) ->
+          (not (is_bound x)) && List.for_all is_bound (Expr.vars e)
+        | Literal.Pos a ->
+          Term.as_name a.Atom.peer = Some self
+          && List.for_all is_bound (Term.vars a.Atom.rel)
+        | Literal.Neg a ->
+          Term.as_name a.Atom.peer = Some self
+          && List.for_all is_bound (Atom.vars a)
+      in
+      (* Filters are free; a negated atom is one membership probe; a
+         positive atom enumerates its relation shrunk by a nominal
+         selectivity of 4 per constrained position. *)
+      let cost i =
+        match lits.(i) with
+        | Literal.Cmp _ | Literal.Assign _ -> 0.
+        | Literal.Neg _ -> 0.5
+        | Literal.Pos a ->
+          let card =
+            match Term.as_name a.Atom.rel with
+            | Some rel -> float_of_int (stats rel)
+            | None -> 1e9  (* relation variable: enumerates every relation *)
+          in
+          let constrained =
+            List.fold_left
+              (fun acc t ->
+                match t with
+                | Term.Const _ -> acc + 1
+                | Term.Var x -> if is_bound x then acc + 1 else acc)
+              0 a.Atom.args
+          in
+          Float.max 1. (card /. (4. ** float_of_int constrained))
+      in
+      let order = ref [] in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let best = ref (-1) and best_cost = ref infinity in
+        (* [downto] with [<=]: equal costs resolve to the smallest
+           index — source order, the WDL031 tie-break. *)
+        for i = n - 1 downto 0 do
+          if (not used.(i)) && eligible lits.(i) then begin
+            let ci = cost i in
+            if ci <= !best_cost then begin
+              best := i;
+              best_cost := ci
+            end
+          end
+        done;
+        if !best >= 0 then begin
+          let i = !best in
+          used.(i) <- true;
+          (match lits.(i) with
+          | Literal.Pos a -> List.iter bind (Atom.vars a)
+          | Literal.Assign (x, _) -> bind x
+          | Literal.Neg _ | Literal.Cmp _ -> ());
+          order := i :: !order;
+          progress := true
+        end
+      done;
+      let perm =
+        List.rev !order @ (List.init n Fun.id |> List.filter (fun i -> not used.(i)))
+      in
+      if List.for_all2 ( = ) perm (List.init n Fun.id) then r
+      else
+        let body = List.map (fun i -> lits.(i)) perm in
+        let reordered = Rule.make ~head:r.Rule.head ~body in
+        (* The construction preserves safety (a literal only runs once
+           its inputs are bound; the residual keeps its relative
+           order), but verify rather than trust the argument. *)
+        match Safety.check_rule reordered with
+        | Ok () -> reordered
+        | Error _ -> r
+    end
 
 let subst_of_env plan env =
   let s = ref Subst.empty in

@@ -33,12 +33,21 @@ type cexpr =
   | CDiv of cexpr * cexpr
 
 type match_step = {
-  pos : int;  (** literal index in the source body (delta position) *)
+  pos : int;  (** literal index in the plan's body (delta position) *)
   neg : bool;
   rel : name_ref;
   peer : name_ref;
   args : arg array;
   atom : Atom.t;  (** the source atom, for error reports *)
+  bpos : int array;
+      (** statically constrained argument positions, ascending: a plan
+          is a linear step sequence, so which slots are bound when a
+          step runs is known at compile time *)
+  bsrc : arg array;  (** key sources aligned with [bpos] *)
+  out_binds : (int * slot) array;
+      (** free positions binding a slot (first occurrence in the atom) *)
+  out_checks : (int * slot) array;
+      (** repeated free slots: equality checks against [out_binds] *)
 }
 
 type step =
@@ -47,7 +56,9 @@ type step =
   | Assign of slot * cexpr * Literal.t
 
 type t = {
-  rule : Rule.t;
+  rule : Rule.t;  (** the body the plan executes (possibly reordered) *)
+  source : Rule.t;
+      (** the rule as written — provenance and diagnostics show this *)
   steps : step list;
   head_rel : name_ref;
   head_peer : name_ref;
@@ -58,7 +69,19 @@ type t = {
       (** positive body atoms, for provenance instantiation *)
 }
 
-val compile : Rule.t -> t
+val compile : ?source:Rule.t -> Rule.t -> t
+(** [source] (default: the rule itself) is the rule as the user wrote
+    it, kept for provenance when the compiled body was reordered. *)
+
+val order_body :
+  self:string -> stats:(string -> int) -> Rule.t -> Rule.t
+(** Cost-based join ordering: the WDL031 greedy local-prefix reorder
+    promoted from lint hint to compiler, picking the cheapest eligible
+    literal at each step using [stats] (live relation cardinalities,
+    0 for unknown relations) and bound-position selectivity. Ties
+    resolve to source order, so with a constant [stats] the result is
+    exactly the WDL031 hint. Aggregate rules and rules whose reorder
+    fails the safety check are returned unchanged. *)
 
 val subst_of_env : t -> Value.t option array -> Subst.t
 (** The bound slots as a substitution (used to build residual rules at

@@ -28,8 +28,17 @@ let delta_reads (plan : Plan.t) =
       | Plan.Match _ | Plan.Cmp _ | Plan.Assign _ -> None)
     plan.Plan.steps
 
-let compile_stratum rules =
-  let all_plans = List.map Plan.compile rules in
+let compile_stratum ?order rules =
+  let all_plans =
+    List.map
+      (fun r ->
+        match order with
+        | None -> Plan.compile r
+        | Some f ->
+          let r' = f r in
+          if r' == r then Plan.compile r else Plan.compile ~source:r r')
+      rules
+  in
   let agg_plans, plans =
     List.partition (fun p -> Rule.is_aggregate p.Plan.rule) all_plans
   in
@@ -60,11 +69,11 @@ let compile_stratum rules =
     n_activations = !n;
   }
 
-let compile ?(version = 0) ~self ~intensional rules =
+let compile ?(version = 0) ?order ~self ~intensional rules =
   match Stratify.compute ~self ~intensional rules with
   | Error e -> Error e
   | Ok { Stratify.strata } ->
-    Ok { version; rules; strata = Array.map compile_stratum strata }
+    Ok { version; rules; strata = Array.map (compile_stratum ?order) strata }
 
 let version t = t.version
 let rules t = t.rules

@@ -45,13 +45,17 @@ type t = {
 
 val compile :
   ?version:int ->
+  ?order:(Rule.t -> Rule.t) ->
   self:string ->
   intensional:(string -> bool) ->
   Rule.t list ->
   (t, Stratify.error) result
 (** Stratify and compile [rules]. [intensional] must be the same
     relation-kind predicate the evaluating database will answer;
-    [version] (default 0) is stored verbatim for cache keying. *)
+    [version] (default 0) is stored verbatim for cache keying.
+    [order] (typically {!Plan.order_body} partially applied to live
+    cardinalities) rewrites each rule body before plan compilation;
+    plans keep the original rule as their [source]. *)
 
 val version : t -> int
 val rules : t -> Rule.t list

@@ -10,6 +10,7 @@ type info = {
 
 type t = {
   indexing : bool;
+  pool : Intern.t;  (* shared by every relation of this database *)
   rels : (string, info) Hashtbl.t;
 }
 
@@ -24,11 +25,15 @@ let pp_error ppf = function
     Format.fprintf ppf "relation %s is already declared %a" rel Decl.pp_kind
       declared
 
-let create ?(indexing = true) () = { indexing; rels = Hashtbl.create 16 }
+let create ?(indexing = true) () =
+  { indexing; pool = Intern.create (); rels = Hashtbl.create 16 }
+
+let pool t = t.pool
 
 let make_info t ~name ~kind ~arity ~cols =
   let info =
-    { name; kind; arity; cols; data = Relation.create ~indexing:t.indexing ~arity () }
+    { name; kind; arity; cols;
+      data = Relation.create ~pool:t.pool ~indexing:t.indexing ~arity () }
   in
   Hashtbl.replace t.rels name info;
   info
@@ -84,8 +89,21 @@ let clear_intensional t =
       | Decl.Extensional -> ())
     t.rels
 
+let interned_count t = Intern.size t.pool
+
+let memory_bytes t =
+  Hashtbl.fold
+    (fun _ info acc -> acc + Relation.memory_bytes info.data)
+    t.rels
+    (Intern.memory_bytes t.pool)
+
 let copy t =
-  let fresh = { indexing = t.indexing; rels = Hashtbl.create (Hashtbl.length t.rels) } in
+  (* The pool is shared with the copy: interning is append-only, so
+     the copy's inserts can only extend it, never corrupt ids. *)
+  let fresh =
+    { indexing = t.indexing; pool = t.pool;
+      rels = Hashtbl.create (Hashtbl.length t.rels) }
+  in
   Hashtbl.iter
     (fun name info ->
       Hashtbl.replace fresh.rels name { info with data = Relation.copy info.data })

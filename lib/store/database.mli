@@ -27,6 +27,17 @@ val pp_error : Format.formatter -> error -> unit
 
 val create : ?indexing:bool -> unit -> t
 
+val pool : t -> Intern.t
+(** The intern pool shared by every relation of this database (and by
+    per-run delta relations and copies — see {!copy}). *)
+
+val interned_count : t -> int
+(** Distinct values interned by this database's pool. *)
+
+val memory_bytes : t -> int
+(** Approximate heap footprint: every relation's storage plus the
+    shared pool. Feeds the [wdl_store_memory_bytes] gauge. *)
+
 val declare : t -> Decl.t -> (info, error) result
 (** Idempotent when the declaration matches the existing one. *)
 

@@ -1,0 +1,61 @@
+module Value = Wdl_syntax.Value
+
+module Value_tbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  (* Physical equality first: the same boxed value is re-interned many
+     times (every insert of a tuple whose values are already pooled). *)
+  let equal a b = a == b || Value.equal a b
+  let hash = Value.hash
+end)
+
+type t = {
+  fwd : int Value_tbl.t;
+  mutable rev : Value.t array;
+  mutable next : int;
+  mutable value_bytes : int;
+}
+
+let create () =
+  {
+    fwd = Value_tbl.create 256;
+    rev = Array.make 256 (Value.Int 0);
+    next = 0;
+    value_bytes = 0;
+  }
+
+(* Approximate heap words of one value, in bytes. *)
+let bytes_of = function
+  | Value.String s -> 24 + String.length s
+  | Value.Int _ | Value.Bool _ -> 8
+  | Value.Float _ -> 16
+
+let intern t v =
+  match Value_tbl.find_opt t.fwd v with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    if id >= Array.length t.rev then begin
+      let bigger = Array.make (2 * Array.length t.rev) (Value.Int 0) in
+      Array.blit t.rev 0 bigger 0 id;
+      t.rev <- bigger
+    end;
+    t.rev.(id) <- v;
+    Value_tbl.add t.fwd v id;
+    t.next <- id + 1;
+    t.value_bytes <- t.value_bytes + bytes_of v;
+    id
+
+let find t v = Value_tbl.find_opt t.fwd v
+
+let value t id =
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "Intern.value: unknown id %d" id)
+  else t.rev.(id)
+
+let size t = t.next
+
+let memory_bytes t =
+  (* rev array + one forward-table entry (bucket + key + int) per value
+     + the pooled values. *)
+  (8 * Array.length t.rev) + (32 * t.next) + t.value_bytes

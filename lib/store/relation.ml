@@ -1,144 +1,490 @@
 module Value = Wdl_syntax.Value
 
-module Tuple_tbl = Hashtbl.Make (struct
-  type t = Tuple.t
+(* Interned columnar storage.
 
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+   A relation stores each tuple twice, on purpose:
 
-(* Index keys are the projections of tuples on the index positions. *)
-module Key_tbl = Hashtbl.Make (struct
-  type t = Value.t array
+   - [rows]: the interned image, a flat [int array] with [arity]
+     consecutive ids per slot — index keys and bound scans work on
+     ints with no boxed traversal;
+   - [boxed]: the caller's [Tuple.t] for that slot — iteration and
+     lookup hand tuples back with zero decode cost and the same
+     aliasing the previous hashtable store had.
 
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+   Slots are recycled through a free list; [live] marks which slots
+   hold a tuple. Set-semantics dedup is an open-addressing table of
+   slot ids hashed over the boxed tuple (one traversal, no pool
+   probes) — one array, no per-entry allocation. *)
+
+(* Growable int vector (index buckets, free list). *)
+module Ivec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let push v x =
+    if v.n >= Array.length v.a then begin
+      let bigger = Array.make (max 4 (2 * v.n)) 0 in
+      Array.blit v.a 0 bigger 0 v.n;
+      v.a <- bigger
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let pop v =
+    v.n <- v.n - 1;
+    v.a.(v.n)
+
+  (* Swap-remove the first occurrence of [x]; no-op if absent. *)
+  let remove v x =
+    let rec go i =
+      if i < v.n then
+        if v.a.(i) = x then begin
+          v.n <- v.n - 1;
+          v.a.(i) <- v.a.(v.n)
+        end
+        else go (i + 1)
+    in
+    go 0
+
+  let copy v = { a = Array.copy v.a; n = v.n }
+end
+
+(* Int-array keys (index projections, position signatures). *)
+module Ikey = struct
+  type t = int array
+
+  let equal a b =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  (* FNV-1a over the ids. *)
+  let hash a =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor a.(i)) * 0x01000193
+    done;
+    !h land max_int
+end
+
+module Ikey_tbl = Hashtbl.Make (Ikey)
 
 type index = {
   positions : int array;  (** sorted *)
-  buckets : Tuple.t Tuple_tbl.t Key_tbl.t;
+  buckets : Ivec.t Ikey_tbl.t;  (** projection key -> slots *)
+  mutable pinned : bool;  (** planner-requested: never evicted *)
+  mutable uses : int;
 }
 
 type t = {
   arity : int;
   indexing : bool;
-  tuples : unit Tuple_tbl.t;
+  pool : Intern.t;
+  mutable rows : int array;  (** capacity * arity interned ids *)
+  mutable boxed : Tuple.t array;  (** slot -> stored tuple *)
+  mutable live : Bytes.t;  (** '\001' iff the slot holds a tuple *)
+  mutable limit : int;  (** slots ever allocated (high-water mark) *)
+  mutable n : int;  (** live tuples *)
+  free : Ivec.t;  (** recycled slots *)
+  mutable table : int array;  (** dedup: slot, -1 empty, -2 tombstone *)
+  mutable entries : int;  (** live + tombstone dedup entries *)
   mutable indexes : index list;
+  probes : int ref Ikey_tbl.t;  (** ad-hoc signature -> probe count *)
 }
 
 (* Below this size a scan is cheaper than building an index. *)
 let index_threshold = 16
 
-let create ?(indexing = true) ~arity () =
-  { arity; indexing; tuples = Tuple_tbl.create 64; indexes = [] }
+(* Unhinted lookups build an index only from the Nth probe of a
+   signature on — a one-off probe scans instead of materialising a
+   structure nobody will reuse. *)
+let adhoc_probe_threshold = 2
+
+(* Materialised indexes per relation; crossing it evicts the
+   least-used unpinned index. *)
+let max_indexes = 8
+
+let dummy_tuple : Tuple.t = [||]
+
+let create ?pool ?(indexing = true) ~arity () =
+  let pool = match pool with Some p -> p | None -> Intern.create () in
+  {
+    arity;
+    indexing;
+    pool;
+    rows = Array.make (16 * arity) 0;
+    boxed = Array.make 16 dummy_tuple;
+    live = Bytes.make 16 '\000';
+    limit = 0;
+    n = 0;
+    free = Ivec.create ();
+    table = Array.make 32 (-1);
+    entries = 0;
+    indexes = [];
+    probes = Ikey_tbl.create 4;
+  }
 
 let arity r = r.arity
-let cardinal r = Tuple_tbl.length r.tuples
-let is_empty r = cardinal r = 0
+let pool r = r.pool
+let cardinal r = r.n
+let is_empty r = r.n = 0
 
-let project positions (t : Tuple.t) = Array.map (fun i -> t.(i)) positions
+(* {2 Dedup table}
 
-let index_add idx t =
-  let key = project idx.positions t in
+   Keyed on the *boxed* tuple, not the interned row: membership is by
+   far the hottest store operation (semi-naive evaluation re-derives
+   the same tuples every iteration, remote-cache refills reinsert
+   whole relations every stage), and hashing the caller's tuple
+   directly costs one traversal — interning first would cost a pool
+   probe per column before the row could even be hashed. The pool
+   guarantees [Value.equal] iff same id, so both keyings define the
+   same set. *)
+
+let tuple_hash (t : Tuple.t) = Tuple.hash t land max_int
+
+(* Table position holding the row equal to [t], or -1. *)
+let find_pos r (t : Tuple.t) =
+  let mask = Array.length r.table - 1 in
+  let rec go i =
+    match r.table.(i) with
+    | -1 -> -1
+    | s when s >= 0 && Tuple.equal (Array.unsafe_get r.boxed s) t -> i
+    | _ -> go ((i + 1) land mask)
+  in
+  go (tuple_hash t land mask)
+
+(* Insert [slot] (known absent); true iff a fresh cell was consumed. *)
+let table_put table mask hash slot =
+  let rec go i =
+    if table.(i) < 0 then begin
+      let fresh = table.(i) = -1 in
+      table.(i) <- slot;
+      fresh
+    end
+    else go ((i + 1) land mask)
+  in
+  go (hash land mask)
+
+(* Grow (or just sweep tombstones from) the dedup table. *)
+let rehash r =
+  let size =
+    let cap = Array.length r.table in
+    if 3 * r.n >= cap then 2 * cap else cap
+  in
+  let fresh = Array.make size (-1) in
+  let mask = size - 1 in
+  for s = 0 to r.limit - 1 do
+    if Bytes.unsafe_get r.live s <> '\000' then
+      ignore (table_put fresh mask (tuple_hash r.boxed.(s)) s)
+  done;
+  r.table <- fresh;
+  r.entries <- r.n
+
+(* {2 Indexes} *)
+
+let index_key r positions slot =
+  let off = slot * r.arity in
+  Array.map (fun p -> r.rows.(off + p)) positions
+
+let index_add r idx slot =
+  let key = index_key r idx.positions slot in
   let bucket =
-    match Key_tbl.find_opt idx.buckets key with
+    match Ikey_tbl.find_opt idx.buckets key with
     | Some b -> b
     | None ->
-      let b = Tuple_tbl.create 4 in
-      Key_tbl.add idx.buckets key b;
+      let b = Ivec.create () in
+      Ikey_tbl.add idx.buckets key b;
       b
   in
-  Tuple_tbl.replace bucket t t
+  Ivec.push bucket slot
 
-let index_remove idx t =
-  let key = project idx.positions t in
-  match Key_tbl.find_opt idx.buckets key with
+let index_remove r idx slot =
+  let key = index_key r idx.positions slot in
+  match Ikey_tbl.find_opt idx.buckets key with
   | None -> ()
   | Some b ->
-    Tuple_tbl.remove b t;
-    if Tuple_tbl.length b = 0 then Key_tbl.remove idx.buckets key
+    Ivec.remove b slot;
+    if b.Ivec.n = 0 then Ikey_tbl.remove idx.buckets key
+
+let find_index r positions =
+  List.find_opt (fun idx -> Ikey.equal idx.positions positions) r.indexes
+
+let builds_total = ref 0
+let evictions_total = ref 0
+
+(* Metrics are process-global monotone counts; resolving the
+   instrument per build is fine — builds are rare by design. *)
+let count_build () =
+  incr builds_total;
+  Wdl_obs.Obs.inc
+    (Wdl_obs.Obs.counter
+       ~help:"Relation binding-pattern indexes materialised"
+       "wdl_store_index_builds_total")
+
+let count_eviction () =
+  incr evictions_total;
+  Wdl_obs.Obs.inc
+    (Wdl_obs.Obs.counter
+       ~help:"Relation indexes evicted by the per-relation cap (least-used first)"
+       "wdl_store_index_evictions_total")
+
+let build_index r ~pinned positions =
+  count_build ();
+  let idx = { positions; buckets = Ikey_tbl.create 64; pinned; uses = 0 } in
+  for s = 0 to r.limit - 1 do
+    if Bytes.unsafe_get r.live s <> '\000' then index_add r idx s
+  done;
+  r.indexes <- idx :: r.indexes;
+  (if List.length r.indexes > max_indexes then
+     (* Evict the least-used unpinned index (not the one just built). *)
+     let victim =
+       List.fold_left
+         (fun acc i ->
+           if i == idx || i.pinned then acc
+           else
+             match acc with
+             | Some v when v.uses <= i.uses -> acc
+             | _ -> Some i)
+         None r.indexes
+     in
+     match victim with
+     | None -> ()
+     | Some v ->
+       count_eviction ();
+       r.indexes <- List.filter (fun i -> i != v) r.indexes);
+  idx
+
+(* {2 Updates} *)
+
+(* Only genuinely fresh tuples are interned — a duplicate insert is
+   answered from the dedup table without touching the pool. *)
+let intern_row r (t : Tuple.t) slot =
+  let off = slot * r.arity in
+  for i = 0 to r.arity - 1 do
+    r.rows.(off + i) <- Intern.intern r.pool t.(i)
+  done
+
+let grow_slots r =
+  let cap = Array.length r.boxed in
+  let cap' = 2 * cap in
+  let rows = Array.make (cap' * r.arity) 0 in
+  Array.blit r.rows 0 rows 0 (cap * r.arity);
+  r.rows <- rows;
+  let boxed = Array.make cap' dummy_tuple in
+  Array.blit r.boxed 0 boxed 0 cap;
+  r.boxed <- boxed;
+  let live = Bytes.make cap' '\000' in
+  Bytes.blit r.live 0 live 0 cap;
+  r.live <- live
 
 let insert r t =
   if Array.length t <> r.arity then
     invalid_arg
       (Printf.sprintf "Relation.insert: arity mismatch (expected %d, got %d)"
          r.arity (Array.length t));
-  if Tuple_tbl.mem r.tuples t then false
+  if find_pos r t >= 0 then false
   else begin
-    Tuple_tbl.replace r.tuples t ();
-    List.iter (fun idx -> index_add idx t) r.indexes;
+    if 2 * (r.entries + 1) >= Array.length r.table then rehash r;
+    let slot =
+      if r.free.Ivec.n > 0 then Ivec.pop r.free
+      else begin
+        if r.limit >= Array.length r.boxed then grow_slots r;
+        let s = r.limit in
+        r.limit <- r.limit + 1;
+        s
+      end
+    in
+    intern_row r t slot;
+    r.boxed.(slot) <- t;
+    Bytes.unsafe_set r.live slot '\001';
+    if table_put r.table (Array.length r.table - 1) (tuple_hash t) slot then
+      r.entries <- r.entries + 1;
+    r.n <- r.n + 1;
+    List.iter (fun idx -> index_add r idx slot) r.indexes;
     true
   end
 
 let delete r t =
-  if Tuple_tbl.mem r.tuples t then begin
-    Tuple_tbl.remove r.tuples t;
-    List.iter (fun idx -> index_remove idx t) r.indexes;
-    true
-  end
-  else false
+  if Array.length t <> r.arity then false
+  else
+    match find_pos r t with
+    | -1 -> false
+    | pos ->
+      let slot = r.table.(pos) in
+      List.iter (fun idx -> index_remove r idx slot) r.indexes;
+      r.table.(pos) <- -2;
+      Bytes.unsafe_set r.live slot '\000';
+      r.boxed.(slot) <- dummy_tuple;
+      Ivec.push r.free slot;
+      r.n <- r.n - 1;
+      true
 
-let mem r t = Tuple_tbl.mem r.tuples t
-let iter f r = Tuple_tbl.iter (fun t () -> f t) r.tuples
-let fold f r acc = Tuple_tbl.fold (fun t () acc -> f t acc) r.tuples acc
+let mem r t = Array.length t = r.arity && find_pos r t >= 0
+
+(* {2 Reads} *)
+
+let iter f r =
+  for s = 0 to r.limit - 1 do
+    if Bytes.unsafe_get r.live s <> '\000' then f (Array.unsafe_get r.boxed s)
+  done
+
+let fold f r acc =
+  let acc = ref acc in
+  iter (fun t -> acc := f t !acc) r;
+  !acc
+
 let to_list r = fold List.cons r []
 let to_sorted_list r = List.sort Tuple.compare (to_list r)
 
-let find_index r positions =
-  List.find_opt (fun idx -> idx.positions = positions) r.indexes
+(* Scan live rows on interned ids — no boxed compares. *)
+let scan_ids r (positions : int array) (key : int array) f =
+  let np = Array.length positions in
+  for s = 0 to r.limit - 1 do
+    if Bytes.unsafe_get r.live s <> '\000' then begin
+      let off = s * r.arity in
+      let rec matches k =
+        k >= np || (r.rows.(off + positions.(k)) = key.(k) && matches (k + 1))
+      in
+      if matches 0 then f (Array.unsafe_get r.boxed s)
+    end
+  done
 
-let build_index r positions =
-  let idx = { positions; buckets = Key_tbl.create 64 } in
-  iter (fun t -> index_add idx t) r;
-  r.indexes <- idx :: r.indexes;
-  idx
+let probe_bucket r idx (key : int array) f =
+  idx.uses <- idx.uses + 1;
+  match Ikey_tbl.find_opt idx.buckets key with
+  | None -> ()
+  | Some b ->
+    for k = 0 to b.Ivec.n - 1 do
+      f r.boxed.(b.Ivec.a.(k))
+    done
 
-let scan r bound f =
-  iter
-    (fun t ->
-      if List.for_all (fun (i, v) -> Value.equal t.(i) v) bound then f t)
-    r
+(* Hinted lookup: the caller (a compiled plan) knows its bound
+   positions statically and will probe the same signature for every
+   candidate binding, so the index is built eagerly (once the relation
+   is big enough) and pinned against eviction. *)
+let lookup_key r (positions : int array) (vkey : Value.t array) f =
+  if Array.length positions = 0 then iter f r
+  else
+    let np = Array.length positions in
+    let key = Array.make np 0 in
+    let rec ids k =
+      if k >= np then true
+      else
+        match Intern.find r.pool vkey.(k) with
+        | None -> false
+        | Some id ->
+          key.(k) <- id;
+          ids (k + 1)
+    in
+    if ids 0 then
+      match find_index r positions with
+      | Some idx -> probe_bucket r idx key f
+      | None ->
+        if r.indexing && r.n >= index_threshold then
+          probe_bucket r (build_index r ~pinned:true positions) key f
+        else scan_ids r positions key f
+
+let ensure_index r positions =
+  if r.indexing && find_index r positions = None then
+    ignore (build_index r ~pinned:true positions : index)
 
 let lookup r bound f =
   match bound with
   | [] -> iter f r
   | bound ->
     (* One sort of the bindings gives both the index signature and the
-       probe key, position-aligned — no per-position association scans. *)
-    let sorted =
-      List.sort (fun (i, _) (j, _) -> Int.compare i j) bound
-    in
-    let n = List.length sorted in
-    let positions = Array.make n 0 in
-    let key = Array.make n (Value.Int 0) in
-    List.iteri
-      (fun k (i, v) ->
+       probe key, position-aligned. *)
+    let sorted = List.sort (fun (i, _) (j, _) -> Int.compare i j) bound in
+    let np = List.length sorted in
+    let positions = Array.make np 0 in
+    let key = Array.make np 0 in
+    let rec ids k = function
+      | [] -> true
+      | (i, v) :: rest -> (
         positions.(k) <- i;
-        key.(k) <- v)
-      sorted;
-    let usable =
-      match find_index r positions with
-      | Some idx -> Some idx
-      | None ->
-        if r.indexing && cardinal r >= index_threshold then
-          Some (build_index r positions)
-        else None
+        match Intern.find r.pool v with
+        | None -> false
+        | Some id ->
+          key.(k) <- id;
+          ids (k + 1) rest)
     in
-    (match usable with
-    | None -> scan r bound f
-    | Some idx ->
-      (match Key_tbl.find_opt idx.buckets key with
-      | None -> ()
-      | Some bucket -> Tuple_tbl.iter (fun t _ -> f t) bucket))
+    if ids 0 sorted then (
+      match find_index r positions with
+      | Some idx -> probe_bucket r idx key f
+      | None ->
+        let hot =
+          r.indexing
+          && r.n >= index_threshold
+          &&
+          let count =
+            match Ikey_tbl.find_opt r.probes positions with
+            | Some c ->
+              incr c;
+              !c
+            | None ->
+              Ikey_tbl.add r.probes (Array.copy positions) (ref 1);
+              1
+          in
+          count >= adhoc_probe_threshold
+        in
+        if hot then probe_bucket r (build_index r ~pinned:false positions) key f
+        else scan_ids r positions key f)
+
+(* {2 Lifecycle} *)
 
 let clear r =
-  Tuple_tbl.reset r.tuples;
-  r.indexes <- []
+  r.limit <- 0;
+  r.n <- 0;
+  r.free.Ivec.n <- 0;
+  Array.fill r.table 0 (Array.length r.table) (-1);
+  r.entries <- 0;
+  Bytes.fill r.live 0 (Bytes.length r.live) '\000';
+  Array.fill r.boxed 0 (Array.length r.boxed) dummy_tuple;
+  (* Keep index skeletons: a planner hint survives the per-stage clear
+     of intensional relations, so refills re-index incrementally. *)
+  List.iter (fun idx -> Ikey_tbl.reset idx.buckets) r.indexes;
+  Ikey_tbl.reset r.probes
+
+let copy_index idx =
+  let buckets = Ikey_tbl.create (Ikey_tbl.length idx.buckets) in
+  Ikey_tbl.iter (fun k v -> Ikey_tbl.add buckets k (Ivec.copy v)) idx.buckets;
+  { idx with buckets }
 
 let copy r =
-  let fresh = create ~indexing:r.indexing ~arity:r.arity () in
-  iter (fun t -> ignore (insert fresh t)) r;
-  fresh
+  {
+    r with
+    (* The pool is shared: ids stay valid across copies, and interning
+       is append-only, so a copy can never corrupt the original. *)
+    rows = Array.copy r.rows;
+    boxed = Array.copy r.boxed;
+    live = Bytes.copy r.live;
+    free = Ivec.copy r.free;
+    table = Array.copy r.table;
+    indexes = List.map copy_index r.indexes;
+    probes =
+      (let p = Ikey_tbl.create 4 in
+       Ikey_tbl.iter (fun k c -> Ikey_tbl.add p k (ref !c)) r.probes;
+       p);
+  }
 
 let index_count r = List.length r.indexes
+
+let index_uses r =
+  List.map (fun idx -> (Array.to_list idx.positions, idx.uses)) r.indexes
+
+let memory_bytes r =
+  let base =
+    8 * (Array.length r.rows + Array.length r.boxed + Array.length r.table)
+    + Bytes.length r.live
+    (* Boxed tuple spines (their values live in the pool). *)
+    + (r.n * (r.arity + 1) * 8)
+  in
+  List.fold_left
+    (fun acc idx ->
+      Ikey_tbl.fold
+        (fun k v acc -> acc + (8 * (Array.length k + Array.length v.Ivec.a)) + 48)
+        idx.buckets acc)
+    base r.indexes

@@ -192,12 +192,16 @@ deterministic (histograms print observation counts, not durations):
   wdl_builtin_writes_total{peer="Jules"} 0
   wdl_eval_delta_size{peer="Emilien"} count=0
   wdl_eval_delta_size{peer="Jules"} count=0
+  wdl_eval_delta_stages_total{peer="Emilien"} 0
+  wdl_eval_delta_stages_total{peer="Jules"} 1
   wdl_eval_iterations{peer="Emilien"} count=2
   wdl_eval_iterations{peer="Jules"} count=2
   wdl_eval_plans_skipped_total{peer="Emilien"} 0
-  wdl_eval_plans_skipped_total{peer="Jules"} 0
+  wdl_eval_plans_skipped_total{peer="Jules"} 2
   wdl_eval_program_cache_hits_total{peer="Emilien"} 0
-  wdl_eval_program_cache_hits_total{peer="Jules"} 1
+  wdl_eval_program_cache_hits_total{peer="Jules"} 0
+  wdl_eval_replans_total{peer="Emilien"} 0
+  wdl_eval_replans_total{peer="Jules"} 1
   wdl_eval_stage_duration_microseconds{peer="Emilien"} count=2
   wdl_eval_stage_duration_microseconds{peer="Jules"} count=2
   wdl_eval_stage_fastpath_total{peer="Emilien"} 0
@@ -234,6 +238,10 @@ deterministic (histograms print observation counts, not durations):
   wdl_peer_stages_total{peer="Jules"} 2
   wdl_peer_trace_events_total{peer="Emilien"} 8
   wdl_peer_trace_events_total{peer="Jules"} 8
+  wdl_store_interned_values{peer="Emilien"} 4
+  wdl_store_interned_values{peer="Jules"} 4
+  wdl_store_memory_bytes{peer="Emilien"} 3228
+  wdl_store_memory_bytes{peer="Jules"} 3772
   wdl_sys_dead_letter_queue 0
   wdl_sys_dead_letters_dropped_total 0
   wdl_sys_dead_letters_total 0
@@ -278,11 +286,13 @@ the smoke also writes the perf-trajectory file, whose shape is checked
   tc: mid-run delegation install stays identical ok
   album: engines byte-identical after settle     ok
   album: trickle updates stay identical          ok
+  storage: columnar equals boxed baseline        ok
+  perf: burst/trickle speedups stay above 1.0    ok
   EVAL-SMOKE passed
   
   done.
   $ grep -c '"name"' BENCH_eval.json
-  6
+  11
   $ grep -o '"bench": "eval"' BENCH_eval.json
   "bench": "eval"
   $ grep -o '"speedup"' BENCH_eval.json | sort -u

@@ -227,14 +227,27 @@ let golden_suite =
        t@p($x, $y) :- e@p($x, $y);\n\
        t@p($x, $z) :- t@p($x, $y), e@p($y, $z);"
       "";
+    golden "WDL054 rule feeds a weight-accumulating builtin"
+      "builtin topk trending@p(item, n) with k=2, size=3;\n\
+       ext feed@p(item);\n\
+       feed@p(\"a\");\n\
+       trending@p($x, 1) :- feed@p($x);\n\
+       int v@p(item, n);\n\
+       v@p($x, $n) :- trending@p($x, $n);"
+      "t.wdl:4:1: warning[WDL054]: rule head derives into trending@p, a \
+       weight-accumulating builtin topk relation; derivations pass through \
+       set deduplication, so the same tuple derived many times contributes \
+       its weight only once — assert weighted observations as facts or \
+       messages instead\n\
+      \  note: t.wdl:1:1: declared as a builtin here";
     golden "clean builtin program is silent"
       "builtin window recent@p(item) with size=3;\n\
        builtin topk trending@p(item, n) with k=2, size=3;\n\
        ext feed@p(item);\n\
        int v@p(item);\n\
        feed@p(\"a\");\n\
+       trending@p(\"a\", 1);\n\
        recent@p($x) :- feed@p($x);\n\
-       trending@p($x, 1) :- feed@p($x);\n\
        v@p($x) :- recent@p($x);\n\
        v@p($x) :- trending@p($x, $n);"
       "";

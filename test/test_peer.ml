@@ -138,18 +138,27 @@ let suite =
         check_int "quiescent stage sends nothing" 0 (List.length (Peer.stage p));
         check_int "fast path taken" (fast0 + 1)
           (read "wdl_eval_stage_fastpath_total" "inc_p");
-        (* New fact, same rules: full stage, served by the cached program. *)
+        (* New fact, same rules, but [a] doubles from 1 to 2 tuples —
+           that crosses a cardinality band, so the planner recompiles
+           with fresh statistics instead of reusing the cache. *)
+        let replans0 = read "wdl_eval_replans_total" "inc_p" in
         ok (Peer.insert p (fact "a" "inc_p" [ Value.Int 2 ]));
+        ignore (Peer.stage p);
+        check_int "band crossing replans" (replans0 + 1)
+          (read "wdl_eval_replans_total" "inc_p");
+        check_int "view caught up" 2 (List.length (Peer.query p "v"));
+        (* 2 -> 3 tuples stays inside the band: cached program reused. *)
+        ok (Peer.insert p (fact "a" "inc_p" [ Value.Int 3 ]));
         ignore (Peer.stage p);
         check_int "cached program reused" (hits0 + 1)
           (read "wdl_eval_program_cache_hits_total" "inc_p");
-        check_int "view caught up" 2 (List.length (Peer.query p "v"));
+        check_int "view caught up again" 3 (List.length (Peer.query p "v"));
         (* Rule change invalidates: the next stage recompiles (no hit). *)
         ok (Peer.load_string p "int w@inc_p(x); w@inc_p($x) :- a@inc_p($x);");
         ignore (Peer.stage p);
         check_int "invalidated, recompiled" (hits0 + 1)
           (read "wdl_eval_program_cache_hits_total" "inc_p");
-        check_int "new view filled" 2 (List.length (Peer.query p "w"));
+        check_int "new view filled" 3 (List.length (Peer.query p "w"));
         (* The ablation switch restores per-stage recompilation. *)
         let b = Peer.create ~incremental:false "inc_b" in
         ok
@@ -162,6 +171,65 @@ let suite =
         check_int "no cache when disabled" 0
           (read "wdl_eval_program_cache_hits_total" "inc_b");
         check_int "same result" 1 (List.length (Peer.query b "v")));
+    tc "delta staging: additive runs seed the fixpoint, deletions fall back"
+      (fun () ->
+        let read p name =
+          int_of_float (Wdl_obs.Obs.read_one ~labels:[ ("peer", name) ] p)
+        in
+        let deltas () = read "wdl_eval_delta_stages_total" "dlt_p" in
+        (* A transitive closure: a seeded pass must chase multi-hop
+           consequences of one new edge, not just direct joins. The
+           baseline twin recomputes every view from scratch each
+           stage; both must agree after every insertion. *)
+        let prog name =
+          Printf.sprintf
+            "ext e@%s(x,y); int r@%s(x,y);\n\
+             r@%s($x,$y) :- e@%s($x,$y);\n\
+             r@%s($x,$z) :- r@%s($x,$y), e@%s($y,$z);"
+            name name name name name name name
+        in
+        let p = Peer.create "dlt_p" in
+        let b = Peer.create ~incremental:false "dlt_b" in
+        ok (Peer.load_string p (prog "dlt_p"));
+        ok (Peer.load_string b (prog "dlt_b"));
+        let edge name x y =
+          fact "e" name [ Value.Int x; Value.Int y ]
+        in
+        let settle q = ignore (Peer.stage q) in
+        settle p; settle b;
+        check_int "first stage is a full one" 0 (deltas ());
+        let closure q = List.length (Peer.query q "r") in
+        List.iteri
+          (fun i (x, y) ->
+            ok (Peer.insert p (edge "dlt_p" x y));
+            ok (Peer.insert b (edge "dlt_b" x y));
+            settle p; settle b;
+            check_int
+              (Printf.sprintf "closure agrees after edge %d" i)
+              (closure b) (closure p))
+          [ (1, 2); (2, 3); (3, 4); (2, 5) ];
+        check_int "additive stages ran as delta stages" 4 (deltas ());
+        (* A deletion is not additive: the next stage recomputes from
+           scratch, and the shrunken closure matches the baseline's. *)
+        ok (Peer.delete p (edge "dlt_p" 2 3));
+        ok (Peer.delete b (edge "dlt_b" 2 3));
+        settle p; settle b;
+        check_int "deletion fell back to a full stage" 4 (deltas ());
+        check_int "closure shrank identically" (closure b) (closure p);
+        (* Negation disqualifies the rule set entirely. *)
+        let n = Peer.create "dlt_n" in
+        ok
+          (Peer.load_string n
+             "ext a@dlt_n(x); ext blocked@dlt_n(x); int ok@dlt_n(x);\n\
+              a@dlt_n(1);\n\
+              ok@dlt_n($x) :- a@dlt_n($x), not blocked@dlt_n($x);");
+        ignore (Peer.stage n);
+        ok (Peer.insert n (fact "a" "dlt_n" [ Value.Int 2 ]));
+        ignore (Peer.stage n);
+        check_int "non-monotone rules never delta-stage" 0
+          (read "wdl_eval_delta_stages_total" "dlt_n");
+        check_int "and still compute correctly" 2
+          (List.length (Peer.query n "ok")));
     tc "trace records lifecycle events" (fun () ->
         let p = Peer.create "p" in
         ok (Peer.load_string p "int v@p(x); a@p(1); v@p($x) :- a@p($x);");

@@ -65,4 +65,48 @@ let suite =
                "h@p($x) :- a@p($x), not b@p($x), $x > 0, c@p($x)")
         in
         check_int "two premises" 2 (List.length plan.Plan.premise_patterns));
+    tc "order_body: constant stats reproduce the WDL031 hint" (fun () ->
+        (* Remote literal first as written; both local literals are
+           eligible to hoist. With flat statistics the planner must
+           produce exactly what the lint suggests. *)
+        let r =
+          Parser.parse_rule
+            "h@p($x,$y) :- r@q($x), a@p($x), b@p($x,$y)"
+        in
+        let planned = Plan.order_body ~self:"p" ~stats:(fun _ -> 1) r in
+        let hint =
+          match Wdl_analysis.Boundary.improve ~self:"p" r with
+          | Some i -> i.Wdl_analysis.Boundary.reordered
+          | None -> Alcotest.fail "expected a WDL031 improvement"
+        in
+        check_bool "same rule" (Rule.equal planned hint));
+    tc "order_body: cardinality growth flips the join order" (fun () ->
+        let r =
+          Parser.parse_rule
+            "h@p($x,$y) :- r@q($x), a@p($x), b@p($x,$y)"
+        in
+        let body_rels rule =
+          List.filter_map
+            (function
+              | Literal.Pos a -> (
+                match a.Atom.rel with Term.Const (Value.String n) -> Some n | _ -> None)
+              | _ -> None)
+            rule.Rule.body
+        in
+        (* a tiny, b large: scan a first, probe b on the bound $x. *)
+        let small =
+          Plan.order_body ~self:"p"
+            ~stats:(function "a" -> 4 | "b" -> 4096 | _ -> 0)
+            r
+        in
+        Alcotest.(check (list string))
+          "a leads" [ "a"; "b"; "r" ] (body_rels small);
+        (* a grown past b: the planner now leads with b. *)
+        let grown =
+          Plan.order_body ~self:"p"
+            ~stats:(function "a" -> 100_000 | "b" -> 4096 | _ -> 0)
+            r
+        in
+        Alcotest.(check (list string))
+          "b leads" [ "b"; "a"; "r" ] (body_rels grown));
   ]

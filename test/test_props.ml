@@ -379,6 +379,73 @@ let tests =
           List.map (Format.asprintf "%a" Fact.pp) (Webdamlog.Peer.query p "tc")
         in
         run () = run ());
+    (* Differential oracle for the columnar store: drive it and a naive
+       list model through the same random schedule of inserts, deletes
+       and single-column lookups, checking every return value and the
+       final contents. The small value domain forces duplicate inserts,
+       deletes of absent tuples, and slot reuse after tombstones. *)
+    QCheck.Test.make ~count:200
+      ~name:"columnar store equals a naive list model"
+      (QCheck.list
+         (QCheck.triple
+            (QCheck.make (QCheck.Gen.int_range 0 2))
+            (QCheck.make (QCheck.Gen.int_range 0 6))
+            (QCheck.make (QCheck.Gen.int_range 0 6))))
+      (fun ops ->
+        let r = Relation.create ~arity:2 () in
+        let model = ref [] in
+        let tup (a, b) = Tuple.of_list [ Value.Int a; Value.Int b ] in
+        let ok = ref true in
+        List.iter
+          (fun (op, a, b) ->
+            match op with
+            | 0 ->
+              let fresh = Relation.insert r (tup (a, b)) in
+              let model_fresh = not (List.mem (a, b) !model) in
+              if model_fresh then model := (a, b) :: !model;
+              if fresh <> model_fresh then ok := false
+            | 1 ->
+              let removed = Relation.delete r (tup (a, b)) in
+              let model_removed = List.mem (a, b) !model in
+              model := List.filter (fun p -> p <> (a, b)) !model;
+              if removed <> model_removed then ok := false
+            | _ ->
+              let acc = ref [] in
+              Relation.lookup r [ (0, Value.Int a) ] (fun t ->
+                  acc := t :: !acc);
+              let got = List.sort Tuple.compare !acc in
+              let want =
+                List.sort Tuple.compare
+                  (List.filter_map
+                     (fun (x, y) -> if x = a then Some (tup (x, y)) else None)
+                     !model)
+              in
+              if not (List.equal Tuple.equal got want) then ok := false)
+          ops;
+        !ok
+        && Relation.cardinal r = List.length !model
+        && List.for_all (fun p -> Relation.mem r (tup p)) !model
+        && List.equal Tuple.equal
+             (Relation.to_sorted_list r)
+             (List.sort Tuple.compare (List.map tup !model)));
+    QCheck.Test.make ~count:500 ~name:"intern round-trips every value"
+      (QCheck.make
+         QCheck.Gen.(
+           frequency
+             [ (3, value_gen);
+               ( 1,
+                 map
+                   (fun s -> Value.String s)
+                   (oneofl
+                      [ ""; "héllo"; "日本語"; "🦉 chouette"; "a\tb\nc";
+                        "\xc3\xa9"; String.make 200 '\xff' ]) ) ]))
+      (fun v ->
+        let pool = Intern.create () in
+        let id = Intern.intern pool v in
+        Intern.intern pool v = id
+        && Intern.find pool v = Some id
+        && Value.equal (Intern.value pool id) v
+        && Intern.size pool = 1);
   ]
 
 let suite = List.map QCheck_alcotest.to_alcotest tests

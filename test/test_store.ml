@@ -48,6 +48,11 @@ let suite =
         done;
         let hits = collect_lookup r [ (0, Value.Int 3) ] in
         check_int "bucket" 10 (List.length hits);
+        (* Ad-hoc probes build the index on the second use of a
+           signature, not the first. *)
+        check_int "no index on first probe" 0 (Relation.index_count r);
+        check_int "bucket again" 10
+          (List.length (collect_lookup r [ (0, Value.Int 3) ]));
         check_int "one index" 1 (Relation.index_count r);
         (* Index maintained across inserts and deletes. *)
         ignore (Relation.insert r (t [ 3; 1000 ]));

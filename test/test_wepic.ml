@@ -123,9 +123,13 @@ let suite =
         check_int "view blocked" 0
           (List.length (Wepic.attendee_pictures env ~viewer:"Jules"));
         let emilien = Wepic.attendee env "Emilien" in
-        (* Two delegations wait: the attendeePictures residual and the
-           transfer rule's communicate@Emilien residual. *)
-        check_int "pending at Emilien" 2
+        (* One delegation waits: the attendeePictures residual. The
+           transfer rule's communicate@Emilien residual no longer ships
+           at this point — the planner applies the WDL031 reorder,
+           moving the (still empty) local selectedPictures literal
+           ahead of the remote communicate atom, so no valuation
+           reaches the delegation point until a picture is selected. *)
+        check_int "pending at Emilien" 1
           (List.length (Webdamlog.Peer.pending_delegations emilien));
         ignore (Webdamlog.Peer.accept_all_delegations emilien);
         ignore (ok (Wepic.run env));
