@@ -50,7 +50,10 @@ let fact_size f =
   name_len f.Fact.rel + 1 + name_len f.Fact.peer + 1 + max 0 args + 1
 
 let size m =
-  let rule_size r = String.length (Format.asprintf "%a" Rule.pp r) in
+  (* One-line rendering, like the wire: [Format.asprintf] at its
+     default margin wraps long rules, and the inserted newline+indent
+     made the sizer overcount what the transport actually frames. *)
+  let rule_size r = String.length (Pp_util.one_line Rule.pp r) in
   let facts = match m.facts with None -> 0 | Some fs -> List.fold_left (fun a f -> a + fact_size f) 0 fs in
   facts
   + List.fold_left (fun a r -> a + rule_size r) 0 m.installs

@@ -35,7 +35,16 @@ val make :
   t
 
 val is_empty : t -> bool
+
+val fact_size : Fact.t -> int
+(** Exact byte length of the fact's one-line wire rendering
+    ([String.length (Fact.to_string f)]), computed arithmetically —
+    no formatter, no intermediate string. The equality is enforced by
+    a QCheck property over arbitrary facts. *)
+
 val size : t -> int
-(** Estimated wire size in bytes (used by transport statistics). *)
+(** Estimated wire size in bytes (used by transport statistics):
+    one-line renderings of facts and rules plus a small fixed header
+    overhead. *)
 
 val pp : Format.formatter -> t -> unit

@@ -30,6 +30,7 @@ type t = {
   mutable enforce_authz : bool;
   trace : Trace.t;
   strategy : Wdl_eval.Fixpoint.strategy;
+  domains : int;  (* fixpoint worker domains; 1 = sequential ablation *)
   diff_batches : bool;
   mutable track_provenance : bool;
   prov : Wdl_eval.Fixpoint.derivation Fact_tbl.t;
@@ -186,10 +187,17 @@ let register_metrics t =
 
 let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     ?trace_capacity ?(diff_batches = true) ?(incremental = true)
-    ?(replan = true) ?(inbox_capacity = max_int) ?(shed = Drop_newest) name =
+    ?(replan = true) ?(inbox_capacity = max_int) ?(shed = Drop_newest)
+    ?domains name =
   if name = "" then invalid_arg "Peer.create: empty name";
   if inbox_capacity < 1 then
     invalid_arg "Peer.create: inbox_capacity must be at least 1";
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Peer.create: domains must be at least 1"
+    | None -> Wdl_eval.Parallel.default_domains ()
+  in
   let t = {
     name;
     db = Database.create ?indexing ();
@@ -198,6 +206,7 @@ let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     enforce_authz = false;
     trace = Trace.create ?capacity:trace_capacity ();
     strategy;
+    domains;
     diff_batches;
     track_provenance = false;
     prov = Fact_tbl.create 64;
@@ -1291,6 +1300,25 @@ let process_message t (msg : Message.t) =
 
 let refill_intensional t =
   Database.clear_intensional t.db;
+  (* Pre-size each target relation for the whole refill: one growth
+     step per relation instead of a log-series of rehashes when the
+     cached batches are large. *)
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _src batch ->
+      List.iter
+        (fun (fact : Fact.t) ->
+          if intensional t fact.Fact.rel then
+            Hashtbl.replace counts fact.Fact.rel
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts fact.Fact.rel)))
+        batch)
+    t.remote_cache;
+  Hashtbl.iter
+    (fun rel extra ->
+      match Database.find t.db rel with
+      | Some info -> Relation.reserve info.Database.data extra
+      | None -> ())
+    counts;
   Hashtbl.iter
     (fun _src batch ->
       List.iter
@@ -1575,8 +1603,9 @@ let stage t =
   let outbound =
     match
       Wdl_eval.Fixpoint.run ~strategy:t.strategy
-        ~record_provenance:t.track_provenance ~schedule:t.incremental ?seed
-        ?program ~handles:t.eval_handles ~self:t.name t.db (all_rules t)
+        ~record_provenance:t.track_provenance ~schedule:t.incremental
+        ~domains:t.domains ?seed ?program ~handles:t.eval_handles
+        ~self:t.name t.db (all_rules t)
     with
     | Error e ->
       (* The fixpoint did not run: retained intensional state is not a

@@ -1,0 +1,73 @@
+open Wdl_store
+
+(* Sharded-delta machinery for the parallel fixpoint.
+
+   Partitioning follows the dynamic-data-exchange scheme from the
+   distributed-RDF-stores literature: a tuple is owned by the shard of
+   its first column's interned id. With [shards >= domains], shard [s]
+   is evaluated by worker [s mod domains]; keeping the shard count
+   independent of the domain count lets tests vary one without the
+   other and keeps ownership stable if the pool grows. *)
+
+let owner = Shard_view.owner
+
+(* The worker evaluating shard [s] out of [shards] on [domains] workers. *)
+let worker_of ~shards ~domains id = owner ~shards id mod domains
+
+(* A derived head captured on a worker: the same (rel, peer, tuple)
+   triple the sequential engine routes through [dispatch_head], parked
+   until the merge barrier. *)
+type emission = { rel : string; peer : string; tuple : Tuple.t }
+
+(* Per-worker ordered emission buffer — the batch envelope a worker
+   hands the master at the barrier. Push order is replay order. *)
+module Outbox = struct
+  type t = { mutable items : emission array; mutable n : int }
+
+  let dummy = { rel = ""; peer = ""; tuple = [||] }
+  let create () = { items = [||]; n = 0 }
+
+  let push b e =
+    if b.n >= Array.length b.items then begin
+      let bigger = Array.make (max 16 (2 * b.n)) dummy in
+      Array.blit b.items 0 bigger 0 b.n;
+      b.items <- bigger
+    end;
+    b.items.(b.n) <- e;
+    b.n <- b.n + 1
+
+  let length b = b.n
+
+  let iter f b =
+    for i = 0 to b.n - 1 do
+      f b.items.(i)
+    done
+end
+
+(* Split a delta table into [domains] per-worker delta tables by
+   first-column ownership. Worker relations share the pool and skip
+   indexing, exactly like the deltas they partition. *)
+let split_delta ~pool ~shards ~domains (delta : (string, Relation.t) Hashtbl.t) =
+  let parts : (string, Relation.t) Hashtbl.t array =
+    Array.init domains (fun _ -> Hashtbl.create 8)
+  in
+  Hashtbl.iter
+    (fun rel r ->
+      Relation.iter_first_id
+        (fun tuple id ->
+          let w = worker_of ~shards ~domains id in
+          let pr =
+            match Hashtbl.find_opt parts.(w) rel with
+            | Some pr -> pr
+            | None ->
+              let pr =
+                Relation.create ~pool ~indexing:false
+                  ~arity:(Relation.arity r) ()
+              in
+              Hashtbl.add parts.(w) rel pr;
+              pr
+          in
+          ignore (Relation.insert pr tuple))
+        r)
+    delta;
+  parts

@@ -1,0 +1,36 @@
+(** Sharded-delta machinery for the parallel fixpoint: first-column
+    ownership, per-worker emission envelopes, and delta splitting. *)
+
+open Wdl_store
+
+val owner : shards:int -> int -> int
+(** Shard owning an interned first-column id (see
+    {!Wdl_store.Shard_view.owner}). *)
+
+val worker_of : shards:int -> domains:int -> int -> int
+(** Worker evaluating that shard: [owner ~shards id mod domains]. *)
+
+type emission = { rel : string; peer : string; tuple : Tuple.t }
+(** A derived head captured on a worker, replayed through the master's
+    dispatch at the merge barrier. *)
+
+module Outbox : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> emission -> unit
+  val length : t -> int
+
+  val iter : (emission -> unit) -> t -> unit
+  (** In push order — replay order at the barrier. *)
+end
+
+val split_delta :
+  pool:Intern.t ->
+  shards:int ->
+  domains:int ->
+  (string, Relation.t) Hashtbl.t ->
+  (string, Relation.t) Hashtbl.t array
+(** Partition a delta table into per-worker delta tables by
+    first-column ownership. Length [domains]; relations share [pool]
+    and skip indexing. *)

@@ -6,7 +6,17 @@ module Value_tbl = Hashtbl.Make (struct
   (* Physical equality first: the same boxed value is re-interned many
      times (every insert of a tuple whose values are already pooled). *)
   let equal a b = a == b || Value.equal a b
-  let hash = Value.hash
+
+  (* Not [Value.hash]: that hashes a freshly boxed [(tag, payload)]
+     pair, an allocation per probe, and the pool probes once per value
+     per insert.  Hashing the payload directly and folding the tag in
+     allocates nothing; the table is private to the pool, so the hash
+     only has to agree with [equal] here. *)
+  let hash = function
+    | Value.Int x -> 0x2545 lxor Hashtbl.hash x
+    | Value.Float f -> 0x9d1c lxor Hashtbl.hash f
+    | Value.String s -> 0x27d4 lxor Hashtbl.hash s
+    | Value.Bool b -> 0xeb35 lxor Hashtbl.hash b
 end)
 
 type t = {
@@ -31,9 +41,11 @@ let bytes_of = function
   | Value.Float _ -> 16
 
 let intern t v =
-  match Value_tbl.find_opt t.fwd v with
-  | Some id -> id
-  | None ->
+  (* Exception-based find: the hit path (every duplicate re-insert)
+     allocates nothing, where [find_opt] boxed an option per probe. *)
+  match Value_tbl.find t.fwd v with
+  | id -> id
+  | exception Not_found ->
     let id = t.next in
     if id >= Array.length t.rev then begin
       let bigger = Array.make (2 * Array.length t.rev) (Value.Int 0) in

@@ -13,8 +13,10 @@ module Value = Wdl_syntax.Value
 
    Slots are recycled through a free list; [live] marks which slots
    hold a tuple. Set-semantics dedup is an open-addressing table of
-   slot ids hashed over the boxed tuple (one traversal, no pool
-   probes) — one array, no per-entry allocation. *)
+   slot ids hashed over the *interned row*: insert interns each value
+   exactly once (find-or-add) and every subsequent compare is int
+   work — one array, no per-entry allocation, no second traversal of
+   the boxed tuple. *)
 
 (* Growable int vector (index buckets, free list). *)
 module Ivec = struct
@@ -83,6 +85,7 @@ type t = {
   arity : int;
   indexing : bool;
   pool : Intern.t;
+  scratch : int array;  (** arity-sized intern buffer for [insert] *)
   mutable rows : int array;  (** capacity * arity interned ids *)
   mutable boxed : Tuple.t array;  (** slot -> stored tuple *)
   mutable live : Bytes.t;  (** '\001' iff the slot holds a tuple *)
@@ -115,6 +118,7 @@ let create ?pool ?(indexing = true) ~arity () =
     arity;
     indexing;
     pool;
+    scratch = Array.make arity 0;
     rows = Array.make (16 * arity) 0;
     boxed = Array.make 16 dummy_tuple;
     live = Bytes.make 16 '\000';
@@ -134,27 +138,56 @@ let is_empty r = r.n = 0
 
 (* {2 Dedup table}
 
-   Keyed on the *boxed* tuple, not the interned row: membership is by
-   far the hottest store operation (semi-naive evaluation re-derives
-   the same tuples every iteration, remote-cache refills reinsert
-   whole relations every stage), and hashing the caller's tuple
-   directly costs one traversal — interning first would cost a pool
-   probe per column before the row could even be hashed. The pool
-   guarantees [Value.equal] iff same id, so both keyings define the
-   same set. *)
+   Keyed on the *interned row*: insert resolves each value through the
+   pool exactly once (find-or-add — a duplicate's values are already
+   pooled, so duplicates never grow it) and dedup probes then compare
+   flat ints with no boxed traversal. [mem]/[delete] resolve ids with
+   the read-only [Intern.find]: a value foreign to the pool cannot be
+   stored here, so the answer is immediate and the pool never grows on
+   the query path. *)
 
-let tuple_hash (t : Tuple.t) = Tuple.hash t land max_int
+(* FNV-1a over [arity] ids starting at [off]. *)
+let row_hash rows off arity =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to arity - 1 do
+    h := (!h lxor Array.unsafe_get rows (off + i)) * 0x01000193
+  done;
+  !h land max_int
 
-(* Table position holding the row equal to [t], or -1. *)
-let find_pos r (t : Tuple.t) =
+let row_equal r slot (ids : int array) =
+  let off = slot * r.arity in
+  let rec go i =
+    i >= r.arity || (Array.unsafe_get r.rows (off + i) = ids.(i) && go (i + 1))
+  in
+  go 0
+
+(* Table position holding the row equal to [ids] (hash [h]), or -1. *)
+let find_pos_ids r (ids : int array) h =
   let mask = Array.length r.table - 1 in
   let rec go i =
     match r.table.(i) with
     | -1 -> -1
-    | s when s >= 0 && Tuple.equal (Array.unsafe_get r.boxed s) t -> i
+    | s when s >= 0 && row_equal r s ids -> i
     | _ -> go ((i + 1) land mask)
   in
-  go (tuple_hash t land mask)
+  go (h land mask)
+
+(* Interned image of [t] without growing the pool; [None] when some
+   value is foreign (hence [t] cannot be stored here). *)
+let resolve_row r (t : Tuple.t) =
+  if Array.length t <> r.arity then None
+  else
+    let ids = Array.make r.arity 0 in
+    let rec go i =
+      if i >= r.arity then true
+      else
+        match Intern.find r.pool t.(i) with
+        | None -> false
+        | Some id ->
+          ids.(i) <- id;
+          go (i + 1)
+    in
+    if go 0 then Some ids else None
 
 (* Insert [slot] (known absent); true iff a fresh cell was consumed. *)
 let table_put table mask hash slot =
@@ -168,20 +201,21 @@ let table_put table mask hash slot =
   in
   go (hash land mask)
 
-(* Grow (or just sweep tombstones from) the dedup table. *)
-let rehash r =
-  let size =
-    let cap = Array.length r.table in
-    if 3 * r.n >= cap then 2 * cap else cap
-  in
+(* Rebuild the dedup table at [size] cells (sweeps tombstones). *)
+let rehash_to r size =
   let fresh = Array.make size (-1) in
   let mask = size - 1 in
   for s = 0 to r.limit - 1 do
     if Bytes.unsafe_get r.live s <> '\000' then
-      ignore (table_put fresh mask (tuple_hash r.boxed.(s)) s)
+      ignore (table_put fresh mask (row_hash r.rows (s * r.arity) r.arity) s)
   done;
   r.table <- fresh;
   r.entries <- r.n
+
+(* Grow (or just sweep tombstones from) the dedup table. *)
+let rehash r =
+  let cap = Array.length r.table in
+  rehash_to r (if 3 * r.n >= cap then 2 * cap else cap)
 
 (* {2 Indexes} *)
 
@@ -259,33 +293,53 @@ let build_index r ~pinned positions =
 
 (* {2 Updates} *)
 
-(* Only genuinely fresh tuples are interned — a duplicate insert is
-   answered from the dedup table without touching the pool. *)
-let intern_row r (t : Tuple.t) slot =
-  let off = slot * r.arity in
-  for i = 0 to r.arity - 1 do
-    r.rows.(off + i) <- Intern.intern r.pool t.(i)
-  done
-
-let grow_slots r =
+let grow_slots_to r want =
   let cap = Array.length r.boxed in
-  let cap' = 2 * cap in
-  let rows = Array.make (cap' * r.arity) 0 in
-  Array.blit r.rows 0 rows 0 (cap * r.arity);
-  r.rows <- rows;
-  let boxed = Array.make cap' dummy_tuple in
-  Array.blit r.boxed 0 boxed 0 cap;
-  r.boxed <- boxed;
-  let live = Bytes.make cap' '\000' in
-  Bytes.blit r.live 0 live 0 cap;
-  r.live <- live
+  let cap' = ref (max 16 cap) in
+  while !cap' < want do
+    cap' := 2 * !cap'
+  done;
+  let cap' = !cap' in
+  if cap' > cap then begin
+    let rows = Array.make (cap' * r.arity) 0 in
+    Array.blit r.rows 0 rows 0 (cap * r.arity);
+    r.rows <- rows;
+    let boxed = Array.make cap' dummy_tuple in
+    Array.blit r.boxed 0 boxed 0 cap;
+    r.boxed <- boxed;
+    let live = Bytes.make cap' '\000' in
+    Bytes.blit r.live 0 live 0 cap;
+    r.live <- live
+  end
+
+let grow_slots r = grow_slots_to r (Array.length r.boxed + 1)
+
+let reserve r extra =
+  let want = r.n + extra in
+  grow_slots_to r want;
+  let tcap = Array.length r.table in
+  if 2 * want >= tcap then begin
+    let size = ref tcap in
+    while 2 * want >= !size do
+      size := 2 * !size
+    done;
+    rehash_to r !size
+  end
 
 let insert r t =
   if Array.length t <> r.arity then
     invalid_arg
       (Printf.sprintf "Relation.insert: arity mismatch (expected %d, got %d)"
          r.arity (Array.length t));
-  if find_pos r t >= 0 then false
+  (* One pool probe per value: find-or-add up front, then every dedup
+     compare is on the ids (duplicates re-find existing pool entries,
+     so the pool still only ever holds stored values). *)
+  let ids = r.scratch in
+  for i = 0 to r.arity - 1 do
+    ids.(i) <- Intern.intern r.pool t.(i)
+  done;
+  let h = Ikey.hash ids in
+  if find_pos_ids r ids h >= 0 then false
   else begin
     if 2 * (r.entries + 1) >= Array.length r.table then rehash r;
     let slot =
@@ -297,10 +351,10 @@ let insert r t =
         s
       end
     in
-    intern_row r t slot;
+    Array.blit ids 0 r.rows (slot * r.arity) r.arity;
     r.boxed.(slot) <- t;
     Bytes.unsafe_set r.live slot '\001';
-    if table_put r.table (Array.length r.table - 1) (tuple_hash t) slot then
+    if table_put r.table (Array.length r.table - 1) h slot then
       r.entries <- r.entries + 1;
     r.n <- r.n + 1;
     List.iter (fun idx -> index_add r idx slot) r.indexes;
@@ -308,9 +362,10 @@ let insert r t =
   end
 
 let delete r t =
-  if Array.length t <> r.arity then false
-  else
-    match find_pos r t with
+  match resolve_row r t with
+  | None -> false
+  | Some ids -> (
+    match find_pos_ids r ids (Ikey.hash ids) with
     | -1 -> false
     | pos ->
       let slot = r.table.(pos) in
@@ -320,9 +375,12 @@ let delete r t =
       r.boxed.(slot) <- dummy_tuple;
       Ivec.push r.free slot;
       r.n <- r.n - 1;
-      true
+      true)
 
-let mem r t = Array.length t = r.arity && find_pos r t >= 0
+let mem r t =
+  match resolve_row r t with
+  | None -> false
+  | Some ids -> find_pos_ids r ids (Ikey.hash ids) >= 0
 
 (* {2 Reads} *)
 
@@ -338,6 +396,15 @@ let fold f r acc =
 
 let to_list r = fold List.cons r []
 let to_sorted_list r = List.sort Tuple.compare (to_list r)
+
+(* Tuples together with the interned id of their first column — the
+   shard key for the parallel engine. Arity-0 tuples hand id 0. *)
+let iter_first_id f r =
+  for s = 0 to r.limit - 1 do
+    if Bytes.unsafe_get r.live s <> '\000' then
+      let id = if r.arity = 0 then 0 else Array.unsafe_get r.rows (s * r.arity) in
+      f (Array.unsafe_get r.boxed s) id
+  done
 
 (* Scan live rows on interned ids — no boxed compares. *)
 let scan_ids r (positions : int array) (key : int array) f =
@@ -390,6 +457,35 @@ let lookup_key r (positions : int array) (vkey : Value.t array) f =
 let ensure_index r positions =
   if r.indexing && find_index r positions = None then
     ignore (build_index r ~pinned:true positions : index)
+
+(* Read-only variant for concurrent readers (parallel fixpoint
+   workers): never materialises an index, never bumps use counters —
+   no store mutation whatsoever. Callers pre-build hot indexes with
+   {!ensure_index} before fanning out. *)
+let lookup_key_ro r (positions : int array) (vkey : Value.t array) f =
+  if Array.length positions = 0 then iter f r
+  else
+    let np = Array.length positions in
+    let key = Array.make np 0 in
+    let rec ids k =
+      if k >= np then true
+      else
+        match Intern.find r.pool vkey.(k) with
+        | None -> false
+        | Some id ->
+          key.(k) <- id;
+          ids (k + 1)
+    in
+    if ids 0 then
+      match find_index r positions with
+      | Some idx -> (
+        match Ikey_tbl.find_opt idx.buckets key with
+        | None -> ()
+        | Some b ->
+          for k = 0 to b.Ivec.n - 1 do
+            f r.boxed.(b.Ivec.a.(k))
+          done)
+      | None -> scan_ids r positions key f
 
 let lookup r bound f =
   match bound with
@@ -458,6 +554,7 @@ let copy r =
     r with
     (* The pool is shared: ids stay valid across copies, and interning
        is append-only, so a copy can never corrupt the original. *)
+    scratch = Array.copy r.scratch;
     rows = Array.copy r.rows;
     boxed = Array.copy r.boxed;
     live = Bytes.copy r.live;

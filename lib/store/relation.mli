@@ -32,8 +32,14 @@ val cardinal : t -> int
 val is_empty : t -> bool
 
 val insert : t -> Tuple.t -> bool
-(** [true] iff the tuple was not already present.
-    Raises [Invalid_argument] on arity mismatch. *)
+(** [true] iff the tuple was not already present. Each value costs
+    exactly one pool probe (find-or-add); dedup compares interned
+    rows. Raises [Invalid_argument] on arity mismatch. *)
+
+val reserve : t -> int -> unit
+(** [reserve r extra] pre-sizes slot storage and the dedup table for
+    [extra] further inserts, so a batch load pays one growth instead
+    of O(log n) doubling rehashes. *)
 
 val delete : t -> Tuple.t -> bool
 (** [true] iff the tuple was present. Never grows the pool. *)
@@ -59,6 +65,18 @@ val lookup_key :
     Builds (and pins) the index for [positions] once the relation
     crosses the index threshold. A key value foreign to the pool
     answers instantly: nothing can match. *)
+
+val lookup_key_ro :
+  t -> int array -> Wdl_syntax.Value.t array -> (Tuple.t -> unit) -> unit
+(** Like {!lookup_key} but strictly read-only: never materialises an
+    index and never touches use counters, so concurrent readers (the
+    parallel fixpoint's worker domains) can probe one relation safely.
+    Falls back to a scan when no index exists — pre-build hot ones
+    with {!ensure_index}. *)
+
+val iter_first_id : (Tuple.t -> int -> unit) -> t -> unit
+(** Iterate tuples with the interned id of their first column — the
+    shard key for the parallel engine. Arity-0 tuples hand id 0. *)
 
 val ensure_index : t -> int array -> unit
 (** Materialise (and pin) the index on the given sorted positions now

@@ -1,0 +1,48 @@
+(* A shard-restricted read view over a relation.
+
+   The parallel fixpoint partitions work by the interned id of each
+   tuple's first column (the "dynamic data exchange" scheme: the first
+   key owns the tuple). A view carries no storage of its own — it is a
+   filter over the backing relation's live slots, so building one is
+   O(1) and iterating costs one hash per live tuple. *)
+
+(* Fibonacci-style mixer over the interned id. Ids are small dense
+   ints (pool insertion order), so raw [id mod shards] would correlate
+   shards with insertion order; the multiply spreads them. *)
+let owner ~shards id =
+  if shards <= 1 then 0
+  else
+    let h = id * 0x2545f4914f6cdd1d land max_int in
+    (h lsr 12) mod shards
+
+type t = { rel : Relation.t; shards : int; shard : int }
+
+let make rel ~shards ~shard =
+  if shards <= 0 then invalid_arg "Shard_view.make: shards must be positive";
+  if shard < 0 || shard >= shards then
+    invalid_arg "Shard_view.make: shard out of range";
+  { rel; shards; shard }
+
+let relation v = v.rel
+let shard v = v.shard
+let shards v = v.shards
+
+let iter f v =
+  if v.shards <= 1 then Relation.iter f v.rel
+  else
+    Relation.iter_first_id
+      (fun t id -> if owner ~shards:v.shards id = v.shard then f t)
+      v.rel
+
+let fold f v acc =
+  let acc = ref acc in
+  iter (fun t -> acc := f t !acc) v;
+  !acc
+
+let cardinal v = fold (fun _ n -> n + 1) v 0
+let is_empty v =
+  let exception Found in
+  try
+    iter (fun _ -> raise Found) v;
+    true
+  with Found -> false

@@ -1,0 +1,28 @@
+(** Shard-restricted read views over relations.
+
+    The parallel fixpoint partitions each delta by the interned id of
+    the tuple's first column; a view is a zero-copy filter of one
+    relation down to one shard. Views never mutate the backing
+    relation, so any number may be iterated concurrently. *)
+
+type t
+
+val owner : shards:int -> int -> int
+(** [owner ~shards id] is the shard (in [0 .. shards-1]) owning the
+    interned first-column id [id]. Deterministic; [0] when
+    [shards <= 1]. *)
+
+val make : Relation.t -> shards:int -> shard:int -> t
+(** Raises [Invalid_argument] unless [0 <= shard < shards]. *)
+
+val relation : t -> Relation.t
+val shard : t -> int
+val shards : t -> int
+
+val iter : (Tuple.t -> unit) -> t -> unit
+(** Iterate the backing relation's tuples owned by this view's shard,
+    in the backing relation's slot order. *)
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val cardinal : t -> int
+val is_empty : t -> bool

@@ -33,3 +33,7 @@ let pp ppf f =
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
        Value.pp)
     f.args
+
+(* The one-line rendering — what the wire writes, and what
+   [Message.fact_size] mirrors arithmetically. *)
+let to_string f = Pp_util.one_line pp f

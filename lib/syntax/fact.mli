@@ -15,6 +15,11 @@ val equal : t -> t -> bool
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
+val to_string : t -> string
+(** The one-line rendering of {!pp} (no line breaks at any width) —
+    exactly what the wire encoding writes for a fact, and the string
+    whose byte length [Message.fact_size] computes arithmetically. *)
+
 val pp_bare_name : Format.formatter -> string -> unit
 (** Prints a relation/peer name bare when identifier-like, quoted
     otherwise. *)

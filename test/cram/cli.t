@@ -209,7 +209,7 @@ deterministic (histograms print observation counts, not durations):
   wdl_net_acked_total{transport="inmem"} 0
   wdl_net_batch_size{transport="inmem"} count=0
   wdl_net_batches_total{transport="inmem"} 0
-  wdl_net_bytes_total{transport="inmem"} 196
+  wdl_net_bytes_total{transport="inmem"} 194
   wdl_net_delivered_total{transport="inmem"} 2
   wdl_net_dup_dropped_total{transport="inmem"} 0
   wdl_net_pending{transport="inmem"} 0
@@ -292,7 +292,7 @@ the smoke also writes the perf-trajectory file, whose shape is checked
   
   done.
   $ grep -c '"name"' BENCH_eval.json
-  11
+  12
   $ grep -o '"bench": "eval"' BENCH_eval.json
   "bench": "eval"
   $ grep -o '"speedup"' BENCH_eval.json | sort -u

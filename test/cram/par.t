@@ -1,0 +1,31 @@
+Parallel fixpoint smoke: the sharded semi-naive engine at 2/4/8
+domains must produce end states byte-identical to the sequential
+ablation on both canonical scenarios, and domains:1 must take the
+literally untouched sequential code path. The wall-clock numbers in
+the JSON are whatever this host produced (on a single hardware
+thread the curve is flat by construction); the checks are exact.
+
+  $ wdl-bench par-smoke
+  PAR-SMOKE parallel fixpoint equivalence (deterministic)
+  tc_chain64: 2-domain end state byte-identical  ok
+  tc_chain64: 4-domain end state byte-identical  ok
+  tc_chain64: 8-domain end state byte-identical  ok
+  tc_chain64: domains:1 takes the sequential path ok
+  album: 2-domain end state byte-identical       ok
+  album: 4-domain end state byte-identical       ok
+  album: 8-domain end state byte-identical       ok
+  album: domains:1 takes the sequential path     ok
+  wrote BENCH_par.json
+  PAR-SMOKE passed
+  
+  done.
+
+
+The machine-readable record ships alongside the check lines.
+
+  $ grep -o '"bench": "par"' BENCH_par.json
+  "bench": "par"
+  $ grep -c '"end_state_identical": true' BENCH_par.json
+  8
+  $ grep -o '"domains": 8' BENCH_par.json | sort -u
+  "domains": 8

@@ -41,4 +41,81 @@ let suite =
             check_bool needle
               (Str_helper.contains s needle))
           [ "a -> b"; "stage 4"; "fact"; "install"; "retract" ]);
+    tc "size counts long rules at their one-line wire rendering" (fun () ->
+        (* Wide enough that [Format.asprintf "%a" Rule.pp] wraps at its
+           default margin; the sizer must count the unwrapped form. *)
+        let wide =
+          Parser.parse_rule
+            "verylongrelationname@somepeer($a,$b,$c,$d) :- \
+             firstbody@somepeer($a,$b), secondbody@somepeer($b,$c), \
+             thirdbody@somepeer($c,$d), fourthbody@somepeer($d,$a)"
+        in
+        let base = Message.size (Message.make ~src:"a" ~dst:"b" ~stage:1 ()) in
+        let with_rule =
+          Message.size
+            (Message.make ~src:"a" ~dst:"b" ~stage:1 ~installs:[ wide ] ())
+        in
+        Alcotest.(check int)
+          "one-line length"
+          (String.length (Pp_util.one_line Rule.pp wide))
+          (with_rule - base));
   ]
+
+(* {1 The sizer mirrors the one-line fact rendering, byte for byte}
+
+   Arbitrary relation/peer names (idents and quote-needing strings)
+   and arbitrary values: extreme ints, non-finite and high-precision
+   floats, strings over the full byte range (escapes, raw control
+   bytes, UTF-8 fragments). *)
+
+let name_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, oneofl [ "m"; "rel"; "a_b1"; "p0" ]);
+        ( 1,
+          map
+            (fun s -> "x" ^ s)  (* non-empty, often non-ident *)
+            (string_size ~gen:char (int_range 0 6)) );
+      ])
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map
+            (fun i -> Value.Int i)
+            (oneof [ small_signed_int; int; oneofl [ min_int; max_int; 0 ] ]) );
+        ( 2,
+          map
+            (fun f -> Value.Float f)
+            (oneof
+               [
+                 float;
+                 oneofl
+                   [
+                     infinity; neg_infinity; nan; -0.; 0.; 0.1; 1e300;
+                     4.2; 1.0000000000000002;
+                   ];
+               ]) );
+        (3, map (fun s -> Value.String s) (string_size ~gen:char (int_range 0 12)));
+        (1, map (fun b -> Value.Bool b) bool);
+      ])
+
+let fact_gen =
+  QCheck.Gen.(
+    let* rel = name_gen in
+    let* peer = name_gen in
+    let* args = list_size (int_range 0 5) value_gen in
+    return (Fact.make ~rel ~peer args))
+
+let fact_arb =
+  QCheck.make ~print:(fun f -> String.escaped (Fact.to_string f)) fact_gen
+
+let size_property =
+  QCheck.Test.make ~count:2000
+    ~name:"fact_size equals the one-line rendering's byte length" fact_arb
+    (fun f -> Message.fact_size f = String.length (Fact.to_string f))
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest size_property ]

@@ -1,0 +1,248 @@
+(* The parallel fixpoint engine: differential oracles against the
+   sequential engine and [Reference], the sequential-ablation code-path
+   identity, and journal/trace byte-identity between engines. *)
+open Wdl_syntax
+open Wdl_eval
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int msg a b = Alcotest.(check int) msg a b
+
+let ok' = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* {1 Single-stage differential: parallel vs sequential vs Reference}
+
+   Random local programs (recursion, negation, builtins, aggregation,
+   relation variables, delegation) with random shard counts — shard
+   count and domain count vary independently. *)
+
+let spec_shards_arb =
+  QCheck.pair Test_differential.dspec_arb (QCheck.int_range 1 12)
+
+let engine ?domains ?shards () ~self db rules =
+  Fixpoint.run ?domains ?shards ~self db rules
+
+let differential =
+  [
+    QCheck.Test.make ~count:120
+      ~name:"parallel (2 and 4 domains) agrees with sequential and reference"
+      spec_shards_arb
+      (fun (spec, shards) ->
+        let seq = Test_differential.run_engine (engine ()) spec in
+        seq = Test_differential.run_engine (engine ~domains:2 ~shards ()) spec
+        && seq = Test_differential.run_engine (engine ~domains:4 ~shards ()) spec
+        && seq
+           = Test_differential.run_engine
+               (fun ~self db rules -> Reference.run ~self db rules)
+               spec);
+  ]
+
+(* {1 Multi-stage differential through full peers}
+
+   Drives parallel peers through several stages with fact inserts,
+   rule additions and rule deletions arriving mid-run (each mutation
+   invalidates the cached program), and compares every stage's
+   database dump and outbound messages against a sequential peer, plus
+   the [Reference] from-scratch oracle on the final state. *)
+
+type pev = {
+  p_inserts : (string * int list) list;
+  p_add : string option;
+  p_del : int option;  (* remove the nth rule currently installed *)
+}
+
+type pscript = { p_base : Test_differential.dspec; p_evs : pev list }
+
+let pev_gen =
+  QCheck.Gen.(
+    let* p_inserts = list_size (int_range 0 3) Test_differential.fact_gen in
+    let* with_add = int_range 0 2 in
+    let* rule = oneofl Test_differential.rule_pool in
+    let* with_del = int_range 0 2 in
+    let* del_at = int_range 0 5 in
+    return
+      {
+        p_inserts;
+        p_add = (if with_add = 0 then Some rule else None);
+        p_del = (if with_del = 0 then Some del_at else None);
+      })
+
+let pscript_gen =
+  QCheck.Gen.(
+    let* p_base = Test_differential.dspec_gen in
+    let* p_evs = list_size (int_range 1 4) pev_gen in
+    return { p_base; p_evs })
+
+let pscript_print s =
+  let ev e =
+    Printf.sprintf "inserts=[%s] add=%s del=%s"
+      (String.concat "; "
+         (List.map
+            (fun (r, args) ->
+              Printf.sprintf "%s(%s)" r
+                (String.concat "," (List.map string_of_int args)))
+            e.p_inserts))
+      (Option.value ~default:"-" e.p_add)
+      (match e.p_del with None -> "-" | Some i -> string_of_int i)
+  in
+  Test_differential.dspec_print s.p_base
+  ^ "\n"
+  ^ String.concat "\n" (List.map ev s.p_evs)
+
+let pscript_arb = QCheck.make ~print:pscript_print pscript_gen
+
+(* One (db dump, sorted outbound messages) observation per stage. *)
+let drive_par ~domains script =
+  let open Webdamlog in
+  let p = Peer.create ~domains "p" in
+  let db = Peer.database p in
+  Test_differential.declare_views db;
+  let insert_fact (rel, args) =
+    ignore
+      (Peer.insert p
+         (Fact.make ~rel ~peer:"p" (List.map (fun n -> Value.Int n) args)))
+  in
+  List.iter insert_fact script.p_base.Test_differential.facts;
+  List.iter
+    (fun n ->
+      ignore
+        (Peer.insert p (Fact.make ~rel:"names" ~peer:"p" [ Value.String n ])))
+    script.p_base.Test_differential.names;
+  List.iter
+    (fun r -> ignore (Peer.add_rule p (Test_differential.parse_rule_str r)))
+    script.p_base.Test_differential.rules;
+  let quiet = { p_inserts = []; p_add = None; p_del = None } in
+  List.map
+    (fun ev ->
+      List.iter insert_fact ev.p_inserts;
+      Option.iter
+        (fun r -> ignore (Peer.add_rule p (Test_differential.parse_rule_str r)))
+        ev.p_add;
+      Option.iter
+        (fun i ->
+          match Peer.rules p with
+          | [] -> ()
+          | rules -> ignore (Peer.remove_rule p (List.nth rules (i mod List.length rules))))
+        ev.p_del;
+      let out = Peer.stage p in
+      let obs =
+        ( Test_differential.dump_db db,
+          List.sort compare (List.map (Format.asprintf "%a" Message.pp) out) )
+      in
+      (p, obs))
+    (script.p_evs @ [ quiet; quiet ])
+
+let multi_stage =
+  [
+    QCheck.Test.make ~count:60
+      ~name:
+        "multi-stage with rule adds/deletions: parallel peers agree with \
+         sequential"
+      pscript_arb
+      (fun script ->
+        let seq = List.map snd (drive_par ~domains:1 script) in
+        seq = List.map snd (drive_par ~domains:2 script)
+        && seq = List.map snd (drive_par ~domains:4 script));
+    QCheck.Test.make ~count:40
+      ~name:"multi-stage: parallel peer agrees with the reference oracle"
+      pscript_arb
+      (fun script ->
+        List.for_all
+          (fun (p, _) -> Test_differential.oracle_agrees p)
+          (drive_par ~domains:3 script));
+  ]
+
+(* {1 Ablation identity and byte-identity} *)
+
+let tc_db () =
+  let open Wdl_store in
+  let db = Database.create () in
+  ignore
+    (Database.declare db
+       (Decl.make ~kind:Decl.Intensional ~rel:"tc" ~peer:"p" [ "a"; "b" ]));
+  for i = 1 to 12 do
+    ignore
+      (Database.insert db ~rel:"e"
+         (Tuple.of_list [ Value.Int i; Value.Int (i + 1) ]))
+  done;
+  db
+
+let tc_rules () =
+  List.map Test_differential.parse_rule_str
+    [ "tc@p($x,$y) :- e@p($x,$y);"; "tc@p($x,$z) :- tc@p($x,$y), e@p($y,$z);" ]
+
+let ok_run = function
+  | Ok (r : Fixpoint.result) -> r
+  | Error _ -> Alcotest.fail "fixpoint error"
+
+let unit_tests =
+  [
+    tc "?domains:1 and the default take the identical sequential code path"
+      (fun () ->
+        let before = !Fixpoint.par_runs_total in
+        ignore (ok_run (Fixpoint.run ~self:"p" (tc_db ()) (tc_rules ())));
+        ignore
+          (ok_run (Fixpoint.run ~domains:1 ~self:"p" (tc_db ()) (tc_rules ())));
+        check_int "sequential runs never engage the parallel engine" before
+          !Fixpoint.par_runs_total;
+        ignore
+          (ok_run (Fixpoint.run ~domains:2 ~self:"p" (tc_db ()) (tc_rules ())));
+        check_int "a 2-domain run engages it exactly once" (before + 1)
+          !Fixpoint.par_runs_total);
+    tc "parallel run matches sequential iterations and derivations on tc"
+      (fun () ->
+        let seq = ok_run (Fixpoint.run ~self:"p" (tc_db ()) (tc_rules ())) in
+        let par =
+          ok_run
+            (Fixpoint.run ~domains:4 ~shards:7 ~self:"p" (tc_db ())
+               (tc_rules ()))
+        in
+        check_int "iterations" seq.Fixpoint.iterations par.Fixpoint.iterations;
+        check_int "derivations" seq.Fixpoint.derivations par.Fixpoint.derivations;
+        check_bool "deduced lists identical (canonical order)"
+          (List.equal Fact.equal seq.Fixpoint.deduced par.Fixpoint.deduced));
+    tc "journal and trace are byte-identical between engines" (fun () ->
+        let open Webdamlog in
+        let run ~domains =
+          let dir = Filename.temp_file "wdlpar" "" in
+          Sys.remove dir;
+          Unix.mkdir dir 0o700;
+          let file = Filename.concat dir "j.wal" in
+          let p = Peer.create ~domains "p" in
+          Peer.set_journal p (Some (Wdl_store.Journal.open_ file));
+          ok'
+            (Peer.load_string p
+               "ext e@p(x,y); int tc@p(x,y); ext acc@p(x,y);\n\
+                e@p(1,2); e@p(2,3); e@p(3,4); e@p(4,5); e@p(5,6);\n\
+                tc@p($x,$y) :- e@p($x,$y);\n\
+                tc@p($x,$z) :- tc@p($x,$y), e@p($y,$z);\n\
+                acc@p($x,$y) :- tc@p($x,$y);");
+          let n = ref 0 in
+          while Peer.has_work p && !n < 50 do
+            ignore (Peer.stage p);
+            incr n
+          done;
+          Option.iter Wdl_store.Journal.close (Peer.journal p);
+          check_int "tc complete" 15 (List.length (Peer.query p "tc"));
+          let ic = open_in_bin file in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          let trace =
+            String.concat "\n"
+              (List.map
+                 (Format.asprintf "%a" Trace.pp_event)
+                 (Trace.events (Peer.trace p)))
+          in
+          (s, trace)
+        in
+        let j_seq, t_seq = run ~domains:1 in
+        let j_par, t_par = run ~domains:4 in
+        check_bool "byte-identical journals" (String.equal j_seq j_par);
+        check_bool "byte-identical traces" (String.equal t_seq t_par));
+  ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest (differential @ multi_stage) @ unit_tests

@@ -242,4 +242,53 @@ let suite =
         check_bool "stage bracketed"
           (List.exists (function Trace.Stage_start _ -> true | _ -> false) events
           && List.exists (function Trace.Stage_end _ -> true | _ -> false) events));
+    tc "revival flushes dead letters ahead of fresh sends (FIFO)" (fun () ->
+        (* Park several batches for a dead name across rounds, then
+           revive it with new traffic already pending.  The parked
+           letters must reach the receiver before anything staged after
+           the revival — observed via the receiver's Message_received
+           trace, whose stage counters are strictly increasing iff the
+           transport saw oldest-first order. *)
+        let sys =
+          System.create
+            ~transport:(Wdl_net.Inmem.create ~sizer:Message.size ())
+            ~drop_unknown:false
+            ~membership:
+              { Membership.suspect_after = 1; dead_after = 2; probe_every = 0 }
+            ()
+        in
+        let p = System.add_peer sys "p" in
+        ok (Peer.load_string p "ext a@p(x); a@p(1); out@ghost($x) :- a@p($x);");
+        ignore (System.round sys);
+        for _ = 1 to 3 do
+          ignore (System.round sys)
+        done;
+        check_bool "ghost declared dead"
+          (System.membership_status sys "ghost" = Some Membership.Dead);
+        (* Each insert+round parks one more batch (older stages first). *)
+        ok (Peer.insert p (fact "a" "p" [ Value.Int 2 ]));
+        ignore (System.round sys);
+        ok (Peer.insert p (fact "a" "p" [ Value.Int 3 ]));
+        ignore (System.round sys);
+        check_bool "at least two parked" (System.dead_letters sys >= 2);
+        (* Fresh work is queued before the revival, so the first round
+           after [add_peer] coalesces new sends while the flushed
+           letters already sit in the transport. *)
+        ok (Peer.insert p (fact "a" "p" [ Value.Int 4 ]));
+        let ghost = System.add_peer sys "ghost" in
+        check_int "flushed at revival" 0 (System.dead_letters sys);
+        ignore (ok (System.run sys));
+        let stages =
+          List.filter_map
+            (function
+              | Trace.Message_received { msg }
+                when msg.Message.src = "p" && not (Message.is_empty msg) ->
+                Some msg.Message.stage
+              | _ -> None)
+            (Trace.events (Peer.trace ghost))
+        in
+        check_bool "parked and fresh both delivered" (List.length stages >= 3);
+        check_bool "oldest-first FIFO"
+          (List.sort_uniq compare stages = stages);
+        check_int "end state converged" 4 (List.length (Peer.query ghost "out")));
   ]
