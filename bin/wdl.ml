@@ -70,14 +70,33 @@ let parse_cmd =
 
 (* check *)
 
+let parse_all files =
+  List.map
+    (fun file -> (file, Wparser.program_located ~file (read_file file)))
+    files
+
+let parse_errors parsed =
+  List.filter_map
+    (fun (file, r) ->
+      match r with
+      | Error err -> Some (Analysis.of_parse_error ~file err)
+      | Ok _ -> None)
+    parsed
+
+let parsed_ok parsed =
+  List.filter_map
+    (fun (file, r) ->
+      match r with Ok located -> Some (file, located) | Error _ -> None)
+    parsed
+
 let check_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
   let format =
     Arg.(
       value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
       & info [ "format" ] ~docv:"FMT"
-          ~doc:"Output format: $(b,text) or $(b,json).")
+          ~doc:"Output format: $(b,text), $(b,json) or $(b,sarif).")
   in
   let peer_name =
     Arg.(
@@ -88,16 +107,46 @@ let check_cmd =
             "Analyze each file as a program of this peer (default: inferred \
              from the file's declarations and facts).")
   in
-  let run format peer_name files =
-    let check_file file =
-      match Wparser.program_located ~file (read_file file) with
-      | Error err -> [ Analysis.of_parse_error ~file err ]
-      | Ok located -> Analysis.check_located ?self:peer_name located
+  let system =
+    Arg.(
+      value & flag
+      & info [ "system" ]
+          ~doc:
+            "Check all FILEs as one distributed system: declaration and \
+             usage tables are shared across files (a relation declared in \
+             one program counts as reachable from another), and the \
+             knowledge-flow diagnostics see every program's rules \
+             (enables WDL064/WDL065).")
+  in
+  let pedantic =
+    Arg.(
+      value & flag
+      & info [ "pedantic" ]
+          ~doc:
+            "Also emit style notes the evaluator already compensates for \
+             (WDL031 body-order).")
+  in
+  let run format peer_name system pedantic files =
+    let parsed = parse_all files in
+    let diags =
+      if system then
+        match parse_errors parsed with
+        | [] -> Analysis.check_system ~pedantic (parsed_ok parsed)
+        | errs -> errs
+      else
+        List.concat_map
+          (fun (file, r) ->
+            match r with
+            | Error err -> [ Analysis.of_parse_error ~file err ]
+            | Ok located ->
+              Analysis.check_located ?self:peer_name ~pedantic located)
+          parsed
     in
-    let diags = List.concat_map check_file files in
     (match format with
     | `Text -> if diags <> [] then print_endline (Diagnostic.render_text diags)
-    | `Json -> print_endline (Diagnostic.render_json diags));
+    | `Json -> print_endline (Diagnostic.render_json diags)
+    | `Sarif ->
+      print_endline (Diagnostic.render_sarif ~rules:Analysis.codes diags));
     exit (Diagnostic.exit_code diags)
   in
   Cmd.v
@@ -105,7 +154,40 @@ let check_cmd =
        ~doc:
          "Static analysis with coded diagnostics (see docs/ANALYSIS.md); \
           exits 0 when clean, 1 on warnings, 2 on errors")
-    Term.(const run $ format $ peer_name $ files)
+    Term.(const run $ format $ peer_name $ system $ pedantic $ files)
+
+(* flow *)
+
+let flow_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("dot", `Dot) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text), $(b,json) or $(b,dot).")
+  in
+  let run format files =
+    let parsed = parse_all files in
+    (match parse_errors parsed with
+    | [] -> ()
+    | errs ->
+      Format.eprintf "%s@." (Diagnostic.render_text errs);
+      exit 2);
+    let fl = Analysis.flow_of_system (parsed_ok parsed) in
+    print_endline
+      (match format with
+      | `Text -> Wdl_analysis.Flow.render_text fl
+      | `Json -> Wdl_analysis.Flow.render_json fl
+      | `Dot -> Wdl_analysis.Flow.render_dot fl)
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Knowledge-flow analysis over one or more programs checked as a \
+          system: which peers may learn facts derived from each relation, \
+          through which rule chains")
+    Term.(const run $ format $ files)
 
 (* run *)
 
@@ -472,6 +554,7 @@ commands:
   .run                  run stages to fixpoint
   .dump [REL]           show relations (or one relation)
   .rules                show own and delegated rules
+  .flow                 knowledge-flow graph of the current program
   .pending              show pending delegations
   .accept N             accept pending delegation number N (from .pending)
   .delete FACT;         delete a fact
@@ -515,6 +598,8 @@ let repl_cmd =
         List.iter
           (fun (src, r) -> Format.printf "  (from %s) %a@." src Rule.pp r)
           (Webdamlog.Peer.delegated_rules !peer)
+      | [ ".flow" ] ->
+        print_string (Wdl_analysis.Flow.render_text (Webdamlog.Peer.flow !peer))
       | [ ".pending" ] ->
         List.iteri
           (fun i (src, r) -> Format.printf "  [%d] from %s: %a@." i src Rule.pp r)
@@ -712,7 +797,7 @@ let main =
   Cmd.group
     (Cmd.info "wdl" ~version:"1.0.0"
        ~doc:"WebdamLog: distributed datalog with delegation")
-    [ parse_cmd; check_cmd; fmt_cmd; analyze_cmd; run_cmd; simulate_cmd;
-      query_cmd; serve_cmd; repl_cmd; web_cmd; wepic_cmd ]
+    [ parse_cmd; check_cmd; flow_cmd; fmt_cmd; analyze_cmd; run_cmd;
+      simulate_cmd; query_cmd; serve_cmd; repl_cmd; web_cmd; wepic_cmd ]
 
 let () = exit (Cmd.eval main)

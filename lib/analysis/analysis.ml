@@ -24,7 +24,7 @@ let codes : (string * Diagnostic.severity * string) list =
     ("WDL021", Warning, "relation declared but never used");
     ("WDL022", Warning, "rule can never fire (empty, underivable body atom)");
     ("WDL030", Info, "delegation boundary report");
-    ("WDL031", Warning, "body reorder would keep more evaluation local");
+    ("WDL031", Info, "pedantic: the compiler reorders this body for locality");
     ("WDL032", Warning, "delegation through an open-ended peer variable");
     ("WDL040", Warning, "duplicate rule (identical up to renaming)");
     ("WDL041", Warning, "rule subsumed by a more general rule");
@@ -33,6 +33,12 @@ let codes : (string * Diagnostic.severity * string) list =
     ("WDL052", Warning, "builtin relation written but never read");
     ("WDL053", Error, "invalid builtin declaration");
     ("WDL054", Warning, "rule derives into a weight-accumulating builtin");
+    ("WDL060", Warning, "fact leakage: local data reaches a foreign peer");
+    ("WDL061", Warning, "delegation-amplification cycle");
+    ("WDL062", Warning, "non-terminating relation/peer invention");
+    ("WDL063", Warning, "write-after-hop into an ext/builtin relation");
+    ("WDL064", Warning, "flow into a peer outside the file set");
+    ("WDL065", Warning, "cross-file redeclaration shadows a relation");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -261,7 +267,8 @@ let pp_body ppf body =
     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
     Literal.pp ppf body
 
-let boundary_diags ~self ~kind_of ?(with_info = true) it (r : Rule.t) =
+let boundary_diags ~self ~kind_of ?(with_info = true) ?(pedantic = false) it
+    (r : Rule.t) =
   match Boundary.analyze ~self r with
   | None -> []
   | Some rep ->
@@ -285,35 +292,48 @@ let boundary_diags ~self ~kind_of ?(with_info = true) it (r : Rule.t) =
                (var_set rep.Boundary.shipped_vars));
         ]
     in
+    (* Pedantic only: since the planner ([Plan.order_body]) performs
+       this reorder itself at compile time, the note is informational —
+       it tells the author what the compiler will actually evaluate,
+       not something they must fix. With a constant [stats] the
+       planner's order is exactly the profitable-locality reorder. *)
     let reorder =
-      match Boundary.improve ~self r with
-      | None -> []
-      | Some imp ->
-        let notes =
-          Diagnostic.note
-            (Printf.sprintf "shipped bindings: %s now, %s after reordering"
-               (var_set rep.Boundary.shipped_vars)
-               (var_set imp.Boundary.new_shipped))
-          ::
-          (match imp.Boundary.single_peer_residual with
-          | Some p ->
-            [
+      if not pedantic then []
+      else
+        let planned =
+          Wdl_eval.Plan.order_body ~self ~stats:(fun _ -> 0) r
+        in
+        if Rule.equal planned r then []
+        else
+          match Boundary.improve ~self r with
+          | None -> []
+          | Some imp ->
+            let notes =
               Diagnostic.note
                 (Printf.sprintf
-                   "after reordering the residual mentions only %s, so it \
-                    evaluates there without further delegation"
-                   p);
+                   "shipped bindings: %s as written, %s as evaluated"
+                   (var_set rep.Boundary.shipped_vars)
+                   (var_set imp.Boundary.new_shipped))
+              ::
+              (match imp.Boundary.single_peer_residual with
+              | Some p ->
+                [
+                  Diagnostic.note
+                    (Printf.sprintf
+                       "in the planned order the residual mentions only %s, \
+                        so it evaluates there without further delegation"
+                       p);
+                ]
+              | None -> [])
+            in
+            [
+              Diagnostic.info ?span ~notes "WDL031"
+                (Printf.sprintf
+                   "body order as written ships %d literal(s) that %s can \
+                    evaluate locally; the compiler plans this body as `%s`"
+                   imp.Boundary.moved self
+                   (one_line pp_body planned.Rule.body));
             ]
-          | None -> [])
-        in
-        [
-          Diagnostic.warning ?span ~notes "WDL031"
-            (Printf.sprintf
-               "body order ships %d literal(s) that %s could evaluate \
-                locally; reorder the body as `%s`"
-               imp.Boundary.moved self
-               (one_line pp_body imp.Boundary.reordered.Rule.body));
-        ]
     in
     let escape =
       match rep.Boundary.target with
@@ -422,10 +442,20 @@ let duplicate_diags ~self (rules : (item * Rule.t) list) =
   List.rev !out
 
 (* ------------------------------------------------------------------ *)
-(* The whole-program check                                            *)
+(* The whole-program (or whole-system) check                          *)
 (* ------------------------------------------------------------------ *)
 
-let check_items ?(peer_mode = false) ~self (items : item list) =
+(* A group is one program file analyzed from its own peer's point of
+   view. Several groups checked together form a multi-peer system:
+   declaration/fact tables, relation-usage and knowledge-flow passes
+   run over the union, while per-rule, stratification and redundancy
+   passes keep each file's own [self]. *)
+type group = { g_self : string; g_file : string option; g_items : item list }
+
+let check_groups ?(peer_mode = false) ?(pedantic = false)
+    (groups : group list) =
+  let multi = List.length groups > 1 in
+  let items = List.concat_map (fun g -> g.g_items) groups in
   let diags = ref [] in
   let emit d = diags := d :: !diags in
   let decl_tbl : (string * string, Decl.kind * int * Span.t option) Hashtbl.t =
@@ -443,7 +473,7 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
   let derived : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
   let star_derived = ref false in
   let covered : (string, unit) Hashtbl.t = Hashtbl.create 8 in
-  Hashtbl.replace covered self ();
+  List.iter (fun g -> Hashtbl.replace covered g.g_self ()) groups;
   (* Peers the file says something about: only their relations are
      fair game for whole-program checks; references to peers the file
      never defines are assumed to live elsewhere. *)
@@ -462,6 +492,7 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
     items;
 
   (* -- pass 1: statement-order consistency, building the tables ---- *)
+  List.iter (fun { g_self = self; g_items; _ } ->
   List.iter
     (fun it ->
       match it.stmt with
@@ -495,6 +526,21 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
                  (Printf.sprintf
                     "relation %s redeclared with arity %d (it has arity %d)"
                     name (Decl.arity d) a0))
+          else if multi then (
+            (* WDL065: a compatible redeclaration is legal within one
+               file but ambiguous across a system — two files both
+               reading as the owner of the relation shadow each
+               other. *)
+            match sp0, it.span with
+            | Some s0, Some s1 when s0.Span.file <> s1.Span.file ->
+              emit
+                (Diagnostic.warning ?span:it.span ~notes:note "WDL065"
+                   (Printf.sprintf
+                      "relation %s is redeclared in a different file of the \
+                       system; the declarations shadow each other, so no \
+                       single file owns %s"
+                      name name))
+            | _ -> ())
         | None ->
           (match Hashtbl.find_opt fact_tbl key with
           | Some (fa, fsp) ->
@@ -626,7 +672,7 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
         if not (Hashtbl.mem fact_tbl key) then
           Hashtbl.add fact_tbl key (Fact.arity f, it.span)
       | Program.Rule _ -> ())
-    items;
+    g_items) groups;
 
   (* -- pass 1b: facts into read-only builtin relations -------------- *)
   List.iter
@@ -662,13 +708,18 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
       | None -> None)
   in
 
-  (* -- pass 2: per-rule checks ------------------------------------- *)
-  let rule_items =
-    List.filter_map
-      (fun it ->
-        match it.stmt with Program.Rule r -> Some (it, r) | _ -> None)
-      items
+  (* -- pass 2: per-rule checks (each group's own self) -------------- *)
+  let group_rules =
+    List.map
+      (fun g ->
+        ( g,
+          List.filter_map
+            (fun it ->
+              match it.stmt with Program.Rule r -> Some (it, r) | _ -> None)
+            g.g_items ))
+      groups
   in
+  List.iter (fun ({ g_self = self; _ }, rule_items) ->
   List.iter
     (fun (it, r) ->
       (match Safety.check_rule r with
@@ -782,8 +833,8 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
              | _ -> ())
            r.Rule.body
        with Exit -> ());
-      List.iter emit (boundary_diags ~self ~kind_of it r))
-    rule_items;
+      List.iter emit (boundary_diags ~self ~kind_of ~pedantic it r))
+    rule_items) group_rules;
 
   (* -- pass 3: relation-level checks ------------------------------- *)
   let used : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -884,7 +935,8 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
       builtin_tbl
   end;
 
-  (* -- pass 4: stratification --------------------------------------- *)
+  (* -- pass 4: stratification (per group) --------------------------- *)
+  List.iter (fun ({ g_self = self; _ }, rule_items) ->
   let intensional rel = kind_of rel self = Some Decl.Intensional in
   let rules = List.map snd rule_items in
   (match Wdl_eval.Stratify.compute ~self ~intensional rules with
@@ -936,10 +988,256 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
     emit
       (Diagnostic.error ?span ~notes "WDL010"
          (Printf.sprintf "rules do not stratify: %s"
-            (one_line Wdl_eval.Stratify.pp_error err))));
+            (one_line Wdl_eval.Stratify.pp_error err)))))
+    group_rules;
 
-  (* -- pass 5: duplicates / subsumption ----------------------------- *)
-  List.iter emit (duplicate_diags ~self rule_items);
+  (* -- pass 5: duplicates / subsumption (per group) ------------------ *)
+  List.iter
+    (fun ({ g_self = self; _ }, rule_items) ->
+      List.iter emit (duplicate_diags ~self rule_items))
+    group_rules;
+
+  (* -- pass 6: knowledge flow (WDL060-064) --------------------------- *)
+  if not peer_mode then begin
+    let fl =
+      Flow.build
+        (List.map
+           (fun g ->
+             {
+               Flow.src_self = g.g_self;
+               src_file = g.g_file;
+               src_rules =
+                 List.filter_map
+                   (fun it ->
+                     match it.stmt with
+                     | Program.Rule r -> Some (r, it.span)
+                     | _ -> None)
+                   g.g_items;
+             })
+           groups)
+    in
+    (* Mirrors WDL032's suppression: a peer variable bound by a
+       locally-declared extensional relation is an owner-curated
+       address book, not an open door. *)
+    let curated_any (info : Flow.rule_info) =
+      match Boundary.analyze ~self:info.Flow.r_self info.Flow.r_rule with
+      | Some
+          {
+            Boundary.target = Boundary.Dynamic _;
+            binder = Some (_, Literal.Pos a);
+            _;
+          } -> (
+        match atom_key a with
+        | Some (rel, p) ->
+          p = info.Flow.r_self && kind_of rel p = Some Decl.Extensional
+        | None -> false)
+      | _ -> false
+    in
+    let escaping_any (info : Flow.rule_info) =
+      (info.Flow.r_head.Flow.n_peer = Flow.Any
+      || List.exists (fun (_, p) -> p = Flow.Any) info.Flow.r_hops)
+      && not (curated_any info)
+    in
+    let any_escapes_on path =
+      List.exists
+        (fun (e : Flow.edge) ->
+          (e.Flow.e_dst.Flow.n_peer = Flow.Any
+          || List.mem Flow.Any e.Flow.e_via)
+          &&
+          match Flow.rule_info fl e.Flow.e_rule with
+          | Some info -> escaping_any info
+          | None -> false)
+        path
+    in
+    let chain path = String.concat " -> " (Flow.path_ids path) in
+    (* WDL060: a declared relation whose facts can transitively (>= 2
+       rule applications — a single application is already visible in
+       the rule text and its WDL030 report) reach a foreign peer or an
+       unbounded delegation target. *)
+    List.iter
+      (fun it ->
+        match it.stmt with
+        | Program.Decl d ->
+          let key = (d.Decl.rel, d.Decl.peer) in
+          let defining =
+            match Hashtbl.find_opt decl_tbl key with
+            | Some (_, _, sp) -> sp = it.span
+            | None -> false
+          in
+          if defining then begin
+            let r =
+              Flow.reachable fl
+                {
+                  Flow.n_rel = Some d.Decl.rel;
+                  n_peer = Flow.Named d.Decl.peer;
+                }
+            in
+            let leaks =
+              List.filter_map
+                (fun (n, path) ->
+                  match n.Flow.n_peer with
+                  | Flow.Named q
+                    when q <> d.Decl.peer && List.length path >= 2 ->
+                    Some (Printf.sprintf "peer %s" q, path)
+                  | Flow.Any
+                    when List.length path >= 2 && any_escapes_on path ->
+                    Some ("an unbounded set of peers", path)
+                  | _ -> None)
+                r.Flow.reached
+              @ List.filter_map
+                  (fun (p, path) ->
+                    match p with
+                    | Flow.Named q
+                      when q <> d.Decl.peer && List.length path >= 2 ->
+                      Some
+                        ( Printf.sprintf "peer %s (as a delegation target)" q,
+                          path )
+                    | Flow.Any
+                      when List.length path >= 2 && any_escapes_on path ->
+                      Some ("an unbounded set of peers", path)
+                    | _ -> None)
+                  r.Flow.via_peers
+            in
+            match leaks with
+            | [] -> ()
+            | (desc0, _) :: _ ->
+              let notes =
+                List.map
+                  (fun (desc, path) ->
+                    Diagnostic.note
+                      (Printf.sprintf "reaches %s via rule chain %s" desc
+                         (chain path)))
+                  leaks
+              in
+              emit
+                (Diagnostic.warning ?span:it.span ~notes "WDL060"
+                   (Printf.sprintf
+                      "facts derived from %s can reach %s through a chain \
+                       of rules; nothing in this program marks %s as shared"
+                      (rel_at d.Decl.rel d.Decl.peer)
+                      desc0
+                      (rel_at d.Decl.rel d.Decl.peer)))
+          end
+        | _ -> ())
+      items;
+    (* WDL061: the head of a delegating rule (transitively) refeeds
+       the relation that binds its delegation target — every round of
+       evaluation can then install the residual at peers discovered in
+       the previous round, so the install set is bounded only by the
+       data the cycle itself generates. *)
+    List.iter
+      (fun (info : Flow.rule_info) ->
+        match Boundary.analyze ~self:info.Flow.r_self info.Flow.r_rule with
+        | Some
+            {
+              Boundary.target = Boundary.Dynamic x;
+              binder = Some (_, Literal.Pos a);
+              _;
+            } ->
+          let bn = Flow.node_of_atom a in
+          let feeds =
+            Flow.node_matches info.Flow.r_head bn
+            ||
+            let r = Flow.reachable fl info.Flow.r_head in
+            List.exists (fun (n, _) -> Flow.node_matches n bn) r.Flow.reached
+          in
+          if feeds then
+            emit
+              (Diagnostic.warning ?span:info.Flow.r_span "WDL061"
+                 (Printf.sprintf
+                    "delegation-amplification cycle: this rule delegates to \
+                     the peer bound to $%s, and its head feeds %s — the \
+                     relation binding $%s — so each round can install the \
+                     residual at peers discovered by the previous round"
+                    x (Flow.node_name bn) x))
+        | _ -> ())
+      fl.Flow.rules;
+    (* WDL062: a rule inventing relation or peer names in its head
+       whose derivations can feed its own body — fresh names can beget
+       fresh names, so the fixpoint may never terminate. *)
+    List.iter
+      (fun (info : Flow.rule_info) ->
+        if info.Flow.r_invents then begin
+          let reach = lazy (Flow.reachable fl info.Flow.r_head) in
+          let feeds bn =
+            Flow.node_matches info.Flow.r_head bn
+            || List.exists
+                 (fun (n, _) -> Flow.node_matches n bn)
+                 (Lazy.force reach).Flow.reached
+          in
+          let body_nodes =
+            List.filter_map
+              (function
+                | Literal.Pos a -> Some (Flow.node_of_atom a)
+                | _ -> None)
+              info.Flow.r_rule.Rule.body
+          in
+          if List.exists feeds body_nodes then
+            emit
+              (Diagnostic.warning ?span:info.Flow.r_span "WDL062"
+                 "rule invents relation or peer names in its head, and its \
+                  derivations can flow back into its own body; each round \
+                  can mint names that trigger the next, so evaluation may \
+                  never terminate")
+        end)
+      fl.Flow.rules;
+    (* WDL063: after a delegation hop the rule's head writes a base
+       (extensional or builtin) relation on a foreign peer; the write
+       persists there even after the delegated residual is retracted. *)
+    List.iter
+      (fun (info : Flow.rule_info) ->
+        if info.Flow.r_hops <> [] then
+          match info.Flow.r_head.Flow.n_rel, info.Flow.r_head.Flow.n_peer with
+          | Some rel, Flow.Named q when q <> info.Flow.r_self -> (
+            let base =
+              if Hashtbl.mem builtin_tbl (rel, q) then Some "builtin"
+              else
+                match Hashtbl.find_opt decl_tbl (rel, q) with
+                | Some (Decl.Extensional, _, _) -> Some "extensional"
+                | _ -> None
+            in
+            match base with
+            | Some what ->
+              emit
+                (Diagnostic.warning ?span:info.Flow.r_span "WDL063"
+                   (Printf.sprintf
+                      "after a delegation hop this rule writes into %s, a \
+                       %s relation at foreign peer %s; the write persists \
+                       there even if the delegated rule is later retracted"
+                      (rel_at rel q) what q))
+            | None -> ())
+          | _ -> ())
+      fl.Flow.rules;
+    (* WDL064: in a multi-file system, flow into a peer none of the
+       files says anything about. *)
+    if multi then begin
+      let outside : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun (e : Flow.edge) ->
+          let check = function
+            | Flow.Named q when not (Hashtbl.mem covered q) ->
+              if not (Hashtbl.mem outside q) then begin
+                Hashtbl.add outside q ();
+                let span =
+                  Option.bind (Flow.rule_info fl e.Flow.e_rule) (fun i ->
+                      i.Flow.r_span)
+                in
+                emit
+                  (Diagnostic.warning ?span "WDL064"
+                     (Printf.sprintf
+                        "facts flow to peer %s, but no file in this system \
+                         declares or asserts anything about %s; if it is \
+                         part of the system, include its program in the \
+                         check"
+                        q q))
+              end
+            | _ -> ()
+          in
+          check e.Flow.e_dst.Flow.n_peer;
+          List.iter check e.Flow.e_via)
+        fl.Flow.edges
+    end
+  end;
 
   List.stable_sort Diagnostic.compare (List.rev !diags)
 
@@ -947,19 +1245,48 @@ let check_items ?(peer_mode = false) ~self (items : item list) =
 (* Entry points                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let check_located ?peer_mode ?self (p : Located.program) =
-  let self =
-    match self with
-    | Some s -> s
-    | None -> (
-      match infer_self (Located.strip p) with
-      | Some s -> s
-      | None -> "local")
-  in
-  check_items ?peer_mode ~self (List.map item_of_located p)
+let self_of ?self (p : Program.t) =
+  match self with
+  | Some s -> s
+  | None -> ( match infer_self p with Some s -> s | None -> "local")
 
-let check_plain ?peer_mode ~self (p : Program.t) =
-  check_items ?peer_mode ~self (List.map item_of_plain p)
+let check_located ?peer_mode ?pedantic ?self (p : Located.program) =
+  let self = self_of ?self (Located.strip p) in
+  check_groups ?peer_mode ?pedantic
+    [ { g_self = self; g_file = None; g_items = List.map item_of_located p } ]
+
+let check_plain ?peer_mode ?pedantic ~self (p : Program.t) =
+  check_groups ?peer_mode ?pedantic
+    [ { g_self = self; g_file = None; g_items = List.map item_of_plain p } ]
+
+let check_system ?pedantic (files : (string * Located.program) list) =
+  check_groups ?pedantic
+    (List.map
+       (fun (file, p) ->
+         {
+           g_self = self_of (Located.strip p);
+           g_file = Some file;
+           g_items = List.map item_of_located p;
+         })
+       files)
+
+(* The same graph the WDL060-064 pass sees, for [wdl flow] and live
+   peers: one source per file, selves inferred the same way. *)
+let flow_of_system (files : (string * Located.program) list) =
+  Flow.build
+    (List.map
+       (fun (file, p) ->
+         {
+           Flow.src_self = self_of (Located.strip p);
+           src_file = Some file;
+           src_rules =
+             List.filter_map
+               (function
+                 | Located.Rule r -> Some (r.Located.rule, Some r.Located.span)
+                 | _ -> None)
+               p;
+         })
+       files)
 
 let check_statement ~self ?(kind_of = fun _ _ -> None)
     (s : Located.statement) =

@@ -28,18 +28,38 @@ val infer_self : Program.t -> string option
     peer. *)
 
 val check_located :
-  ?peer_mode:bool -> ?self:string -> Located.program -> Diagnostic.t list
+  ?peer_mode:bool ->
+  ?pedantic:bool ->
+  ?self:string ->
+  Located.program ->
+  Diagnostic.t list
 (** Analyze a located program. [self] defaults to {!infer_self} (or
     ["local"]); [peer_mode] (default false) additionally enforces the
     loader's restriction that declarations and facts target [self]
-    (WDL007) and drops the file-scoped WDL020/021 warnings, matching
-    what a live [Peer.load_program] would accept. Diagnostics come back
-    in source order. *)
+    (WDL007) and drops the file-scoped WDL020/021 and flow-based
+    WDL060–064 warnings, matching what a live [Peer.load_program]
+    would accept. [pedantic] (default false) adds the WDL031 note
+    describing the body reorder the compiler performs anyway.
+    Diagnostics come back in source order. *)
 
 val check_plain :
-  ?peer_mode:bool -> self:string -> Program.t -> Diagnostic.t list
+  ?peer_mode:bool -> ?pedantic:bool -> self:string -> Program.t ->
+  Diagnostic.t list
 (** Same checks over a span-free program (wire rules, snapshots);
     diagnostics carry no spans. *)
+
+val check_system :
+  ?pedantic:bool -> (string * Located.program) list -> Diagnostic.t list
+(** Analyze several program files as one multi-peer system:
+    declaration/fact/usage tables and the knowledge-flow pass run over
+    the union (so cross-file WDL020 and the system-scoped WDL064/065
+    become reachable), while per-rule, stratification and redundancy
+    checks keep each file's own inferred [self]. The [(file, program)]
+    pairs keep their file names for cross-file shadowing reports. *)
+
+val flow_of_system : (string * Located.program) list -> Flow.t
+(** The knowledge-flow graph over a file set, selves inferred per file
+    exactly as {!check_system} does — the engine behind [wdl flow]. *)
 
 val check_statement :
   self:string ->

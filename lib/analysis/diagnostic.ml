@@ -116,10 +116,19 @@ let note_to_json n =
     (json_escape n.note_message)
 
 let to_json d =
+  (* A top-level "file" duplicates the span's file so consumers that
+     mix diagnostics from several inputs (wdl check a.wdl b.wdl) can
+     attribute each record without digging into the span. *)
+  let file =
+    match d.span with
+    | Some s -> Printf.sprintf "\"%s\"" (json_escape s.Span.file)
+    | None -> "null"
+  in
   Printf.sprintf
-    "{\"code\":\"%s\",\"severity\":\"%s\",\"span\":%s,\"message\":\"%s\",\"notes\":[%s]}"
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"file\":%s,\"span\":%s,\"message\":\"%s\",\"notes\":[%s]}"
     (json_escape d.code)
     (severity_to_string d.severity)
+    file
     (span_to_json d.span) (json_escape d.message)
     (String.concat "," (List.map note_to_json d.notes))
 
@@ -128,3 +137,58 @@ let render_json diags =
   | [] -> "[]"
   | _ ->
     "[\n  " ^ String.concat ",\n  " (List.map to_json diags) ^ "\n]"
+
+(* Minimal SARIF 2.1.0: one run, one result per diagnostic, rule
+   metadata supplied by the caller (the analyzer's catalogue). Enough
+   for GitHub code scanning to annotate PRs. *)
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let render_sarif ~rules diags =
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let rule_json (code, severity, summary) =
+    Printf.sprintf
+      "{\"id\":%s,\"shortDescription\":{\"text\":%s},\"defaultConfiguration\":{\"level\":%s}}"
+      (str code) (str summary)
+      (str (sarif_level severity))
+  in
+  let location (s : Span.t) =
+    Printf.sprintf
+      "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s},\"region\":{\"startLine\":%d,\"startColumn\":%d,\"endLine\":%d,\"endColumn\":%d}}}"
+      (str s.Span.file) s.Span.start_line
+      (max 1 s.Span.start_col)
+      s.Span.end_line
+      (max 1 s.Span.end_col)
+  in
+  let result d =
+    let message =
+      match d.notes with
+      | [] -> d.message
+      | notes ->
+        d.message ^ "\n"
+        ^ String.concat "\n"
+            (List.map (fun n -> "note: " ^ n.note_message) notes)
+    in
+    Printf.sprintf
+      "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[%s]}"
+      (str d.code)
+      (str (sarif_level d.severity))
+      (str message)
+      (match d.span with Some s -> location s | None -> "")
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"$schema\": \
+     \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\"driver\": {\"name\": \"wdl\", \"rules\": [%s]}},\n\
+    \      \"results\": [%s]\n\
+    \    }\n\
+    \  ]\n\
+     }"
+    (String.concat "," (List.map rule_json rules))
+    (String.concat "," (List.map result diags))

@@ -53,5 +53,13 @@ val render_text : t list -> string
 
 val to_json : t -> string
 val render_json : t list -> string
-(** A JSON array of [{code, severity, span, message, notes}] objects;
-    spans are [null] or [{file, line, col, end_line, end_col}]. *)
+(** A JSON array of [{code, severity, file, span, message, notes}]
+    objects; spans are [null] or [{file, line, col, end_line,
+    end_col}]. The top-level [file] duplicates the span's file (or is
+    [null]) so multi-file reports stay attributable per record. *)
+
+val render_sarif :
+  rules:(string * severity * string) list -> t list -> string
+(** A minimal SARIF 2.1.0 document (one run, tool name ["wdl"]) with
+    the given rule catalogue as [tool.driver.rules] — enough for
+    GitHub code scanning to annotate PRs. *)

@@ -7,10 +7,13 @@ type t = {
   facts : Fact.t list option;
   installs : Rule.t list;
   retracts : Rule.t list;
+  fact_origins : string list;
+  install_origins : string list;
 }
 
-let make ~src ~dst ~stage ?(facts = None) ?(installs = []) ?(retracts = []) () =
-  { src; dst; stage; facts; installs; retracts }
+let make ~src ~dst ~stage ?(facts = None) ?(installs = []) ?(retracts = [])
+    ?(fact_origins = []) ?(install_origins = []) () =
+  { src; dst; stage; facts; installs; retracts; fact_origins; install_origins }
 
 let is_empty m = m.facts = None && m.installs = [] && m.retracts = []
 

@@ -11,7 +11,12 @@
       valid only while the source keeps them in its batch — the PODS'11
       "one stage at the receiver" semantics made quiescence-friendly.
     - [installs]/[retracts]: the delegation diff — residual rules that
-      appeared/disappeared at the source since its previous stage. *)
+      appeared/disappeared at the source since its previous stage.
+    - [fact_origins]/[install_origins]: diagnostic metadata — ids of
+      the source's rules whose evaluation produced the fact batch
+      (resp. one id per install, index-aligned). They feed the
+      knowledge-flow oracle ({!Wdl_analysis.Flow}) and cost nothing
+      when empty: the wire encodes them only when present. *)
 
 open Wdl_syntax
 
@@ -22,6 +27,10 @@ type t = {
   facts : Fact.t list option;
   installs : Rule.t list;
   retracts : Rule.t list;
+  fact_origins : string list;
+      (** sorted ids of rules contributing to [facts] *)
+  install_origins : string list;
+      (** index-aligned with [installs]; [[]] when unknown *)
 }
 
 val make :
@@ -31,6 +40,8 @@ val make :
   ?facts:Fact.t list option ->
   ?installs:Rule.t list ->
   ?retracts:Rule.t list ->
+  ?fact_origins:string list ->
+  ?install_origins:string list ->
   unit ->
   t
 
@@ -45,6 +56,8 @@ val fact_size : Fact.t -> int
 val size : t -> int
 (** Estimated wire size in bytes (used by transport statistics):
     one-line renderings of facts and rules plus a small fixed header
-    overhead. *)
+    overhead. Origin metadata is deliberately excluded — it is
+    diagnostic, optional on the wire, and must not perturb
+    backpressure accounting. *)
 
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,8 @@ module Fact_tbl = Hashtbl.Make (struct
   let hash = Fact.hash
 end)
 
+module Sset = Set.Make (String)
+
 type shed_policy = Drop_newest | Drop_oldest
 
 let shed_policy_string = function
@@ -56,6 +58,11 @@ type t = {
   mutable induced_pending : Fact.t list;
   remote_cache : (string, Fact.t list) Hashtbl.t;  (* src -> last batch *)
   last_batches : (string, Fact.t list) Hashtbl.t;  (* dst -> sorted batch *)
+  batch_origins : (string, Sset.t) Hashtbl.t;
+      (* dst -> ids of the rules whose evaluation fed that batch *)
+  deleg_origins : string Deleg_tbl.t;
+      (* (origin, rule) -> the origin's id for the rule that shipped
+         the delegation, taken from the install's origin metadata *)
   mutable last_delegations : unit Deleg_tbl.t;  (* (target, rule) sent *)
   mutable stage_no : int;
   mutable dirty : bool;
@@ -231,6 +238,8 @@ let create ?(strategy = Wdl_eval.Fixpoint.Seminaive) ?policy ?indexing
     induced_pending = [];
     remote_cache = Hashtbl.create 8;
     last_batches = Hashtbl.create 8;
+    batch_origins = Hashtbl.create 8;
+    deleg_origins = Deleg_tbl.create 16;
     last_delegations = Deleg_tbl.create 16;
     stage_no = 0;
     dirty = false;
@@ -314,6 +323,41 @@ let delegated_rules t =
   |> List.map snd
 
 let all_rules t = rules t @ List.map snd (delegated_rules t)
+
+(* Diagnostic rule ids. Own rules are ["name#k"] by current program
+   position, which matches {!Wdl_analysis.Flow.build}'s file-order ids
+   for a peer loaded from one program. A delegated rule keeps the id
+   of the origin rule whose evaluation shipped it (sent alongside the
+   install); origin ids are not persisted, so a restored peer falls
+   back to ["src#?"]. *)
+let deleg_origin_id t (src, rule) =
+  match Deleg_tbl.find_opt t.deleg_origins (src, rule) with
+  | Some id -> id
+  | None -> src ^ "#?"
+
+let rule_id t rule =
+  let rec own k = function
+    | [] -> None
+    | r :: rest ->
+      if Rule.equal r rule then Some (Printf.sprintf "%s#%d" t.name k)
+      else own (k + 1) rest
+  in
+  match own 1 (rules t) with
+  | Some id -> Some id
+  | None ->
+    List.find_map
+      (fun (src, r) ->
+        if Rule.equal r rule then Some (deleg_origin_id t (src, r)) else None)
+      (delegated_rules t)
+
+let flow t =
+  Wdl_analysis.Flow.of_labeled ~self:t.name
+    (List.mapi
+       (fun i r -> (Printf.sprintf "%s#%d" t.name (i + 1), r))
+       (rules t)
+    @ List.map
+        (fun (src, r) -> (deleg_origin_id t (src, r), r))
+        (delegated_rules t))
 
 let intensional t rel =
   match Database.kind t.db rel with
@@ -733,6 +777,10 @@ let forget_origin t ~src =
     (fun (s, r) ->
       if s = src then ignore (Acl.retract_pending t.acl ~src:s r))
     (Acl.pending t.acl);
+  Deleg_tbl.fold
+    (fun (s, r) _ acc -> if s = src then (s, r) :: acc else acc)
+    t.deleg_origins []
+  |> List.iter (Deleg_tbl.remove t.deleg_origins);
   let had_cache = Hashtbl.mem t.remote_cache src in
   Hashtbl.remove t.remote_cache src;
   if doomed <> [] then invalidate_program t;
@@ -746,6 +794,7 @@ let forget_origin t ~src =
 let forget_destination t ~dst =
   let had_batch = Hashtbl.mem t.last_batches dst in
   Hashtbl.remove t.last_batches dst;
+  Hashtbl.remove t.batch_origins dst;
   let sent =
     Deleg_tbl.fold
       (fun (d, r) () acc -> if d = dst then (d, r) :: acc else acc)
@@ -761,6 +810,7 @@ let forget_destination t ~dst =
 
 let reset_session t =
   Hashtbl.reset t.last_batches;
+  Hashtbl.reset t.batch_origins;
   t.last_delegations <- Deleg_tbl.create 16;
   t.dirty <- true;
   t.stage_adds <- None
@@ -1273,6 +1323,17 @@ let process_message t (msg : Message.t) =
       (fun fact ->
         if not (intensional t fact.Fact.rel) then apply_extensional t fact)
       batch);
+  (* Origin metadata rides index-aligned with the installs; record it
+     before the approval gate so a later [accept_delegation] still
+     finds it. A mismatched count means a sender without the metadata
+     (or a truncated frame) — ids then fall back to ["src#?"]. *)
+  if
+    msg.Message.install_origins <> []
+    && List.compare_lengths msg.Message.install_origins msg.Message.installs = 0
+  then
+    List.iter2
+      (fun rule id -> Deleg_tbl.replace t.deleg_origins (msg.Message.src, rule) id)
+      msg.Message.installs msg.Message.install_origins;
   List.iter
     (fun rule ->
       (* Re-announced installs (rejoin reconciliation, retransmission
@@ -1288,6 +1349,7 @@ let process_message t (msg : Message.t) =
     msg.Message.installs;
   List.iter
     (fun rule ->
+      Deleg_tbl.remove t.deleg_origins (msg.Message.src, rule);
       if Deleg_tbl.mem t.delegated (msg.Message.src, rule) then begin
         Deleg_tbl.remove t.delegated (msg.Message.src, rule);
         t.dirty <- true;
@@ -1337,8 +1399,6 @@ let refill_intensional t =
                 :: t.last_errors)
         batch)
     t.remote_cache
-
-module Sset = Set.Make (String)
 
 let group_facts_by_dst facts =
   let by_dst = Hashtbl.create 8 in
@@ -1677,6 +1737,42 @@ let stage t =
             (fun dst batch acc -> if batch <> [] then Sset.add dst acc else acc)
             t.last_batches Sset.empty
       in
+      (* Origin attribution for this stage's emissions: which rules fed
+         each destination's batch, and which rule's evaluation shipped
+         each suspension. Both are diagnostic — they tag outbound
+         messages for the knowledge-flow oracle and never affect what
+         is sent. *)
+      let stage_origins =
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun (dst, rule) ->
+            match rule_id t rule with
+            | None -> ()
+            | Some id ->
+              let cur =
+                Option.value ~default:Sset.empty (Hashtbl.find_opt tbl dst)
+              in
+              Hashtbl.replace tbl dst (Sset.add id cur))
+          result.Wdl_eval.Fixpoint.origins;
+        fun dst ->
+          Option.value ~default:Sset.empty (Hashtbl.find_opt tbl dst)
+      in
+      let susp_origin =
+        let tbl =
+          Deleg_tbl.create
+            (2 * List.length result.Wdl_eval.Fixpoint.susp_sources)
+        in
+        List.iter
+          (fun (key, src_rule) -> Deleg_tbl.replace tbl key src_rule)
+          result.Wdl_eval.Fixpoint.susp_sources;
+        fun key ->
+          match Deleg_tbl.find_opt tbl key with
+          | Some src_rule -> (
+            match rule_id t src_rule with
+            | Some id -> id
+            | None -> t.name ^ "#?")
+          | None -> t.name ^ "#?"
+      in
       let fact_part dst =
         let last = Option.value ~default:[] (Hashtbl.find_opt t.last_batches dst) in
         if delta_mode then
@@ -1690,6 +1786,14 @@ let stage t =
             if List.compare_lengths merged last = 0 then None
             else begin
               Hashtbl.replace t.last_batches dst merged;
+              (* A delta stage only extends the batch, so its origin
+                 set unions into the remembered one. *)
+              let prev =
+                Option.value ~default:Sset.empty
+                  (Hashtbl.find_opt t.batch_origins dst)
+              in
+              Hashtbl.replace t.batch_origins dst
+                (Sset.union prev (stage_origins dst));
               Some merged
             end
         else
@@ -1700,6 +1804,7 @@ let stage t =
           if t.diff_batches && List.equal Fact.equal batch last then None
           else begin
             Hashtbl.replace t.last_batches dst batch;
+            Hashtbl.replace t.batch_origins dst (stage_origins dst);
             if batch = [] && last = [] then None else Some batch
           end
       in
@@ -1730,17 +1835,28 @@ let stage t =
       let messages =
         Sset.fold
           (fun dst acc ->
+            let facts = fact_part dst in
+            let installs_for =
+              List.filter_map
+                (fun (d, r) -> if d = dst then Some r else None)
+                installs
+            in
             let msg =
-              Message.make ~src:t.name ~dst ~stage:stage_no
-                ~facts:(fact_part dst)
-                ~installs:
-                  (List.filter_map
-                     (fun (d, r) -> if d = dst then Some r else None)
-                     installs)
+              Message.make ~src:t.name ~dst ~stage:stage_no ~facts
+                ~installs:installs_for
                 ~retracts:
                   (List.filter_map
                      (fun (d, r) -> if d = dst then Some r else None)
                      retracts)
+                ~fact_origins:
+                  (match facts with
+                  | None -> []
+                  | Some _ ->
+                    Sset.elements
+                      (Option.value ~default:Sset.empty
+                         (Hashtbl.find_opt t.batch_origins dst)))
+                ~install_origins:
+                  (List.map (fun r -> susp_origin (dst, r)) installs_for)
                 ()
             in
             if Message.is_empty msg then acc else msg :: acc)

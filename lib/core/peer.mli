@@ -127,6 +127,23 @@ val rules : t -> Rule.t list
 val delegated_rules : t -> (string * Rule.t) list
 (** Installed delegations as [(origin, rule)], oldest first. *)
 
+val rule_id : t -> Rule.t -> string option
+(** Diagnostic id of an installed rule, or [None] if unknown. Own
+    rules are ["name#k"], [k] 1-based by current program position —
+    the ids {!Wdl_analysis.Flow.build} assigns to a file's rules.
+    Delegated rules answer with the id of the origin rule whose
+    evaluation shipped them (carried by the install's origin
+    metadata); after a restore that metadata is gone and they fall
+    back to ["origin#?"]. Outbound messages are tagged with these ids
+    ({!Message.t}[.fact_origins]/[.install_origins]). *)
+
+val flow : t -> Wdl_analysis.Flow.t
+(** Knowledge-flow graph of the peer's current program — own rules
+    plus installed delegations, labeled with the same ids {!rule_id}
+    returns. The static half of the runtime oracle: for every tagged
+    delivery [(origin, dst)] this peer emits,
+    {!Wdl_analysis.Flow.rule_sends} on [origin] must cover [dst]. *)
+
 (** {1 Data management (the GUI's surface)} *)
 
 val insert : t -> Fact.t -> (unit, string) result

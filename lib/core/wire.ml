@@ -5,23 +5,41 @@ let header_peer = "wire"
 
 let one_line = Pp_util.one_line
 
+let origins_rel = "origins"
+
 let encode (m : Message.t) =
   let buf = Buffer.create 512 in
   let facts, nf =
     match m.Message.facts with None -> ([], -1) | Some fs -> (fs, List.length fs)
   in
+  let fo = m.Message.fact_origins and io = m.Message.install_origins in
+  (* A message without origin metadata encodes as the historical 6-arg
+     header, byte for byte, so old receivers (and size-pinned tests)
+     see unchanged frames. Origins extend the header with two counts
+     and one extra [origins@wire] fact carrying the ids. *)
+  let header_args =
+    [
+      Value.String m.Message.src;
+      Value.String m.Message.dst;
+      Value.Int m.Message.stage;
+      Value.Int nf;
+      Value.Int (List.length m.Message.installs);
+      Value.Int (List.length m.Message.retracts);
+    ]
+    @
+    if fo = [] && io = [] then []
+    else [ Value.Int (List.length fo); Value.Int (List.length io) ]
+  in
   Buffer.add_string buf
-    (one_line Fact.pp
-       (Fact.make ~rel:header_rel ~peer:header_peer
-          [
-            Value.String m.Message.src;
-            Value.String m.Message.dst;
-            Value.Int m.Message.stage;
-            Value.Int nf;
-            Value.Int (List.length m.Message.installs);
-            Value.Int (List.length m.Message.retracts);
-          ]));
+    (one_line Fact.pp (Fact.make ~rel:header_rel ~peer:header_peer header_args));
   Buffer.add_string buf ";\n";
+  if fo <> [] || io <> [] then begin
+    Buffer.add_string buf
+      (one_line Fact.pp
+         (Fact.make ~rel:origins_rel ~peer:header_peer
+            (List.map (fun s -> Value.String s) (fo @ io))));
+    Buffer.add_string buf ";\n"
+  end;
   List.iter
     (fun f ->
       Buffer.add_string buf (one_line Fact.pp f);
@@ -59,9 +77,38 @@ let decode_one statements =
   match statements with
   | Program.Fact header :: rest
     when header.Fact.rel = header_rel && header.Fact.peer = header_peer -> (
-    match header.Fact.args with
-    | [ Value.String src; Value.String dst; Value.Int stage; Value.Int nf;
-        Value.Int ni; Value.Int nr ] ->
+    let decode_body ~src ~dst ~stage ~nf ~ni ~nr ~nfo ~nio rest =
+      let* fact_origins, install_origins, rest =
+        if nfo = 0 && nio = 0 then Ok ([], [], rest)
+        else
+          match rest with
+          | Program.Fact o :: rest
+            when o.Fact.rel = origins_rel && o.Fact.peer = header_peer ->
+            let* ids =
+              List.fold_right
+                (fun v acc ->
+                  let* acc = acc in
+                  match v with
+                  | Value.String s -> Ok (s :: acc)
+                  | _ -> Error "malformed origins fact")
+                o.Fact.args (Ok [])
+            in
+            if List.length ids <> nfo + nio then
+              Error "origins count mismatch"
+            else
+              let rec split n xs =
+                if n = 0 then ([], xs)
+                else
+                  match xs with
+                  | x :: rest ->
+                    let a, b = split (n - 1) rest in
+                    (x :: a, b)
+                  | [] -> ([], [])
+              in
+              let fo, io = split nfo ids in
+              Ok (fo, io, rest)
+          | _ -> Error "missing origins fact"
+      in
       let* facts, rest =
         if nf < 0 then Ok ([], rest)
         else take_facts nf rest
@@ -71,8 +118,16 @@ let decode_one statements =
       Ok
         ( Message.make ~src ~dst ~stage
             ~facts:(if nf < 0 then None else Some facts)
-            ~installs ~retracts (),
+            ~installs ~retracts ~fact_origins ~install_origins (),
           rest )
+    in
+    match header.Fact.args with
+    | [ Value.String src; Value.String dst; Value.Int stage; Value.Int nf;
+        Value.Int ni; Value.Int nr ] ->
+      decode_body ~src ~dst ~stage ~nf ~ni ~nr ~nfo:0 ~nio:0 rest
+    | [ Value.String src; Value.String dst; Value.Int stage; Value.Int nf;
+        Value.Int ni; Value.Int nr; Value.Int nfo; Value.Int nio ] ->
+      decode_body ~src ~dst ~stage ~nf ~ni ~nr ~nfo ~nio rest
     | _ -> Error "malformed wire header")
   | _ -> Error "missing wire header"
 

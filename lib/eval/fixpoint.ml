@@ -18,6 +18,8 @@ type result = {
   induced : Fact.t list;
   messages : Fact.t list;
   suspensions : (string * Rule.t) list;
+  origins : (string * Rule.t) list;
+  susp_sources : ((string * Rule.t) * Rule.t) list;
   errors : Runtime_error.t list;
   iterations : int;
   derivations : int;
@@ -66,6 +68,10 @@ type state = {
   induced : unit Head_tbl.t;
   messages : unit Head_tbl.t;
   suspensions : unit Susp_tbl.t;
+  (* Origin tagging for the knowledge-flow oracle: which source rule
+     (as written) produced each remote delivery / delegation. *)
+  origins : unit Susp_tbl.t;  (* key = (dst peer, source rule) *)
+  susp_src : Rule.t Susp_tbl.t;  (* (dst, residual) -> source rule *)
   provenance : derivation Fact_tbl.t option;
   mutable errors : Runtime_error.t list;
   mutable error_count : int;
@@ -103,7 +109,18 @@ let delta_add st rel tuple =
   in
   ignore (Relation.insert r tuple)
 
-let suspend st target rule = Susp_tbl.replace st.suspensions (target, rule) ()
+(* [src] is the rule as the user wrote it. When two written rules
+   produce the same residual for the same target, keep the smallest by
+   [Rule.compare] — an order-independent tie-break, so the sequential
+   and parallel engines attribute identically. *)
+let suspend ?src st target rule =
+  Susp_tbl.replace st.suspensions (target, rule) ();
+  match src with
+  | None -> ()
+  | Some s -> (
+    match Susp_tbl.find_opt st.susp_src (target, rule) with
+    | Some s0 when Rule.compare s0 s <= 0 -> ()
+    | Some _ | None -> Susp_tbl.replace st.susp_src (target, rule) s)
 
 (* The relations an atom position reads, given the source: the full
    store or the previous iteration's delta. *)
@@ -147,10 +164,14 @@ let premises_of_env (plan : Plan.t) env =
 
 (* Route a ground, locally produced head. [prov] lazily builds the
    provenance entry when a new view fact is stored. *)
-let dispatch_head st ~prov ~rel ~peer (tuple : Tuple.t) =
+let dispatch_head ?src st ~prov ~rel ~peer (tuple : Tuple.t) =
   st.derivations <- st.derivations + 1;
-  if not (String.equal peer st.self) then
-    Head_tbl.replace st.messages { Head_key.rel; peer; tuple } ()
+  if not (String.equal peer st.self) then begin
+    Head_tbl.replace st.messages { Head_key.rel; peer; tuple } ();
+    match src with
+    | Some r -> Susp_tbl.replace st.origins (peer, r) ()
+    | None -> ()
+  end
   else
     match Database.ensure st.db ~rel ~arity:(Tuple.arity tuple) with
     | Error e ->
@@ -284,7 +305,7 @@ let exec_plan st (plan : Plan.t) ~delta_pos ~emit =
       report st (Runtime_error.Unbound_at_eval { var = x; where = "peer position" })
     | RName p when p <> st.self ->
       (* Delegation boundary: ship the residual rule to [p]. *)
-      suspend st p (residual_rule plan env m.Plan.pos)
+      suspend ~src:plan.Plan.source st p (residual_rule plan env m.Plan.pos)
     | RName _ ->
       let use_delta = delta_pos = Some m.Plan.pos in
       let arity = Array.length m.Plan.args in
@@ -373,7 +394,7 @@ let emit_rule st (plan : Plan.t) env =
     let prov fact =
       { fact; rule = plan.Plan.source; premises = premises_of_env plan env }
     in
-    dispatch_head st ~prov ~rel ~peer tuple
+    dispatch_head ~src:plan.Plan.source st ~prov ~rel ~peer tuple
 
 let eval_plan st ~delta_pos (plan : Plan.t) =
   exec_plan st plan ~delta_pos ~emit:(fun env -> emit_rule st plan env)
@@ -488,7 +509,8 @@ let eval_agg_plan st (plan : Plan.t) =
               key_args
           in
           let prov fact = { fact; rule; premises = [] } in
-          dispatch_head st ~prov ~rel ~peer (Tuple.of_list args))
+          dispatch_head ~src:plan.Plan.source st ~prov ~rel ~peer
+            (Tuple.of_list args))
       groups
   end
 
@@ -611,6 +633,8 @@ let worker_state (st : state) =
     induced = Head_tbl.create 1;
     messages = Head_tbl.create 1;
     suspensions = Susp_tbl.create 8;
+    origins = Susp_tbl.create 8;
+    susp_src = Susp_tbl.create 8;
     provenance = None;
     errors = [];
     error_count = 0;
@@ -715,6 +739,14 @@ let par_iteration st par (stratum : Prog.stratum) =
                    match head_key wst a.Prog.plan env with
                    | None -> ()
                    | Some (rel, peer, tuple) ->
+                     (* Outbox items carry no rule; the worker records
+                        the remote-head origin locally and the barrier
+                        folds it into the master. The origin *set* is
+                        valuation-determined, so it is identical to the
+                        sequential engine's regardless of sharding. *)
+                     if not (String.equal peer wst.self) then
+                       Susp_tbl.replace wst.origins
+                         (peer, a.Prog.plan.Plan.source) ();
                      Shard.Outbox.push ob { Shard.rel; peer; tuple }))
            acts;
          let t1 = Wdl_obs.Obs.now_us () in
@@ -764,7 +796,18 @@ let par_iteration st par (stratum : Prog.stratum) =
       Susp_tbl.iter
         (fun k () -> Susp_tbl.replace st.suspensions k ())
         wst.suspensions;
-      Susp_tbl.reset wst.suspensions)
+      Susp_tbl.reset wst.suspensions;
+      Susp_tbl.iter (fun k () -> Susp_tbl.replace st.origins k ()) wst.origins;
+      Susp_tbl.reset wst.origins;
+      (* Same min-rule tie-break as [suspend], so attribution is
+         independent of which worker saw the residual first. *)
+      Susp_tbl.iter
+        (fun k s ->
+          match Susp_tbl.find_opt st.susp_src k with
+          | Some s0 when Rule.compare s0 s <= 0 -> ()
+          | Some _ | None -> Susp_tbl.replace st.susp_src k s)
+        wst.susp_src;
+      Susp_tbl.reset wst.susp_src)
     par.p_workers
 
 let run_stratum ?seed ?par st strategy (stratum : Prog.stratum) =
@@ -880,6 +923,8 @@ let run ?(strategy = Seminaive) ?(record_provenance = false) ?(schedule = true)
         induced = Head_tbl.create 64;
         messages = Head_tbl.create 64;
         suspensions = Susp_tbl.create 32;
+        origins = Susp_tbl.create 16;
+        susp_src = Susp_tbl.create 16;
         provenance =
           (if record_provenance then Some (Fact_tbl.create 64) else None);
         errors = [];
@@ -933,6 +978,18 @@ let run ?(strategy = Seminaive) ?(record_provenance = false) ?(schedule = true)
         suspensions =
           Susp_tbl.fold (fun s () acc -> s :: acc) st.suspensions []
           |> List.sort (fun (p1, r1) (p2, r2) ->
+                 match String.compare p1 p2 with
+                 | 0 -> Rule.compare r1 r2
+                 | c -> c);
+        origins =
+          Susp_tbl.fold (fun s () acc -> s :: acc) st.origins []
+          |> List.sort (fun (p1, r1) (p2, r2) ->
+                 match String.compare p1 p2 with
+                 | 0 -> Rule.compare r1 r2
+                 | c -> c);
+        susp_sources =
+          Susp_tbl.fold (fun k v acc -> (k, v) :: acc) st.susp_src []
+          |> List.sort (fun ((p1, r1), _) ((p2, r2), _) ->
                  match String.compare p1 p2 with
                  | 0 -> Rule.compare r1 r2
                  | c -> c);

@@ -39,6 +39,14 @@ type result = {
       (** facts whose [peer] field is the destination *)
   suspensions : (string * Wdl_syntax.Rule.t) list;
       (** (target peer, residual rule), deduplicated *)
+  origins : (string * Wdl_syntax.Rule.t) list;
+      (** (destination peer, source rule as written) for every remote
+          head emission — the attribution behind message origin tags
+          and the knowledge-flow runtime oracle *)
+  susp_sources : ((string * Wdl_syntax.Rule.t) * Wdl_syntax.Rule.t) list;
+      (** per suspension key, the source rule (as written) whose
+          evaluation shipped the residual; ties broken toward the
+          smallest rule by [Rule.compare], so both engines agree *)
   errors : Runtime_error.t list;
   iterations : int;       (** fixpoint iterations summed over strata *)
   derivations : int;      (** successful head instantiations, incl. dups *)

@@ -382,6 +382,10 @@ let run ?(strategy = Fixpoint.Seminaive) ?(record_provenance = false) ~self db
         induced = to_list st.induced;
         messages = to_list st.messages;
         suspensions = Susp_tbl.fold (fun s () acc -> s :: acc) st.suspensions [];
+        (* The reference model does not attribute deliveries to rules;
+           differentials compare the semantic fields, not these. *)
+        origins = [];
+        susp_sources = [];
         errors = List.rev st.errors;
         iterations = st.iterations;
         derivations = st.derivations;

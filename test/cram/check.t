@@ -57,9 +57,6 @@ target (WDL032):
   $ wdl check deleg.wdl
   deleg.wdl:1:1: warning[WDL021]: relation addr@local is declared but never used by any fact or rule
   deleg.wdl:3:22: info[WDL030]: delegation boundary at body literal 1: evaluation suspends here and ships the residual rule to peer remote, carrying bindings of nothing
-  deleg.wdl:3:22: warning[WDL031]: body order ships 2 literal(s) that local could evaluate locally; reorder the body as `local_info@local($y), bound@local($x, $y), data@remote($x)`
-    note: shipped bindings: nothing now, $y, $x after reordering
-    note: after reordering the residual mentions only remote, so it evaluates there without further delegation
   deleg.wdl:3:39: warning[WDL020]: relation local_info@local is never declared; it will be auto-created as extensional on first insertion
   deleg.wdl:3:39: warning[WDL022]: rule can never fire: local_info@local is never declared, asserted or derived, so this atom matches nothing
   deleg.wdl:3:61: warning[WDL020]: relation bound@local is never declared; it will be auto-created as extensional on first insertion
@@ -101,7 +98,7 @@ JSON output for tooling (the CI lint gate uploads this):
 
   $ wdl check --format json err.wdl
   [
-    {"code":"WDL008","severity":"error","span":{"file":"err.wdl","line":2,"col":1,"end_line":2,"end_col":15},"message":"relation r@local redeclared as int (it is ext)","notes":[{"span":{"file":"err.wdl","line":1,"col":1,"end_line":1,"end_col":15},"message":"first declared here"}]}
+    {"code":"WDL008","severity":"error","file":"err.wdl","span":{"file":"err.wdl","line":2,"col":1,"end_line":2,"end_col":15},"message":"relation r@local redeclared as int (it is ext)","notes":[{"span":{"file":"err.wdl","line":1,"col":1,"end_line":1,"end_col":15},"message":"first declared here"}]}
   ]
   [2]
 
@@ -113,3 +110,67 @@ Multiple files aggregate to the worst exit code:
   err.wdl:2:1: error[WDL008]: relation r@local redeclared as int (it is ext)
     note: err.wdl:1:1: first declared here
   [2]
+
+The WDL031 body-order note is opt-in: the planner reorders bodies by
+itself (see --no-replan), so by default the analyzer stays quiet and
+--pedantic restates what the compiler will do:
+
+  $ wdl check --pedantic deleg.wdl | grep -A2 'WDL031'
+  deleg.wdl:3:22: info[WDL031]: body order as written ships 2 literal(s) that local can evaluate locally; the compiler plans this body as `local_info@local($y), bound@local($x, $y), data@remote($x)`
+    note: shipped bindings: nothing as written, $y, $x as evaluated
+    note: in the planned order the residual mentions only remote, so it evaluates there without further delegation
+
+Checking several files as ONE system shares declaration and usage
+tables across them. A single-file check can say nothing about a
+foreign peer's relations, so hub.wdl's read of data@alice goes
+unjudged; with --system, alice's program is in scope, her declaration
+is found, and the pair is clean:
+
+  $ cat > hub.wdl <<'EOF_WDL'
+  > int mirror@hub(x);
+  > mirror@hub($x) :- data@alice($x);
+  > EOF_WDL
+  $ cat > alice.wdl <<'EOF_WDL'
+  > ext data@alice(x);
+  > data@alice(1);
+  > EOF_WDL
+  $ wdl check hub.wdl alice.wdl
+  hub.wdl:2:19: info[WDL030]: delegation boundary at body literal 1: evaluation suspends here and ships the residual rule to peer alice, carrying bindings of nothing
+  $ wdl check --system hub.wdl alice.wdl
+  hub.wdl:2:19: info[WDL030]: delegation boundary at body literal 1: evaluation suspends here and ships the residual rule to peer alice, carrying bindings of nothing
+
+When the system covers alice but no file declares the relation hub
+reads, WDL020 becomes reachable across files:
+
+  $ cat > alice_bare.wdl <<'EOF_WDL'
+  > ext profile@alice(x);
+  > profile@alice(1);
+  > EOF_WDL
+  $ wdl check --system hub.wdl alice_bare.wdl
+  hub.wdl:2:19: warning[WDL020]: relation data@alice is never declared; it will be auto-created as extensional on first insertion
+  hub.wdl:2:19: warning[WDL022]: rule can never fire: data@alice is never declared, asserted or derived, so this atom matches nothing
+  hub.wdl:2:19: info[WDL030]: delegation boundary at body literal 1: evaluation suspends here and ships the residual rule to peer alice, carrying bindings of nothing
+  [1]
+
+A relation redeclared by two files of the same system:
+
+  $ cat > alice2.wdl <<'EOF_WDL'
+  > ext data@alice(x);
+  > data@alice(2);
+  > EOF_WDL
+  $ wdl check --system hub.wdl alice.wdl alice2.wdl
+  alice2.wdl:1:1: warning[WDL065]: relation data@alice is redeclared in a different file of the system; the declarations shadow each other, so no single file owns data@alice
+    note: alice.wdl:1:1: first declared here
+  hub.wdl:2:19: info[WDL030]: delegation boundary at body literal 1: evaluation suspends here and ships the residual rule to peer alice, carrying bindings of nothing
+  [1]
+
+SARIF output for CI annotation uploads carries the whole rule
+catalogue; spot-check the shape and the result's ruleId:
+
+  $ wdl check --format sarif err.wdl | head -4
+  {
+    "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+    "version": "2.1.0",
+    "runs": [
+  $ wdl check --format sarif err.wdl | grep -o '"ruleId":"WDL008"'
+  "ruleId":"WDL008"

@@ -1,0 +1,74 @@
+`wdl flow` prints the knowledge-flow graph of one or more programs
+checked as a single system: which peers may learn facts derived from
+each relation, and the rule chain that carries them.
+
+The Wepic album rule delegates into whichever peer is selected, so
+the selection relation's bindings escape to an unbounded set:
+
+  $ wdl flow jules.wdl
+  attendeePictures@Jules: stays at Jules
+  selectedAttendee@Jules: reaches <any> (delegation-bound peers)
+    -> attendeePictures@Jules  [Jules#1]
+    ~> bindings ship to <any> peer  [Jules#1]
+  
+  rules:
+    Jules#1: attendeePictures@Jules($id, $name, $owner, $data) :- selectedAttendee@Jules($attendee), pictures@$attendee($id, $name, $owner, $data)
+  
+
+The trending trio as a system: alice's and bob's posts reach the hub
+through the pull rule and its delegations:
+
+  $ wdl flow trending.wdl trending_alice.wdl trending_bob.wdl
+  hot@trends: stays at trends
+    -> top@trends  [trends#4]
+  posts@trends: stays at trends
+    -> recent@trends  [trends#2]
+    -> trending@trends  [trends#2 -> trends#3]
+  recent@trends: stays at trends
+    -> trending@trends  [trends#3]
+  source@trends: reaches <any> (delegation-bound peers)
+    -> posts@trends  [trends#1]
+    -> recent@trends  [trends#1 -> trends#2]
+    -> trending@trends  [trends#1 -> trends#2 -> trends#3]
+    ~> bindings ship to <any> peer  [trends#1]
+  top@trends: stays at trends
+  trending@trends: stays at trends
+  
+  rules:
+    trends#1: posts@trends($id, $k) :- source@trends($w), posts@$w($id, $k)
+    trends#2: recent@trends($id, $k) :- posts@trends($id, $k)
+    trends#3: trending@trends($k, count($id)) :- recent@trends($id, $k)
+    trends#4: top@trends($k, $n) :- hot@trends($k, $n)
+  
+
+Graphviz output renders nodes as relation@peer boxes, the abstract
+any-peer as a doubleoctagon, and delegation hops as dashed edges:
+
+  $ wdl flow --format dot jules.wdl
+  digraph flow {
+    rankdir=LR;
+    "selectedAttendee@Jules" [shape=box];
+    "attendeePictures@Jules" [shape=box];
+    "pictures@<any>" [shape=doubleoctagon];
+    "selectedAttendee@Jules" -> "attendeePictures@Jules" [label="Jules#1"];
+    "peer:<any>" [shape=ellipse,style=dotted];
+    "selectedAttendee@Jules" -> "peer:<any>" [label="Jules#1",style=dashed];
+    "pictures@<any>" -> "attendeePictures@Jules" [label="Jules#1"];
+  }
+  
+
+JSON output for tooling mirrors the text report:
+
+  $ wdl flow --format json jules.wdl | head -8
+  {
+    "relations": [{"relation":"attendeePictures","peer":"Jules","reachable_peers":[],"any":false,"witnesses":[]},{"relation":"selectedAttendee","peer":"Jules","reachable_peers":["Jules"],"any":true,"witnesses":[{"node":{"rel":"attendeePictures","peer":"Jules"},"rules":["Jules#1"]}]}],
+    "edges": [{"src":{"rel":"selectedAttendee","peer":"Jules"},"dst":{"rel":"attendeePictures","peer":"Jules"},"via":["<any>"],"rule":"Jules#1"},{"src":{"rel":"pictures","peer":"<any>"},"dst":{"rel":"attendeePictures","peer":"Jules"},"via":[],"rule":"Jules#1"}],
+    "rules": [{"id":"Jules#1","peer":"Jules","rule":"attendeePictures@Jules($id, $name, $owner, $data) :- selectedAttendee@Jules($attendee), pictures@$attendee($id, $name, $owner, $data)"}]
+  }
+
+A parse error in any file of the set aborts the analysis:
+
+  $ echo 'v@p($x :- a@p($x);' > bad.wdl
+  $ wdl flow bad.wdl
+  bad.wdl:1:8: error[WDL000]: expected ')' but found :-
+  [2]

@@ -79,7 +79,16 @@ heaviest lookup topics:
     from trends: posts@trends($id, $k) :- posts@bob($id, $k)
   stats: stages=2 iterations=2 derivations=2 sent=1 received=1 installed=1 retracted=0 rejected=0 errors=0
   
+Checked as one system, the flow analysis sees that alice's and bob's
+posts travel through the hub's pull rule into its window and views —
+an intentional share here, but exactly the chain WDL060 surfaces:
 
-
-
-
+  $ wdl check --system trending.wdl trending_alice.wdl trending_bob.wdl
+  trending.wdl:23:45: info[WDL030]: delegation boundary at body literal 2: evaluation suspends here and ships the residual rule to the peer bound to $w, carrying bindings of $w
+  trending_alice.wdl:2:1: warning[WDL060]: facts derived from posts@alice can reach peer trends through a chain of rules; nothing in this program marks posts@alice as shared
+    note: reaches peer trends via rule chain trends#1 -> trends#2
+    note: reaches peer trends via rule chain trends#1 -> trends#2 -> trends#3
+  trending_bob.wdl:2:1: warning[WDL060]: facts derived from posts@bob can reach peer trends through a chain of rules; nothing in this program marks posts@bob as shared
+    note: reaches peer trends via rule chain trends#1 -> trends#2
+    note: reaches peer trends via rule chain trends#1 -> trends#2 -> trends#3
+  [1]

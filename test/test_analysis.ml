@@ -6,22 +6,22 @@ open Wdl_analysis
 
 let tc name f = Alcotest.test_case name `Quick f
 
-let run ?peer_mode ?self src =
+let run ?peer_mode ?pedantic ?self src =
   match Parser.program_located ~file:"t.wdl" src with
   | Error err -> [ Analysis.of_parse_error ~file:"t.wdl" err ]
-  | Ok p -> Analysis.check_located ?peer_mode ?self p
+  | Ok p -> Analysis.check_located ?peer_mode ?pedantic ?self p
 
 let codes ds = List.map (fun (d : Diagnostic.t) -> d.code) ds
 
-let golden name ?peer_mode ?self src expected =
+let golden name ?peer_mode ?pedantic ?self src expected =
   tc name (fun () ->
       Alcotest.(check string)
         name expected
-        (Diagnostic.render_text (run ?peer_mode ?self src)))
+        (Diagnostic.render_text (run ?peer_mode ?pedantic ?self src)))
 
-let fires name ?peer_mode ?self src code =
+let fires name ?peer_mode ?pedantic ?self src code =
   tc name (fun () ->
-      let cs = codes (run ?peer_mode ?self src) in
+      let cs = codes (run ?peer_mode ?pedantic ?self src) in
       if not (List.mem code cs) then
         Alcotest.failf "expected %s among [%s]" code (String.concat "; " cs))
 
@@ -131,7 +131,16 @@ let golden_suite =
       "t.wdl:6:23: info[WDL030]: delegation boundary at body literal 2: \
        evaluation suspends here and ships the residual rule to the peer \
        bound to $a, carrying bindings of $a";
-    golden "WDL031 reorder hint"
+    (* The planner reorders bodies itself, so the note is opt-in. *)
+    golden "WDL031 silent by default"
+      "ext t@p(y);\n\
+       int v@p(x, y);\n\
+       t@p(7);\n\
+       v@p($x, $y) :- data@q($x), t@p($y);"
+      "t.wdl:4:16: info[WDL030]: delegation boundary at body literal 1: \
+       evaluation suspends here and ships the residual rule to peer q, \
+       carrying bindings of nothing";
+    golden "WDL031 pedantic reorder note" ~pedantic:true
       "ext t@p(y);\n\
        int v@p(x, y);\n\
        t@p(7);\n\
@@ -139,10 +148,11 @@ let golden_suite =
       "t.wdl:4:16: info[WDL030]: delegation boundary at body literal 1: \
        evaluation suspends here and ships the residual rule to peer q, \
        carrying bindings of nothing\n\
-       t.wdl:4:16: warning[WDL031]: body order ships 1 literal(s) that p \
-       could evaluate locally; reorder the body as `t@p($y), data@q($x)`\n\
-      \  note: shipped bindings: nothing now, $y after reordering\n\
-      \  note: after reordering the residual mentions only q, so it \
+       t.wdl:4:16: info[WDL031]: body order as written ships 1 literal(s) \
+       that p can evaluate locally; the compiler plans this body as \
+       `t@p($y), data@q($x)`\n\
+      \  note: shipped bindings: nothing as written, $y as evaluated\n\
+      \  note: in the planned order the residual mentions only q, so it \
        evaluates there without further delegation";
     golden "WDL032 open-ended peer variable"
       "int book@p(a);\n\
@@ -151,7 +161,11 @@ let golden_suite =
        s@p(1);\n\
        book@p($a) :- s@p($a);\n\
        v@p($x) :- book@p($a), data@$a($x);"
-      "t.wdl:6:24: info[WDL030]: delegation boundary at body literal 2: \
+      "t.wdl:3:1: warning[WDL060]: facts derived from s@p can reach an \
+       unbounded set of peers through a chain of rules; nothing in this \
+       program marks s@p as shared\n\
+      \  note: reaches an unbounded set of peers via rule chain p#1 -> p#2\n\
+       t.wdl:6:24: info[WDL030]: delegation boundary at body literal 2: \
        evaluation suspends here and ships the residual rule to the peer \
        bound to $a, carrying bindings of $a\n\
        t.wdl:6:24: warning[WDL032]: delegation target $a is open-ended: it \
@@ -293,8 +307,9 @@ let unit_suite =
         let peer = Webdamlog.Peer.create "p" in
         (match
            Webdamlog.Peer.load_string peer
-             "ext t@p(y);\nint v@p(x, y);\nt@p(7);\n\
-              v@p($x, $y) :- data@q($x), t@p($y);"
+             "ext s@p(a);\nint book@p(a);\nint v@p(x);\ns@p(1);\n\
+              book@p($a) :- s@p($a);\n\
+              v@p($x) :- book@p($a), data@$a($x);"
          with
         | Ok () -> ()
         | Error e -> Alcotest.failf "load: %s" e);
@@ -303,10 +318,10 @@ let unit_suite =
             (Webdamlog.Peer.trace peer)
             (function
               | Webdamlog.Trace.Analysis_warning { code; _ } ->
-                code = "WDL031"
+                code = "WDL032"
               | _ -> false)
         in
-        Alcotest.(check bool) "WDL031 in trace" true (warned <> None));
+        Alcotest.(check bool) "WDL032 in trace" true (warned <> None));
     tc "duplicate rule install warns via added_rule_warnings" (fun () ->
         let peer = Webdamlog.Peer.create "p" in
         (match

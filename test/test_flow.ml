@@ -1,0 +1,504 @@
+(* Knowledge-flow analysis (lib/analysis/flow.ml) and its runtime
+   oracle: unit tests for the graph queries, fires/silent programs for
+   each flow diagnostic (WDL060-065), the wire encoding of origin
+   metadata, and a QCheck differential — the static per-rule send sets
+   must over-approximate every (origin_rule, dst_peer) delivery a live
+   multi-peer run produces, including under mid-run rule and
+   delegation churn. *)
+open Wdl_syntax
+open Wdl_analysis
+open Webdamlog
+
+let tc name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.check Alcotest.bool msg true
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let parse_file (file, src) =
+  match Parser.program_located ~file src with
+  | Ok p -> (file, p)
+  | Error (msg, _) -> Alcotest.failf "parse %s: %s" file msg
+
+let flow_of files = Analysis.flow_of_system (List.map parse_file files)
+
+let sys_codes files =
+  List.map
+    (fun (d : Diagnostic.t) -> d.Diagnostic.code)
+    (Analysis.check_system (List.map parse_file files))
+
+let file_codes src =
+  match Parser.program_located ~file:"t.wdl" src with
+  | Ok p ->
+    List.map
+      (fun (d : Diagnostic.t) -> d.Diagnostic.code)
+      (Analysis.check_located p)
+  | Error (msg, _) -> Alcotest.failf "parse: %s" msg
+
+let assert_fires name code codes =
+  if not (List.mem code codes) then
+    Alcotest.failf "%s: expected %s among [%s]" name code
+      (String.concat "; " codes)
+
+let assert_silent name code codes =
+  if List.mem code codes then
+    Alcotest.failf "%s: unexpected %s in [%s]" name code
+      (String.concat "; " codes)
+
+(* ------------------------------------------------------------------ *)
+(* Graph queries                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let chain_src =
+  "ext s@p(x);\nint t@p(x);\ns@p(1);\nt@p($x) :- s@p($x);\nu@q($x) :- \
+   t@p($x);"
+
+let graph_suite =
+  [
+    tc "reachability follows rule chains across peers" (fun () ->
+        let fl = flow_of [ ("a.wdl", chain_src) ] in
+        let r =
+          Flow.reachable fl { Flow.n_rel = Some "s"; n_peer = Flow.Named "p" }
+        in
+        let named, any = Flow.reach_peers r in
+        check_bool "q reached" (List.mem "q" named);
+        check_bool "no any" (not any));
+    tc "witness is the two-rule chain" (fun () ->
+        let fl = flow_of [ ("a.wdl", chain_src) ] in
+        let r =
+          Flow.reachable fl { Flow.n_rel = Some "s"; n_peer = Flow.Named "p" }
+        in
+        match Flow.witness r ~peer:(Flow.Named "q") with
+        | None -> Alcotest.fail "no witness path to q"
+        | Some path ->
+          Alcotest.(check (list string))
+            "path" [ "p#1"; "p#2" ] (Flow.path_ids path));
+    tc "rule_sends: head peer plus delegation hops" (fun () ->
+        let fl =
+          flow_of
+            [ ( "a.wdl",
+                "ext r@p(x);\nint pulled@p(x);\npulled@p($x) :- data@q($x), \
+                 r@p($x);" ) ]
+        in
+        let named, any = Flow.rule_sends fl "p#1" in
+        check_bool "hop target q" (List.mem "q" named);
+        check_bool "head peer p" (List.mem "p" named);
+        check_bool "bounded" (not any));
+    tc "rule_sends: a peer variable is the top peer" (fun () ->
+        let fl =
+          flow_of
+            [ ( "a.wdl",
+                "ext sel@p(a);\nint dyn@p(x);\ndyn@p($x) :- sel@p($a), \
+                 data@$a($x);" ) ]
+        in
+        let _, any = Flow.rule_sends fl "p#1" in
+        check_bool "unbounded" any);
+    tc "rule_sends: unknown id answers empty" (fun () ->
+        let fl = flow_of [ ("a.wdl", chain_src) ] in
+        Alcotest.(check (pair (list string) bool))
+          "unknown" ([], false)
+          (Flow.rule_sends fl "p#99"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fires / silent per flow diagnostic                                 *)
+(* ------------------------------------------------------------------ *)
+
+let diag_suite =
+  [
+    tc "WDL060 fires on a two-rule chain to a foreign peer" (fun () ->
+        assert_fires "chain" "WDL060"
+          (file_codes
+             "ext s@p(x);\nint t@p(x);\ns@p(1);\nt@p($x) :- s@p($x);\n\
+              u@q($x) :- t@p($x);"));
+    tc "WDL060 silent on a direct single-rule send" (fun () ->
+        assert_silent "direct" "WDL060"
+          (file_codes "ext s@p(x);\ns@p(1);\nu@q($x) :- s@p($x);"));
+    tc "WDL061 fires when the head refeeds the delegation binder"
+      (fun () ->
+        assert_fires "amplification" "WDL061"
+          (file_codes
+             "ext contacts@p(a);\ncontacts@p(\"q\");\ncontacts@p($y) :- \
+              contacts@p($x), book@$x($y);"));
+    tc "WDL061 silent when the head feeds an unrelated relation" (fun () ->
+        assert_silent "no cycle" "WDL061"
+          (file_codes
+             "ext contacts@p(a);\nint found@p(a);\ncontacts@p(\"q\");\n\
+              found@p($y) :- contacts@p($x), book@$x($y);"));
+    tc "WDL062 fires when invented names feed the inventing body"
+      (fun () ->
+        assert_fires "invention" "WDL062"
+          (file_codes
+             "ext gen@p(r, x);\ngen@p(\"a\", 1);\n$r@p($x) :- gen@p($r, \
+              $x);"));
+    tc "WDL062 silent when the invented head cannot reach its body"
+      (fun () ->
+        assert_silent "bounded invention" "WDL062"
+          (file_codes
+             "ext gen@p(r, x);\ngen@p(\"a\", 1);\n$r@q($x) :- gen@p($r, \
+              $x);"));
+    tc "WDL063 fires on a post-hop write into a foreign ext relation"
+      (fun () ->
+        assert_fires "foreign write" "WDL063"
+          (file_codes
+             "ext src@p(x);\next data@q(x);\next log@q(x);\nsrc@p(1);\n\
+              log@q($x) :- src@p($x), data@q($x);"));
+    tc "WDL063 silent when the foreign head is intensional" (fun () ->
+        assert_silent "view write" "WDL063"
+          (file_codes
+             "ext src@p(x);\next data@q(x);\nint log@q(x);\nsrc@p(1);\n\
+              log@q($x) :- src@p($x), data@q($x);"));
+    tc "WDL064 fires when flow leaves the checked file set" (fun () ->
+        assert_fires "outside peer" "WDL064"
+          (sys_codes
+             [
+               ( "hub.wdl",
+                 "ext data@hub(x);\ndata@hub(1);\nout@other($x) :- \
+                  data@hub($x);" );
+               ("bob.wdl", "ext posts@bob(x);\nposts@bob(2);");
+             ]));
+    tc "WDL064 silent when the destination's file is included" (fun () ->
+        assert_silent "covered peer" "WDL064"
+          (sys_codes
+             [
+               ( "hub.wdl",
+                 "ext data@hub(x);\ndata@hub(1);\nout@other($x) :- \
+                  data@hub($x);" );
+               ("other.wdl", "int out@other(x);");
+             ]));
+    tc "WDL065 fires on a cross-file redeclaration" (fun () ->
+        assert_fires "shadowing" "WDL065"
+          (sys_codes
+             [
+               ("a.wdl", "ext data@alice(x);\ndata@alice(1);");
+               ("b.wdl", "ext data@alice(x);\ndata@alice(2);");
+             ]));
+    tc "WDL065 silent within a single file" (fun () ->
+        assert_silent "one owner" "WDL065"
+          (sys_codes
+             [
+               ("a.wdl", "ext data@alice(x);\ndata@alice(1);");
+               ("b.wdl", "ext posts@bob(x);\nposts@bob(2);");
+             ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Origin metadata: wire encoding and the live tagging pin            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_rule src =
+  match Parser.rule src with Ok r -> r | Error e -> Alcotest.fail e
+
+let msg_equal (a : Message.t) (b : Message.t) =
+  a.Message.src = b.Message.src
+  && a.Message.dst = b.Message.dst
+  && a.Message.stage = b.Message.stage
+  && Option.equal (List.equal Fact.equal) a.Message.facts b.Message.facts
+  && List.equal Rule.equal a.Message.installs b.Message.installs
+  && List.equal Rule.equal a.Message.retracts b.Message.retracts
+  && a.Message.fact_origins = b.Message.fact_origins
+  && a.Message.install_origins = b.Message.install_origins
+
+let wire_suite =
+  [
+    tc "wire round-trips origin metadata" (fun () ->
+        let m =
+          Message.make ~src:"p" ~dst:"q" ~stage:3
+            ~facts:(Some [ Fact.make ~rel:"out" ~peer:"q" [ Value.Int 1 ] ])
+            ~installs:[ parse_rule "mix@p($x) :- data@q($x);" ]
+            ~fact_origins:[ "p#1"; "p#2" ] ~install_origins:[ "p#3" ] ()
+        in
+        match Wire.decode (Wire.encode m) with
+        | Ok m' -> check_bool "round-trip" (msg_equal m m')
+        | Error e -> Alcotest.fail e);
+    tc "empty origins stay off the wire" (fun () ->
+        let m =
+          Message.make ~src:"p" ~dst:"q" ~stage:1
+            ~facts:(Some [ Fact.make ~rel:"out" ~peer:"q" [ Value.Int 1 ] ])
+            ()
+        in
+        let frame = Wire.encode m in
+        check_bool "no origins relation"
+          (not
+             (String.split_on_char '\n' frame
+             |> List.exists (fun l ->
+                    String.length l >= 7 && String.sub l 0 7 = "origins")));
+        match Wire.decode frame with
+        | Ok m' ->
+          check_bool "round-trip" (msg_equal m m');
+          Alcotest.(check (list string)) "no fact origins" [] m'.Message.fact_origins
+        | Error e -> Alcotest.fail e);
+    tc "diagnostics carry a top-level file field in JSON" (fun () ->
+        match
+          Parser.program_located ~file:"t.wdl" "ext spare@local(a);"
+        with
+        | Error _ -> Alcotest.fail "parse"
+        | Ok p -> (
+          match Analysis.check_located p with
+          | [] -> Alcotest.fail "expected a WDL021 diagnostic"
+          | d :: _ ->
+            let json = Diagnostic.to_json d in
+            check_bool "file field"
+              (contains json {|"file":"t.wdl"|})));
+  ]
+
+(* The deterministic pin: a two-peer run tags facts and installs with
+   the producing rule's id, the receiver resolves a delegated rule to
+   its origin id, and Peer.flow covers the observed deliveries. *)
+let ok' = function Ok v -> v | Error e -> Alcotest.fail e
+
+let tagging_pin () =
+  let p = Peer.create "p" in
+  ok'
+    (Peer.load_string p
+       "ext r@p(x);\nint mix@p(x);\nr@p(1);\nout@q($x) :- r@p($x);\n\
+        mix@p($x) :- data@q($x);");
+  let msgs = Peer.stage p in
+  let m =
+    match msgs with
+    | [ m ] -> m
+    | _ -> Alcotest.failf "expected one message, got %d" (List.length msgs)
+  in
+  Alcotest.(check string) "dst" "q" m.Message.dst;
+  Alcotest.(check (list string)) "fact origins" [ "p#1" ] m.Message.fact_origins;
+  Alcotest.(check (list string))
+    "install origins" [ "p#2" ] m.Message.install_origins;
+  Alcotest.(check int) "one install" 1 (List.length m.Message.installs);
+  (* The sender's flow covers both deliveries. *)
+  let flp = Peer.flow p in
+  let named1, any1 = Flow.rule_sends flp "p#1" in
+  check_bool "p#1 covers q" (any1 || List.mem "q" named1);
+  let named2, any2 = Flow.rule_sends flp "p#2" in
+  check_bool "p#2 covers q" (any2 || List.mem "q" named2);
+  (* The receiver installs the delegation under its origin id. *)
+  let q = Peer.create "q" in
+  ok' (Peer.load_string q "ext data@q(x);");
+  Peer.receive q m;
+  ignore (Peer.stage q);
+  (match Peer.delegated_rules q with
+  | [ ("p", r) ] ->
+    Alcotest.(check (option string)) "origin id" (Some "p#2") (Peer.rule_id q r)
+  | l -> Alcotest.failf "expected one delegation from p, got %d" (List.length l));
+  (* Evaluating the delegated rule tags its sends with the origin id,
+     and the receiver's own flow graph covers them. *)
+  ok' (Peer.insert q (Fact.make ~rel:"data" ~peer:"q" [ Value.Int 7 ]));
+  let back =
+    List.filter (fun (m : Message.t) -> m.Message.dst = "p") (Peer.stage q)
+  in
+  match back with
+  | [ m ] ->
+    Alcotest.(check (list string))
+      "delegated fact origins" [ "p#2" ] m.Message.fact_origins;
+    let named, any = Flow.rule_sends (Peer.flow q) "p#2" in
+    check_bool "q's flow covers p" (any || List.mem "p" named)
+  | _ -> Alcotest.failf "expected one message back to p, got %d" (List.length back)
+
+(* ------------------------------------------------------------------ *)
+(* The QCheck oracle                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Random multi-peer systems driven stage by stage. Before and after
+   every stage the staged peer's flow graph is snapshotted; every
+   origin id a message carries must name a rule whose static send set
+   (in some snapshot taken so far) covers the message's destination.
+   Snapshots accumulate because fact batches — and therefore their
+   origin sets — are cumulative across stages, while positional rule
+   ids shift under rule removal. *)
+
+type op =
+  | Add_rule of int * int  (** owner peer, template index *)
+  | Drop_rule of int * int  (** owner peer, index into its current rules *)
+  | Insert of int * string * int
+  | Remove of int * string * int
+  | Select of int * int  (** sel\@owner points at the second peer *)
+
+type fspec = {
+  n_peers : int;
+  rounds : int;
+  init_facts : (int * string * int) list;
+  init_sels : (int * int) list;
+  init_rules : (int * int) list;  (** owner, template *)
+  ops : (int * op) list;  (** 1-based round at which the op applies *)
+}
+
+let peer_name i = Printf.sprintf "p%d" i
+
+(* Each template's rules execute at [p] and may reference [q]; heads
+   are constant so the owner is the head peer's program. *)
+let templates =
+  [|
+    (fun p _ -> Printf.sprintf "v@%s($x) :- r@%s($x);" p p);
+    (fun p q -> Printf.sprintf "out@%s($x) :- r@%s($x);" q p);
+    (fun p q -> Printf.sprintf "pulled@%s($x) :- data@%s($x);" p q);
+    (fun p _ -> Printf.sprintf "dyn@%s($x) :- sel@%s($a), data@$a($x);" p p);
+    (fun p _ -> Printf.sprintf "w@%s($x) :- v@%s($x);" p p);
+    (fun p q -> Printf.sprintf "relay@%s($x) :- data@%s($x), r@%s($x);" q q p);
+  |]
+
+let fspec_gen =
+  QCheck.Gen.(
+    let* n_peers = int_range 2 3 in
+    let any_peer = int_range 0 (n_peers - 1) in
+    let* rounds = int_range 3 6 in
+    let template = int_range 0 (Array.length templates - 1) in
+    let fact =
+      let* p = any_peer in
+      let* rel = oneofl [ "r"; "data" ] in
+      let* v = int_range 0 4 in
+      return (p, rel, v)
+    in
+    let* init_facts = list_size (int_range 2 8) fact in
+    let* init_sels = list_size (int_range 0 2) (pair any_peer any_peer) in
+    let* init_rules = list_size (int_range 1 5) (pair any_peer template) in
+    let op =
+      let* round = int_range 1 rounds in
+      let* o =
+        oneof
+          [
+            (let* p = any_peer in
+             let* t = template in
+             return (Add_rule (p, t)));
+            (let* p = any_peer in
+             let* i = int_range 0 5 in
+             return (Drop_rule (p, i)));
+            (let* p, rel, v = fact in
+             return (Insert (p, rel, v)));
+            (let* p, rel, v = fact in
+             return (Remove (p, rel, v)));
+            (let* p = any_peer in
+             let* q = any_peer in
+             return (Select (p, q)));
+          ]
+      in
+      return (round, o)
+    in
+    let* ops = list_size (int_range 0 6) op in
+    return { n_peers; rounds; init_facts; init_sels; init_rules; ops })
+
+let op_print = function
+  | Add_rule (p, t) -> Printf.sprintf "add(p%d, t%d)" p t
+  | Drop_rule (p, i) -> Printf.sprintf "drop(p%d, %d)" p i
+  | Insert (p, rel, v) -> Printf.sprintf "ins(%s@p%d=%d)" rel p v
+  | Remove (p, rel, v) -> Printf.sprintf "del(%s@p%d=%d)" rel p v
+  | Select (p, q) -> Printf.sprintf "sel(p%d->p%d)" p q
+
+let fspec_print s =
+  Printf.sprintf "peers=%d rounds=%d facts=[%s] sels=[%s] rules=[%s] ops=[%s]"
+    s.n_peers s.rounds
+    (String.concat "; "
+       (List.map
+          (fun (p, rel, v) -> Printf.sprintf "%s@p%d=%d" rel p v)
+          s.init_facts))
+    (String.concat "; "
+       (List.map (fun (p, q) -> Printf.sprintf "p%d->p%d" p q) s.init_sels))
+    (String.concat "; "
+       (List.map
+          (fun (p, t) -> Printf.sprintf "p%d:t%d" p t)
+          s.init_rules))
+    (String.concat "; "
+       (List.map (fun (r, o) -> Printf.sprintf "@%d %s" r (op_print o)) s.ops))
+
+let fspec_arb = QCheck.make ~print:fspec_print fspec_gen
+
+let decls name =
+  String.concat "\n"
+    (List.map
+       (fun rel -> Printf.sprintf "int %s@%s(x);" rel name)
+       [ "v"; "w"; "pulled"; "dyn"; "out"; "relay" ])
+
+let rule_of spec (owner, t) =
+  let q = (owner + 1) mod spec.n_peers in
+  parse_rule (templates.(t) (peer_name owner) (peer_name q))
+
+let apply_op spec peers = function
+  | Add_rule (p, t) -> ignore (Peer.add_rule peers.(p) (rule_of spec (p, t)))
+  | Drop_rule (p, i) -> (
+    match Peer.rules peers.(p) with
+    | [] -> ()
+    | rs -> ignore (Peer.remove_rule peers.(p) (List.nth rs (i mod List.length rs))))
+  | Insert (p, rel, v) ->
+    ignore (Peer.insert peers.(p) (Fact.make ~rel ~peer:(peer_name p) [ Value.Int v ]))
+  | Remove (p, rel, v) ->
+    ignore (Peer.delete peers.(p) (Fact.make ~rel ~peer:(peer_name p) [ Value.Int v ]))
+  | Select (p, q) ->
+    ignore
+      (Peer.insert peers.(p)
+         (Fact.make ~rel:"sel" ~peer:(peer_name p)
+            [ Value.String (peer_name q) ]))
+
+(* [true] iff some snapshot knows a rule [id] whose send set covers
+   [dst]. Ids ending in "#?" (origin metadata lost, e.g. after a
+   restore) are outside the oracle's contract. *)
+let covered snaps id dst =
+  (String.length id >= 2 && String.sub id (String.length id - 2) 2 = "#?")
+  || List.exists
+       (fun fl ->
+         let named, any = Flow.rule_sends fl id in
+         any || List.mem dst named)
+       snaps
+
+let oracle_run spec =
+  let peers =
+    Array.init spec.n_peers (fun i -> Peer.create (peer_name i))
+  in
+  Array.iteri
+    (fun i p ->
+      match Peer.load_string p (decls (peer_name i)) with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    peers;
+  List.iter (fun (p, rel, v) -> apply_op spec peers (Insert (p, rel, v))) spec.init_facts;
+  List.iter (fun (p, q) -> apply_op spec peers (Select (p, q))) spec.init_sels;
+  List.iter (fun r -> ignore (Peer.add_rule peers.(fst r) (rule_of spec r))) spec.init_rules;
+  let snaps = ref [] in
+  let failure = ref None in
+  for round = 1 to spec.rounds do
+    List.iter
+      (fun (r, o) -> if r = round then apply_op spec peers o)
+      spec.ops;
+    let outbound = ref [] in
+    Array.iter
+      (fun p ->
+        snaps := Peer.flow p :: !snaps;
+        let msgs = Peer.stage p in
+        snaps := Peer.flow p :: !snaps;
+        List.iter
+          (fun (m : Message.t) ->
+            if List.length m.Message.install_origins
+               <> List.length m.Message.installs
+            then failure := Some (Printf.sprintf "unaligned install origins to %s" m.Message.dst);
+            List.iter
+              (fun id ->
+                if not (covered !snaps id m.Message.dst) then
+                  failure :=
+                    Some
+                      (Printf.sprintf "delivery (%s -> %s) not covered" id
+                         m.Message.dst))
+              (m.Message.fact_origins @ m.Message.install_origins))
+          msgs;
+        outbound := msgs @ !outbound)
+      peers;
+    List.iter
+      (fun (m : Message.t) ->
+        Array.iter
+          (fun p -> if Peer.name p = m.Message.dst then Peer.receive p m)
+          peers)
+      !outbound
+  done;
+  match !failure with
+  | None -> true
+  | Some msg -> QCheck.Test.fail_report msg
+
+let oracle_tests =
+  [
+    QCheck.Test.make ~count:500
+      ~name:"static send sets over-approximate observed deliveries" fspec_arb
+      oracle_run;
+  ]
+
+let suite =
+  graph_suite @ diag_suite @ wire_suite
+  @ [ tc "runtime origin tagging pin" tagging_pin ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) oracle_tests
